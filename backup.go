@@ -1,0 +1,53 @@
+package ode
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ode/internal/txn"
+)
+
+// Backup writes a consistent snapshot of the database into dstDir
+// (which must not already contain a database). It checkpoints first, so
+// the snapshot is a single data file with an empty log, then copies the
+// data file under the reader lock — writers are excluded for the
+// duration, readers are not.
+func (db *DB) Backup(dstDir string) error {
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return fmt.Errorf("ode: backup mkdir: %w", err)
+	}
+	dst := filepath.Join(dstDir, txn.DataFileName)
+	if _, err := os.Stat(dst); err == nil {
+		return fmt.Errorf("ode: backup target %s already exists", dst)
+	}
+	// Checkpoint: all committed state reaches the data file; the WAL is
+	// truncated to its header.
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	// Copy under the reader lock: writers (and further checkpoints) are
+	// excluded, so the file cannot change underneath the copy.
+	return db.eng.Read(func() error {
+		src := db.dir()
+		in, err := os.Open(filepath.Join(src, txn.DataFileName))
+		if err != nil {
+			return fmt.Errorf("ode: backup open: %w", err)
+		}
+		defer in.Close()
+		out, err := os.Create(dst)
+		if err != nil {
+			return fmt.Errorf("ode: backup create: %w", err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return fmt.Errorf("ode: backup copy: %w", err)
+		}
+		if err := out.Sync(); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}

@@ -1,0 +1,160 @@
+// Command odedump inspects an Ode database directory: statistics, the
+// type catalog, secondary indexes, every object's version graph (in the
+// paper's notation), configurations, contexts — and optionally a full
+// integrity check.
+//
+// Usage:
+//
+//	odedump [-check] [-graphs=false] [-max N] <dbdir>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ode"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "odedump: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and dumps the database to w (separated from main for
+// testing).
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("odedump", flag.ContinueOnError)
+	checkFlag := fs.Bool("check", false, "run the full structural integrity check")
+	graphsFlag := fs.Bool("graphs", true, "render per-object version graphs")
+	maxFlag := fs.Int("max", 50, "maximum objects to render (-1 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: odedump [-check] [-graphs] [-max N] <dbdir>")
+	}
+	dir := fs.Arg(0)
+
+	db, err := ode.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	st := db.Stats()
+	fmt.Fprintf(w, "database:     %s\n", dir)
+	fmt.Fprintf(w, "objects:      %d\n", st.Objects)
+	fmt.Fprintf(w, "versions:     %d\n", st.Versions)
+	fmt.Fprintf(w, "wal bytes:    %d\n", st.WALBytes)
+	if census, err := db.Engine().Manager().Store().Census(); err == nil {
+		fmt.Fprintf(w, "pages:        %d slotted, %d btree, %d overflow, %d free\n",
+			census.Slotted, census.BTree, census.Overflow, census.Free)
+		fmt.Fprintf(w, "records:      %d (%d live bytes, %d reusable)\n",
+			census.Records, census.SlottedLiveBytes, census.SlottedFreeBytes)
+	}
+	fmt.Fprintln(w)
+
+	eng := db.Engine()
+	err = db.View(func(tx *ode.Tx) error {
+		types, err := eng.Types()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "types:")
+		for _, name := range types {
+			id, _, err := eng.LookupType(name)
+			if err != nil {
+				return err
+			}
+			n, err := tx.ExtentCount(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %-24s %v  (%d objects)\n", name, id, n)
+		}
+		fmt.Fprintln(w)
+
+		if idx, err := eng.IndexNames(); err == nil && len(idx) > 0 {
+			fmt.Fprintln(w, "indexes:")
+			for _, name := range idx {
+				n, err := eng.IndexLen(name)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "  %-40s %d entries\n", name, n)
+			}
+			fmt.Fprintln(w)
+		}
+
+		if names, err := tx.Configs(); err == nil && len(names) > 0 {
+			fmt.Fprintln(w, "configurations:")
+			for _, name := range names {
+				bs, _, err := tx.GetConfig(name)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "  %s:\n", name)
+				for _, b := range bs {
+					binding := "dynamic (latest)"
+					if !b.VID.IsNil() {
+						binding = fmt.Sprintf("static %v", b.VID)
+					}
+					fmt.Fprintf(w, "    %-16s %v  %s\n", b.Slot, b.Obj, binding)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		if names, err := tx.Contexts(); err == nil && len(names) > 0 {
+			fmt.Fprintln(w, "contexts:")
+			for _, name := range names {
+				m, _, err := tx.GetContext(name)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "  %s: %d pinned\n", name, len(m))
+			}
+			fmt.Fprintln(w)
+		}
+
+		if *graphsFlag {
+			fmt.Fprintln(w, "version graphs:")
+			rendered := 0
+			for _, name := range types {
+				id, _, _ := eng.LookupType(name)
+				err := tx.Extent(id, func(o ode.OID) (bool, error) {
+					if *maxFlag >= 0 && rendered >= *maxFlag {
+						return false, nil
+					}
+					s, err := tx.Render(o)
+					if err != nil {
+						return false, err
+					}
+					fmt.Fprintln(w, s)
+					rendered++
+					return true, nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if *checkFlag {
+		fmt.Fprint(w, "integrity check... ")
+		if err := db.CheckIntegrity(); err != nil {
+			fmt.Fprintf(w, "FAILED\n")
+			return err
+		}
+		fmt.Fprintln(w, "ok")
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ode"
+)
+
+func testShell(t *testing.T) (*shell, *strings.Builder) {
+	t.Helper()
+	db, err := ode.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	var sb strings.Builder
+	return &shell{db: db, out: &sb}, &sb
+}
+
+func mustExec(t *testing.T, sh *shell, line string) {
+	t.Helper()
+	if err := sh.exec(line); err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+}
+
+func TestShellSession(t *testing.T) {
+	sh, out := testShell(t)
+	mustExec(t, sh, "new part first content")
+	mustExec(t, sh, "nv o1")
+	mustExec(t, sh, "set o1 v2 second content")
+	mustExec(t, sh, "nv o1 v1") // alternative from the root
+	mustExec(t, sh, "show o1")
+	mustExec(t, sh, "read o1")
+	mustExec(t, sh, "read o1 v1")
+	mustExec(t, sh, "hist o1 v2")
+	mustExec(t, sh, "leaves o1")
+	mustExec(t, sh, "asof o1 1")
+	mustExec(t, sh, "ls part")
+	mustExec(t, sh, "types")
+	mustExec(t, sh, "stats")
+	mustExec(t, sh, "check")
+	mustExec(t, sh, "help")
+
+	got := out.String()
+	for _, want := range []string{
+		"created o1 (root version v1)",
+		"new version v2",
+		"new version v3",
+		"derived-from:",
+		"latest v3 = \"first content\"", // alternative copies the root's content
+		"v1 = \"first content\"",
+		"v2 → v1",
+		"[v2 v3]",
+		"as of @1: v1",
+		"o1 (3 versions)",
+		"part",
+		"Objects:1",
+		"ok",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("session output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestShellDelete(t *testing.T) {
+	sh, _ := testShell(t)
+	mustExec(t, sh, "new doc hello")
+	mustExec(t, sh, "nv o1")
+	mustExec(t, sh, "del o1 v1")
+	mustExec(t, sh, "del o1")
+	if err := sh.exec("read o1"); err == nil {
+		t.Fatal("read of deleted object succeeded")
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := testShell(t)
+	cases := []string{
+		"bogus",
+		"new onlytype",
+		"read o999",
+		"read oX",
+		"set o1 v1",
+		"ls nosuchtype",
+		"asof o1 notanumber",
+		"hist o1",
+	}
+	for _, line := range cases {
+		if err := sh.exec(line); err == nil {
+			t.Fatalf("%q: expected error", line)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestGobCodecRoundtrip(t *testing.T) {
+	type nested struct {
+		M map[string][]int
+		P *int
+	}
+	c := GobCodec[nested]{}
+	seven := 7
+	in := &nested{M: map[string][]int{"a": {1, 2, 3}}, P: &seven}
+	raw, err := c.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.M["a"]) != 3 || out.P == nil || *out.P != 7 {
+		t.Fatalf("roundtrip: %+v", out)
+	}
+}
+
+func TestGobCodecRejectsGarbage(t *testing.T) {
+	c := GobCodec[Part]{}
+	if _, err := c.Unmarshal([]byte("definitely not gob")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// failingCodec simulates serialisation failures to test propagation.
+type failingCodec struct {
+	failMarshal, failUnmarshal bool
+}
+
+var errCodec = errors.New("codec boom")
+
+func (f failingCodec) Marshal(*Part) ([]byte, error) {
+	if f.failMarshal {
+		return nil, errCodec
+	}
+	return []byte("ok"), nil
+}
+
+func (f failingCodec) Unmarshal([]byte) (*Part, error) {
+	if f.failUnmarshal {
+		return nil, errCodec
+	}
+	return &Part{}, nil
+}
+
+func TestCodecErrorPropagation(t *testing.T) {
+	db := openDB(t, nil)
+	bad, err := RegisterWithCodec[Part](db, "BadMarshal", failingCodec{failMarshal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Update(func(tx *Tx) error {
+		_, err := bad.Create(tx, &Part{})
+		return err
+	})
+	if !errors.Is(err, errCodec) {
+		t.Fatalf("marshal failure not propagated: %v", err)
+	}
+	// Nothing was created by the failed marshal.
+	if st := db.Stats(); st.Objects != 0 {
+		t.Fatalf("failed marshal created object: %+v", st)
+	}
+
+	badU, err := RegisterWithCodec[Part](db, "BadUnmarshal", failingCodec{failUnmarshal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Ptr[Part]
+	if err := db.Update(func(tx *Tx) error {
+		var err error
+		p, err = badU.Create(tx, &Part{})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = db.View(func(tx *Tx) error {
+		_, err := p.Deref(tx)
+		return err
+	})
+	if !errors.Is(err, errCodec) {
+		t.Fatalf("unmarshal failure not propagated: %v", err)
+	}
+}
+
+func TestPtrSurface(t *testing.T) {
+	db := openDB(t, nil)
+	parts, _ := Register[Part](db, "Part")
+	var p Ptr[Part]
+	var vp VPtr[Part]
+	if err := db.Update(func(tx *Tx) error {
+		var err error
+		p, err = parts.Create(tx, &Part{Name: "s"})
+		if err != nil {
+			return err
+		}
+		vp, err = p.Pin(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var zeroP Ptr[Part]
+	var zeroV VPtr[Part]
+	if !zeroP.IsNil() || !zeroV.IsNil() {
+		t.Fatal("zero pointers not nil")
+	}
+	if p.IsNil() || vp.IsNil() {
+		t.Fatal("live pointers nil")
+	}
+	if p.String() != p.OID().String() {
+		t.Fatalf("Ptr.String = %q", p.String())
+	}
+	want := fmt.Sprintf("%v/%v", vp.OID(), vp.VID())
+	if vp.String() != want {
+		t.Fatalf("VPtr.String = %q want %q", vp.String(), want)
+	}
+	if vp.Ptr().OID() != p.OID() {
+		t.Fatal("VPtr.Ptr() lost the object")
+	}
+	if parts.Name() != "Part" || parts.ID() == 0 {
+		t.Fatalf("type surface: %q %v", parts.Name(), parts.ID())
+	}
+	// Nil-reference traversal results: the root's Dprev is a nil VPtr.
+	if err := db.View(func(tx *Tx) error {
+		d, err := vp.Dprev(tx)
+		if err != nil {
+			return err
+		}
+		if !d.IsNil() {
+			t.Fatalf("root Dprev = %v", d)
+		}
+		tp, err := vp.Tprev(tx)
+		if err != nil || !tp.IsNil() {
+			t.Fatalf("root Tprev = %v, %v", tp, err)
+		}
+		if !tx.Writable() {
+			return nil
+		}
+		t.Fatal("View transaction claims writable")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModifyAndDChildren(t *testing.T) {
+	db := openDB(t, nil)
+	parts, _ := Register[Part](db, "Part")
+	var p Ptr[Part]
+	var v0 VPtr[Part]
+	if err := db.Update(func(tx *Tx) error {
+		var err error
+		p, err = parts.Create(tx, &Part{Rev: 1})
+		if err != nil {
+			return err
+		}
+		if err := p.Modify(tx, func(x *Part) { x.Rev *= 10 }); err != nil {
+			return err
+		}
+		v0, err = p.Pin(tx)
+		if err != nil {
+			return err
+		}
+		// Two alternatives from v0.
+		if _, err := v0.NewVersion(tx); err != nil {
+			return err
+		}
+		_, err = v0.NewVersion(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *Tx) error {
+		v, err := v0.Deref(tx)
+		if err != nil || v.Rev != 10 {
+			t.Fatalf("modify result: %+v %v", v, err)
+		}
+		kids, err := v0.DChildren(tx)
+		if err != nil || len(kids) != 2 {
+			t.Fatalf("DChildren: %v %v", kids, err)
+		}
+		versions, err := p.Versions(tx)
+		if err != nil || len(versions) != 3 {
+			t.Fatalf("Versions: %d %v", len(versions), err)
+		}
+		hist, err := kids[0].History(tx)
+		if err != nil || len(hist) != 2 || hist[1].VID() != v0.VID() {
+			t.Fatalf("History: %v %v", hist, err)
+		}
+		info, err := kids[0].Info(tx)
+		if err != nil || info.Dprev != v0.VID() {
+			t.Fatalf("Info: %+v %v", info, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package ode
+
+// Smoke tests for the runnable examples: each must build, run to
+// completion, and print its key narrative lines. They execute `go run`,
+// so they are skipped in -short mode.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, path string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", path)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s failed: %v\n%s", path, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run go run")
+	}
+	out := runExample(t, "./examples/quickstart")
+	for _, want := range []string{
+		"generic deref:  {Name:ALU Rev:1}",
+		"specific deref: {Name:ALU Rev:0}",
+		"alternative tips:",
+		"after pdelete(oid): objects=0 versions=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleCAD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run go run")
+	}
+	out := runExample(t, "./examples/cad")
+	for _, want := range []string{
+		"schematic evolution:",
+		"fault representation still qualified against: alu-rev-A",
+		"release-1 context:",
+		"integrity check passed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cad missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleAddressBook(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run go run")
+	}
+	out := runExample(t, "./examples/addressbook")
+	for _, want := range []string{
+		"address book (initial):",
+		"3 Pine Rd",
+		"as of audit point 0",
+		"1 Elm St",
+		"Alice's address history (walking Tprevious):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("addressbook missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExamplePolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run go run")
+	}
+	out := runExample(t, "./examples/policies")
+	for _, want := range []string{
+		"percolation created 2 extra versions",
+		"notifications delivered synchronously",
+		"checked in as public version",
+		"ALU version graph after the whole session:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("policies missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleInventory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run go run")
+	}
+	out := runExample(t, "./examples/inventory")
+	for _, want := range []string{
+		"initial stock:",
+		"WID-1(qty=120)",
+		"low stock (qty < 10):",
+		"after WID-1 moved to the dock (as a new version):",
+		"WID-1 history: originally 120 units in aisle-3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inventory missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ode
+
+go 1.22

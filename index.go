@@ -1,0 +1,282 @@
+package ode
+
+// Secondary indexes over latest versions. O++ extents can be queried by
+// content; this layer maintains a persistent B+tree from a user-derived
+// key to the objects whose *latest version* currently has that key —
+// consistent with the paper's generic-reference semantics (an object
+// "is" its latest version unless a specific version is named).
+//
+// Maintenance is itself a trigger policy: every Create / Update /
+// NewVersion / DeleteVersion / DeleteObject event re-derives the
+// object's key and adjusts the index inside the same transaction, so
+// indexes are transactionally consistent with the data and roll back
+// with it.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ode/internal/trigger"
+)
+
+// IndexKeyer derives the index key for a value. Returning ok=false
+// excludes the object from the index (partial indexes).
+type IndexKeyer[T any] func(*T) (key []byte, ok bool)
+
+// Index is a named secondary index over a registered type.
+type Index[T any] struct {
+	ty   *Type[T]
+	name string // fully qualified storage name
+	rev  string // reverse-map storage name (oid → current entry key)
+	key  IndexKeyer[T]
+	trig TriggerID
+
+	mu  sync.Mutex
+	err error // first maintenance failure (sticky)
+}
+
+// EnsureIndex opens (creating and backfilling if needed) a named index
+// over the type, keyed by keyer, and attaches its maintenance trigger.
+// Call once per process per index, outside transactions. The same name
+// must always be used with an equivalent keyer.
+func (ty *Type[T]) EnsureIndex(name string, keyer IndexKeyer[T]) (*Index[T], error) {
+	ix := &Index[T]{
+		ty:   ty,
+		name: "ix/" + ty.name + "/" + name,
+		rev:  "ix/" + ty.name + "/" + name + "#rev",
+		key:  keyer,
+	}
+	// Backfill when empty (fresh index over an existing extent).
+	err := ty.db.Update(func(tx *Tx) error {
+		n, err := ty.db.eng.IndexLen(ix.name)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			return nil
+		}
+		return ty.Extent(tx, func(p Ptr[T]) (bool, error) {
+			if err := ix.reindex(p.OID()); err != nil {
+				return false, err
+			}
+			return true, nil
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ode: backfill index %s: %w", ix.name, err)
+	}
+	ix.trig = ty.db.OnType(ty.id, OnAny, false, ix.onEvent)
+	return ix, nil
+}
+
+// Close detaches the maintenance trigger (entries stay on disk).
+func (ix *Index[T]) Close() { ix.ty.db.RemoveTrigger(ix.trig) }
+
+// Drop removes the index and its entries from disk and detaches the
+// trigger. Must run inside an Update transaction.
+func (ix *Index[T]) Drop(tx *Tx) error {
+	if err := tx.guardWrite(); err != nil {
+		return err
+	}
+	ix.ty.db.RemoveTrigger(ix.trig)
+	if err := ix.ty.db.eng.IndexDrop(ix.name); err != nil {
+		return err
+	}
+	return ix.ty.db.eng.IndexDrop(ix.rev)
+}
+
+// Err returns the first maintenance error, if any. A non-nil Err means
+// the index may be stale; the transaction that triggered it has still
+// committed (triggers are notifications and cannot veto).
+func (ix *Index[T]) Err() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.err
+}
+
+func (ix *Index[T]) fail(err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.err == nil {
+		ix.err = err
+	}
+}
+
+// onEvent runs inside the mutating transaction.
+func (ix *Index[T]) onEvent(e Event) {
+	var err error
+	if e.Kind == trigger.KindDeleteObject {
+		err = ix.remove(e.Obj)
+	} else {
+		err = ix.reindex(e.Obj)
+	}
+	if err != nil {
+		ix.fail(fmt.Errorf("ode: index %s on %v of %v: %w", ix.name, e.Kind, e.Obj, err))
+	}
+}
+
+// reindex recomputes the entry for o from its latest version.
+func (ix *Index[T]) reindex(o OID) error {
+	eng := ix.ty.db.eng
+	raw, _, err := eng.ReadLatest(o)
+	if err != nil {
+		return err
+	}
+	v, err := ix.ty.codec.Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	var entry []byte
+	if userKey, ok := ix.key(v); ok {
+		entry = indexEntryKey(userKey, o)
+	}
+	old, hadOld, err := eng.IndexGet(ix.rev, oidKeyBytes(o))
+	if err != nil {
+		return err
+	}
+	if hadOld && string(old) == string(entry) {
+		return nil // key unchanged
+	}
+	if hadOld {
+		if _, err := eng.IndexDelete(ix.name, old); err != nil {
+			return err
+		}
+	}
+	if entry == nil {
+		if hadOld {
+			_, err := eng.IndexDelete(ix.rev, oidKeyBytes(o))
+			return err
+		}
+		return nil
+	}
+	if err := eng.IndexPut(ix.name, entry, oidKeyBytes(o)); err != nil {
+		return err
+	}
+	return eng.IndexPut(ix.rev, oidKeyBytes(o), entry)
+}
+
+// remove drops o's entry entirely.
+func (ix *Index[T]) remove(o OID) error {
+	eng := ix.ty.db.eng
+	old, hadOld, err := eng.IndexGet(ix.rev, oidKeyBytes(o))
+	if err != nil || !hadOld {
+		return err
+	}
+	if _, err := eng.IndexDelete(ix.name, old); err != nil {
+		return err
+	}
+	_, err = eng.IndexDelete(ix.rev, oidKeyBytes(o))
+	return err
+}
+
+// Lookup returns the objects whose latest version has exactly this key,
+// in oid order.
+func (ix *Index[T]) Lookup(tx *Tx, key []byte) ([]Ptr[T], error) {
+	if err := ix.Err(); err != nil {
+		return nil, err
+	}
+	var out []Ptr[T]
+	prefix := escapeIndexKey(key) // full escaped key incl. terminator
+	err := tx.db.eng.IndexAscendPrefix(ix.name, prefix, func(_, v []byte) (bool, error) {
+		out = append(out, Ptr[T]{obj: OID(binary.BigEndian.Uint64(v)), ty: ix.ty})
+		return true, nil
+	})
+	return out, err
+}
+
+// Range iterates objects with keys in [from, to) in key order (nil
+// bounds are open). fn receives the user key and the object.
+func (ix *Index[T]) Range(tx *Tx, from, to []byte, fn func(key []byte, p Ptr[T]) (bool, error)) error {
+	if err := ix.Err(); err != nil {
+		return err
+	}
+	var lo, hi []byte
+	if from != nil {
+		lo = escapeIndexKey(from)
+	}
+	if to != nil {
+		hi = escapeIndexKey(to)
+	}
+	return tx.db.eng.IndexAscend(ix.name, lo, hi, func(k, v []byte) (bool, error) {
+		user, err := unescapeIndexKey(k)
+		if err != nil {
+			return false, err
+		}
+		return fn(user, Ptr[T]{obj: OID(binary.BigEndian.Uint64(v)), ty: ix.ty})
+	})
+}
+
+// Count returns the number of entries (O(n)).
+func (ix *Index[T]) Count(tx *Tx) (int, error) {
+	return tx.db.eng.IndexLen(ix.name)
+}
+
+// --- entry-key encoding ---
+// User keys may contain any bytes, so they are escaped order-
+// preservingly (0x00 → 0x00 0xFF) and terminated with 0x00 0x00 before
+// the 8-byte oid suffix that makes entries unique. This is the standard
+// tuple-encoding trick: escaped representations compare exactly like
+// the originals, and no escaped key is a prefix of another.
+
+func escapeIndexKey(key []byte) []byte {
+	out := make([]byte, 0, len(key)+4)
+	for _, b := range key {
+		if b == 0x00 {
+			out = append(out, 0x00, 0xFF)
+		} else {
+			out = append(out, b)
+		}
+	}
+	return append(out, 0x00, 0x00)
+}
+
+func unescapeIndexKey(entry []byte) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(entry); i++ {
+		if entry[i] != 0x00 {
+			out = append(out, entry[i])
+			continue
+		}
+		if i+1 >= len(entry) {
+			return nil, fmt.Errorf("ode: corrupt index entry (dangling escape)")
+		}
+		switch entry[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x00:
+			return out, nil // terminator; oid suffix follows
+		default:
+			return nil, fmt.Errorf("ode: corrupt index entry (bad escape %#x)", entry[i+1])
+		}
+	}
+	return nil, fmt.Errorf("ode: corrupt index entry (no terminator)")
+}
+
+func indexEntryKey(userKey []byte, o OID) []byte {
+	out := escapeIndexKey(userKey)
+	return binary.BigEndian.AppendUint64(out, uint64(o))
+}
+
+func oidKeyBytes(o OID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(o))
+	return b[:]
+}
+
+// KeyString builds an index key from a string field.
+func KeyString(s string) []byte { return []byte(s) }
+
+// KeyUint builds an order-preserving index key from an unsigned value.
+func KeyUint(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// KeyInt builds an order-preserving index key from a signed value (sign
+// bit flipped so negative values sort before positive).
+func KeyInt(v int64) []byte {
+	return KeyUint(uint64(v) ^ (1 << 63))
+}

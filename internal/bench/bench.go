@@ -1,0 +1,148 @@
+// Package bench implements the experiment harness behind EXPERIMENTS.md:
+// workload generators, timing helpers, and the E1–E9 experiments from
+// DESIGN.md §4.2. cmd/odebench runs them and prints the tables; the
+// root-level bench_test.go exposes the same code paths as testing.B
+// benchmarks.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a simple experiment result table rendered as GitHub-flavoured
+// markdown.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Timer measures wall-clock latency distributions.
+type Timer struct {
+	samples []time.Duration
+}
+
+// Time runs fn once and records its duration.
+func (tm *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	tm.samples = append(tm.samples, time.Since(start))
+}
+
+// TimeN runs fn n times, recording each duration.
+func (tm *Timer) TimeN(n int, fn func()) {
+	for i := 0; i < n; i++ {
+		tm.Time(fn)
+	}
+}
+
+// Mean returns the mean sample duration.
+func (tm *Timer) Mean() time.Duration {
+	if len(tm.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range tm.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(tm.samples))
+}
+
+// P99 returns the 99th-percentile sample.
+func (tm *Timer) P99() time.Duration {
+	if len(tm.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), tm.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Ns formats a duration as nanoseconds with unit.
+func Ns(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.2f µs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%d ns", d.Nanoseconds())
+	}
+}
+
+// Bytes formats a byte count.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Payload produces a pseudo-random payload of the given size with the
+// given compressibility: redundancy 0 is uniform random bytes;
+// redundancy 1 is a single repeated byte. Versioning workloads in the
+// paper's CAD setting are highly redundant between versions; redundancy
+// here controls *within*-payload structure.
+func Payload(rng *rand.Rand, size int, redundancy float64) []byte {
+	out := make([]byte, size)
+	alphabet := int(1 + (1-redundancy)*255)
+	if alphabet < 1 {
+		alphabet = 1
+	}
+	for i := range out {
+		out[i] = byte(rng.Intn(alphabet))
+	}
+	return out
+}
+
+// Edit applies nEdits random point edits (of editLen bytes each) to a
+// copy of content — the "small change" between successive versions.
+func Edit(rng *rand.Rand, content []byte, nEdits, editLen int) []byte {
+	out := append([]byte(nil), content...)
+	if len(out) == 0 {
+		return out
+	}
+	for e := 0; e < nEdits; e++ {
+		at := rng.Intn(len(out))
+		for j := at; j < at+editLen && j < len(out); j++ {
+			out[j] ^= byte(rng.Intn(255) + 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"a", "b"},
+	}
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	for _, want := range []string{"### demo", "a note", "| a | b |", "| 1 | 2 |", "| --- | --- |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	var tm Timer
+	if tm.Mean() != 0 || tm.P99() != 0 {
+		t.Fatal("empty timer nonzero")
+	}
+	tm.TimeN(100, func() { time.Sleep(time.Microsecond) })
+	if tm.Mean() <= 0 || tm.P99() < tm.Mean()/2 {
+		t.Fatalf("implausible stats: mean=%v p99=%v", tm.Mean(), tm.P99())
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := Ns(5 * time.Millisecond); got != "5.00 ms" {
+		t.Fatalf("Ns ms: %q", got)
+	}
+	if got := Ns(1500 * time.Nanosecond); got != "1.50 µs" {
+		t.Fatalf("Ns µs: %q", got)
+	}
+	if got := Ns(900 * time.Nanosecond); got != "900 ns" {
+		t.Fatalf("Ns ns: %q", got)
+	}
+	if got := Bytes(2 << 20); got != "2.00 MiB" {
+		t.Fatalf("Bytes MiB: %q", got)
+	}
+	if got := Bytes(3 << 10); got != "3.00 KiB" {
+		t.Fatalf("Bytes KiB: %q", got)
+	}
+	if got := Bytes(12); got != "12 B" {
+		t.Fatalf("Bytes B: %q", got)
+	}
+}
+
+func TestPayloadAndEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Payload(rng, 1000, 0)
+	if len(p) != 1000 {
+		t.Fatal("payload size")
+	}
+	q := Payload(rng, 1000, 1)
+	for _, b := range q {
+		if b != 0 {
+			t.Fatal("fully redundant payload must be constant")
+		}
+	}
+	e := Edit(rng, p, 3, 8)
+	if len(e) != len(p) {
+		t.Fatal("edit changed length")
+	}
+	diff := 0
+	for i := range p {
+		if p[i] != e[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 3*8 {
+		t.Fatalf("edit touched %d bytes", diff)
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment at Quick scale: the
+// harness must complete and produce plausible tables. This doubles as
+// the integration test for the whole stack.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tb, err := ex.Run(t.TempDir(), Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if tb.Title == "" || len(tb.Headers) == 0 {
+				t.Fatal("malformed table")
+			}
+			for _, r := range tb.Rows {
+				if len(r) != len(tb.Headers) {
+					t.Fatalf("row width %d != headers %d", len(r), len(tb.Headers))
+				}
+			}
+		})
+	}
+}

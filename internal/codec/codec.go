@@ -1,0 +1,272 @@
+// Package codec provides the low-level binary encoding helpers shared by
+// every on-disk structure in the store: bounds-checked readers/writers
+// over byte slices, varints, length-prefixed byte strings, and CRC
+// framing. Keeping these in one place means every page, WAL record, and
+// version record round-trips through the same audited primitives.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decode runs off the end of its input.
+var ErrShortBuffer = errors.New("codec: short buffer")
+
+// ErrOverflow is returned when a varint is malformed or a length prefix
+// exceeds sane bounds.
+var ErrOverflow = errors.New("codec: varint overflow")
+
+// castagnoli is the CRC-32C table used for all on-disk checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC-32C of b.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Writer appends binary data to a growing buffer. The zero value is ready
+// to use. All Put methods return the Writer for chaining.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given capacity hint.
+func NewWriter(capHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, capHint)}
+}
+
+// Bytes returns the accumulated encoding. The slice aliases the Writer's
+// internal buffer; callers must copy if they keep writing.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 appends a single byte.
+func (w *Writer) U8(v uint8) *Writer {
+	w.buf = append(w.buf, v)
+	return w
+}
+
+// U16 appends v in big-endian order.
+func (w *Writer) U16(v uint16) *Writer {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+	return w
+}
+
+// U32 appends v in big-endian order.
+func (w *Writer) U32(v uint32) *Writer {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// U64 appends v in big-endian order.
+func (w *Writer) U64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// UVarint appends v in unsigned LEB128-style varint encoding.
+func (w *Writer) UVarint(v uint64) *Writer {
+	w.buf = binary.AppendUvarint(w.buf, v)
+	return w
+}
+
+// Varint appends v in zig-zag varint encoding.
+func (w *Writer) Varint(v int64) *Writer {
+	w.buf = binary.AppendVarint(w.buf, v)
+	return w
+}
+
+// Bytes32 appends a uvarint length prefix followed by b. The name records
+// that lengths are bounded by MaxBlob (well under 32 bits).
+func (w *Writer) Bytes32(b []byte) *Writer {
+	w.UVarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// String32 appends a length-prefixed string.
+func (w *Writer) String32(s string) *Writer {
+	w.UVarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Raw appends b with no framing.
+func (w *Writer) Raw(b []byte) *Writer {
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// F64 appends an IEEE-754 float64 in big-endian order.
+func (w *Writer) F64(v float64) *Writer {
+	return w.U64(math.Float64bits(v))
+}
+
+// Bool appends a 1-byte boolean.
+func (w *Writer) Bool(v bool) *Writer {
+	if v {
+		return w.U8(1)
+	}
+	return w.U8(0)
+}
+
+// MaxBlob bounds length prefixes accepted by Reader to guard against
+// corrupt inputs allocating unbounded memory.
+const MaxBlob = 1 << 30
+
+// Reader consumes binary data from a byte slice with bounds checking.
+// After any method returns an error the Reader is poisoned and every
+// later call returns the same error, so callers may decode a whole
+// structure and check the error once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Offset returns the number of consumed bytes.
+func (r *Reader) Offset() int { return r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 consumes a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 consumes a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 consumes a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// UVarint consumes an unsigned varint.
+func (r *Reader) UVarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrShortBuffer)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint consumes a zig-zag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrShortBuffer)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bytes32 consumes a length-prefixed byte string. The returned slice
+// aliases the Reader's input.
+func (r *Reader) Bytes32() []byte {
+	n := r.UVarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBlob {
+		r.fail(fmt.Errorf("%w: blob length %d", ErrOverflow, n))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// String32 consumes a length-prefixed string.
+func (r *Reader) String32() string {
+	return string(r.Bytes32())
+}
+
+// Raw consumes exactly n bytes with no framing. The returned slice
+// aliases the Reader's input.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// F64 consumes a big-endian IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool consumes a 1-byte boolean; any nonzero byte is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Expect fails the reader with err if cond is false. It lets decoders
+// express structural invariants inline.
+func (r *Reader) Expect(cond bool, err error) {
+	if r.err == nil && !cond {
+		r.fail(err)
+	}
+}

@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB).U16(0xCDEF).U32(0xDEADBEEF).U64(0x0102030405060708)
+	w.UVarint(300).Varint(-12345)
+	w.Bytes32([]byte("hello")).String32("world")
+	w.F64(math.Pi).Bool(true).Bool(false)
+	w.Raw([]byte{9, 9})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 = %x", got)
+	}
+	if got := r.U16(); got != 0xCDEF {
+		t.Fatalf("U16 = %x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 0x0102030405060708 {
+		t.Fatalf("U64 = %x", got)
+	}
+	if got := r.UVarint(); got != 300 {
+		t.Fatalf("UVarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Bytes32 = %q", got)
+	}
+	if got := r.String32(); got != "world" {
+		t.Fatalf("String32 = %q", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool roundtrip wrong")
+	}
+	if got := r.Raw(2); !bytes.Equal(got, []byte{9, 9}) {
+		t.Fatalf("Raw = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", r.Err())
+	}
+	// Poisoned reader keeps returning the same error.
+	_ = r.U8()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("poisoning lost: %v", r.Err())
+	}
+}
+
+func TestReaderEmptyVarint(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.UVarint()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", r.Err())
+	}
+}
+
+func TestReaderVarintOverflow(t *testing.T) {
+	// 11 continuation bytes overflow a uvarint.
+	bad := bytes.Repeat([]byte{0xFF}, 11)
+	r := NewReader(bad)
+	_ = r.UVarint()
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", r.Err())
+	}
+}
+
+func TestBytes32Oversized(t *testing.T) {
+	w := NewWriter(16)
+	w.UVarint(uint64(MaxBlob) + 1)
+	r := NewReader(w.Bytes())
+	_ = r.Bytes32()
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", r.Err())
+	}
+}
+
+func TestExpect(t *testing.T) {
+	sentinel := errors.New("bad structure")
+	r := NewReader([]byte{1})
+	r.Expect(true, sentinel)
+	if r.Err() != nil {
+		t.Fatal("Expect(true) must not fail")
+	}
+	r.Expect(false, sentinel)
+	if !errors.Is(r.Err(), sentinel) {
+		t.Fatalf("want sentinel, got %v", r.Err())
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	a := Checksum([]byte("ode"))
+	b := Checksum([]byte("ode"))
+	c := Checksum([]byte("odf"))
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	if a == c {
+		t.Fatal("checksum collision on trivially different input")
+	}
+}
+
+func TestQuickVarintRoundtrip(t *testing.T) {
+	f := func(u uint64, v int64) bool {
+		w := NewWriter(24)
+		w.UVarint(u).Varint(v)
+		r := NewReader(w.Bytes())
+		return r.UVarint() == u && r.Varint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytesRoundtrip(t *testing.T) {
+	f := func(b1, b2 []byte) bool {
+		w := NewWriter(len(b1) + len(b2) + 8)
+		w.Bytes32(b1).Bytes32(b2)
+		r := NewReader(w.Bytes())
+		g1 := append([]byte(nil), r.Bytes32()...)
+		g2 := append([]byte(nil), r.Bytes32()...)
+		return r.Err() == nil && bytes.Equal(g1, b1) && bytes.Equal(g2, b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(7)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.U8(1)
+	if w.Len() != 1 {
+		t.Fatal("writer unusable after reset")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ode/internal/oid"
+)
+
+// Catalog key prefixes. The catalog tree maps type names to ids and back;
+// extents live in their own tree keyed by (typeid, oid).
+const (
+	catByName = "n:" // n:<name> → u32 type id
+	catByID   = "i:" // i:<id BE> → name
+)
+
+// catalog counter slot for type ids (kept separate from engine counters;
+// slot 5 of the superblock).
+const ctrTypeID = 5
+
+func catNameKey(name string) []byte { return append([]byte(catByName), name...) }
+
+func catIDKey(t oid.TypeID) []byte {
+	b := make([]byte, 2, 6)
+	copy(b, catByID)
+	return binary.BigEndian.AppendUint32(b, uint32(t))
+}
+
+// RegisterType returns the TypeID for name, creating it on first use.
+// Registration is idempotent: the same name always maps to the same id
+// for the lifetime of the database.
+func (e *Engine) RegisterType(name string) (oid.TypeID, error) {
+	if name == "" {
+		return oid.NilType, fmt.Errorf("ode: empty type name")
+	}
+	raw, ok, err := e.catalog.Get(catNameKey(name))
+	if err != nil {
+		return oid.NilType, err
+	}
+	if ok {
+		return oid.TypeID(binary.BigEndian.Uint32(raw)), nil
+	}
+	var t oid.TypeID
+	err = e.Write(func() error {
+		// Re-check inside the transaction (a concurrent caller may have
+		// registered it between our read and the lock).
+		raw, ok, err := e.catalog.Get(catNameKey(name))
+		if err != nil {
+			return err
+		}
+		if ok {
+			t = oid.TypeID(binary.BigEndian.Uint32(raw))
+			return nil
+		}
+		t = oid.TypeID(e.st.NextCounter(ctrTypeID))
+		var idv [4]byte
+		binary.BigEndian.PutUint32(idv[:], uint32(t))
+		if err := e.catalog.Put(catNameKey(name), idv[:]); err != nil {
+			return err
+		}
+		if err := e.catalog.Put(catIDKey(t), []byte(name)); err != nil {
+			return err
+		}
+		e.saveRoots()
+		return nil
+	})
+	return t, err
+}
+
+// LookupType returns the TypeID for a registered name.
+func (e *Engine) LookupType(name string) (oid.TypeID, bool, error) {
+	raw, ok, err := e.catalog.Get(catNameKey(name))
+	if err != nil || !ok {
+		return oid.NilType, false, err
+	}
+	return oid.TypeID(binary.BigEndian.Uint32(raw)), true, nil
+}
+
+// TypeName returns the registered name of t.
+func (e *Engine) TypeName(t oid.TypeID) (string, bool, error) {
+	raw, ok, err := e.catalog.Get(catIDKey(t))
+	if err != nil || !ok {
+		return "", false, err
+	}
+	return string(raw), true, nil
+}
+
+// typeExists reports whether t is a registered type id.
+func (e *Engine) typeExists(t oid.TypeID) (bool, error) {
+	_, ok, err := e.catalog.Get(catIDKey(t))
+	return ok, err
+}
+
+// Types lists all registered type names in name order.
+func (e *Engine) Types() ([]string, error) {
+	var out []string
+	err := e.catalog.AscendPrefix([]byte(catByName), func(k, _ []byte) (bool, error) {
+		out = append(out, string(k[len(catByName):]))
+		return true, nil
+	})
+	return out, err
+}
+
+// Extent calls fn for every object of type t in oid order — O++'s
+// "for x in Extent" iteration over a persistent set. Iteration stops
+// early when fn returns false.
+func (e *Engine) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(t))
+	return e.extent.AscendPrefix(prefix[:], func(k, _ []byte) (bool, error) {
+		return fn(oid.OID(binary.BigEndian.Uint64(k[4:12])))
+	})
+}
+
+// ExtentCount returns the number of objects of type t.
+func (e *Engine) ExtentCount(t oid.TypeID) (int, error) {
+	n := 0
+	err := e.Extent(t, func(oid.OID) (bool, error) { n++; return true, nil })
+	return n, err
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ode/internal/oid"
+)
+
+// CheckObject validates every structural invariant the paper's model
+// implies for one object's version set:
+//
+//  1. the temporal chain (tprev/tnext) is a doubly-linked total order
+//     over exactly the live versions, with strictly increasing stamps;
+//  2. the object header's latest is the temporal maximum;
+//  3. the derived-from relation is acyclic, with every dprev pointing at
+//     a live version of the same object (a forest rooted at versions
+//     with nil dprev);
+//  4. the temporal index and vid index agree with the version records;
+//  5. delta/shared payloads have a live parent and consistent depth.
+//
+// It is used by property tests, figure tests, and odedump --check.
+func (e *Engine) CheckObject(o oid.OID) error {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return err
+	}
+	recs := map[oid.VID]verRec{}
+	err = e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+		v := oid.VID(binary.BigEndian.Uint64(k[8:16]))
+		rec, err := decodeVerRec(val)
+		if err != nil {
+			return false, err
+		}
+		recs[v] = rec
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	if uint64(len(recs)) != h.count {
+		return fmt.Errorf("%v: header count %d but %d version records", o, h.count, len(recs))
+	}
+	if _, ok := recs[h.latest]; !ok {
+		return fmt.Errorf("%v: latest %v is not a live version", o, h.latest)
+	}
+
+	// (1) temporal chain.
+	cur := h.firstVID
+	visited := map[oid.VID]bool{}
+	var prev oid.VID
+	var prevStamp oid.Stamp
+	for !cur.IsNil() {
+		rec, ok := recs[cur]
+		if !ok {
+			return fmt.Errorf("%v: temporal chain reaches dead version %v", o, cur)
+		}
+		if visited[cur] {
+			return fmt.Errorf("%v: temporal chain cycles at %v", o, cur)
+		}
+		visited[cur] = true
+		if rec.tprev != prev {
+			return fmt.Errorf("%v: %v.tprev = %v, want %v", o, cur, rec.tprev, prev)
+		}
+		if !prev.IsNil() && rec.stamp <= prevStamp {
+			return fmt.Errorf("%v: stamps not strictly increasing at %v", o, cur)
+		}
+		prev, prevStamp = cur, rec.stamp
+		cur = rec.tnext
+	}
+	if len(visited) != len(recs) {
+		return fmt.Errorf("%v: temporal chain covers %d of %d versions", o, len(visited), len(recs))
+	}
+	// (2) latest is the temporal maximum (the chain's tail).
+	if prev != h.latest {
+		return fmt.Errorf("%v: chain tail %v but latest %v", o, prev, h.latest)
+	}
+
+	// (3) derived-from acyclicity and liveness.
+	for v, rec := range recs {
+		if rec.dprev.IsNil() {
+			continue
+		}
+		if _, ok := recs[rec.dprev]; !ok {
+			return fmt.Errorf("%v: %v derived from dead version %v", o, v, rec.dprev)
+		}
+		// Walk to the root; a cycle would exceed len(recs) hops.
+		cur, hops := v, 0
+		for !cur.IsNil() {
+			if hops > len(recs) {
+				return fmt.Errorf("%v: derived-from cycle through %v", o, v)
+			}
+			cur = recs[cur].dprev
+			hops++
+		}
+	}
+
+	// (4) index agreement.
+	for v, rec := range recs {
+		raw, ok, err := e.tempIdx.Get(tempKey(o, rec.stamp))
+		if err != nil {
+			return err
+		}
+		if !ok || oid.VID(binary.BigEndian.Uint64(raw)) != v {
+			return fmt.Errorf("%v: temporal index missing/wrong for %v", o, v)
+		}
+		owner, err := e.Owner(v)
+		if err != nil || owner != o {
+			return fmt.Errorf("%v: vid index wrong for %v: %v %v", o, v, owner, err)
+		}
+	}
+
+	// (5) payload sanity.
+	for v, rec := range recs {
+		switch rec.kind {
+		case payFull:
+			if rec.payload.IsNil() {
+				return fmt.Errorf("%v: %v full payload with nil RID", o, v)
+			}
+			if rec.depth != 0 {
+				return fmt.Errorf("%v: %v full payload with depth %d", o, v, rec.depth)
+			}
+		case paySame:
+			if !rec.payload.IsNil() {
+				return fmt.Errorf("%v: %v shared payload with a record", o, v)
+			}
+			if rec.dprev.IsNil() {
+				return fmt.Errorf("%v: %v shared payload with no parent", o, v)
+			}
+			if parent := recs[rec.dprev]; rec.depth != parent.depth+1 {
+				return fmt.Errorf("%v: %v depth %d but parent depth %d", o, v, rec.depth, parent.depth)
+			}
+		case payDelta:
+			if rec.payload.IsNil() || rec.dprev.IsNil() {
+				return fmt.Errorf("%v: %v delta payload missing record or parent", o, v)
+			}
+			parent := recs[rec.dprev]
+			if rec.depth != parent.depth+1 {
+				return fmt.Errorf("%v: %v depth %d but parent depth %d", o, v, rec.depth, parent.depth)
+			}
+		default:
+			return fmt.Errorf("%v: %v unknown payload kind %d", o, v, rec.kind)
+		}
+		// Content must materialise.
+		content, err := e.readContent(o, rec)
+		if err != nil {
+			return fmt.Errorf("%v: %v unreadable: %w", o, v, err)
+		}
+		if uint64(len(content)) != rec.size {
+			return fmt.Errorf("%v: %v size field %d but content %d", o, v, rec.size, len(content))
+		}
+	}
+	return nil
+}
+
+// CheckAll validates every object in the database plus the structural
+// health of each index tree.
+func (e *Engine) CheckAll() error {
+	for _, t := range []interface{ Check() error }{
+		e.objTable, e.verIdx, e.tempIdx, e.catalog, e.extent, e.config, e.vidIdx,
+	} {
+		if err := t.Check(); err != nil {
+			return err
+		}
+	}
+	var objs []oid.OID
+	err := e.objTable.Ascend(nil, nil, func(k, _ []byte) (bool, error) {
+		objs = append(objs, oid.OID(binary.BigEndian.Uint64(k)))
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := e.CheckObject(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}

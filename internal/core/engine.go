@@ -1,0 +1,362 @@
+// Package core implements the Ode versioned-object engine — the paper's
+// primary contribution. It provides:
+//
+//   - persistent objects with identity (pnew → Create, oids);
+//   - version orthogonality: any object can grow versions at any time
+//     with no type-level declaration and no cost before the first
+//     newversion (§2, §3);
+//   - object ids as generic references that always dereference to the
+//     latest version, and version ids as specific references (§3, §4);
+//   - newversion with automatically maintained temporal (total order by
+//     creation) and derived-from (tree) relationships (§2, §4);
+//   - pdelete of a whole object or a single version with derivation-tree
+//     splicing (§4.4);
+//   - traversals Dprevious, Tprevious, Dchildren/alternatives, version
+//     histories, and as-of temporal lookup (§4.5);
+//   - delta storage of version payloads against their derived-from
+//     parent (§2's SCCS/RCS deltas), switchable per database;
+//   - configurations and contexts built over the primitives (§5);
+//   - trigger events so notification/percolation policies can be built
+//     outside the kernel (§1, §7).
+//
+// The engine is not locked internally: every public method must run
+// inside the transaction manager's Write (mutating) or Read callback.
+// The public ode package enforces that discipline.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ode/internal/btree"
+	"ode/internal/codec"
+	"ode/internal/oid"
+	"ode/internal/storage"
+	"ode/internal/trigger"
+	"ode/internal/txn"
+)
+
+// Superblock counter slots (on-disk format).
+const (
+	ctrOID     = 0
+	ctrVID     = 1
+	ctrStamp   = 2
+	ctrObjects = 3
+	ctrVersion = 4
+)
+
+// Superblock root slots (on-disk format).
+const (
+	rootObjTable = 0
+	rootVerIdx   = 1
+	rootTempIdx  = 2
+	rootCatalog  = 3
+	rootExtent   = 4
+	rootConfig   = 5
+	rootVidIdx   = 6
+)
+
+// Errors surfaced by the engine (re-exported by the ode package).
+var (
+	ErrNoObject   = errors.New("ode: no such object")
+	ErrNoVersion  = errors.New("ode: no such version")
+	ErrNoType     = errors.New("ode: type not registered")
+	ErrWrongType  = errors.New("ode: object has different type")
+	ErrCorrupt    = errors.New("ode: corrupt database structure")
+	ErrChainDepth = errors.New("ode: delta chain too deep")
+)
+
+// PayloadPolicy selects how version payloads are stored.
+type PayloadPolicy uint8
+
+const (
+	// FullCopy stores every version's payload in full.
+	FullCopy PayloadPolicy = iota
+	// DeltaChain stores a version as a binary delta against its
+	// derived-from parent, up to MaxChain links; every MaxChain-th
+	// version is a full keyframe bounding materialisation cost.
+	DeltaChain
+)
+
+// Options configures the engine.
+type Options struct {
+	Policy PayloadPolicy
+	// MaxChain bounds delta chains under DeltaChain; 0 means
+	// DefaultMaxChain.
+	MaxChain int
+}
+
+// DefaultMaxChain is the delta-chain keyframe interval.
+const DefaultMaxChain = 16
+
+// Engine is the versioned-object store.
+type Engine struct {
+	mgr  *txn.Manager
+	st   *storage.Store
+	heap *storage.Heap
+	bus  *trigger.Bus
+	opts Options
+
+	objTable *btree.Tree // oid → object header
+	verIdx   *btree.Tree // oid+vid → version record
+	tempIdx  *btree.Tree // oid+stamp → vid
+	catalog  *btree.Tree // type names ↔ ids
+	extent   *btree.Tree // typeid+oid → ()
+	config   *btree.Tree // configurations and contexts
+	vidIdx   *btree.Tree // vid → oid
+
+	// indexes caches open named secondary-index trees (roots live in
+	// the catalog tree); cleared whenever tree handles are rebound.
+	// idxMu makes the cache safe for concurrent readers.
+	idxMu   sync.Mutex
+	indexes map[string]*btree.Tree
+}
+
+// New wires an engine over mgr, creating the persistent structures on
+// first use.
+func New(mgr *txn.Manager, opts Options) (*Engine, error) {
+	if opts.MaxChain == 0 {
+		opts.MaxChain = DefaultMaxChain
+	}
+	e := &Engine{
+		mgr:  mgr,
+		st:   mgr.Store(),
+		heap: storage.NewHeap(mgr.Store()),
+		bus:  trigger.NewBus(),
+		opts: opts,
+	}
+	if e.st.Root(rootObjTable) == oid.NilPage {
+		// Fresh database: create every structure in one transaction.
+		err := mgr.Write(func() error {
+			for _, slot := range []int{
+				rootObjTable, rootVerIdx, rootTempIdx, rootCatalog,
+				rootExtent, rootConfig, rootVidIdx,
+			} {
+				t, err := btree.Create(e.st)
+				if err != nil {
+					return err
+				}
+				e.st.SetRoot(slot, t.Root())
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: init structures: %w", err)
+		}
+	}
+	e.reopenTrees()
+	return e, nil
+}
+
+// reopenTrees rebinds tree handles to the roots currently recorded in
+// the superblock. Called at startup and after any abort (an abort can
+// roll a root change back, leaving handles stale).
+func (e *Engine) reopenTrees() {
+	e.objTable = btree.Open(e.st, e.st.Root(rootObjTable))
+	e.verIdx = btree.Open(e.st, e.st.Root(rootVerIdx))
+	e.tempIdx = btree.Open(e.st, e.st.Root(rootTempIdx))
+	e.catalog = btree.Open(e.st, e.st.Root(rootCatalog))
+	e.extent = btree.Open(e.st, e.st.Root(rootExtent))
+	e.config = btree.Open(e.st, e.st.Root(rootConfig))
+	e.vidIdx = btree.Open(e.st, e.st.Root(rootVidIdx))
+	e.idxMu.Lock()
+	e.indexes = make(map[string]*btree.Tree)
+	e.idxMu.Unlock()
+}
+
+// saveRoots persists any root page movements after a mutating operation.
+func (e *Engine) saveRoots() {
+	set := func(slot int, t *btree.Tree) {
+		if e.st.Root(slot) != t.Root() {
+			e.st.SetRoot(slot, t.Root())
+		}
+	}
+	set(rootObjTable, e.objTable)
+	set(rootVerIdx, e.verIdx)
+	set(rootTempIdx, e.tempIdx)
+	set(rootCatalog, e.catalog)
+	set(rootExtent, e.extent)
+	set(rootConfig, e.config)
+	set(rootVidIdx, e.vidIdx)
+}
+
+// Bus exposes the trigger bus.
+func (e *Engine) Bus() *trigger.Bus { return e.bus }
+
+// Manager exposes the transaction manager.
+func (e *Engine) Manager() *txn.Manager { return e.mgr }
+
+// Policy returns the configured payload policy.
+func (e *Engine) Policy() PayloadPolicy { return e.opts.Policy }
+
+// Write runs fn as a transaction, refreshing tree handles after aborts.
+func (e *Engine) Write(fn func() error) error {
+	err := e.mgr.Write(fn)
+	if err != nil {
+		// Abort may have rolled back root changes and heap state.
+		e.reopenTrees()
+		e.heap = storage.NewHeap(e.st)
+	}
+	return err
+}
+
+// Read runs fn under the shared reader lock.
+func (e *Engine) Read(fn func() error) error { return e.mgr.Read(fn) }
+
+// --- keys ---
+
+func objKey(o oid.OID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(o))
+	return b[:]
+}
+
+func verKey(o oid.OID, v oid.VID) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(o))
+	binary.BigEndian.PutUint64(b[8:16], uint64(v))
+	return b[:]
+}
+
+func tempKey(o oid.OID, s oid.Stamp) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(o))
+	binary.BigEndian.PutUint64(b[8:16], uint64(s))
+	return b[:]
+}
+
+func vidKey(v oid.VID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func extKey(t oid.TypeID, o oid.OID) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(t))
+	binary.BigEndian.PutUint64(b[4:12], uint64(o))
+	return b[:]
+}
+
+// --- object header ---
+
+// objHeader is the per-object record in the object table. The paper's §3
+// point is embodied here: there is no "generic object header" users
+// dereference through — the header exists only so the engine can find
+// the latest version; an oid dereference is a single extra index probe,
+// identical in cost for versioned and unversioned objects.
+type objHeader struct {
+	typ      oid.TypeID
+	latest   oid.VID
+	count    uint64 // live version count
+	firstVID oid.VID
+	created  oid.Stamp
+}
+
+func (h *objHeader) encode() []byte {
+	w := codec.NewWriter(40)
+	w.U32(uint32(h.typ))
+	w.UVarint(uint64(h.latest))
+	w.UVarint(h.count)
+	w.UVarint(uint64(h.firstVID))
+	w.UVarint(uint64(h.created))
+	return w.Bytes()
+}
+
+func decodeObjHeader(b []byte) (objHeader, error) {
+	r := codec.NewReader(b)
+	h := objHeader{}
+	h.typ = oid.TypeID(r.U32())
+	h.latest = oid.VID(r.UVarint())
+	h.count = r.UVarint()
+	h.firstVID = oid.VID(r.UVarint())
+	h.created = oid.Stamp(r.UVarint())
+	if r.Err() != nil {
+		return objHeader{}, fmt.Errorf("%w: object header: %v", ErrCorrupt, r.Err())
+	}
+	return h, nil
+}
+
+func (e *Engine) loadHeader(o oid.OID) (objHeader, error) {
+	raw, ok, err := e.objTable.Get(objKey(o))
+	if err != nil {
+		return objHeader{}, err
+	}
+	if !ok {
+		return objHeader{}, fmt.Errorf("%w: %v", ErrNoObject, o)
+	}
+	return decodeObjHeader(raw)
+}
+
+func (e *Engine) storeHeader(o oid.OID, h objHeader) error {
+	return e.objTable.Put(objKey(o), h.encode())
+}
+
+// Exists reports whether an object is present.
+func (e *Engine) Exists(o oid.OID) (bool, error) {
+	_, ok, err := e.objTable.Get(objKey(o))
+	return ok, err
+}
+
+// TypeOf returns the catalog type of an object.
+func (e *Engine) TypeOf(o oid.OID) (oid.TypeID, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return oid.NilType, err
+	}
+	return h.typ, nil
+}
+
+// Latest returns the vid the object id currently binds to — the paper's
+// generic-reference resolution ("an object id ... logically refers to
+// the latest version of the object").
+func (e *Engine) Latest(o oid.OID) (oid.VID, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	return h.latest, nil
+}
+
+// VersionCount returns the number of live versions of the object.
+func (e *Engine) VersionCount(o oid.OID) (uint64, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return 0, err
+	}
+	return h.count, nil
+}
+
+// Owner resolves a vid to its object (reverse index).
+func (e *Engine) Owner(v oid.VID) (oid.OID, error) {
+	raw, ok, err := e.vidIdx.Get(vidKey(v))
+	if err != nil {
+		return oid.NilOID, err
+	}
+	if !ok {
+		return oid.NilOID, fmt.Errorf("%w: %v", ErrNoVersion, v)
+	}
+	return oid.OID(binary.BigEndian.Uint64(raw)), nil
+}
+
+// Stats reports engine-level totals.
+type Stats struct {
+	Objects  uint64
+	Versions uint64
+	NextOID  uint64
+	NextVID  uint64
+	Stamp    uint64
+}
+
+// Stats returns engine totals.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Objects:  e.st.Counter(ctrObjects),
+		Versions: e.st.Counter(ctrVersion),
+		NextOID:  e.st.Counter(ctrOID),
+		NextVID:  e.st.Counter(ctrVID),
+		Stamp:    e.st.Counter(ctrStamp),
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"ode/internal/btree"
+	"ode/internal/oid"
+)
+
+// Named secondary indexes. O++ supports indexed access to extents; this
+// reproduction provides named B+trees whose roots are persisted in the
+// catalog tree, so higher layers (ode.Index) can maintain content
+// indexes over latest versions. The engine only provides the storage
+// primitive; maintenance policy lives above, driven by triggers — the
+// same mechanism/policy split the paper applies to versioning itself.
+
+const idxRootPrefix = "r:" // catalog key: r:<name> → u32 root page
+
+func idxRootKey(name string) []byte { return append([]byte(idxRootPrefix), name...) }
+
+// indexTree returns the named index's tree, creating it on first use.
+// Trees are cached per engine; the cache is dropped by reopenTrees after
+// aborts. The cache mutex makes concurrent readers safe; tree creation
+// (a mutation) only happens inside write transactions.
+func (e *Engine) indexTree(name string) (*btree.Tree, error) {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if t, ok := e.indexes[name]; ok {
+		return t, nil
+	}
+	raw, ok, err := e.catalog.Get(idxRootKey(name))
+	if err != nil {
+		return nil, err
+	}
+	var t *btree.Tree
+	if ok {
+		t = btree.Open(e.st, oid.PageID(binary.BigEndian.Uint32(raw)))
+	} else {
+		t, err = btree.Create(e.st)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.putIndexRoot(name, t.Root()); err != nil {
+			return nil, err
+		}
+	}
+	e.indexes[name] = t
+	return t, nil
+}
+
+func (e *Engine) putIndexRoot(name string, root oid.PageID) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(root))
+	if err := e.catalog.Put(idxRootKey(name), b[:]); err != nil {
+		return err
+	}
+	e.saveRoots()
+	return nil
+}
+
+// saveIndexRoot persists a root movement after a mutation.
+func (e *Engine) saveIndexRoot(name string, t *btree.Tree) error {
+	raw, ok, err := e.catalog.Get(idxRootKey(name))
+	if err != nil {
+		return err
+	}
+	if ok && oid.PageID(binary.BigEndian.Uint32(raw)) == t.Root() {
+		return nil
+	}
+	return e.putIndexRoot(name, t.Root())
+}
+
+// IndexPut inserts or replaces an entry in a named index.
+func (e *Engine) IndexPut(name string, key, val []byte) error {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return err
+	}
+	if err := t.Put(key, val); err != nil {
+		return err
+	}
+	return e.saveIndexRoot(name, t)
+}
+
+// IndexGet reads one entry from a named index.
+func (e *Engine) IndexGet(name string, key []byte) ([]byte, bool, error) {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return nil, false, err
+	}
+	return t.Get(key)
+}
+
+// IndexDelete removes an entry, reporting whether it was present.
+func (e *Engine) IndexDelete(name string, key []byte) (bool, error) {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return false, err
+	}
+	ok, err := t.Delete(key)
+	if err != nil {
+		return false, err
+	}
+	return ok, e.saveIndexRoot(name, t)
+}
+
+// IndexAscend iterates entries in [from, to) order (nil bounds are
+// open).
+func (e *Engine) IndexAscend(name string, from, to []byte, fn func(k, v []byte) (bool, error)) error {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return err
+	}
+	return t.Ascend(from, to, fn)
+}
+
+// IndexAscendPrefix iterates all entries whose key has the prefix.
+func (e *Engine) IndexAscendPrefix(name string, prefix []byte, fn func(k, v []byte) (bool, error)) error {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return err
+	}
+	return t.AscendPrefix(prefix, fn)
+}
+
+// IndexDrop deletes a named index entirely, freeing its pages.
+func (e *Engine) IndexDrop(name string) error {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return err
+	}
+	// Drain the tree so its pages return to the free list, then free the
+	// remaining root page by clearing everything via deletes.
+	var keys [][]byte
+	if err := t.Ascend(nil, nil, func(k, _ []byte) (bool, error) {
+		keys = append(keys, append([]byte(nil), k...))
+		return true, nil
+	}); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := t.Delete(k); err != nil {
+			return err
+		}
+	}
+	if err := e.st.Free(t.Root()); err != nil {
+		return err
+	}
+	e.idxMu.Lock()
+	delete(e.indexes, name)
+	e.idxMu.Unlock()
+	if _, err := e.catalog.Delete(idxRootKey(name)); err != nil {
+		return err
+	}
+	e.saveRoots()
+	return nil
+}
+
+// IndexNames lists the named indexes in order.
+func (e *Engine) IndexNames() ([]string, error) {
+	var out []string
+	err := e.catalog.AscendPrefix([]byte(idxRootPrefix), func(k, _ []byte) (bool, error) {
+		out = append(out, string(k[len(idxRootPrefix):]))
+		return true, nil
+	})
+	return out, err
+}
+
+// IndexLen counts the entries of a named index (O(n)).
+func (e *Engine) IndexLen(name string) (int, error) {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len()
+}
+
+// IndexCheck validates the named index tree's structural invariants.
+func (e *Engine) IndexCheck(name string) error {
+	t, err := e.indexTree(name)
+	if err != nil {
+		return err
+	}
+	return t.Check()
+}

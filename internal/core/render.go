@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ode/internal/oid"
+)
+
+// Render produces a deterministic textual picture of one object's
+// version graph in the paper's vocabulary: the derived-from tree drawn
+// with solid branches, and the temporal ordering drawn as a dotted
+// chain. The figure golden tests (figures_test.go) compare these
+// renderings against the states in the paper's §4 walkthrough, and
+// odedump prints them.
+func (e *Engine) Render(o oid.OID) (string, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return "", err
+	}
+	name, _, err := e.TypeName(h.typ)
+	if err != nil {
+		return "", err
+	}
+	versions, err := e.Versions(o)
+	if err != nil {
+		return "", err
+	}
+	children := map[oid.VID][]oid.VID{}
+	var roots []oid.VID
+	for _, v := range versions {
+		rec, err := e.loadVer(o, v)
+		if err != nil {
+			return "", err
+		}
+		if rec.dprev.IsNil() {
+			roots = append(roots, v)
+		} else {
+			children[rec.dprev] = append(children[rec.dprev], v)
+		}
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (%s) latest=%v versions=%d\n", o, name, h.latest, h.count)
+	b.WriteString("derived-from:\n")
+	var draw func(v oid.VID, prefix string, last bool)
+	draw = func(v oid.VID, prefix string, last bool) {
+		connector := "├── "
+		childPrefix := prefix + "│   "
+		if last {
+			connector = "└── "
+			childPrefix = prefix + "    "
+		}
+		marker := ""
+		if v == h.latest {
+			marker = " *latest"
+		}
+		fmt.Fprintf(&b, "%s%s%v%s\n", prefix, connector, v, marker)
+		cs := children[v]
+		for i, c := range cs {
+			draw(c, childPrefix, i == len(cs)-1)
+		}
+	}
+	for i, r := range roots {
+		draw(r, "  ", i == len(roots)-1)
+	}
+	b.WriteString("temporal:  ")
+	for i, v := range versions {
+		if i > 0 {
+			b.WriteString(" ··▶ ")
+		}
+		fmt.Fprintf(&b, "%v", v)
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"ode/internal/oid"
+)
+
+// VersionInfo is the public view of a version's metadata.
+type VersionInfo struct {
+	VID   oid.VID
+	Stamp oid.Stamp
+	Dprev oid.VID // derived-from parent
+	Tprev oid.VID // temporal predecessor
+	Tnext oid.VID // temporal successor
+	Size  uint64  // content bytes
+	// Delta reports whether the payload is stored dependently (delta or
+	// shared) rather than in full.
+	Delta bool
+	// ChainDepth is the number of links to the nearest full payload.
+	ChainDepth int
+}
+
+// Info returns a version's metadata.
+func (e *Engine) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	return VersionInfo{
+		VID:   v,
+		Stamp: rec.stamp,
+		Dprev: rec.dprev,
+		Tprev: rec.tprev,
+		Tnext: rec.tnext,
+		Size:  rec.size,
+		Delta: rec.kind != payFull,
+		// ChainDepth counts materialisation links (deltas and shared
+		// payloads) to the keyframe.
+		ChainDepth: int(rec.depth),
+	}, nil
+}
+
+// Dprev returns the version this version was derived from — the paper's
+// Dprevious traversal. Nil for a root version.
+func (e *Engine) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	return rec.dprev, nil
+}
+
+// Tprev returns the version temporally preceding v — the paper's
+// Tprevious traversal. Nil for the object's oldest version.
+func (e *Engine) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	return rec.tprev, nil
+}
+
+// Tnext returns the version temporally following v, nil for the latest.
+func (e *Engine) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	return rec.tnext, nil
+}
+
+// DChildren returns the versions directly derived from v, in vid
+// (creation) order. Multiple children are the paper's alternatives
+// (§4.3): parallel versions derived from the same ancestor.
+func (e *Engine) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
+	var out []oid.VID
+	err := e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+		rec, err := decodeVerRec(val)
+		if err != nil {
+			return false, err
+		}
+		if rec.dprev == v {
+			out = append(out, oid.VID(binary.BigEndian.Uint64(k[8:16])))
+		}
+		return true, nil
+	})
+	return out, err
+}
+
+// History returns the version history of v: the derivation chain from v
+// back to the root version, in that order — §4.4's "v3, v1, and v0
+// constitute a version history".
+func (e *Engine) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
+	var out []oid.VID
+	cur := v
+	for !cur.IsNil() {
+		out = append(out, cur)
+		rec, err := e.loadVer(o, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = rec.dprev
+	}
+	return out, nil
+}
+
+// Leaves returns the leaves of the derived-from tree in vid order. Each
+// leaf is "the most up-to-date version of an alternative design" (§4.5);
+// each root→leaf path is the evolution of one alternative.
+func (e *Engine) Leaves(o oid.OID) ([]oid.VID, error) {
+	hasChild := map[oid.VID]bool{}
+	var all []oid.VID
+	err := e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+		rec, err := decodeVerRec(val)
+		if err != nil {
+			return false, err
+		}
+		all = append(all, oid.VID(binary.BigEndian.Uint64(k[8:16])))
+		if !rec.dprev.IsNil() {
+			hasChild[rec.dprev] = true
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var leaves []oid.VID
+	for _, v := range all {
+		if !hasChild[v] {
+			leaves = append(leaves, v)
+		}
+	}
+	return leaves, nil
+}
+
+// Versions returns all live versions of the object in temporal
+// (creation) order, oldest first.
+func (e *Engine) Versions(o oid.OID) ([]oid.VID, error) {
+	var out []oid.VID
+	err := e.tempIdx.AscendPrefix(objKey(o), func(_, val []byte) (bool, error) {
+		out = append(out, oid.VID(binary.BigEndian.Uint64(val)))
+		return true, nil
+	})
+	return out, err
+}
+
+// AsOf returns the version that was latest at the given stamp: the
+// version with the largest creation stamp ≤ s. ok=false when the object
+// had no version yet at s. This is the historical-database access the
+// paper motivates with accounting/legal/financial applications (§2).
+func (e *Engine) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
+	k, val, ok, err := e.tempIdx.SeekLE(tempKey(o, s))
+	if err != nil || !ok {
+		return oid.NilVID, false, err
+	}
+	// SeekLE may land on a different object's key; verify the prefix.
+	if binary.BigEndian.Uint64(k[0:8]) != uint64(o) {
+		return oid.NilVID, false, nil
+	}
+	return oid.VID(binary.BigEndian.Uint64(val)), true, nil
+}
+
+// AsOfWalk answers the same question as AsOf by walking the temporal
+// chain backwards from the latest version — the baseline E8 benchmarks
+// against the indexed SeekLE.
+func (e *Engine) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return oid.NilVID, false, err
+	}
+	cur := h.latest
+	for !cur.IsNil() {
+		rec, err := e.loadVer(o, cur)
+		if err != nil {
+			return oid.NilVID, false, err
+		}
+		if rec.stamp <= s {
+			return cur, true, nil
+		}
+		cur = rec.tprev
+	}
+	return oid.NilVID, false, nil
+}
+
+// CurrentStamp returns the engine's logical clock value (the stamp of
+// the most recent version-creating operation).
+func (e *Engine) CurrentStamp() oid.Stamp {
+	return oid.Stamp(e.st.Counter(ctrStamp))
+}

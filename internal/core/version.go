@@ -1,0 +1,611 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ode/internal/codec"
+	"ode/internal/delta"
+	"ode/internal/oid"
+	"ode/internal/trigger"
+)
+
+// payload kinds in a version record.
+const (
+	payFull  = 0 // payload record holds the content verbatim
+	payDelta = 1 // payload record holds a delta against dprev's content
+	paySame  = 2 // content identical to dprev's; no payload record
+)
+
+// verRec is the per-version record in the version index. The paper's two
+// automatically maintained relationships live here: dprev (derived-from
+// tree edge) and tprev/tnext (temporal chain links).
+type verRec struct {
+	stamp   oid.Stamp
+	dprev   oid.VID // derived-from parent (nil for a root version)
+	tprev   oid.VID // temporal predecessor among the object's versions
+	tnext   oid.VID // temporal successor (nil for the latest)
+	payload oid.RID // heap record holding content or delta (nil for paySame)
+	kind    uint8
+	depth   uint16 // materialisation links to the nearest full payload
+	size    uint64 // content length in bytes
+}
+
+func (v *verRec) encode() []byte {
+	w := codec.NewWriter(64)
+	w.UVarint(uint64(v.stamp))
+	w.UVarint(uint64(v.dprev))
+	w.UVarint(uint64(v.tprev))
+	w.UVarint(uint64(v.tnext))
+	rid := v.payload.Pack()
+	w.Raw(rid[:])
+	w.U8(v.kind)
+	w.U16(v.depth)
+	w.UVarint(v.size)
+	return w.Bytes()
+}
+
+func decodeVerRec(b []byte) (verRec, error) {
+	r := codec.NewReader(b)
+	v := verRec{}
+	v.stamp = oid.Stamp(r.UVarint())
+	v.dprev = oid.VID(r.UVarint())
+	v.tprev = oid.VID(r.UVarint())
+	v.tnext = oid.VID(r.UVarint())
+	ridRaw := r.Raw(6)
+	if ridRaw != nil {
+		v.payload = oid.UnpackRID(ridRaw)
+	}
+	v.kind = r.U8()
+	v.depth = r.U16()
+	v.size = r.UVarint()
+	if r.Err() != nil {
+		return verRec{}, fmt.Errorf("%w: version record: %v", ErrCorrupt, r.Err())
+	}
+	return v, nil
+}
+
+func (e *Engine) loadVer(o oid.OID, v oid.VID) (verRec, error) {
+	raw, ok, err := e.verIdx.Get(verKey(o, v))
+	if err != nil {
+		return verRec{}, err
+	}
+	if !ok {
+		return verRec{}, fmt.Errorf("%w: %v of %v", ErrNoVersion, v, o)
+	}
+	return decodeVerRec(raw)
+}
+
+func (e *Engine) storeVer(o oid.OID, v oid.VID, rec verRec) error {
+	return e.verIdx.Put(verKey(o, v), rec.encode())
+}
+
+// --- object lifecycle ---
+
+// Create allocates a persistent object of type t with the given initial
+// content — the paper's pnew. The object starts with a single root
+// version (it is "unversioned" in the paper's sense: versioning costs
+// nothing until the first newversion). Returns the oid and the root vid.
+func (e *Engine) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
+	if ok, err := e.typeExists(t); err != nil {
+		return oid.NilOID, oid.NilVID, err
+	} else if !ok {
+		return oid.NilOID, oid.NilVID, fmt.Errorf("%w: %v", ErrNoType, t)
+	}
+	o := oid.OID(e.st.NextCounter(ctrOID))
+	v := oid.VID(e.st.NextCounter(ctrVID))
+	stamp := oid.Stamp(e.st.NextCounter(ctrStamp))
+
+	rid, err := e.heap.Insert(content)
+	if err != nil {
+		return oid.NilOID, oid.NilVID, err
+	}
+	rec := verRec{stamp: stamp, payload: rid, kind: payFull, size: uint64(len(content))}
+	if err := e.storeVer(o, v, rec); err != nil {
+		return oid.NilOID, oid.NilVID, err
+	}
+	h := objHeader{typ: t, latest: v, count: 1, firstVID: v, created: stamp}
+	if err := e.storeHeader(o, h); err != nil {
+		return oid.NilOID, oid.NilVID, err
+	}
+	if err := e.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+		return oid.NilOID, oid.NilVID, err
+	}
+	if err := e.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
+		return oid.NilOID, oid.NilVID, err
+	}
+	if err := e.extent.Put(extKey(t, o), nil); err != nil {
+		return oid.NilOID, oid.NilVID, err
+	}
+	e.st.SetCounter(ctrObjects, e.st.Counter(ctrObjects)+1)
+	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)+1)
+	e.saveRoots()
+	e.bus.Fire(trigger.Event{Kind: trigger.KindCreate, Obj: o, VID: v, Type: t, Stamp: stamp})
+	return o, v, nil
+}
+
+// --- content materialisation ---
+
+// readContent materialises the content of (o, rec) by walking the delta
+// chain down to the nearest full payload and applying the deltas back up.
+// Iterative so that long chains cannot exhaust the stack; the chain
+// length is bounded by Options.MaxChain via depth accounting anyway.
+func (e *Engine) readContent(o oid.OID, rec verRec) ([]byte, error) {
+	var chain [][]byte // deltas from rec down toward the keyframe
+	cur := rec
+	for {
+		switch cur.kind {
+		case payFull:
+			base, err := e.heap.Read(cur.payload)
+			if err != nil {
+				return nil, err
+			}
+			// Apply collected deltas in reverse (keyframe-first) order.
+			for i := len(chain) - 1; i >= 0; i-- {
+				base, err = delta.Apply(base, chain[i])
+				if err != nil {
+					return nil, err
+				}
+			}
+			return base, nil
+		case paySame:
+			// Content equals the parent's; nothing to collect.
+		case payDelta:
+			d, err := e.heap.Read(cur.payload)
+			if err != nil {
+				return nil, err
+			}
+			chain = append(chain, d)
+		default:
+			return nil, fmt.Errorf("%w: payload kind %d", ErrCorrupt, cur.kind)
+		}
+		if cur.dprev.IsNil() {
+			return nil, fmt.Errorf("%w: dependent payload with no parent", ErrCorrupt)
+		}
+		parent, err := e.loadVer(o, cur.dprev)
+		if err != nil {
+			return nil, err
+		}
+		cur = parent
+	}
+}
+
+// ReadVersion returns the content of a specific version — the paper's
+// specific-reference dereference (*vp on a version id).
+func (e *Engine) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return nil, err
+	}
+	return e.readContent(o, rec)
+}
+
+// ReadLatest returns the latest version's content and its vid — the
+// paper's generic-reference dereference (*p on an object id binds to the
+// latest version at access time).
+func (e *Engine) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return nil, oid.NilVID, err
+	}
+	rec, err := e.loadVer(o, h.latest)
+	if err != nil {
+		return nil, oid.NilVID, err
+	}
+	content, err := e.readContent(o, rec)
+	return content, h.latest, err
+}
+
+// --- payload write policy ---
+
+// writePayload stores content for a version whose derived-from parent is
+// dprev, choosing full or delta representation per policy. It updates
+// rec's payload/kind/depth/size fields in place; rec.payload must be
+// NilRID or an existing record to overwrite.
+func (e *Engine) writePayload(o oid.OID, rec *verRec, content []byte) error {
+	kind := uint8(payFull)
+	var encoded []byte
+	var depth uint16
+
+	if e.opts.Policy == DeltaChain && !rec.dprev.IsNil() {
+		parent, err := e.loadVer(o, rec.dprev)
+		if err != nil {
+			return err
+		}
+		if int(parent.depth)+1 <= e.opts.MaxChain {
+			base, err := e.readContent(o, parent)
+			if err != nil {
+				return err
+			}
+			d := delta.Encode(base, content)
+			// Keep the delta only when it actually saves space.
+			if len(d) < len(content) {
+				kind = payDelta
+				encoded = d
+				depth = parent.depth + 1
+			}
+		}
+	}
+	if kind == payFull {
+		encoded = content
+		depth = 0
+	}
+
+	if rec.payload.IsNil() {
+		rid, err := e.heap.Insert(encoded)
+		if err != nil {
+			return err
+		}
+		rec.payload = rid
+	} else {
+		if err := e.heap.Update(rec.payload, encoded); err != nil {
+			return err
+		}
+	}
+	rec.kind = kind
+	rec.depth = depth
+	rec.size = uint64(len(content))
+	return nil
+}
+
+// UpdateVersion overwrites the content of one version in place (no new
+// version is created — in O++ a version is an object you may mutate
+// through a specific reference). Children stored as deltas against this
+// version are first converted to stand-alone payloads so their content
+// is unaffected.
+func (e *Engine) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return err
+	}
+	if err := e.detachDependents(o, v); err != nil {
+		return err
+	}
+	// Reload: detachDependents may have rewritten rec's entry? (It only
+	// rewrites children.) rec is still current.
+	if rec.kind == paySame {
+		// Gains its own payload record now.
+		rec.payload = oid.NilRID
+	}
+	if err := e.writePayload(o, &rec, content); err != nil {
+		return err
+	}
+	if err := e.storeVer(o, v, rec); err != nil {
+		return err
+	}
+	if err := e.fixDepths(o, v, rec.depth); err != nil {
+		return err
+	}
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return err
+	}
+	e.saveRoots()
+	e.bus.Fire(trigger.Event{Kind: trigger.KindUpdate, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp})
+	return nil
+}
+
+// UpdateLatest overwrites the latest version's content (generic-
+// reference assignment).
+func (e *Engine) UpdateLatest(o oid.OID, content []byte) (oid.VID, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	return h.latest, e.UpdateVersion(o, h.latest, content)
+}
+
+// fixDepths recomputes the chain-depth hints of v's dependent
+// descendants after v's own depth changed. A child stored as a delta or
+// shared payload has depth parent.depth+1; subtrees whose depth is
+// already correct are pruned.
+func (e *Engine) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
+	children, err := e.DChildren(o, v)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		crec, err := e.loadVer(o, c)
+		if err != nil {
+			return err
+		}
+		if crec.kind == payFull {
+			continue // its depth is 0 and its subtree hangs off it, unchanged
+		}
+		want := vDepth + 1
+		if crec.depth == want {
+			continue
+		}
+		crec.depth = want
+		if err := e.storeVer(o, c, crec); err != nil {
+			return err
+		}
+		if err := e.fixDepths(o, c, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// detachDependents rewrites every child version whose payload depends on
+// v's content (paySame or payDelta with dprev == v) as a full payload.
+func (e *Engine) detachDependents(o oid.OID, v oid.VID) error {
+	children, err := e.DChildren(o, v)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		crec, err := e.loadVer(o, c)
+		if err != nil {
+			return err
+		}
+		if crec.kind == payFull {
+			continue
+		}
+		content, err := e.readContent(o, crec)
+		if err != nil {
+			return err
+		}
+		if crec.kind == paySame {
+			rid, err := e.heap.Insert(content)
+			if err != nil {
+				return err
+			}
+			crec.payload = rid
+		} else {
+			if err := e.heap.Update(crec.payload, content); err != nil {
+				return err
+			}
+		}
+		crec.kind = payFull
+		crec.depth = 0
+		crec.size = uint64(len(content))
+		if err := e.storeVer(o, c, crec); err != nil {
+			return err
+		}
+		if err := e.fixDepths(o, c, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- newversion ---
+
+// NewVersion creates a new version derived from the object's latest
+// version — the paper's newversion(oid). Returns the new vid.
+func (e *Engine) NewVersion(o oid.OID) (oid.VID, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	return e.newVersionFrom(o, h, h.latest)
+}
+
+// NewVersionFrom creates a new version derived from a specific base
+// version — the paper's newversion(vid); parallel calls on different
+// bases create the alternatives of §4.3.
+func (e *Engine) NewVersionFrom(o oid.OID, base oid.VID) (oid.VID, error) {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	if _, err := e.loadVer(o, base); err != nil {
+		return oid.NilVID, err
+	}
+	return e.newVersionFrom(o, h, base)
+}
+
+func (e *Engine) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, error) {
+	baseRec, err := e.loadVer(o, base)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	v := oid.VID(e.st.NextCounter(ctrVID))
+	stamp := oid.Stamp(e.st.NextCounter(ctrStamp))
+
+	// The new version starts with content identical to its base. Under
+	// DeltaChain (and within depth budget) that is represented without
+	// copying anything — the paper's "small changes should have small
+	// impact" principle. Under FullCopy the content is duplicated.
+	rec := verRec{
+		stamp: stamp,
+		dprev: base,
+		tprev: h.latest,
+		size:  baseRec.size,
+	}
+	if e.opts.Policy == DeltaChain && int(baseRec.depth)+1 <= e.opts.MaxChain {
+		rec.kind = paySame
+		rec.depth = baseRec.depth + 1
+	} else {
+		content, err := e.readContent(o, baseRec)
+		if err != nil {
+			return oid.NilVID, err
+		}
+		rid, err := e.heap.Insert(content)
+		if err != nil {
+			return oid.NilVID, err
+		}
+		rec.kind = payFull
+		rec.payload = rid
+	}
+	if err := e.storeVer(o, v, rec); err != nil {
+		return oid.NilVID, err
+	}
+	// Temporal chain: the old latest gains a successor.
+	prevRec, err := e.loadVer(o, h.latest)
+	if err != nil {
+		return oid.NilVID, err
+	}
+	prevRec.tnext = v
+	if err := e.storeVer(o, h.latest, prevRec); err != nil {
+		return oid.NilVID, err
+	}
+	h.latest = v
+	h.count++
+	if err := e.storeHeader(o, h); err != nil {
+		return oid.NilVID, err
+	}
+	if err := e.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+		return oid.NilVID, err
+	}
+	if err := e.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
+		return oid.NilVID, err
+	}
+	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)+1)
+	e.saveRoots()
+	e.bus.Fire(trigger.Event{
+		Kind: trigger.KindNewVersion, Obj: o, VID: v, Prev: base,
+		Type: h.typ, Stamp: stamp,
+	})
+	return v, nil
+}
+
+// --- pdelete ---
+
+// DeleteVersion removes a single version — the paper's pdelete(vid).
+// The derivation tree is spliced: children of the deleted version are
+// re-parented onto its derived-from parent; the temporal chain is
+// likewise spliced. If the deleted version was the latest, the object id
+// re-binds to the temporally preceding version. Deleting the only
+// version deletes the object.
+func (e *Engine) DeleteVersion(o oid.OID, v oid.VID) error {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return err
+	}
+	if h.count == 1 {
+		return e.DeleteObject(o)
+	}
+	rec, err := e.loadVer(o, v)
+	if err != nil {
+		return err
+	}
+	// Children depending on v's bytes must be made self-sufficient, then
+	// re-parented onto v's parent.
+	if err := e.detachDependents(o, v); err != nil {
+		return err
+	}
+	children, err := e.DChildren(o, v)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		crec, err := e.loadVer(o, c)
+		if err != nil {
+			return err
+		}
+		crec.dprev = rec.dprev
+		if err := e.storeVer(o, c, crec); err != nil {
+			return err
+		}
+	}
+	// Splice the temporal chain.
+	if !rec.tprev.IsNil() {
+		p, err := e.loadVer(o, rec.tprev)
+		if err != nil {
+			return err
+		}
+		p.tnext = rec.tnext
+		if err := e.storeVer(o, rec.tprev, p); err != nil {
+			return err
+		}
+	}
+	if !rec.tnext.IsNil() {
+		n, err := e.loadVer(o, rec.tnext)
+		if err != nil {
+			return err
+		}
+		n.tprev = rec.tprev
+		if err := e.storeVer(o, rec.tnext, n); err != nil {
+			return err
+		}
+	}
+	if h.latest == v {
+		h.latest = rec.tprev
+	}
+	if h.firstVID == v {
+		h.firstVID = rec.tnext
+	}
+	h.count--
+	if err := e.storeHeader(o, h); err != nil {
+		return err
+	}
+	if !rec.payload.IsNil() {
+		if err := e.heap.Delete(rec.payload); err != nil {
+			return err
+		}
+	}
+	if err := e.dropAnnotations(o, v); err != nil {
+		return err
+	}
+	if _, err := e.verIdx.Delete(verKey(o, v)); err != nil {
+		return err
+	}
+	if _, err := e.vidIdx.Delete(vidKey(v)); err != nil {
+		return err
+	}
+	if _, err := e.tempIdx.Delete(tempKey(o, rec.stamp)); err != nil {
+		return err
+	}
+	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)-1)
+	e.saveRoots()
+	e.bus.Fire(trigger.Event{Kind: trigger.KindDeleteVersion, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp})
+	return nil
+}
+
+// DeleteObject removes an object and all its versions — the paper's
+// pdelete(oid).
+func (e *Engine) DeleteObject(o oid.OID) error {
+	h, err := e.loadHeader(o)
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		v   oid.VID
+		rec verRec
+	}
+	var versions []entry
+	err = e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+		v := oid.VID(binary.BigEndian.Uint64(k[8:16]))
+		rec, err := decodeVerRec(val)
+		if err != nil {
+			return false, err
+		}
+		versions = append(versions, entry{v, rec})
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, en := range versions {
+		if !en.rec.payload.IsNil() {
+			if err := e.heap.Delete(en.rec.payload); err != nil {
+				return err
+			}
+		}
+		if _, err := e.verIdx.Delete(verKey(o, en.v)); err != nil {
+			return err
+		}
+		if _, err := e.vidIdx.Delete(vidKey(en.v)); err != nil {
+			return err
+		}
+		if _, err := e.tempIdx.Delete(tempKey(o, en.rec.stamp)); err != nil {
+			return err
+		}
+	}
+	if err := e.dropAllAnnotations(o); err != nil {
+		return err
+	}
+	if _, err := e.objTable.Delete(objKey(o)); err != nil {
+		return err
+	}
+	if _, err := e.extent.Delete(extKey(h.typ, o)); err != nil {
+		return err
+	}
+	e.st.SetCounter(ctrObjects, e.st.Counter(ctrObjects)-1)
+	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)-uint64(len(versions)))
+	e.saveRoots()
+	e.bus.Fire(trigger.Event{Kind: trigger.KindDeleteObject, Obj: o, Type: h.typ})
+	return nil
+}

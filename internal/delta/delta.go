@@ -1,0 +1,195 @@
+// Package delta implements binary differencing for version payloads.
+// The paper (§2) observes that the derived-from relationship "can be used
+// to store versions by storing their differences (called deltas)", citing
+// SCCS and RCS. This package provides that storage policy: a version's
+// payload can be stored as a copy/insert delta against its derived-from
+// parent and materialised by applying the delta chain.
+//
+// The encoder is a greedy block-hash matcher (in the spirit of xdelta):
+// the base is indexed by the hash of every aligned block; the target is
+// scanned, and block-hash hits are extended byte-wise forward to maximal
+// matches, which become COPY ops; unmatched bytes become INSERT ops.
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ode/internal/codec"
+)
+
+// blockSize is the granularity of base indexing. Smaller blocks find more
+// matches but cost more index space; 16 is a good fit for the record
+// sizes an object store sees.
+const blockSize = 16
+
+// op tags in the encoded delta.
+const (
+	opInsert = 0
+	opCopy   = 1
+)
+
+// ErrCorrupt reports a delta that cannot be decoded or applied.
+var ErrCorrupt = errors.New("delta: corrupt delta")
+
+// Encode produces a delta that transforms base into target. The result
+// is self-describing (it embeds the target length) and is always valid
+// to Apply against base. Encode never fails; for incompressible pairs
+// the delta degenerates to one big INSERT (with a few bytes of framing
+// overhead).
+func Encode(base, target []byte) []byte {
+	w := codec.NewWriter(64 + len(target)/8)
+	w.UVarint(uint64(len(target)))
+
+	if len(base) < blockSize || len(target) < blockSize {
+		// Too small to match blocks; emit a pure insert.
+		if len(target) > 0 {
+			emitInsert(w, target)
+		}
+		return w.Bytes()
+	}
+
+	// Index base: hash of each aligned block -> offsets (chained).
+	index := make(map[uint64][]int, len(base)/blockSize+1)
+	for off := 0; off+blockSize <= len(base); off += blockSize {
+		h := hashBlock(base[off : off+blockSize])
+		index[h] = append(index[h], off)
+	}
+
+	var pendingInsert []byte
+	i := 0
+	for i < len(target) {
+		if i+blockSize > len(target) {
+			pendingInsert = append(pendingInsert, target[i:]...)
+			break
+		}
+		h := hashBlock(target[i : i+blockSize])
+		srcOff, matchLen := bestMatch(base, target, index[h], i)
+		if matchLen < blockSize {
+			pendingInsert = append(pendingInsert, target[i])
+			i++
+			continue
+		}
+		if len(pendingInsert) > 0 {
+			emitInsert(w, pendingInsert)
+			pendingInsert = pendingInsert[:0]
+		}
+		emitCopy(w, srcOff, matchLen)
+		i += matchLen
+	}
+	if len(pendingInsert) > 0 {
+		emitInsert(w, pendingInsert)
+	}
+	return w.Bytes()
+}
+
+// bestMatch finds the longest forward match among candidate base offsets
+// for the block at target[i:].
+func bestMatch(base, target []byte, candidates []int, i int) (srcOff, matchLen int) {
+	// Cap the work per block; keep the earliest offsets, which maximise
+	// the forward extension room and thus match length.
+	const maxCandidates = 8
+	if len(candidates) > maxCandidates {
+		candidates = candidates[:maxCandidates]
+	}
+	for _, off := range candidates {
+		if !bytes.Equal(base[off:off+blockSize], target[i:i+blockSize]) {
+			continue // hash collision
+		}
+		n := blockSize
+		for off+n < len(base) && i+n < len(target) && base[off+n] == target[i+n] {
+			n++
+		}
+		if n > matchLen {
+			srcOff, matchLen = off, n
+		}
+	}
+	return srcOff, matchLen
+}
+
+func emitInsert(w *codec.Writer, data []byte) {
+	w.U8(opInsert)
+	w.Bytes32(data)
+}
+
+func emitCopy(w *codec.Writer, off, n int) {
+	w.U8(opCopy)
+	w.UVarint(uint64(off))
+	w.UVarint(uint64(n))
+}
+
+func hashBlock(b []byte) uint64 {
+	// FNV-1a over the block; collisions are verified byte-wise.
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Apply reconstructs the target from base and a delta produced by Encode.
+func Apply(base, delta []byte) ([]byte, error) {
+	r := codec.NewReader(delta)
+	targetLen := r.UVarint()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.Err())
+	}
+	if targetLen > codec.MaxBlob {
+		return nil, fmt.Errorf("%w: target length %d", ErrCorrupt, targetLen)
+	}
+	out := make([]byte, 0, targetLen)
+	for r.Remaining() > 0 {
+		switch tag := r.U8(); tag {
+		case opInsert:
+			data := r.Bytes32()
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: insert: %v", ErrCorrupt, r.Err())
+			}
+			out = append(out, data...)
+		case opCopy:
+			off := r.UVarint()
+			n := r.UVarint()
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: copy: %v", ErrCorrupt, r.Err())
+			}
+			if off+n > uint64(len(base)) {
+				return nil, fmt.Errorf("%w: copy [%d,%d) beyond base %d", ErrCorrupt, off, off+n, len(base))
+			}
+			out = append(out, base[off:off+n]...)
+		default:
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.Err())
+			}
+			return nil, fmt.Errorf("%w: unknown op %d", ErrCorrupt, tag)
+		}
+	}
+	if uint64(len(out)) != targetLen {
+		return nil, fmt.Errorf("%w: produced %d bytes, want %d", ErrCorrupt, len(out), targetLen)
+	}
+	return out, nil
+}
+
+// MaterializeChain applies deltas in order starting from base:
+// base -> chain[0] -> chain[1] -> ... and returns the final payload.
+func MaterializeChain(base []byte, chain [][]byte) ([]byte, error) {
+	cur := base
+	for i, d := range chain {
+		next, err := Apply(cur, d)
+		if err != nil {
+			return nil, fmt.Errorf("delta: chain link %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Ratio returns len(delta)/len(target) as a compactness measure for the
+// benchmarks (1.0 ≈ no savings; small values ≈ high redundancy).
+func Ratio(deltaLen, targetLen int) float64 {
+	if targetLen == 0 {
+		return 1
+	}
+	return float64(deltaLen) / float64(targetLen)
+}

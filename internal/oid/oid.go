@@ -1,0 +1,149 @@
+// Package oid defines the identifier types used throughout the Ode
+// reproduction: object ids (generic references that bind to the latest
+// version of an object), version ids (specific references that pin one
+// immutable version), record ids (physical addresses in the record heap),
+// and type ids (catalog handles).
+//
+// The paper's §3 distinguishes generic references (object ids, which
+// "logically refer to the latest version of the object") from specific
+// references (version ids). Both are fixed-size opaque integers here so
+// they can be embedded in on-disk structures and used as B+tree keys.
+package oid
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OID is a persistent object identity ("object id" in the paper). An OID
+// is a *generic* reference: dereferencing it yields the latest version of
+// the object. OIDs are allocated monotonically per store and never reused.
+type OID uint64
+
+// NilOID is the zero OID; it never identifies an object.
+const NilOID OID = 0
+
+// IsNil reports whether o is the nil object id.
+func (o OID) IsNil() bool { return o == NilOID }
+
+// String renders the oid in the paper's notation, e.g. "o42".
+func (o OID) String() string {
+	if o.IsNil() {
+		return "o·nil"
+	}
+	return fmt.Sprintf("o%d", uint64(o))
+}
+
+// VID is a version identity ("version id" in the paper). A VID is a
+// *specific* reference: it pins one immutable version of one object.
+// VIDs are allocated monotonically per store, so for versions of the same
+// object, VID order is also temporal creation order — an invariant the
+// version graph relies on and tests enforce.
+type VID uint64
+
+// NilVID is the zero VID; it never identifies a version.
+const NilVID VID = 0
+
+// IsNil reports whether v is the nil version id.
+func (v VID) IsNil() bool { return v == NilVID }
+
+// String renders the vid in the paper's notation, e.g. "v7".
+func (v VID) String() string {
+	if v.IsNil() {
+		return "v·nil"
+	}
+	return fmt.Sprintf("v%d", uint64(v))
+}
+
+// TypeID identifies a registered persistent type in the catalog.
+type TypeID uint32
+
+// NilType is the zero TypeID.
+const NilType TypeID = 0
+
+// String implements fmt.Stringer.
+func (t TypeID) String() string { return fmt.Sprintf("t%d", uint32(t)) }
+
+// PageID addresses a fixed-size page in the store's page file. Page 0 is
+// the superblock.
+type PageID uint32
+
+// NilPage is the invalid page id (the superblock page is never a valid
+// record page target, so 0 doubles as "nil" for record addressing).
+const NilPage PageID = 0
+
+// String implements fmt.Stringer.
+func (p PageID) String() string { return fmt.Sprintf("p%d", uint32(p)) }
+
+// RID is a record id: the physical address (page, slot) of a record in
+// the slotted-page heap.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// NilRID is the invalid record address.
+var NilRID = RID{}
+
+// IsNil reports whether r is the nil record id.
+func (r RID) IsNil() bool { return r.Page == NilPage }
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("r%d.%d", uint32(r.Page), r.Slot) }
+
+// Pack encodes the RID into 6 bytes (4-byte page, 2-byte slot).
+func (r RID) Pack() [6]byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(r.Page))
+	binary.BigEndian.PutUint16(b[4:6], r.Slot)
+	return b
+}
+
+// UnpackRID decodes a RID previously encoded with Pack. It panics if b is
+// shorter than 6 bytes; callers own framing.
+func UnpackRID(b []byte) RID {
+	return RID{
+		Page: PageID(binary.BigEndian.Uint32(b[0:4])),
+		Slot: binary.BigEndian.Uint16(b[4:6]),
+	}
+}
+
+// Less orders RIDs by (page, slot); used by tests and iteration order.
+func (r RID) Less(other RID) bool {
+	if r.Page != other.Page {
+		return r.Page < other.Page
+	}
+	return r.Slot < other.Slot
+}
+
+// LSN is a log sequence number: the byte offset of a record in the WAL.
+// LSNs increase strictly within one log file.
+type LSN uint64
+
+// NilLSN is the zero LSN, used as "no log record".
+const NilLSN LSN = 0
+
+// String implements fmt.Stringer.
+func (l LSN) String() string { return fmt.Sprintf("lsn%d", uint64(l)) }
+
+// TxID identifies a transaction for WAL attribution.
+type TxID uint64
+
+// NilTx is the zero transaction id.
+const NilTx TxID = 0
+
+// String implements fmt.Stringer.
+func (t TxID) String() string { return fmt.Sprintf("tx%d", uint64(t)) }
+
+// Stamp is a logical creation timestamp maintained by the engine. Stamps
+// increase strictly across version creations in one store, providing the
+// total temporal order the paper requires of versions ("versions of an
+// object should be ordered temporally according to their creation time").
+// A logical clock (not wall time) keeps the order total and deterministic.
+type Stamp uint64
+
+// NilStamp is the zero Stamp.
+const NilStamp Stamp = 0
+
+// String implements fmt.Stringer.
+func (s Stamp) String() string { return fmt.Sprintf("@%d", uint64(s)) }

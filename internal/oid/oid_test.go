@@ -1,0 +1,78 @@
+package oid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilPredicates(t *testing.T) {
+	if !NilOID.IsNil() || OID(1).IsNil() {
+		t.Fatal("OID nil predicate wrong")
+	}
+	if !NilVID.IsNil() || VID(1).IsNil() {
+		t.Fatal("VID nil predicate wrong")
+	}
+	if !NilRID.IsNil() || (RID{Page: 3, Slot: 0}).IsNil() {
+		t.Fatal("RID nil predicate wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{OID(42).String(), "o42"},
+		{NilOID.String(), "o·nil"},
+		{VID(7).String(), "v7"},
+		{NilVID.String(), "v·nil"},
+		{TypeID(3).String(), "t3"},
+		{PageID(9).String(), "p9"},
+		{RID{Page: 2, Slot: 5}.String(), "r2.5"},
+		{LSN(100).String(), "lsn100"},
+		{TxID(6).String(), "tx6"},
+		{Stamp(11).String(), "@11"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestRIDPackRoundtrip(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		r := RID{Page: PageID(page), Slot: slot}
+		b := r.Pack()
+		return UnpackRID(b[:]) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDLess(t *testing.T) {
+	a := RID{Page: 1, Slot: 9}
+	b := RID{Page: 2, Slot: 0}
+	c := RID{Page: 2, Slot: 1}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("RID ordering wrong")
+	}
+	if a.Less(a) {
+		t.Fatal("Less must be irreflexive")
+	}
+}
+
+func TestRIDLessMatchesPackOrder(t *testing.T) {
+	// RID.Less must agree with big-endian byte order of Pack, so RIDs can
+	// be used as B+tree key suffixes.
+	f := func(p1 uint32, s1 uint16, p2 uint32, s2 uint16) bool {
+		a := RID{Page: PageID(p1), Slot: s1}
+		b := RID{Page: PageID(p2), Slot: s2}
+		ab, bb := a.Pack(), b.Pack()
+		byteLess := string(ab[:]) < string(bb[:])
+		return a.Less(b) == byteLess
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

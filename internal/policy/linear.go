@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"ode"
+)
+
+// Linear enforces the GemStone/POSTGRES versioning model the paper
+// contrasts with (§2, §7): "the version relationship of an object is
+// constrained to be linear". New versions may only be derived from the
+// latest version; deriving from history — the tree model's alternative
+// — requires forking the object wholesale (Branch), which is exactly
+// the inadequacy the paper calls out for design databases. Experiment
+// E4 measures the gap.
+type Linear struct {
+	db *ode.DB
+}
+
+// ErrNonLinear reports an attempt to derive from a non-latest version
+// under the linear policy.
+var ErrNonLinear = errors.New("policy: linear model forbids deriving from a non-latest version")
+
+// NewLinear wraps db with linear-model enforcement.
+func NewLinear(db *ode.DB) *Linear { return &Linear{db: db} }
+
+// NewVersion appends a version to the object's linear history.
+func (l *Linear) NewVersion(tx *ode.Tx, o ode.OID) (ode.VID, error) {
+	return tx.NewVersion(o)
+}
+
+// NewVersionFrom permits derivation only from the latest version.
+func (l *Linear) NewVersionFrom(tx *ode.Tx, o ode.OID, base ode.VID) (ode.VID, error) {
+	latest, err := tx.Latest(o)
+	if err != nil {
+		return 0, err
+	}
+	if base != latest {
+		return 0, fmt.Errorf("%w: base %v, latest %v", ErrNonLinear, base, latest)
+	}
+	return tx.NewVersionFrom(o, base)
+}
+
+// Branch is the linear model's only way to start an alternative from a
+// historical version: fork a brand-new object and replay the history up
+// to (and including) base into it, version by version. The cost is
+// O(history length × version size) — versus O(1) for the tree model's
+// NewVersionFrom. Returns the new object and its latest version (a copy
+// of base's state).
+func (l *Linear) Branch(tx *ode.Tx, t ode.TypeID, o ode.OID, base ode.VID) (ode.OID, ode.VID, error) {
+	versions, err := tx.Versions(o)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Replay the temporal prefix up to base.
+	var prefix []ode.VID
+	for _, v := range versions {
+		prefix = append(prefix, v)
+		if v == base {
+			break
+		}
+	}
+	if len(prefix) == 0 || prefix[len(prefix)-1] != base {
+		return 0, 0, fmt.Errorf("policy: base %v not found in %v's history", base, o)
+	}
+	first, err := tx.ReadVersionRaw(o, prefix[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	newObj, _, err := tx.CreateRaw(t, first)
+	if err != nil {
+		return 0, 0, err
+	}
+	var lastVID ode.VID
+	lastVID, err = tx.Latest(newObj)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, v := range prefix[1:] {
+		content, err := tx.ReadVersionRaw(o, v)
+		if err != nil {
+			return 0, 0, err
+		}
+		nv, err := tx.NewVersion(newObj)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := tx.UpdateVersionRaw(newObj, nv, content); err != nil {
+			return 0, 0, err
+		}
+		lastVID = nv
+	}
+	return newObj, lastVID, nil
+}

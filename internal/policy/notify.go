@@ -1,0 +1,100 @@
+// Package policy implements versioning policies on top of the kernel
+// primitives, exactly as the paper prescribes: change notification (§1:
+// "users can implement such a facility using O++ triggers"), version
+// percolation (§2: deliberately not a kernel feature), linear-only
+// versioning (the GemStone/POSTGRES model, §2/§7 — the baseline the
+// paper argues is inadequate for design databases), and ORION-style
+// checkout/checkin workspaces (§7).
+//
+// Nothing in this package touches engine internals: every policy is a
+// client of the public ode API plus its trigger bus, demonstrating the
+// paper's mechanism/policy separation.
+package policy
+
+import (
+	"sync"
+
+	"ode"
+)
+
+// Notification records one observed change for a subscriber.
+type Notification struct {
+	Event ode.Event
+	// Seq is the order the notification arrived in (per Notifier).
+	Seq int
+}
+
+// Notifier is the change-notification policy: subscribers register
+// interest in objects or types and poll their accumulated notifications.
+// This is the facility ORION builds into its kernel and O++ leaves to
+// triggers.
+type Notifier struct {
+	db *ode.DB
+
+	mu      sync.Mutex
+	nextSeq int
+	queues  map[string][]Notification
+	subs    map[string][]ode.TriggerID
+}
+
+// NewNotifier creates a notifier over db.
+func NewNotifier(db *ode.DB) *Notifier {
+	return &Notifier{
+		db:     db,
+		queues: make(map[string][]Notification),
+		subs:   make(map[string][]ode.TriggerID),
+	}
+}
+
+// WatchObject subscribes name to changes of one object.
+func (n *Notifier) WatchObject(name string, o ode.OID, mask ode.EventMask) {
+	id := n.db.OnObject(o, mask, false, n.handler(name))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.subs[name] = append(n.subs[name], id)
+}
+
+// WatchType subscribes name to changes of every object of a type.
+func (n *Notifier) WatchType(name string, t ode.TypeID, mask ode.EventMask) {
+	id := n.db.OnType(t, mask, false, n.handler(name))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.subs[name] = append(n.subs[name], id)
+}
+
+func (n *Notifier) handler(name string) ode.TriggerHandler {
+	return func(e ode.Event) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.nextSeq++
+		n.queues[name] = append(n.queues[name], Notification{Event: e, Seq: n.nextSeq})
+	}
+}
+
+// Drain returns and clears name's pending notifications.
+func (n *Notifier) Drain(name string) []Notification {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.queues[name]
+	delete(n.queues, name)
+	return out
+}
+
+// Pending returns the number of queued notifications for name.
+func (n *Notifier) Pending(name string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queues[name])
+}
+
+// Unwatch cancels all of name's subscriptions and drops its queue.
+func (n *Notifier) Unwatch(name string) {
+	n.mu.Lock()
+	ids := n.subs[name]
+	delete(n.subs, name)
+	delete(n.queues, name)
+	n.mu.Unlock()
+	for _, id := range ids {
+		n.db.RemoveTrigger(id)
+	}
+}

@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"sync"
+
+	"ode"
+)
+
+// Percolator implements version percolation as a policy: when a
+// component object gains a new version, every composite that declared a
+// dependency on it automatically gains a new version too, transitively.
+// The paper excludes this from the kernel precisely because "creating a
+// new version can lead to the automatic creation of a large number of
+// versions of other objects" (§2) — experiment E5 measures that blowup.
+//
+// Handlers run inside the triggering transaction, so the percolated
+// versions commit or abort atomically with the change that caused them.
+type Percolator struct {
+	db *ode.DB
+
+	mu sync.Mutex
+	// parents maps a component to the composites that contain it.
+	parents map[ode.OID][]ode.OID
+	// inFlight breaks cycles: objects currently being percolated.
+	inFlight map[ode.OID]bool
+	// created counts percolated versions (for the experiment harness).
+	created uint64
+	err     error
+	trig    ode.TriggerID
+	active  bool
+}
+
+// NewPercolator creates an inactive percolator; call Enable to attach
+// its trigger.
+func NewPercolator(db *ode.DB) *Percolator {
+	return &Percolator{
+		db:       db,
+		parents:  make(map[ode.OID][]ode.OID),
+		inFlight: make(map[ode.OID]bool),
+	}
+}
+
+// Declare records that composite contains the given components, so a new
+// version of any component percolates to composite.
+func (p *Percolator) Declare(composite ode.OID, components ...ode.OID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range components {
+		p.parents[c] = append(p.parents[c], composite)
+	}
+}
+
+// Enable attaches the percolation trigger.
+func (p *Percolator) Enable() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active {
+		return
+	}
+	p.active = true
+	p.trig = p.db.OnAll(ode.On(ode.EvNewVersion), false, p.onNewVersion)
+}
+
+// Disable detaches the trigger.
+func (p *Percolator) Disable() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.active = false
+	p.db.RemoveTrigger(p.trig)
+}
+
+// Created returns the number of versions this percolator has created.
+func (p *Percolator) Created() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}
+
+// onNewVersion runs inside the transaction that created a version.
+func (p *Percolator) onNewVersion(e ode.Event) {
+	p.mu.Lock()
+	composites := append([]ode.OID(nil), p.parents[e.Obj]...)
+	p.mu.Unlock()
+	for _, comp := range composites {
+		p.mu.Lock()
+		skip := p.inFlight[comp]
+		if !skip {
+			p.inFlight[comp] = true
+		}
+		p.mu.Unlock()
+		if skip {
+			continue
+		}
+		// We are inside the firing Update transaction, so mutating
+		// through the engine directly is safe and atomic with the
+		// triggering change. A failure here is recorded and surfaces via
+		// Err (the kernel treats triggers as notifications and does not
+		// let them veto operations).
+		_, err := p.db.Engine().NewVersion(comp)
+		p.mu.Lock()
+		delete(p.inFlight, comp)
+		if err == nil {
+			p.created++
+		} else if p.err == nil {
+			p.err = err
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Err returns the first error any percolation encountered, if any.
+func (p *Percolator) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

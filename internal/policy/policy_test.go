@@ -1,0 +1,460 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+
+	"ode"
+)
+
+type Doc struct {
+	Title string
+	Body  string
+}
+
+func openDB(t testing.TB) *ode.DB {
+	t.Helper()
+	db, err := ode.Open(t.TempDir(), &ode.Options{Policy: ode.DeltaChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestNotifierDeliversScopedEvents(t *testing.T) {
+	db := openDB(t)
+	docs, err := ode.Register[Doc](db, "Doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNotifier(db)
+	var a, b ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		if a, err = docs.Create(tx, &Doc{Title: "a"}); err != nil {
+			return err
+		}
+		b, err = docs.Create(tx, &Doc{Title: "b"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.WatchObject("alice", a.OID(), ode.On(ode.EvNewVersion))
+	n.WatchType("team", docs.ID(), ode.OnAny)
+	if err := db.Update(func(tx *ode.Tx) error {
+		if _, err := a.NewVersion(tx); err != nil {
+			return err
+		}
+		_, err := b.NewVersion(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	alice := n.Drain("alice")
+	if len(alice) != 1 || alice[0].Event.Obj != a.OID() {
+		t.Fatalf("alice notifications: %+v", alice)
+	}
+	team := n.Drain("team")
+	if len(team) != 2 {
+		t.Fatalf("team notifications: %d", len(team))
+	}
+	if n.Pending("alice") != 0 {
+		t.Fatal("drain did not clear")
+	}
+	n.Unwatch("team")
+	if err := db.Update(func(tx *ode.Tx) error {
+		_, err := b.NewVersion(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pending("team") != 0 {
+		t.Fatal("unwatched subscriber still receives")
+	}
+}
+
+func TestPercolationCascades(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	// Board contains module contains cell (three-level composite).
+	var cell, module, board ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		if cell, err = docs.Create(tx, &Doc{Title: "cell"}); err != nil {
+			return err
+		}
+		if module, err = docs.Create(tx, &Doc{Title: "module"}); err != nil {
+			return err
+		}
+		board, err = docs.Create(tx, &Doc{Title: "board"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPercolator(db)
+	p.Declare(module.OID(), cell.OID())
+	p.Declare(board.OID(), module.OID())
+	p.Enable()
+	defer p.Disable()
+
+	if err := db.Update(func(tx *ode.Tx) error {
+		_, err := cell.NewVersion(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		// One explicit version of cell; percolation created one version
+		// each of module and board.
+		for _, c := range []struct {
+			p    ode.Ptr[Doc]
+			want uint64
+		}{{cell, 2}, {module, 2}, {board, 2}} {
+			n, err := c.p.VersionCount(tx)
+			if err != nil {
+				return err
+			}
+			if n != c.want {
+				t.Fatalf("%v versions = %d want %d", c.p, n, c.want)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Created() != 2 {
+		t.Fatalf("percolated versions = %d", p.Created())
+	}
+	// Small change, big impact: that is why it is a policy. Disabled,
+	// the same edit touches exactly one object.
+	p.Disable()
+	if err := db.Update(func(tx *ode.Tx) error {
+		_, err := cell.NewVersion(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		n, _ := board.VersionCount(tx)
+		if n != 2 {
+			t.Fatalf("disabled percolator still fired: board=%d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercolationCycleSafe(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	var a, b ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		if a, err = docs.Create(tx, &Doc{Title: "a"}); err != nil {
+			return err
+		}
+		b, err = docs.Create(tx, &Doc{Title: "b"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPercolator(db)
+	p.Declare(a.OID(), b.OID())
+	p.Declare(b.OID(), a.OID()) // cycle
+	p.Enable()
+	defer p.Disable()
+	if err := db.Update(func(tx *ode.Tx) error {
+		_, err := a.NewVersion(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err) // would hang or stack-overflow without the guard
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearEnforcement(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	lin := NewLinear(db)
+	var p ode.Ptr[Doc]
+	var v0 ode.VPtr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		if p, err = docs.Create(tx, &Doc{Title: "lin"}); err != nil {
+			return err
+		}
+		if v0, err = p.Pin(tx); err != nil {
+			return err
+		}
+		// Appending to the tip is allowed.
+		if _, err := lin.NewVersionFrom(tx, p.OID(), v0.VID()); err != nil {
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Deriving from history is rejected.
+	err := db.Update(func(tx *ode.Tx) error {
+		_, err := lin.NewVersionFrom(tx, p.OID(), v0.VID())
+		return err
+	})
+	if !errors.Is(err, ErrNonLinear) {
+		t.Fatalf("want ErrNonLinear, got %v", err)
+	}
+	// Branch replays history into a fresh object.
+	var branched ode.OID
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		branched, _, err = lin.Branch(tx, docs.ID(), p.OID(), v0.VID())
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		if branched == p.OID() {
+			t.Fatal("branch did not fork")
+		}
+		content, _, err := tx.ReadLatestRaw(branched)
+		if err != nil || len(content) == 0 {
+			t.Fatalf("branched content: %v", err)
+		}
+		n, err := tx.VersionCount(branched)
+		if err != nil || n != 1 {
+			t.Fatalf("branch history length = %d (replayed up to v0)", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkspaceCheckoutCheckin(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	ws := NewWorkspace(db, "rajeev")
+	var p ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		p, err = docs.Create(tx, &Doc{Title: "design", Body: "public v0"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Checkout and edit privately.
+	if err := db.Update(func(tx *ode.Tx) error {
+		if _, err := ws.Checkout(tx, p.OID()); err != nil {
+			return err
+		}
+		// Double checkout rejected.
+		if _, err := ws.Checkout(tx, p.OID()); err == nil {
+			t.Fatal("double checkout accepted")
+		}
+		return ws.Write(tx, p.OID(), []byte("private draft"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		// The workspace sees the draft.
+		got, _, err := ws.Read(tx, p.OID())
+		if err != nil || string(got) != "private draft" {
+			t.Fatalf("workspace read: %q %v", got, err)
+		}
+		outs, err := ws.CheckedOut(tx)
+		if err != nil || len(outs) != 1 || outs[0] != p.OID() {
+			t.Fatalf("checked out: %v %v", outs, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Checkin promotes: the public latest becomes the draft state.
+	if err := db.Update(func(tx *ode.Tx) error {
+		_, err := ws.Checkin(tx, p.OID())
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		content, _, err := tx.ReadLatestRaw(p.OID())
+		if err != nil || string(content) != "private draft" {
+			t.Fatalf("public after checkin: %q %v", content, err)
+		}
+		outs, _ := ws.CheckedOut(tx)
+		if len(outs) != 0 {
+			t.Fatalf("pin survived checkin: %v", outs)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkspaceAbandon(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	ws := NewWorkspace(db, "scratch")
+	var p ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		p, err = docs.Create(tx, &Doc{Body: "keep"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *ode.Tx) error {
+		if _, err := ws.Checkout(tx, p.OID()); err != nil {
+			return err
+		}
+		if err := ws.Write(tx, p.OID(), []byte("discard me")); err != nil {
+			return err
+		}
+		return ws.Abandon(tx, p.OID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		n, err := tx.VersionCount(p.OID())
+		if err != nil || n != 1 {
+			t.Fatalf("abandoned version survived: %d %v", n, err)
+		}
+		// Writes without checkout are rejected.
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Update(func(tx *ode.Tx) error {
+		return ws.Write(tx, p.OID(), []byte("x"))
+	})
+	if err == nil {
+		t.Fatal("write without checkout accepted")
+	}
+}
+
+func TestRetentionBoundsHistory(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	var p ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		p, err = docs.Create(tx, &Doc{Title: "bounded"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ret := NewRetention(db, 3)
+	ret.WatchObject(p.OID())
+	ret.Enable()
+	defer ret.Disable()
+	// Create 10 versions; the policy must keep the history at 3.
+	for i := 0; i < 10; i++ {
+		if err := db.Update(func(tx *ode.Tx) error {
+			nv, err := p.NewVersion(tx)
+			if err != nil {
+				return err
+			}
+			return nv.Modify(tx, func(d *Doc) { d.Body = string(rune('a' + i)) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ret.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		n, err := p.VersionCount(tx)
+		if err != nil {
+			return err
+		}
+		if n != 3 {
+			t.Fatalf("retained %d versions, want 3", n)
+		}
+		// The latest survives with the newest content.
+		v, err := p.Deref(tx)
+		if err != nil || v.Body != "j" {
+			t.Fatalf("latest after pruning: %+v %v", v, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ret.Pruned() != 8 {
+		t.Fatalf("pruned = %d, want 8", ret.Pruned())
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Unwatched objects are untouched.
+	var q ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		q, err = docs.Create(tx, &Doc{Title: "free"})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := q.NewVersion(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		n, _ := q.VersionCount(tx)
+		if n != 6 {
+			t.Fatalf("unwatched object pruned: %d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionWatchAll(t *testing.T) {
+	db := openDB(t)
+	docs, _ := ode.Register[Doc](db, "Doc")
+	ret := NewRetention(db, 1)
+	ret.WatchAll()
+	ret.Enable()
+	defer ret.Disable()
+	var p ode.Ptr[Doc]
+	if err := db.Update(func(tx *ode.Tx) error {
+		var err error
+		p, err = docs.Create(tx, &Doc{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := p.NewVersion(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ret.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		n, _ := p.VersionCount(tx)
+		if n != 1 {
+			t.Fatalf("keep=1 retained %d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

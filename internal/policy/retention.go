@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"sync"
+
+	"ode"
+)
+
+// Retention implements history pruning as a policy: keep at most N live
+// versions per object, deleting the temporally oldest versions as new
+// ones are created. The kernel never discards history on its own (the
+// paper's historical-database motivation depends on that); bounding it
+// is an application decision, so — like percolation — it is built
+// entirely from pdelete(vid) plus a trigger.
+//
+// Pruning uses DeleteVersion, so the derivation tree is spliced
+// correctly: children of a pruned version are re-parented, and delta
+// payloads are rewritten before their base disappears.
+type Retention struct {
+	db   *ode.DB
+	keep int
+
+	mu      sync.Mutex
+	scoped  map[ode.OID]bool // nil/empty = all objects of the types watched
+	allObjs bool
+	pruned  uint64
+	err     error
+	trig    ode.TriggerID
+	active  bool
+}
+
+// NewRetention creates an inactive retention policy keeping at most
+// `keep` versions per object (keep >= 1).
+func NewRetention(db *ode.DB, keep int) *Retention {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Retention{db: db, keep: keep, scoped: make(map[ode.OID]bool)}
+}
+
+// WatchObject scopes the policy to specific objects (call before
+// Enable; may be called repeatedly).
+func (r *Retention) WatchObject(o ode.OID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.scoped[o] = true
+}
+
+// WatchAll scopes the policy to every object in the database.
+func (r *Retention) WatchAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.allObjs = true
+}
+
+// Enable attaches the pruning trigger.
+func (r *Retention) Enable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active {
+		return
+	}
+	r.active = true
+	r.trig = r.db.OnAll(ode.On(ode.EvNewVersion), false, r.onNewVersion)
+}
+
+// Disable detaches the trigger.
+func (r *Retention) Disable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.active {
+		return
+	}
+	r.active = false
+	r.db.RemoveTrigger(r.trig)
+}
+
+// Pruned returns how many versions the policy has deleted.
+func (r *Retention) Pruned() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pruned
+}
+
+// Err returns the first pruning failure, if any.
+func (r *Retention) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Retention) onNewVersion(e ode.Event) {
+	r.mu.Lock()
+	watch := r.allObjs || r.scoped[e.Obj]
+	r.mu.Unlock()
+	if !watch {
+		return
+	}
+	// We run inside the creating transaction: prune synchronously.
+	eng := r.db.Engine()
+	for {
+		vs, err := eng.Versions(e.Obj)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		if len(vs) <= r.keep {
+			return
+		}
+		// Delete the temporally oldest version.
+		if err := eng.DeleteVersion(e.Obj, vs[0]); err != nil {
+			r.fail(err)
+			return
+		}
+		r.mu.Lock()
+		r.pruned++
+		r.mu.Unlock()
+	}
+}
+
+func (r *Retention) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = err
+	}
+}

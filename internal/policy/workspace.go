@@ -1,0 +1,161 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"ode"
+)
+
+// Workspace implements ORION-style checkout/checkin (§7: "versions can
+// be created by checkout and checkin, derivation, and promotion") as a
+// policy over the kernel primitives plus contexts:
+//
+//   - Checkout derives a private working version from the version the
+//     workspace currently sees and pins it in the workspace's context;
+//   - reads and writes inside the workspace go to the working version;
+//   - Checkin promotes the working version by deriving a new public
+//     version from it (so the object id re-binds to the checked-in
+//     state) and drops the pin;
+//   - Abandon deletes the working version, splicing it out.
+type Workspace struct {
+	db   *ode.DB
+	name string
+}
+
+// NewWorkspace opens (or creates) the named workspace.
+func NewWorkspace(db *ode.DB, name string) *Workspace {
+	return &Workspace{db: db, name: "ws/" + name}
+}
+
+// Name returns the workspace's context name.
+func (w *Workspace) Name() string { return w.name }
+
+func (w *Workspace) pins(tx *ode.Tx) (map[ode.OID]ode.VID, error) {
+	m, ok, err := tx.GetContext(w.name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		m = map[ode.OID]ode.VID{}
+	}
+	return m, nil
+}
+
+func (w *Workspace) setPins(tx *ode.Tx, m map[ode.OID]ode.VID) error {
+	if len(m) == 0 {
+		return tx.DeleteContext(w.name)
+	}
+	return tx.SetContext(w.name, m)
+}
+
+// Checkout derives a private working version of o (an alternative in
+// the derivation tree) and pins it into the workspace. Returns the
+// working version id.
+func (w *Workspace) Checkout(tx *ode.Tx, o ode.OID) (ode.VID, error) {
+	pins, err := w.pins(tx)
+	if err != nil {
+		return 0, err
+	}
+	if v, already := pins[o]; already {
+		return 0, fmt.Errorf("policy: %v already checked out in %s as %v", o, w.name, v)
+	}
+	base, err := tx.Latest(o)
+	if err != nil {
+		return 0, err
+	}
+	working, err := tx.NewVersionFrom(o, base)
+	if err != nil {
+		return 0, err
+	}
+	pins[o] = working
+	if err := w.setPins(tx, pins); err != nil {
+		return 0, err
+	}
+	return working, nil
+}
+
+// Read dereferences o as the workspace sees it: the checked-out working
+// version if any, otherwise the public latest.
+func (w *Workspace) Read(tx *ode.Tx, o ode.OID) ([]byte, ode.VID, error) {
+	pins, err := w.pins(tx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if v, ok := pins[o]; ok {
+		content, err := tx.ReadVersionRaw(o, v)
+		return content, v, err
+	}
+	content, v, err := tx.ReadLatestRaw(o)
+	return content, v, err
+}
+
+// Write stores content into the workspace's working version of o; the
+// object must be checked out.
+func (w *Workspace) Write(tx *ode.Tx, o ode.OID, content []byte) error {
+	pins, err := w.pins(tx)
+	if err != nil {
+		return err
+	}
+	v, ok := pins[o]
+	if !ok {
+		return fmt.Errorf("policy: %v not checked out in %s", o, w.name)
+	}
+	return tx.UpdateVersionRaw(o, v, content)
+}
+
+// Checkin promotes the working version: a new public version is derived
+// from it (re-binding the object id, since new versions are always the
+// temporal maximum) and the pin is dropped. Returns the promoted
+// version id.
+func (w *Workspace) Checkin(tx *ode.Tx, o ode.OID) (ode.VID, error) {
+	pins, err := w.pins(tx)
+	if err != nil {
+		return 0, err
+	}
+	working, ok := pins[o]
+	if !ok {
+		return 0, fmt.Errorf("policy: %v not checked out in %s", o, w.name)
+	}
+	promoted, err := tx.NewVersionFrom(o, working)
+	if err != nil {
+		return 0, err
+	}
+	delete(pins, o)
+	if err := w.setPins(tx, pins); err != nil {
+		return 0, err
+	}
+	return promoted, nil
+}
+
+// Abandon discards the working version (pdelete on it) and drops the
+// pin.
+func (w *Workspace) Abandon(tx *ode.Tx, o ode.OID) error {
+	pins, err := w.pins(tx)
+	if err != nil {
+		return err
+	}
+	working, ok := pins[o]
+	if !ok {
+		return fmt.Errorf("policy: %v not checked out in %s", o, w.name)
+	}
+	if err := tx.DeleteVersion(o, working); err != nil {
+		return err
+	}
+	delete(pins, o)
+	return w.setPins(tx, pins)
+}
+
+// CheckedOut lists the objects currently checked out, in oid order.
+func (w *Workspace) CheckedOut(tx *ode.Tx) ([]ode.OID, error) {
+	pins, err := w.pins(tx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ode.OID, 0, len(pins))
+	for o := range pins {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ode/internal/oid"
+)
+
+// chunkCap mirrors the heap's overflow chunk capacity for a page size.
+func chunkCap(pageSize int) int { return pageSize - HeaderSize - ovHeader }
+
+func TestOverflowChunkBoundaries(t *testing.T) {
+	const ps = 512
+	st, _ := tempStore(t, Options{PageSize: ps})
+	h := NewHeap(st)
+	cap1 := chunkCap(ps)
+	// Records exactly at, one below, and one above chunk multiples.
+	sizes := []int{
+		h.maxInlinePayload(),     // largest inline
+		h.maxInlinePayload() + 1, // smallest overflow
+		cap1 - 1, cap1, cap1 + 1,
+		2*cap1 - 1, 2 * cap1, 2*cap1 + 1,
+		5*cap1 + 7,
+	}
+	for _, n := range sizes {
+		data := bytes.Repeat([]byte{byte(n)}, n)
+		rid, err := h.Insert(data)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		got, err := h.Read(rid)
+		if err != nil {
+			t.Fatalf("size %d read: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: roundtrip mismatch (%d bytes back)", n, len(got))
+		}
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	st, _ := tempStore(t, Options{PageSize: 512})
+	h := NewHeap(st)
+	rid, err := h.Insert(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Read(rid)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty record: %v %v", got, err)
+	}
+	if err := h.Update(rid, []byte("now has content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Update(rid, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = h.Read(rid)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("re-emptied record: %v %v", got, err)
+	}
+}
+
+func TestHeapOpsOnWrongPageType(t *testing.T) {
+	st, _ := tempStore(t, Options{PageSize: 512})
+	h := NewHeap(st)
+	// Allocate a btree page and aim a RID at it.
+	p, err := st.Allocate(PageBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := oid.RID{Page: p.ID, Slot: 0}
+	if _, err := h.Read(bad); !errors.Is(err, ErrPageType) {
+		t.Fatalf("read from btree page: %v", err)
+	}
+	if err := h.Update(bad, []byte("x")); !errors.Is(err, ErrPageType) {
+		t.Fatalf("update on btree page: %v", err)
+	}
+	if err := h.Delete(bad); !errors.Is(err, ErrPageType) {
+		t.Fatalf("delete on btree page: %v", err)
+	}
+}
+
+func TestReadBeyondFile(t *testing.T) {
+	st, _ := tempStore(t, Options{PageSize: 512})
+	if _, err := st.Get(999); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read beyond EOF: %v", err)
+	}
+}
+
+func TestScanEarlyStopAndError(t *testing.T) {
+	st, _ := tempStore(t, Options{PageSize: 512})
+	h := NewHeap(st)
+	for i := 0; i < 10; i++ {
+		if _, err := h.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := h.Scan(func(_ oid.RID, _ []byte) (bool, error) {
+		n++
+		return n < 3, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop: %d", n)
+	}
+	sentinel := errors.New("stop with error")
+	err := h.Scan(func(oid.RID, []byte) (bool, error) { return false, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("scan error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package storage implements the persistent store underneath the Ode
+// reproduction: a checksummed page file, a buffer pool, slotted record
+// pages with overflow chains for large records, a free-page list, and a
+// superblock holding the roots of every engine structure.
+//
+// The storage layer is deliberately not goroutine-safe: the transaction
+// layer (internal/txn) serialises writers and excludes readers during a
+// write, which is the concurrency model this reproduction documents
+// (the paper explicitly does not discuss concurrency control).
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"ode/internal/codec"
+	"ode/internal/oid"
+)
+
+// DefaultPageSize is the page size used unless overridden at creation.
+const DefaultPageSize = 4096
+
+// MinPageSize bounds configuration below; slotted arithmetic requires a
+// sane minimum.
+const MinPageSize = 512
+
+// MaxPageSize bounds configuration above (slot offsets are uint16).
+const MaxPageSize = 1 << 16
+
+// PageType tags the role of a page so structural bugs surface as typed
+// errors instead of silent corruption.
+type PageType uint8
+
+// Page types.
+const (
+	PageFree     PageType = 0 // on the free list
+	PageSuper    PageType = 1 // page 0 only
+	PageSlotted  PageType = 2 // record heap page
+	PageOverflow PageType = 3 // large-record continuation
+	PageBTree    PageType = 4 // B+tree node
+)
+
+// String implements fmt.Stringer.
+func (t PageType) String() string {
+	switch t {
+	case PageFree:
+		return "free"
+	case PageSuper:
+		return "super"
+	case PageSlotted:
+		return "slotted"
+	case PageOverflow:
+		return "overflow"
+	case PageBTree:
+		return "btree"
+	default:
+		return fmt.Sprintf("type%d", uint8(t))
+	}
+}
+
+// Page header layout. The checksum covers [4:pageSize] and is computed
+// when a page is written to stable media (page file or WAL) and verified
+// when read back from the page file.
+const (
+	offChecksum = 0  // u32 CRC-32C
+	offType     = 4  // u8 PageType
+	offFlags    = 5  // u8 reserved
+	offReserved = 6  // u16 reserved
+	offPageLSN  = 8  // u64 reserved for LSN bookkeeping
+	HeaderSize  = 16 // first byte usable by the page body
+)
+
+// ErrChecksum reports a page whose stored CRC does not match its
+// contents.
+var ErrChecksum = errors.New("storage: page checksum mismatch")
+
+// ErrPageType reports a page whose type tag differs from what the caller
+// required.
+var ErrPageType = errors.New("storage: unexpected page type")
+
+// Page is an in-memory image of one on-disk page. Data always has
+// exactly the store's page size. A Page is owned by the Pool; callers
+// must call MarkDirty after mutating Data.
+type Page struct {
+	ID     oid.PageID
+	Data   []byte
+	dirty  bool
+	pinned bool // excluded from eviction (superblock)
+
+	// lruElem is the page's position in the pool's clean-page LRU
+	// (a *list.Element), or nil while the page is dirty.
+	lruElem any
+}
+
+// Type returns the page's type tag.
+func (p *Page) Type() PageType { return PageType(p.Data[offType]) }
+
+// SetType sets the page's type tag. The caller must MarkDirty.
+func (p *Page) SetType(t PageType) { p.Data[offType] = uint8(t) }
+
+// Dirty reports whether the page has unflushed modifications.
+func (p *Page) Dirty() bool { return p.dirty }
+
+// Body returns the page body after the header. Mutations require
+// MarkDirty via the pool.
+func (p *Page) Body() []byte { return p.Data[HeaderSize:] }
+
+// sealChecksum stamps the CRC into buf (a full page image) prior to a
+// stable write.
+func sealChecksum(buf []byte) {
+	sum := codec.Checksum(buf[offType:])
+	buf[0] = byte(sum >> 24)
+	buf[1] = byte(sum >> 16)
+	buf[2] = byte(sum >> 8)
+	buf[3] = byte(sum)
+}
+
+// verifyChecksum checks the CRC of a full page image read from disk.
+func verifyChecksum(buf []byte) error {
+	stored := uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3])
+	if stored != codec.Checksum(buf[offType:]) {
+		return ErrChecksum
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"ode/internal/oid"
+)
+
+// DefaultPoolPages is the clean-page cache capacity used unless
+// configured otherwise. Dirty pages are held regardless of this limit
+// until the next checkpoint flushes them.
+const DefaultPoolPages = 1024
+
+// Pool is the buffer pool: an in-memory cache of page images keyed by
+// PageID. Clean pages are evictable under an LRU policy; dirty pages are
+// retained until FlushDirty writes them back.
+type Pool struct {
+	// mu guards all pool state. The transaction layer serialises
+	// writers, but any number of readers share the pool concurrently,
+	// and even a read-path Get mutates the LRU and may fault a page in.
+	mu       sync.Mutex
+	file     *File
+	pages    map[oid.PageID]*Page
+	cleanLRU *list.List // of *Page, front = most recent
+	capacity int
+	nDirty   int
+
+	// stats
+	hits, misses, evictions uint64
+}
+
+// NewPool creates a pool over file with room for capacity clean pages.
+func NewPool(file *File, capacity int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pool{
+		file:     file,
+		pages:    make(map[oid.PageID]*Page),
+		cleanLRU: list.New(),
+		capacity: capacity,
+	}
+}
+
+// Stats returns cache hit/miss/eviction counters.
+func (pl *Pool) Stats() (hits, misses, evictions uint64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.hits, pl.misses, pl.evictions
+}
+
+// Resident returns the number of cached pages and how many are dirty.
+func (pl *Pool) Resident() (total, dirty int) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.pages), pl.nDirty
+}
+
+// Get returns the page with the given id, reading it from the file if it
+// is not resident. The returned Page is shared; callers mutating Data
+// must call MarkDirty.
+func (pl *Pool) Get(id oid.PageID) (*Page, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if p, ok := pl.pages[id]; ok {
+		pl.hits++
+		pl.touch(p)
+		return p, nil
+	}
+	pl.misses++
+	buf := make([]byte, pl.file.PageSize())
+	if err := pl.file.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	p := &Page{ID: id, Data: buf}
+	pl.insertClean(p)
+	return p, nil
+}
+
+// GetTyped is Get plus a page-type assertion.
+func (pl *Pool) GetTyped(id oid.PageID, want PageType) (*Page, error) {
+	p, err := pl.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if p.Type() != want {
+		return nil, fmt.Errorf("%w: page %d is %v, want %v", ErrPageType, id, p.Type(), want)
+	}
+	return p, nil
+}
+
+// Install registers a freshly materialised page image (e.g. a newly
+// allocated page, or a page rebuilt by recovery) as dirty.
+func (pl *Pool) Install(id oid.PageID, data []byte) *Page {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if old, ok := pl.pages[id]; ok {
+		copy(old.Data, data)
+		pl.markDirtyLocked(old)
+		return old
+	}
+	p := &Page{ID: id, Data: data, dirty: true}
+	pl.pages[id] = p
+	pl.nDirty++
+	return p
+}
+
+// MarkDirty flags a page as modified, removing it from the clean LRU so
+// it cannot be evicted before the next flush.
+func (pl *Pool) MarkDirty(p *Page) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.markDirtyLocked(p)
+}
+
+func (pl *Pool) markDirtyLocked(p *Page) {
+	if p.dirty {
+		return
+	}
+	p.dirty = true
+	pl.nDirty++
+	if el, ok := p.lruElem.(*list.Element); ok && el != nil {
+		pl.cleanLRU.Remove(el)
+		p.lruElem = nil
+	}
+}
+
+// MarkClean clears a page's dirty flag without writing it (used when an
+// abort restores the page to its last-flushed image).
+func (pl *Pool) MarkClean(p *Page) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !p.dirty {
+		return
+	}
+	p.dirty = false
+	pl.nDirty--
+	pl.insertCleanExisting(p)
+	pl.evictOverflow()
+}
+
+// DirtyPages returns the resident dirty pages in unspecified order.
+func (pl *Pool) DirtyPages() []*Page {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.dirtyPagesLocked()
+}
+
+func (pl *Pool) dirtyPagesLocked() []*Page {
+	out := make([]*Page, 0, pl.nDirty)
+	for _, p := range pl.pages {
+		if p.dirty {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FlushDirty writes every dirty page to the page file (without syncing)
+// and moves the pages to the clean LRU. The caller is responsible for
+// ordering this after WAL durability and for the final Sync.
+func (pl *Pool) FlushDirty() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for _, p := range pl.dirtyPagesLocked() {
+		if err := pl.file.WritePage(p.ID, p.Data); err != nil {
+			return err
+		}
+		p.dirty = false
+		pl.nDirty--
+		pl.insertCleanExisting(p)
+	}
+	pl.evictOverflow()
+	return nil
+}
+
+// DropDirty discards every dirty page image without writing it (used on
+// abort after before-images are restored, and by recovery resets).
+func (pl *Pool) DropDirty() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for id, p := range pl.pages {
+		if p.dirty {
+			delete(pl.pages, id)
+			pl.nDirty--
+		}
+	}
+}
+
+// Forget removes a page from the cache entirely (used when a page is
+// freed).
+func (pl *Pool) Forget(id oid.PageID) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	p, ok := pl.pages[id]
+	if !ok {
+		return
+	}
+	if p.dirty {
+		pl.nDirty--
+	}
+	if el, ok := p.lruElem.(*list.Element); ok && el != nil {
+		pl.cleanLRU.Remove(el)
+	}
+	delete(pl.pages, id)
+}
+
+// Pin marks p as never evictable (used for the superblock, whose decoded
+// form is cached by the Store).
+func (pl *Pool) Pin(p *Page) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	p.pinned = true
+	if el, ok := p.lruElem.(*list.Element); ok && el != nil {
+		pl.cleanLRU.Remove(el)
+		p.lruElem = nil
+	}
+}
+
+func (pl *Pool) insertClean(p *Page) {
+	pl.pages[p.ID] = p
+	if !p.pinned {
+		p.lruElem = pl.cleanLRU.PushFront(p)
+	}
+	pl.evictOverflow()
+}
+
+func (pl *Pool) insertCleanExisting(p *Page) {
+	if !p.pinned {
+		p.lruElem = pl.cleanLRU.PushFront(p)
+	}
+}
+
+func (pl *Pool) touch(p *Page) {
+	if el, ok := p.lruElem.(*list.Element); ok && el != nil {
+		pl.cleanLRU.MoveToFront(el)
+	}
+}
+
+func (pl *Pool) evictOverflow() {
+	for pl.cleanLRU.Len() > pl.capacity {
+		back := pl.cleanLRU.Back()
+		if back == nil {
+			return
+		}
+		victim := pl.cleanLRU.Remove(back).(*Page)
+		victim.lruElem = nil
+		delete(pl.pages, victim.ID)
+		pl.evictions++
+	}
+}

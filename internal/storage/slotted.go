@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Slotted page layout (absolute offsets within Page.Data):
+//
+//	[16:18] nSlots    u16
+//	[18:20] cellStart u16 — cells occupy [cellStart, pageSize)
+//	[20:22] fragBytes u16 — dead bytes reclaimable by compaction
+//	[22+4i : 26+4i]   slot i: cell offset u16 (0 = free slot), cell len u16
+//
+// Cells grow downward from the end of the page; the slot directory grows
+// upward. Deleting a cell frees its slot (offset=0) and adds its length
+// to fragBytes; compaction rewrites cells tightly against the page end.
+const (
+	offNSlots    = HeaderSize + 0
+	offCellStart = HeaderSize + 2
+	offFragBytes = HeaderSize + 4
+	slotDirStart = HeaderSize + 6
+	slotSize     = 4
+)
+
+// ErrPageFull reports an insert or update that cannot fit even after
+// compaction.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrBadSlot reports access to a slot that does not exist or is free.
+var ErrBadSlot = errors.New("storage: bad slot")
+
+func getU16(d []byte, off int) uint16    { return binary.BigEndian.Uint16(d[off : off+2]) }
+func putU16(d []byte, off int, v uint16) { binary.BigEndian.PutUint16(d[off:off+2], v) }
+
+// SlottedInit formats p as an empty slotted page. The caller must mark
+// the page dirty.
+func SlottedInit(p *Page) {
+	// Page sizes are capped at 32768 by the store so cellStart always
+	// fits a uint16.
+	p.SetType(PageSlotted)
+	putU16(p.Data, offNSlots, 0)
+	putU16(p.Data, offCellStart, uint16(len(p.Data)))
+	putU16(p.Data, offFragBytes, 0)
+}
+
+// SlottedCount returns the number of live (non-free) cells in the page.
+func SlottedCount(p *Page) int {
+	n := int(getU16(p.Data, offNSlots))
+	live := 0
+	for i := 0; i < n; i++ {
+		if getU16(p.Data, slotDirStart+i*slotSize) != 0 {
+			live++
+		}
+	}
+	return live
+}
+
+// slotEntry returns (offset, length) of slot i; offset 0 means free.
+func slotEntry(p *Page, i int) (uint16, uint16) {
+	base := slotDirStart + i*slotSize
+	return getU16(p.Data, base), getU16(p.Data, base+2)
+}
+
+func setSlotEntry(p *Page, i int, off, length uint16) {
+	base := slotDirStart + i*slotSize
+	putU16(p.Data, base, off)
+	putU16(p.Data, base+2, length)
+}
+
+// SlottedFreeSpace returns the bytes available for a new cell of the
+// worst case (requiring a fresh slot), after hypothetical compaction.
+func SlottedFreeSpace(p *Page) int {
+	n := int(getU16(p.Data, offNSlots))
+	cellStart := int(getU16(p.Data, offCellStart))
+	frag := int(getU16(p.Data, offFragBytes))
+	gap := cellStart - (slotDirStart + n*slotSize)
+	free := gap + frag
+	// Reserve room for one slot entry unless a free slot exists.
+	if freeSlotIndex(p) < 0 {
+		free -= slotSize
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+func freeSlotIndex(p *Page) int {
+	n := int(getU16(p.Data, offNSlots))
+	for i := 0; i < n; i++ {
+		if off, _ := slotEntry(p, i); off == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxCell returns the largest cell insertable into an empty page of the
+// given size.
+func MaxCell(pageSize int) int {
+	return pageSize - slotDirStart - slotSize
+}
+
+// SlottedInsert places data as a new cell and returns its slot number.
+// The caller must mark the page dirty.
+func SlottedInsert(p *Page, data []byte) (uint16, error) {
+	if len(data) > MaxCell(len(p.Data)) {
+		return 0, fmt.Errorf("%w: cell %d > max %d", ErrPageFull, len(data), MaxCell(len(p.Data)))
+	}
+	if SlottedFreeSpace(p) < len(data) {
+		return 0, ErrPageFull
+	}
+	slot := freeSlotIndex(p)
+	needNewSlot := slot < 0
+	n := int(getU16(p.Data, offNSlots))
+	cellStart := int(getU16(p.Data, offCellStart))
+	dirEnd := slotDirStart + n*slotSize
+	if needNewSlot {
+		dirEnd += slotSize
+	}
+	if cellStart-dirEnd < len(data) {
+		slottedCompact(p)
+		cellStart = int(getU16(p.Data, offCellStart))
+		if cellStart-dirEnd < len(data) {
+			return 0, ErrPageFull
+		}
+	}
+	newStart := cellStart - len(data)
+	copy(p.Data[newStart:cellStart], data)
+	putU16(p.Data, offCellStart, uint16(newStart))
+	if needNewSlot {
+		slot = n
+		putU16(p.Data, offNSlots, uint16(n+1))
+	}
+	setSlotEntry(p, slot, uint16(newStart), uint16(len(data)))
+	return uint16(slot), nil
+}
+
+// SlottedRead returns the cell at slot. The slice aliases the page; the
+// caller must copy before the page can change.
+func SlottedRead(p *Page, slot uint16) ([]byte, error) {
+	n := int(getU16(p.Data, offNSlots))
+	if int(slot) >= n {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, n)
+	}
+	off, length := slotEntry(p, int(slot))
+	if off == 0 {
+		return nil, fmt.Errorf("%w: slot %d is free", ErrBadSlot, slot)
+	}
+	return p.Data[off : int(off)+int(length)], nil
+}
+
+// SlottedDelete frees the cell at slot. The caller must mark the page
+// dirty.
+func SlottedDelete(p *Page, slot uint16) error {
+	n := int(getU16(p.Data, offNSlots))
+	if int(slot) >= n {
+		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, n)
+	}
+	off, length := slotEntry(p, int(slot))
+	if off == 0 {
+		return fmt.Errorf("%w: slot %d already free", ErrBadSlot, slot)
+	}
+	setSlotEntry(p, int(slot), 0, 0)
+	frag := getU16(p.Data, offFragBytes)
+	putU16(p.Data, offFragBytes, frag+length)
+	// If the deleted cell is the lowest one, bump cellStart so the space
+	// is directly reusable without compaction.
+	if int(off) == int(getU16(p.Data, offCellStart)) {
+		putU16(p.Data, offCellStart, off+length)
+		putU16(p.Data, offFragBytes, getU16(p.Data, offFragBytes)-length)
+	}
+	// Shrink the slot directory if trailing slots are free.
+	for n > 0 {
+		if off, _ := slotEntry(p, n-1); off != 0 {
+			break
+		}
+		n--
+	}
+	putU16(p.Data, offNSlots, uint16(n))
+	return nil
+}
+
+// SlottedUpdate replaces the cell at slot with data, preserving the slot
+// number. Fails with ErrPageFull if the page cannot hold the new cell
+// even after compaction. The caller must mark the page dirty.
+func SlottedUpdate(p *Page, slot uint16, data []byte) error {
+	nSlots := int(getU16(p.Data, offNSlots))
+	if int(slot) >= nSlots {
+		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, nSlots)
+	}
+	off, length := slotEntry(p, int(slot))
+	if off == 0 {
+		return fmt.Errorf("%w: slot %d is free", ErrBadSlot, slot)
+	}
+	if int(length) >= len(data) {
+		// Shrink or same-size: rewrite in place, leak the tail to frag.
+		copy(p.Data[off:int(off)+len(data)], data)
+		setSlotEntry(p, int(slot), off, uint16(len(data)))
+		frag := getU16(p.Data, offFragBytes)
+		putU16(p.Data, offFragBytes, frag+length-uint16(len(data)))
+		return nil
+	}
+	// Grow: check feasibility before mutating anything so a failed update
+	// leaves the old cell intact.
+	cellStart := int(getU16(p.Data, offCellStart))
+	frag := int(getU16(p.Data, offFragBytes))
+	dirEnd := slotDirStart + nSlots*slotSize
+	if (cellStart-dirEnd)+frag+int(length) < len(data) {
+		return ErrPageFull
+	}
+	setSlotEntry(p, int(slot), 0, 0)
+	putU16(p.Data, offFragBytes, uint16(frag)+length)
+	if cellStart-dirEnd < len(data) {
+		slottedCompact(p)
+		cellStart = int(getU16(p.Data, offCellStart))
+	}
+	newStart := cellStart - len(data)
+	copy(p.Data[newStart:cellStart], data)
+	putU16(p.Data, offCellStart, uint16(newStart))
+	setSlotEntry(p, int(slot), uint16(newStart), uint16(len(data)))
+	return nil
+}
+
+// slottedCompact rewrites live cells tightly against the page end,
+// clearing fragmentation. Slot numbers are preserved.
+func slottedCompact(p *Page) {
+	n := int(getU16(p.Data, offNSlots))
+	type cell struct {
+		slot int
+		data []byte
+	}
+	cells := make([]cell, 0, n)
+	for i := 0; i < n; i++ {
+		off, length := slotEntry(p, i)
+		if off == 0 {
+			continue
+		}
+		buf := make([]byte, length)
+		copy(buf, p.Data[off:int(off)+int(length)])
+		cells = append(cells, cell{slot: i, data: buf})
+	}
+	end := len(p.Data)
+	for _, c := range cells {
+		start := end - len(c.data)
+		copy(p.Data[start:end], c.data)
+		setSlotEntry(p, c.slot, uint16(start), uint16(len(c.data)))
+		end = start
+	}
+	putU16(p.Data, offCellStart, uint16(end))
+	putU16(p.Data, offFragBytes, 0)
+}
+
+// SlottedSlots calls fn for every live slot in ascending slot order,
+// stopping early if fn returns false.
+func SlottedSlots(p *Page, fn func(slot uint16, data []byte) bool) {
+	n := int(getU16(p.Data, offNSlots))
+	for i := 0; i < n; i++ {
+		off, length := slotEntry(p, i)
+		if off == 0 {
+			continue
+		}
+		if !fn(uint16(i), p.Data[off:int(off)+int(length)]) {
+			return
+		}
+	}
+}

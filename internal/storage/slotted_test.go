@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newTestPage(size int) *Page {
+	p := &Page{ID: 1, Data: make([]byte, size)}
+	SlottedInit(p)
+	return p
+}
+
+func TestSlottedInsertRead(t *testing.T) {
+	p := newTestPage(512)
+	s1, err := SlottedInsert(p, []byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SlottedInsert(p, []byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("duplicate slots")
+	}
+	got, err := SlottedRead(p, s1)
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("read s1: %q %v", got, err)
+	}
+	got, err = SlottedRead(p, s2)
+	if err != nil || string(got) != "beta" {
+		t.Fatalf("read s2: %q %v", got, err)
+	}
+	if SlottedCount(p) != 2 {
+		t.Fatalf("count = %d", SlottedCount(p))
+	}
+}
+
+func TestSlottedDeleteReuse(t *testing.T) {
+	p := newTestPage(512)
+	s1, _ := SlottedInsert(p, []byte("one"))
+	s2, _ := SlottedInsert(p, []byte("two"))
+	if err := SlottedDelete(p, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SlottedRead(p, s1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("want ErrBadSlot, got %v", err)
+	}
+	// s2 still readable.
+	if got, err := SlottedRead(p, s2); err != nil || string(got) != "two" {
+		t.Fatalf("s2 after delete: %q %v", got, err)
+	}
+	// New insert reuses the freed slot number.
+	s3, err := SlottedInsert(p, []byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Fatalf("slot not reused: got %d want %d", s3, s1)
+	}
+}
+
+func TestSlottedDeleteErrors(t *testing.T) {
+	p := newTestPage(512)
+	if err := SlottedDelete(p, 0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("delete nonexistent: %v", err)
+	}
+	s, _ := SlottedInsert(p, []byte("x"))
+	if err := SlottedDelete(p, s); err != nil {
+		t.Fatal(err)
+	}
+	// Trailing slot was shrunk away, so the slot is now out of range.
+	if err := SlottedDelete(p, s); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestSlottedFull(t *testing.T) {
+	p := newTestPage(512)
+	payload := bytes.Repeat([]byte("z"), 64)
+	inserted := 0
+	for {
+		_, err := SlottedInsert(p, payload)
+		if errors.Is(err, ErrPageFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+		if inserted > 100 {
+			t.Fatal("page never filled")
+		}
+	}
+	// (512 - 16 - 6) usable ≈ 490; each record costs 64+4.
+	if inserted < 5 || inserted > 8 {
+		t.Fatalf("implausible fill count %d", inserted)
+	}
+}
+
+func TestSlottedOversizedCell(t *testing.T) {
+	p := newTestPage(512)
+	_, err := SlottedInsert(p, make([]byte, MaxCell(512)+1))
+	if !errors.Is(err, ErrPageFull) {
+		t.Fatalf("want ErrPageFull, got %v", err)
+	}
+	// Exactly MaxCell fits in an empty page.
+	if _, err := SlottedInsert(p, make([]byte, MaxCell(512))); err != nil {
+		t.Fatalf("MaxCell insert failed: %v", err)
+	}
+}
+
+func TestSlottedUpdateShrinkGrow(t *testing.T) {
+	p := newTestPage(512)
+	s, _ := SlottedInsert(p, []byte("0123456789"))
+	if err := SlottedUpdate(p, s, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := SlottedRead(p, s); string(got) != "abc" {
+		t.Fatalf("after shrink: %q", got)
+	}
+	if err := SlottedUpdate(p, s, bytes.Repeat([]byte("G"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := SlottedRead(p, s); len(got) != 100 || got[0] != 'G' {
+		t.Fatalf("after grow: %d bytes", len(got))
+	}
+}
+
+func TestSlottedUpdateTooBigLeavesOldIntact(t *testing.T) {
+	p := newTestPage(256)
+	s, _ := SlottedInsert(p, []byte("keepme"))
+	err := SlottedUpdate(p, s, make([]byte, MaxCell(256)+10))
+	if !errors.Is(err, ErrPageFull) {
+		t.Fatalf("want ErrPageFull, got %v", err)
+	}
+	if got, err := SlottedRead(p, s); err != nil || string(got) != "keepme" {
+		t.Fatalf("old cell destroyed: %q %v", got, err)
+	}
+}
+
+func TestSlottedCompactionReclaims(t *testing.T) {
+	p := newTestPage(512)
+	var slots []uint16
+	payload := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 8; i++ {
+		s, err := SlottedInsert(p, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	// Delete every other cell, creating fragmentation.
+	for i := 0; i < len(slots); i += 2 {
+		if err := SlottedDelete(p, slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A large insert must succeed via compaction.
+	big := bytes.Repeat([]byte("B"), 120)
+	s, err := SlottedInsert(p, big)
+	if err != nil {
+		t.Fatalf("compaction failed to reclaim: %v", err)
+	}
+	if got, _ := SlottedRead(p, s); !bytes.Equal(got, big) {
+		t.Fatal("compacted insert corrupt")
+	}
+	// Survivors unharmed.
+	for i := 1; i < 8; i += 2 {
+		got, err := SlottedRead(p, slots[i])
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("survivor %d corrupted: %v", i, err)
+		}
+	}
+}
+
+// TestSlottedModelCheck drives a slotted page against a map model with
+// random inserts, updates, and deletes.
+func TestSlottedModelCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := newTestPage(1024)
+	model := map[uint16][]byte{}
+	for step := 0; step < 5000; step++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 5: // insert
+			data := make([]byte, rng.Intn(60)+1)
+			rng.Read(data)
+			s, err := SlottedInsert(p, data)
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			if _, exists := model[s]; exists {
+				t.Fatalf("step %d: slot %d reused while live", step, s)
+			}
+			model[s] = data
+		case op < 8: // update
+			s, ok := anyKey(rng, model)
+			if !ok {
+				continue
+			}
+			data := make([]byte, rng.Intn(120)+1)
+			rng.Read(data)
+			err := SlottedUpdate(p, s, data)
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			model[s] = data
+		default: // delete
+			s, ok := anyKey(rng, model)
+			if !ok {
+				continue
+			}
+			if err := SlottedDelete(p, s); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(model, s)
+		}
+		// Periodic full validation.
+		if step%250 == 0 {
+			validateAgainstModel(t, p, model, step)
+		}
+	}
+	validateAgainstModel(t, p, model, -1)
+}
+
+func anyKey(rng *rand.Rand, m map[uint16][]byte) (uint16, bool) {
+	if len(m) == 0 {
+		return 0, false
+	}
+	n := rng.Intn(len(m))
+	for k := range m {
+		if n == 0 {
+			return k, true
+		}
+		n--
+	}
+	panic("unreachable")
+}
+
+func validateAgainstModel(t *testing.T, p *Page, model map[uint16][]byte, step int) {
+	t.Helper()
+	if SlottedCount(p) != len(model) {
+		t.Fatalf("step %d: count %d != model %d", step, SlottedCount(p), len(model))
+	}
+	for s, want := range model {
+		got, err := SlottedRead(p, s)
+		if err != nil {
+			t.Fatalf("step %d slot %d: %v", step, s, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("step %d slot %d: data mismatch", step, s)
+		}
+	}
+	seen := 0
+	SlottedSlots(p, func(slot uint16, data []byte) bool {
+		want, ok := model[slot]
+		if !ok {
+			t.Fatalf("step %d: iterator found unmodelled slot %d", step, slot)
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("step %d: iterator data mismatch at %d", step, slot)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("step %d: iterator saw %d of %d", step, seen, len(model))
+	}
+}
+
+func TestSlottedSlotsEarlyStop(t *testing.T) {
+	p := newTestPage(512)
+	for i := 0; i < 4; i++ {
+		if _, err := SlottedInsert(p, []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	SlottedSlots(p, func(uint16, []byte) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop ignored: %d", n)
+	}
+}

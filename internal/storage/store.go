@@ -1,0 +1,328 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ode/internal/oid"
+)
+
+// Options configures store creation and opening.
+type Options struct {
+	// PageSize applies only when creating a new store. Zero means
+	// DefaultPageSize. Capped at 32768 so slotted offsets fit uint16.
+	PageSize int
+	// PoolPages is the clean-page cache capacity. Zero means
+	// DefaultPoolPages.
+	PoolPages int
+	// ReadOnly opens the store without write permission.
+	ReadOnly bool
+}
+
+// MaxStorePageSize is the largest supported page size (slot offsets are
+// uint16 and page size itself must be representable).
+const MaxStorePageSize = 32768
+
+// MutationTracker observes page mutations so the transaction layer can
+// capture before-images (for abort) and dirty sets (for WAL logging).
+// BeforeMutate is called before the page's contents change; DidAllocate
+// when a page id is newly allocated (no before-image exists).
+type MutationTracker interface {
+	BeforeMutate(p *Page)
+	DidAllocate(id oid.PageID)
+}
+
+// Store combines the page file, buffer pool and superblock into the unit
+// the engine programs against.
+type Store struct {
+	file    *File
+	pool    *Pool
+	super   super
+	supPg   *Page // page 0, always resident
+	tracker MutationTracker
+}
+
+// SetTracker installs (or clears, with nil) the mutation tracker.
+func (s *Store) SetTracker(t MutationTracker) { s.tracker = t }
+
+// Touch must be called before mutating a page's contents: it gives the
+// tracker its chance to capture a before-image, then marks the page
+// dirty. All engine code mutates pages via Touch.
+func (s *Store) Touch(p *Page) {
+	if s.tracker != nil {
+		s.tracker.BeforeMutate(p)
+	}
+	s.pool.MarkDirty(p)
+}
+
+// ReloadSuper re-decodes the superblock from page 0's current image
+// (used after abort restores before-images).
+func (s *Store) ReloadSuper() error { return s.super.unmarshalFrom(s.supPg) }
+
+// Create initialises a brand-new store file at path. It fails if the
+// file already exists and is non-empty.
+func Create(path string, opts Options) (*Store, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if ps < MinPageSize || ps > MaxStorePageSize {
+		return nil, fmt.Errorf("storage: page size %d out of range [%d,%d]", ps, MinPageSize, MaxStorePageSize)
+	}
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return nil, fmt.Errorf("storage: %s already exists", path)
+	}
+	file, err := OpenFile(path, ps, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{file: file, pool: NewPool(file, poolCap(opts))}
+	s.super = super{pageSize: uint32(ps), nPages: 1}
+	data := make([]byte, ps)
+	s.supPg = s.pool.Install(0, data)
+	s.pool.Pin(s.supPg)
+	s.supPg.SetType(PageSuper)
+	s.super.marshalInto(s.supPg)
+	if err := s.FlushAll(); err != nil {
+		file.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open opens an existing store, discovering its page size from the
+// superblock.
+func Open(path string, opts Options) (*Store, error) {
+	ps, err := peekPageSize(path)
+	if err != nil {
+		return nil, err
+	}
+	file, err := OpenFile(path, ps, opts.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{file: file, pool: NewPool(file, poolCap(opts))}
+	sp, err := s.pool.GetTyped(0, PageSuper)
+	if err != nil {
+		file.Close()
+		return nil, fmt.Errorf("storage: superblock: %w", err)
+	}
+	s.supPg = sp
+	s.pool.Pin(sp)
+	if err := s.super.unmarshalFrom(sp); err != nil {
+		file.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func poolCap(opts Options) int {
+	if opts.PoolPages > 0 {
+		return opts.PoolPages
+	}
+	return DefaultPoolPages
+}
+
+// peekPageSize reads the fixed-offset pageSize field from page 0 without
+// knowing the page size yet.
+func peekPageSize(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var hdr [HeaderSize + 16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("storage: %s too short for a store: %w", path, err)
+	}
+	magic := binary.BigEndian.Uint64(hdr[HeaderSize : HeaderSize+8])
+	if magic != Magic {
+		return 0, fmt.Errorf("%w: %#x", ErrBadMagic, magic)
+	}
+	ver := binary.BigEndian.Uint32(hdr[HeaderSize+8 : HeaderSize+12])
+	if ver != FormatVersion {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	ps := binary.BigEndian.Uint32(hdr[HeaderSize+12 : HeaderSize+16])
+	if ps < MinPageSize || ps > MaxStorePageSize {
+		return 0, fmt.Errorf("storage: implausible page size %d in superblock", ps)
+	}
+	return int(ps), nil
+}
+
+// PageSize returns the store's page size.
+func (s *Store) PageSize() int { return int(s.super.pageSize) }
+
+// NumPages returns the logical page count (allocated, possibly not yet
+// flushed).
+func (s *Store) NumPages() uint64 { return s.super.nPages }
+
+// Pool exposes the buffer pool (for stats and txn before-imaging).
+func (s *Store) Pool() *Pool { return s.pool }
+
+// Get fetches a page.
+func (s *Store) Get(id oid.PageID) (*Page, error) { return s.pool.Get(id) }
+
+// GetTyped fetches a page and asserts its type.
+func (s *Store) GetTyped(id oid.PageID, t PageType) (*Page, error) {
+	return s.pool.GetTyped(id, t)
+}
+
+// MarkDirty flags a page as modified.
+func (s *Store) MarkDirty(p *Page) { s.pool.MarkDirty(p) }
+
+// Allocate returns a zeroed dirty page of the requested type, reusing the
+// free list when possible.
+func (s *Store) Allocate(t PageType) (*Page, error) {
+	var p *Page
+	if s.super.freeHead != oid.NilPage {
+		id := s.super.freeHead
+		fp, err := s.pool.GetTyped(id, PageFree)
+		if err != nil {
+			return nil, fmt.Errorf("storage: free list: %w", err)
+		}
+		next := oid.PageID(binary.BigEndian.Uint32(fp.Body()[0:4]))
+		s.Touch(fp)
+		s.super.freeHead = next
+		s.markSuper()
+		clear(fp.Data)
+		p = fp
+	} else {
+		id := oid.PageID(s.super.nPages)
+		s.super.nPages++
+		s.markSuper()
+		p = s.pool.Install(id, make([]byte, s.PageSize()))
+		if s.tracker != nil {
+			s.tracker.DidAllocate(id)
+		}
+	}
+	p.SetType(t)
+	if t == PageSlotted {
+		SlottedInit(p)
+	}
+	return p, nil
+}
+
+// Free returns a page to the free list.
+func (s *Store) Free(id oid.PageID) error {
+	if id == 0 {
+		return errors.New("storage: cannot free superblock")
+	}
+	p, err := s.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	s.Touch(p)
+	clear(p.Data)
+	p.SetType(PageFree)
+	binary.BigEndian.PutUint32(p.Body()[0:4], uint32(s.super.freeHead))
+	s.super.freeHead = id
+	s.markSuper()
+	return nil
+}
+
+// Root returns named structure root i.
+func (s *Store) Root(i int) oid.PageID { return s.super.roots[i] }
+
+// SetRoot updates named structure root i.
+func (s *Store) SetRoot(i int, id oid.PageID) {
+	s.super.roots[i] = id
+	s.markSuper()
+}
+
+// Counter returns persistent counter i.
+func (s *Store) Counter(i int) uint64 { return s.super.counters[i] }
+
+// SetCounter stores persistent counter i.
+func (s *Store) SetCounter(i int, v uint64) {
+	s.super.counters[i] = v
+	s.markSuper()
+}
+
+// NextCounter increments persistent counter i and returns the new value
+// (so counters start handing out 1, keeping 0 as nil).
+func (s *Store) NextCounter(i int) uint64 {
+	s.super.counters[i]++
+	s.markSuper()
+	return s.super.counters[i]
+}
+
+// CheckpointLSN returns the LSN up to which the page file reflects the
+// log.
+func (s *Store) CheckpointLSN() oid.LSN { return s.super.ckptLSN }
+
+// SetCheckpointLSN records a new checkpoint LSN.
+func (s *Store) SetCheckpointLSN(lsn oid.LSN) {
+	s.super.ckptLSN = lsn
+	s.markSuper()
+}
+
+func (s *Store) markSuper() {
+	if s.tracker != nil {
+		s.tracker.BeforeMutate(s.supPg)
+	}
+	s.super.marshalInto(s.supPg)
+	s.pool.MarkDirty(s.supPg)
+}
+
+// Census reports page counts by type plus aggregate slotted-page
+// utilisation — the space accounting odedump prints.
+type Census struct {
+	Super, Slotted, Overflow, BTree, Free uint64
+	// SlottedLiveBytes is the sum of live cell bytes across slotted
+	// pages; SlottedFreeBytes the reusable space in them.
+	SlottedLiveBytes uint64
+	SlottedFreeBytes uint64
+	Records          uint64
+}
+
+// Census scans every page and tallies the census. O(file size).
+func (s *Store) Census() (Census, error) {
+	var c Census
+	for pid := uint64(0); pid < s.super.nPages; pid++ {
+		p, err := s.Get(oid.PageID(pid))
+		if err != nil {
+			return Census{}, err
+		}
+		switch p.Type() {
+		case PageSuper:
+			c.Super++
+		case PageSlotted:
+			c.Slotted++
+			c.SlottedFreeBytes += uint64(SlottedFreeSpace(p))
+			SlottedSlots(p, func(_ uint16, data []byte) bool {
+				c.Records++
+				c.SlottedLiveBytes += uint64(len(data))
+				return true
+			})
+		case PageOverflow:
+			c.Overflow++
+		case PageBTree:
+			c.BTree++
+		case PageFree:
+			c.Free++
+		}
+	}
+	return c, nil
+}
+
+// FlushAll writes every dirty page to the page file and syncs it. The
+// transaction layer calls this at checkpoints, after WAL durability.
+func (s *Store) FlushAll() error {
+	if err := s.pool.FlushDirty(); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	if err := s.FlushAll(); err != nil {
+		s.file.Close()
+		return err
+	}
+	return s.file.Close()
+}

@@ -1,0 +1,258 @@
+// Package trigger implements the event bus behind O++-style triggers.
+// The paper deliberately leaves change notification and version
+// percolation out of the kernel, arguing (§1, §7) that "users can
+// implement such a facility using O++ triggers". This bus is that
+// facility's mechanism: synchronous handlers attached to an object, a
+// type, or the whole database, in once or perpetual mode (O++'s two
+// trigger flavours).
+//
+// Handlers run synchronously inside the firing transaction, so a policy
+// written as a trigger (e.g. percolation, see internal/policy) can make
+// further changes atomically with the triggering operation.
+package trigger
+
+import (
+	"sort"
+	"sync"
+
+	"ode/internal/oid"
+)
+
+// Kind enumerates the version-related events the engine fires.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindCreate        Kind = iota // object created (pnew)
+	KindUpdate                    // in-place update of a version's contents
+	KindNewVersion                // newversion() created a version
+	KindDeleteVersion             // pdelete(vid)
+	KindDeleteObject              // pdelete(oid): object and all versions
+	kindCount
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCreate:
+		return "create"
+	case KindUpdate:
+		return "update"
+	case KindNewVersion:
+		return "newversion"
+	case KindDeleteVersion:
+		return "deleteversion"
+	case KindDeleteObject:
+		return "deleteobject"
+	default:
+		return "unknown"
+	}
+}
+
+// Mask selects a set of kinds.
+type Mask uint8
+
+// MaskOf builds a Mask from kinds.
+func MaskOf(kinds ...Kind) Mask {
+	var m Mask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// All selects every event kind.
+const All = Mask(1<<kindCount - 1)
+
+// Has reports whether the mask includes k.
+func (m Mask) Has(k Kind) bool { return m&(1<<k) != 0 }
+
+// Event describes one engine operation delivered to handlers.
+type Event struct {
+	Kind  Kind
+	Obj   oid.OID
+	VID   oid.VID    // affected version (new version for KindNewVersion)
+	Prev  oid.VID    // derived-from parent (KindNewVersion), else nil
+	Type  oid.TypeID // the object's catalog type
+	Stamp oid.Stamp  // logical creation stamp of the operation
+}
+
+// Handler is a trigger body. Handlers run synchronously inside the
+// firing transaction; an error they need to signal should be recorded in
+// closed-over state (the engine does not interpret handler outcomes, so
+// triggers cannot veto operations — they are notifications, as in O++).
+type Handler func(Event)
+
+// SubID identifies a subscription for cancellation.
+type SubID uint64
+
+type sub struct {
+	id      SubID
+	mask    Mask
+	once    bool
+	handler Handler
+}
+
+// Bus routes events to subscriptions. A Bus is safe for concurrent
+// subscription management; Fire is called under the engine's transaction
+// lock.
+type Bus struct {
+	mu     sync.Mutex
+	nextID SubID
+	global map[SubID]*sub
+	byObj  map[oid.OID]map[SubID]*sub
+	byType map[oid.TypeID]map[SubID]*sub
+
+	fired uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		global: make(map[SubID]*sub),
+		byObj:  make(map[oid.OID]map[SubID]*sub),
+		byType: make(map[oid.TypeID]map[SubID]*sub),
+	}
+}
+
+// OnObject subscribes h to events on one object. once=true removes the
+// subscription after its first delivery (O++ "once" triggers).
+func (b *Bus) OnObject(obj oid.OID, mask Mask, once bool, h Handler) SubID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.newSub(mask, once, h)
+	m := b.byObj[obj]
+	if m == nil {
+		m = make(map[SubID]*sub)
+		b.byObj[obj] = m
+	}
+	m[s.id] = s
+	return s.id
+}
+
+// OnType subscribes h to events on every object of a type.
+func (b *Bus) OnType(t oid.TypeID, mask Mask, once bool, h Handler) SubID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.newSub(mask, once, h)
+	m := b.byType[t]
+	if m == nil {
+		m = make(map[SubID]*sub)
+		b.byType[t] = m
+	}
+	m[s.id] = s
+	return s.id
+}
+
+// OnAll subscribes h to every event in the database.
+func (b *Bus) OnAll(mask Mask, once bool, h Handler) SubID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.newSub(mask, once, h)
+	b.global[s.id] = s
+	return s.id
+}
+
+func (b *Bus) newSub(mask Mask, once bool, h Handler) *sub {
+	b.nextID++
+	return &sub{id: b.nextID, mask: mask, once: once, handler: h}
+}
+
+// Unsubscribe cancels a subscription; unknown ids are ignored.
+func (b *Bus) Unsubscribe(id SubID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.global, id)
+	for obj, m := range b.byObj {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(b.byObj, obj)
+		}
+	}
+	for t, m := range b.byType {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(b.byType, t)
+		}
+	}
+}
+
+// Fire delivers ev to all matching subscriptions in ascending SubID
+// order (deterministic) and returns how many handlers ran. Once
+// subscriptions are removed before their handler runs, so a handler that
+// triggers further events cannot re-enter itself.
+func (b *Bus) Fire(ev Event) int {
+	b.mu.Lock()
+	var matched []*sub
+	collect := func(m map[SubID]*sub) {
+		for _, s := range m {
+			if s.mask.Has(ev.Kind) {
+				matched = append(matched, s)
+			}
+		}
+	}
+	collect(b.global)
+	if m, ok := b.byObj[ev.Obj]; ok {
+		collect(m)
+	}
+	if m, ok := b.byType[ev.Type]; ok {
+		collect(m)
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
+	for _, s := range matched {
+		if s.once {
+			b.removeLocked(s.id)
+		}
+	}
+	b.fired += uint64(len(matched))
+	b.mu.Unlock()
+
+	for _, s := range matched {
+		s.handler(ev)
+	}
+	return len(matched)
+}
+
+func (b *Bus) removeLocked(id SubID) {
+	delete(b.global, id)
+	for obj, m := range b.byObj {
+		if _, ok := m[id]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(b.byObj, obj)
+			}
+			return
+		}
+	}
+	for t, m := range b.byType {
+		if _, ok := m[id]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(b.byType, t)
+			}
+			return
+		}
+	}
+}
+
+// Fired returns the number of handler deliveries since creation.
+func (b *Bus) Fired() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fired
+}
+
+// Subscriptions returns the number of live subscriptions (for tests and
+// stats).
+func (b *Bus) Subscriptions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.global)
+	for _, m := range b.byObj {
+		n += len(m)
+	}
+	for _, m := range b.byType {
+		n += len(m)
+	}
+	return n
+}

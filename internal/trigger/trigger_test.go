@@ -1,0 +1,173 @@
+package trigger
+
+import (
+	"testing"
+
+	"ode/internal/oid"
+)
+
+func ev(kind Kind, obj oid.OID, typ oid.TypeID) Event {
+	return Event{Kind: kind, Obj: obj, Type: typ}
+}
+
+func TestMask(t *testing.T) {
+	m := MaskOf(KindCreate, KindNewVersion)
+	if !m.Has(KindCreate) || !m.Has(KindNewVersion) {
+		t.Fatal("mask missing kinds")
+	}
+	if m.Has(KindUpdate) || m.Has(KindDeleteObject) {
+		t.Fatal("mask has extra kinds")
+	}
+	for k := KindCreate; k < kindCount; k++ {
+		if !All.Has(k) {
+			t.Fatalf("All missing %v", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		KindCreate:        "create",
+		KindUpdate:        "update",
+		KindNewVersion:    "newversion",
+		KindDeleteVersion: "deleteversion",
+		KindDeleteObject:  "deleteobject",
+		Kind(99):          "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d: got %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestObjectScoping(t *testing.T) {
+	b := NewBus()
+	var got []oid.OID
+	b.OnObject(1, All, false, func(e Event) { got = append(got, e.Obj) })
+	b.Fire(ev(KindUpdate, 1, 0))
+	b.Fire(ev(KindUpdate, 2, 0)) // different object: no delivery
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTypeScoping(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.OnType(5, All, false, func(Event) { n++ })
+	b.Fire(ev(KindCreate, 1, 5))
+	b.Fire(ev(KindCreate, 2, 5))
+	b.Fire(ev(KindCreate, 3, 6))
+	if n != 2 {
+		t.Fatalf("type handler ran %d times", n)
+	}
+}
+
+func TestGlobalAndKindFilter(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.OnAll(MaskOf(KindNewVersion), false, func(Event) { n++ })
+	b.Fire(ev(KindNewVersion, 1, 1))
+	b.Fire(ev(KindUpdate, 1, 1)) // filtered out
+	b.Fire(ev(KindNewVersion, 9, 2))
+	if n != 2 {
+		t.Fatalf("global handler ran %d times", n)
+	}
+}
+
+func TestOnceRemovedAfterFirstDelivery(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.OnObject(1, All, true, func(Event) { n++ })
+	if b.Subscriptions() != 1 {
+		t.Fatal("subscription not registered")
+	}
+	b.Fire(ev(KindUpdate, 1, 0))
+	b.Fire(ev(KindUpdate, 1, 0))
+	if n != 1 {
+		t.Fatalf("once trigger ran %d times", n)
+	}
+	if b.Subscriptions() != 0 {
+		t.Fatal("once subscription not removed")
+	}
+}
+
+func TestOnceDoesNotReenterItself(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.OnObject(1, All, true, func(e Event) {
+		n++
+		// A handler that fires another event must not re-trigger itself.
+		if n < 5 {
+			b.Fire(ev(KindUpdate, 1, 0))
+		}
+	})
+	b.Fire(ev(KindUpdate, 1, 0))
+	if n != 1 {
+		t.Fatalf("once trigger re-entered: %d", n)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBus()
+	n := 0
+	id1 := b.OnObject(1, All, false, func(Event) { n++ })
+	id2 := b.OnType(2, All, false, func(Event) { n++ })
+	id3 := b.OnAll(All, false, func(Event) { n++ })
+	b.Unsubscribe(id1)
+	b.Unsubscribe(id2)
+	b.Unsubscribe(id3)
+	b.Unsubscribe(9999) // unknown: no-op
+	b.Fire(ev(KindUpdate, 1, 2))
+	if n != 0 {
+		t.Fatalf("unsubscribed handler ran: %d", n)
+	}
+	if b.Subscriptions() != 0 {
+		t.Fatal("subscriptions leaked")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	b := NewBus()
+	var order []int
+	b.OnAll(All, false, func(Event) { order = append(order, 1) })
+	b.OnObject(1, All, false, func(Event) { order = append(order, 2) })
+	b.OnType(3, All, false, func(Event) { order = append(order, 3) })
+	b.Fire(ev(KindUpdate, 1, 3))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v (want subscription order)", order)
+	}
+}
+
+func TestFireReturnsCountAndStats(t *testing.T) {
+	b := NewBus()
+	b.OnAll(All, false, func(Event) {})
+	b.OnObject(4, All, false, func(Event) {})
+	if got := b.Fire(ev(KindUpdate, 4, 0)); got != 2 {
+		t.Fatalf("Fire returned %d", got)
+	}
+	if got := b.Fire(ev(KindUpdate, 5, 0)); got != 1 {
+		t.Fatalf("Fire returned %d", got)
+	}
+	if b.Fired() != 3 {
+		t.Fatalf("Fired = %d", b.Fired())
+	}
+}
+
+func TestAllScopesReceiveSameEvent(t *testing.T) {
+	b := NewBus()
+	var events []Event
+	b.OnObject(7, MaskOf(KindNewVersion), false, func(e Event) { events = append(events, e) })
+	b.OnType(2, MaskOf(KindNewVersion), false, func(e Event) { events = append(events, e) })
+	e := Event{Kind: KindNewVersion, Obj: 7, VID: 12, Prev: 11, Type: 2, Stamp: 99}
+	b.Fire(e)
+	if len(events) != 2 {
+		t.Fatalf("deliveries = %d", len(events))
+	}
+	for _, got := range events {
+		if got != e {
+			t.Fatalf("event mangled: %+v", got)
+		}
+	}
+}

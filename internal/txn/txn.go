@@ -1,0 +1,462 @@
+// Package txn implements Ode's transaction manager: single-writer /
+// multi-reader isolation, redo-only write-ahead logging of page
+// after-images, in-memory before-images for abort, crash recovery, and
+// log-truncating checkpoints.
+//
+// The durability contract: when Write returns nil, the transaction's
+// effects survive a crash (its page images and commit record are fsynced
+// in the WAL before the lock is released). A transaction that returns an
+// error, or panics, is rolled back completely. The paper does not
+// discuss concurrency control; this minimal model is the substrate a
+// real library needs and is documented as beyond-paper (DESIGN.md §2).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ode/internal/oid"
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+// DataFileName and WALFileName are the files a database directory holds.
+const (
+	DataFileName = "data.ode"
+	WALFileName  = "wal.ode"
+)
+
+// DefaultCheckpointBytes triggers a checkpoint when the WAL exceeds this
+// size at a commit boundary.
+const DefaultCheckpointBytes = 8 << 20
+
+// ErrClosed reports use of a closed manager.
+var ErrClosed = errors.New("txn: manager closed")
+
+// ErrReadOnly reports a write on a read-only manager.
+var ErrReadOnly = errors.New("txn: database opened read-only")
+
+// ErrNeedsRecovery reports a read-only open of a database whose WAL
+// holds committed work that the data file does not yet reflect.
+var ErrNeedsRecovery = errors.New("txn: read-only open requires crash recovery; open writable once first")
+
+// Options configures the manager.
+type Options struct {
+	// Storage is forwarded to the storage layer.
+	Storage storage.Options
+	// NoSync disables the fsync at commit (and checkpoint). Throughput
+	// rises at the price of durability of the most recent commits; used
+	// by benchmarks to isolate CPU costs.
+	NoSync bool
+	// CheckpointBytes overrides DefaultCheckpointBytes; <0 disables
+	// automatic checkpoints.
+	CheckpointBytes int64
+}
+
+// Stats reports manager activity since open.
+type Stats struct {
+	Commits       uint64
+	Aborts        uint64
+	Checkpoints   uint64
+	RecoveredTxns uint64
+	WALBytes      int64
+}
+
+// Manager owns one database directory: its store, its WAL, and the
+// writer lock.
+type Manager struct {
+	mu     sync.RWMutex
+	st     *storage.Store
+	log    *wal.Log
+	opts   Options
+	closed bool
+	stats  Stats
+	nextTx uint64 // in-memory: txids only disambiguate within one log lifetime
+
+	cur *tracker // active write transaction's tracker (nil otherwise)
+}
+
+// tracker captures before-images for abort and the dirty set for commit
+// logging. It implements storage.MutationTracker.
+type tracker struct {
+	before    map[oid.PageID]beforeImage
+	allocated map[oid.PageID]bool
+}
+
+type beforeImage struct {
+	data     []byte
+	wasDirty bool
+}
+
+func newTracker() *tracker {
+	return &tracker{
+		before:    make(map[oid.PageID]beforeImage),
+		allocated: make(map[oid.PageID]bool),
+	}
+}
+
+// BeforeMutate implements storage.MutationTracker.
+func (tr *tracker) BeforeMutate(p *storage.Page) {
+	if tr.allocated[p.ID] {
+		return // born this txn; no before-image exists
+	}
+	if _, ok := tr.before[p.ID]; ok {
+		return
+	}
+	tr.before[p.ID] = beforeImage{
+		data:     append([]byte(nil), p.Data...),
+		wasDirty: p.Dirty(),
+	}
+}
+
+// DidAllocate implements storage.MutationTracker.
+func (tr *tracker) DidAllocate(id oid.PageID) { tr.allocated[id] = true }
+
+// Create initialises a new database directory.
+func Create(dir string, opts Options) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("txn: mkdir %s: %w", dir, err)
+	}
+	st, err := storage.Create(filepath.Join(dir, DataFileName), opts.Storage)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, WALFileName))
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Manager{st: st, log: log, opts: opts}, nil
+}
+
+// Open opens an existing database directory, running crash recovery
+// first if the WAL holds committed work. A read-only open refuses to
+// run recovery (it would have to write); open writable once to recover.
+func Open(dir string, opts Options) (*Manager, error) {
+	dataPath := filepath.Join(dir, DataFileName)
+	walPath := filepath.Join(dir, WALFileName)
+	log, err := wal.Open(walPath)
+	if err != nil {
+		return nil, err
+	}
+	var recovered uint64
+	if opts.Storage.ReadOnly {
+		pending, err := committedInLog(log)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if pending > 0 {
+			log.Close()
+			return nil, ErrNeedsRecovery
+		}
+	} else {
+		recovered, err = recover2(log, dataPath)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("txn: recovery: %w", err)
+		}
+	}
+	st, err := storage.Open(dataPath, opts.Storage)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	m := &Manager{st: st, log: log, opts: opts}
+	m.stats.RecoveredTxns = recovered
+	return m, nil
+}
+
+// committedInLog counts committed transactions present in the log.
+func committedInLog(log *wal.Log) (uint64, error) {
+	var n uint64
+	err := log.Scan(func(rec wal.Record) error {
+		if rec.Type == wal.RecCommit {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// recover2 replays committed transactions' page images into the data
+// file and truncates the log. Named to avoid shadowing builtin recover.
+func recover2(log *wal.Log, dataPath string) (uint64, error) {
+	type txImages struct {
+		order []oid.PageID
+		imgs  map[oid.PageID][]byte
+	}
+	pending := map[oid.TxID]*txImages{}
+	redo := map[oid.PageID][]byte{}
+	var redoOrder []oid.PageID
+	var committed uint64
+	err := log.Scan(func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecBegin:
+			pending[rec.Tx] = &txImages{imgs: map[oid.PageID][]byte{}}
+		case wal.RecPageImage:
+			t := pending[rec.Tx]
+			if t == nil {
+				t = &txImages{imgs: map[oid.PageID][]byte{}}
+				pending[rec.Tx] = t
+			}
+			if _, seen := t.imgs[rec.Page]; !seen {
+				t.order = append(t.order, rec.Page)
+			}
+			t.imgs[rec.Page] = append([]byte(nil), rec.Data...)
+		case wal.RecCommit:
+			t := pending[rec.Tx]
+			if t == nil {
+				return nil
+			}
+			committed++
+			for _, pid := range t.order {
+				if _, seen := redo[pid]; !seen {
+					redoOrder = append(redoOrder, pid)
+				}
+				redo[pid] = t.imgs[pid]
+			}
+			delete(pending, rec.Tx)
+		case wal.RecAbort:
+			delete(pending, rec.Tx)
+		case wal.RecCheckpoint:
+			// Everything before this point is already in the data file;
+			// replaying it anyway is idempotent, so no action needed.
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(redo) > 0 {
+		// Page size is the image length (all images are full pages).
+		ps := 0
+		for _, img := range redo {
+			ps = len(img)
+			break
+		}
+		f, err := storage.OpenFile(dataPath, ps, false)
+		if err != nil {
+			return 0, err
+		}
+		for _, pid := range redoOrder {
+			if err := f.WritePage(pid, redo[pid]); err != nil {
+				f.Close()
+				return 0, err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
+	return committed, log.Reset()
+}
+
+// Store exposes the underlying store to the engine. Mutations are only
+// legal inside Write.
+func (m *Manager) Store() *storage.Store { return m.st }
+
+// Stats returns activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := m.stats
+	s.WALBytes = m.log.Size()
+	return s
+}
+
+// Read runs fn under the shared reader lock. fn must not mutate the
+// store.
+func (m *Manager) Read(fn func() error) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return fn()
+}
+
+// Write runs fn as a transaction under the exclusive writer lock. If fn
+// returns nil the transaction commits durably; if it returns an error or
+// panics the transaction rolls back (and the panic resumes).
+func (m *Manager) Write(fn func() error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.opts.Storage.ReadOnly {
+		return ErrReadOnly
+	}
+	tr := newTracker()
+	m.cur = tr
+	m.st.SetTracker(tr)
+	m.nextTx++
+	txid := oid.TxID(m.nextTx)
+
+	done := false
+	defer func() {
+		m.st.SetTracker(nil)
+		m.cur = nil
+		if !done {
+			// fn panicked: roll back, then let the panic continue.
+			m.rollback(tr)
+		}
+	}()
+
+	if err := fn(); err != nil {
+		done = true
+		m.rollback(tr)
+		return err
+	}
+	if err := m.commit(txid, tr); err != nil {
+		done = true
+		m.rollback(tr)
+		return fmt.Errorf("txn: commit: %w", err)
+	}
+	done = true
+	return nil
+}
+
+// commit logs the transaction's dirty pages and makes them durable.
+func (m *Manager) commit(txid oid.TxID, tr *tracker) error {
+	// Dirty set: every page with a before-image plus every allocation.
+	touched := make([]oid.PageID, 0, len(tr.before)+len(tr.allocated))
+	for id := range tr.before {
+		touched = append(touched, id)
+	}
+	for id := range tr.allocated {
+		if _, dup := tr.before[id]; !dup {
+			touched = append(touched, id)
+		}
+	}
+	if len(touched) == 0 {
+		m.stats.Commits++
+		return nil // read-only "write" transaction
+	}
+	if _, err := m.log.AppendBegin(txid); err != nil {
+		return err
+	}
+	for _, id := range touched {
+		p, err := m.st.Get(id)
+		if err != nil {
+			return err
+		}
+		if _, err := m.log.AppendPageImage(txid, id, p.Data); err != nil {
+			return err
+		}
+	}
+	if _, err := m.log.AppendCommit(txid); err != nil {
+		return err
+	}
+	if !m.opts.NoSync {
+		if err := m.log.Sync(); err != nil {
+			return err
+		}
+	}
+	m.stats.Commits++
+	return m.maybeCheckpoint()
+}
+
+// rollback restores before-images and drops pages allocated by the
+// transaction.
+func (m *Manager) rollback(tr *tracker) {
+	for id, bi := range tr.before {
+		p, err := m.st.Get(id)
+		if err != nil {
+			// The page was touched, so it is dirty and resident; Get
+			// cannot fail for it. Guard anyway.
+			continue
+		}
+		copy(p.Data, bi.data)
+		if !bi.wasDirty {
+			m.st.Pool().MarkClean(p)
+		}
+	}
+	for id := range tr.allocated {
+		if _, hadBefore := tr.before[id]; !hadBefore {
+			m.st.Pool().Forget(id)
+		}
+	}
+	if err := m.st.ReloadSuper(); err != nil {
+		// Superblock before-image restore cannot produce an undecodable
+		// superblock unless memory was corrupted.
+		panic(fmt.Sprintf("txn: rollback broke superblock: %v", err))
+	}
+	m.stats.Aborts++
+}
+
+func (m *Manager) maybeCheckpoint() error {
+	limit := m.opts.CheckpointBytes
+	if limit == 0 {
+		limit = DefaultCheckpointBytes
+	}
+	if limit < 0 || m.log.Size() < limit {
+		return nil
+	}
+	return m.checkpointLocked()
+}
+
+// Checkpoint forces the page file current and truncates the WAL.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return m.checkpointLocked()
+}
+
+func (m *Manager) checkpointLocked() error {
+	if m.opts.Storage.ReadOnly {
+		return ErrReadOnly
+	}
+	if err := m.st.FlushAll(); err != nil {
+		return fmt.Errorf("txn: checkpoint flush: %w", err)
+	}
+	if _, err := m.log.AppendCheckpoint(); err != nil {
+		return err
+	}
+	if err := m.log.Reset(); err != nil {
+		return err
+	}
+	m.stats.Checkpoints++
+	return nil
+}
+
+// Close checkpoints and closes the database.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.opts.Storage.ReadOnly {
+		m.log.Close()
+		// storage.Close flushes; read-only stores have nothing dirty and
+		// their Sync is a no-op.
+		return m.st.Close()
+	}
+	var firstErr error
+	if err := m.st.FlushAll(); err != nil {
+		firstErr = err
+	}
+	if err := m.log.Reset(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := m.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := m.st.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,314 @@
+// Package wal implements the write-ahead log that makes Ode commits
+// durable: an append-only file of CRC-framed records. The transaction
+// layer logs full after-images of every page a transaction dirtied,
+// followed by a commit record; recovery replays the images of committed
+// transactions in log order.
+//
+// Framing: the file starts with an 8-byte header (magic, version); each
+// record is [u32 payloadLen][u32 crc32c(payload)][payload]. A record's
+// LSN is the file offset of its length word, so LSNs are nonzero and
+// strictly increasing. A torn tail (incomplete or corrupt final record,
+// as left by a crash mid-write) is detected by the CRC and truncated on
+// open.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ode/internal/codec"
+	"ode/internal/oid"
+)
+
+// Record types.
+const (
+	RecBegin      uint8 = 1 // transaction start
+	RecPageImage  uint8 = 2 // full page after-image
+	RecCommit     uint8 = 3 // transaction durable
+	RecAbort      uint8 = 4 // informational; aborted txns are ignored anyway
+	RecCheckpoint uint8 = 5 // page file reflects everything before this LSN
+)
+
+// headerSize is the fixed file header before the first record.
+const headerSize = 8
+
+const magic uint32 = 0x4F44454C // "ODEL"
+const version uint32 = 1
+
+// ErrBadLog reports a log file whose header is not a WAL.
+var ErrBadLog = errors.New("wal: bad log header")
+
+// MaxRecord bounds record payloads against corrupt length words.
+const MaxRecord = 1 << 26
+
+// Record is a decoded log record.
+type Record struct {
+	LSN  oid.LSN
+	Type uint8
+	Tx   oid.TxID
+	Page oid.PageID // RecPageImage only
+	Data []byte     // RecPageImage only: the page image
+}
+
+// Log is an open write-ahead log.
+type Log struct {
+	f    *os.File
+	w    *bufio.Writer
+	end  oid.LSN // next append offset
+	path string
+
+	appends uint64
+	syncs   uint64
+}
+
+// Open opens or creates the log at path, validates its header, scans for
+// the end of the valid prefix, and truncates any torn tail.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}
+	if st.Size() < headerSize {
+		// Fresh (or hopelessly torn) log: write a new header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		var hdr [headerSize]byte
+		binary.BigEndian.PutUint32(hdr[0:4], magic)
+		binary.BigEndian.PutUint32(hdr[4:8], version)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.end = headerSize
+		if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != magic {
+		f.Close()
+		return nil, ErrBadLog
+	}
+	if binary.BigEndian.Uint32(hdr[4:8]) != version {
+		f.Close()
+		return nil, fmt.Errorf("%w: version %d", ErrBadLog, binary.BigEndian.Uint32(hdr[4:8]))
+	}
+	end, err := scanEnd(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if int64(end) < st.Size() {
+		if err := f.Truncate(int64(end)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	l.end = end
+	if _, err := f.Seek(int64(end), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scanEnd walks records from the header to find the end of the valid
+// prefix.
+func scanEnd(f *os.File, size int64) (oid.LSN, error) {
+	r := bufio.NewReaderSize(io.NewSectionReader(f, headerSize, size-headerSize), 1<<16)
+	off := int64(headerSize)
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return oid.LSN(off), nil // clean EOF or torn frame header
+		}
+		n := binary.BigEndian.Uint32(frame[0:4])
+		crc := binary.BigEndian.Uint32(frame[4:8])
+		if n > MaxRecord || int64(n) > size-off-8 {
+			return oid.LSN(off), nil // torn or corrupt length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return oid.LSN(off), nil
+		}
+		if codec.Checksum(payload) != crc {
+			return oid.LSN(off), nil // torn write
+		}
+		off += 8 + int64(n)
+	}
+}
+
+// End returns the LSN one past the last durable-framed record.
+func (l *Log) End() oid.LSN { return l.end }
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 { return int64(l.end) }
+
+// Stats returns append and sync counters.
+func (l *Log) Stats() (appends, syncs uint64) { return l.appends, l.syncs }
+
+func (l *Log) append(payload []byte) (oid.LSN, error) {
+	lsn := l.end
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], codec.Checksum(payload))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.end += oid.LSN(8 + len(payload))
+	l.appends++
+	return lsn, nil
+}
+
+// AppendBegin logs the start of tx.
+func (l *Log) AppendBegin(tx oid.TxID) (oid.LSN, error) {
+	w := codec.NewWriter(16)
+	w.U8(RecBegin).UVarint(uint64(tx))
+	return l.append(w.Bytes())
+}
+
+// AppendPageImage logs a full after-image of page id for tx.
+func (l *Log) AppendPageImage(tx oid.TxID, id oid.PageID, image []byte) (oid.LSN, error) {
+	w := codec.NewWriter(len(image) + 24)
+	w.U8(RecPageImage).UVarint(uint64(tx)).U32(uint32(id)).Raw(image)
+	return l.append(w.Bytes())
+}
+
+// AppendCommit logs tx's commit record.
+func (l *Log) AppendCommit(tx oid.TxID) (oid.LSN, error) {
+	w := codec.NewWriter(16)
+	w.U8(RecCommit).UVarint(uint64(tx))
+	return l.append(w.Bytes())
+}
+
+// AppendAbort logs an informational abort record.
+func (l *Log) AppendAbort(tx oid.TxID) (oid.LSN, error) {
+	w := codec.NewWriter(16)
+	w.U8(RecAbort).UVarint(uint64(tx))
+	return l.append(w.Bytes())
+}
+
+// AppendCheckpoint logs a checkpoint marker.
+func (l *Log) AppendCheckpoint() (oid.LSN, error) {
+	w := codec.NewWriter(8)
+	w.U8(RecCheckpoint).UVarint(0)
+	return l.append(w.Bytes())
+}
+
+// Sync flushes buffered appends and fsyncs the log. A commit is durable
+// only after Sync returns.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs++
+	return nil
+}
+
+// Reset truncates the log back to its header after a checkpoint has made
+// the page file current.
+func (l *Log) Reset() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(headerSize); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.end = headerSize
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset sync: %w", err)
+	}
+	return nil
+}
+
+// Scan iterates every valid record in LSN order. fn may retain Record.Data
+// (each record's payload is freshly allocated).
+func (l *Log) Scan(fn func(rec Record) error) error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	sr := io.NewSectionReader(l.f, headerSize, int64(l.end)-headerSize)
+	r := bufio.NewReaderSize(sr, 1<<16)
+	off := int64(headerSize)
+	var frame [8]byte
+	for off < int64(l.end) {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return fmt.Errorf("wal: scan frame at %d: %w", off, err)
+		}
+		n := binary.BigEndian.Uint32(frame[0:4])
+		crc := binary.BigEndian.Uint32(frame[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("wal: scan payload at %d: %w", off, err)
+		}
+		if codec.Checksum(payload) != crc {
+			return fmt.Errorf("wal: crc mismatch at %d", off)
+		}
+		rec, err := decode(oid.LSN(off), payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += 8 + int64(n)
+	}
+	return nil
+}
+
+func decode(lsn oid.LSN, payload []byte) (Record, error) {
+	r := codec.NewReader(payload)
+	rec := Record{LSN: lsn}
+	rec.Type = r.U8()
+	rec.Tx = oid.TxID(r.UVarint())
+	if rec.Type == RecPageImage {
+		rec.Page = oid.PageID(r.U32())
+		rec.Data = payload[r.Offset():]
+	}
+	if r.Err() != nil {
+		return Record{}, fmt.Errorf("wal: corrupt record at %v: %w", lsn, r.Err())
+	}
+	switch rec.Type {
+	case RecBegin, RecPageImage, RecCommit, RecAbort, RecCheckpoint:
+		return rec, nil
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record type %d at %v", rec.Type, lsn)
+	}
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

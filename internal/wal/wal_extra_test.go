@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAbortRecordRoundtrip(t *testing.T) {
+	l, _ := tempLog(t)
+	if _, err := l.AppendBegin(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendAbort(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []uint8
+	if err := l.Scan(func(r Record) error {
+		kinds = append(kinds, r.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{RecBegin, RecAbort, RecCheckpoint}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v want %v", kinds, want)
+		}
+	}
+}
+
+func TestOversizedLengthWordTreatedAsTorn(t *testing.T) {
+	l, path := tempLog(t)
+	if _, err := l.AppendBegin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	goodEnd := l.End()
+	l.Close()
+	// Append a frame claiming an absurd payload length.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:4], MaxRecord+1)
+	if _, err := f.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.End() != goodEnd {
+		t.Fatalf("oversized frame not trimmed: %v want %v", l2.End(), goodEnd)
+	}
+}
+
+func TestUnknownRecordTypeRejectedByScan(t *testing.T) {
+	l, _ := tempLog(t)
+	// Craft a structurally valid (CRC-correct) record with a bogus type
+	// by using the internal append.
+	if _, err := l.append([]byte{0x7E, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	err := l.Scan(func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("unknown record type accepted by scan")
+	}
+}
+
+func TestScanCallbackErrorPropagates(t *testing.T) {
+	l, _ := tempLog(t)
+	if _, err := l.AppendBegin(1); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := bytes.ErrTooLarge
+	if err := l.Scan(func(Record) error { return sentinel }); err != sentinel {
+		t.Fatalf("callback error lost: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	l, _ := tempLog(t)
+	if _, err := l.AppendBegin(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appends, syncs := l.Stats()
+	if appends != 2 || syncs != 1 {
+		t.Fatalf("stats = %d appends, %d syncs", appends, syncs)
+	}
+}
+
+func TestOpenDirectoryFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir)); err == nil {
+		t.Fatal("opening a directory as a WAL succeeded")
+	}
+}

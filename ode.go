@@ -1,0 +1,211 @@
+// Package ode is a Go reproduction of the object-versioning design of
+// the Ode object database ("Object Versioning in Ode", Agrawal, Buroff,
+// Gehani & Shasha, ICDE 1991).
+//
+// The package provides persistent objects with identity, orthogonal
+// versioning (any object can grow versions at any time, at no cost
+// before the first NewVersion), generic references that always bind to
+// the latest version (Ptr), specific references that pin one version
+// (VPtr), automatically maintained temporal and derived-from
+// relationships, version deletion with derivation-tree splicing,
+// configurations, contexts, and triggers — all over a from-scratch
+// storage engine with a write-ahead log and crash recovery.
+//
+// # Quick start
+//
+//	db, err := ode.Open(dir, nil)
+//	parts, err := ode.Register[Part](db, "Part")
+//	err = db.Update(func(tx *ode.Tx) error {
+//	    p, err := parts.Create(tx, &Part{Name: "ALU"})   // pnew
+//	    v0, err := p.Pin(tx)                             // specific ref
+//	    v1, err := p.NewVersion(tx)                      // newversion
+//	    err = v1.Set(tx, &Part{Name: "ALU", Rev: 2})
+//	    cur, err := p.Deref(tx)                          // latest (Rev 2)
+//	    old, err := v0.Deref(tx)                         // pinned (Rev 0)
+//	    return err
+//	})
+//
+// All reads and writes happen inside db.View / db.Update transactions;
+// Update transactions are atomic and durable (WAL + crash recovery).
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ode/internal/core"
+	"ode/internal/oid"
+	"ode/internal/txn"
+)
+
+// Re-exported identifier types. OID is a generic reference to an object
+// (binds to the latest version); VID identifies one immutable-identity
+// version; Stamp is the logical creation clock.
+type (
+	// OID is an object id: a generic reference.
+	OID = oid.OID
+	// VID is a version id: a specific reference.
+	VID = oid.VID
+	// Stamp is a logical timestamp assigned at version creation.
+	Stamp = oid.Stamp
+	// TypeID is a registered type's catalog id.
+	TypeID = oid.TypeID
+)
+
+// Errors surfaced by the public API.
+var (
+	ErrNoObject  = core.ErrNoObject
+	ErrNoVersion = core.ErrNoVersion
+	ErrNoType    = core.ErrNoType
+	// ErrReadOnly reports a mutation inside a View transaction or on a
+	// database opened with Options.ReadOnly.
+	ErrReadOnly = txn.ErrReadOnly
+	ErrClosed   = txn.ErrClosed
+)
+
+// StoragePolicy selects how version payloads are stored on disk.
+type StoragePolicy = core.PayloadPolicy
+
+// Storage policies: FullCopy stores each version whole; DeltaChain
+// stores versions as binary deltas against their derived-from parent
+// with periodic full keyframes (the SCCS/RCS-style policy the paper
+// describes).
+const (
+	FullCopy   = core.FullCopy
+	DeltaChain = core.DeltaChain
+)
+
+// Options configures Open. The zero value (or nil) gives a 4 KiB page
+// size, synchronous commits, and full-copy version storage.
+type Options struct {
+	// Policy selects FullCopy (default) or DeltaChain version storage.
+	Policy StoragePolicy
+	// MaxChain bounds delta chains (keyframe interval) under DeltaChain;
+	// 0 means core.DefaultMaxChain.
+	MaxChain int
+	// PageSize applies when creating a new database (default 4096).
+	PageSize int
+	// PoolPages is the buffer-pool capacity in pages (default 1024).
+	PoolPages int
+	// NoSync disables fsync on commit. Much faster; the most recent
+	// commits may be lost on a crash (database integrity is preserved).
+	NoSync bool
+	// CheckpointBytes sets the WAL size that triggers a checkpoint;
+	// <0 disables automatic checkpoints.
+	CheckpointBytes int64
+	// ReadOnly opens the database without write permission.
+	ReadOnly bool
+}
+
+// DB is an open Ode database.
+type DB struct {
+	mgr  *txn.Manager
+	eng  *core.Engine
+	path string
+}
+
+// dir returns the database directory.
+func (db *DB) dir() string { return db.path }
+
+// Dir returns the database directory path.
+func (db *DB) Dir() string { return db.path }
+
+// Open opens the database in dir, creating it (and dir) if absent.
+func Open(dir string, opts *Options) (*DB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	topts := txn.Options{
+		NoSync:          o.NoSync,
+		CheckpointBytes: o.CheckpointBytes,
+	}
+	topts.Storage.PageSize = o.PageSize
+	topts.Storage.PoolPages = o.PoolPages
+	topts.Storage.ReadOnly = o.ReadOnly
+
+	dataPath := filepath.Join(dir, txn.DataFileName)
+	var mgr *txn.Manager
+	if _, err := os.Stat(dataPath); errors.Is(err, os.ErrNotExist) {
+		if o.ReadOnly {
+			return nil, fmt.Errorf("ode: no database at %s", dir)
+		}
+		mgr, err = txn.Create(dir, topts)
+		if err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, fmt.Errorf("ode: stat %s: %w", dataPath, err)
+	} else {
+		var err error
+		mgr, err = txn.Open(dir, topts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := core.New(mgr, core.Options{Policy: o.Policy, MaxChain: o.MaxChain})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	return &DB{mgr: mgr, eng: eng, path: dir}, nil
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error { return db.mgr.Close() }
+
+// Update runs fn in a read-write transaction. If fn returns nil the
+// transaction commits durably; on error or panic it rolls back
+// completely.
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	return db.eng.Write(func() error {
+		return fn(&Tx{db: db, writable: true})
+	})
+}
+
+// View runs fn in a read-only transaction. Any number of Views run
+// concurrently; an Update excludes them.
+func (db *DB) View(fn func(tx *Tx) error) error {
+	return db.eng.Read(func() error {
+		return fn(&Tx{db: db})
+	})
+}
+
+// Checkpoint flushes the page file and truncates the write-ahead log.
+func (db *DB) Checkpoint() error { return db.mgr.Checkpoint() }
+
+// Stats aggregates engine and transaction-manager counters.
+type Stats struct {
+	Objects     uint64
+	Versions    uint64
+	Commits     uint64
+	Aborts      uint64
+	Checkpoints uint64
+	WALBytes    int64
+}
+
+// Stats returns current database statistics.
+func (db *DB) Stats() Stats {
+	es := db.eng.Stats()
+	ms := db.mgr.Stats()
+	return Stats{
+		Objects:     es.Objects,
+		Versions:    es.Versions,
+		Commits:     ms.Commits,
+		Aborts:      ms.Aborts,
+		Checkpoints: ms.Checkpoints,
+		WALBytes:    ms.WALBytes,
+	}
+}
+
+// CheckIntegrity validates every structural invariant of every object
+// and index (expensive; meant for tests and tools).
+func (db *DB) CheckIntegrity() error {
+	return db.eng.Read(func() error { return db.eng.CheckAll() })
+}
+
+// Engine exposes the underlying engine for the repository's internal
+// tools and benchmarks. It is not part of the stable API.
+func (db *DB) Engine() *core.Engine { return db.eng }

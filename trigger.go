@@ -1,0 +1,60 @@
+package ode
+
+import (
+	"ode/internal/trigger"
+)
+
+// Triggers: O++ attaches once/perpetual triggers to objects; the paper
+// relies on them so that change notification (§1) and version
+// percolation (§2) remain user policies rather than kernel features.
+// Handlers run synchronously inside the firing transaction, so a
+// trigger may perform further mutations atomically with the event.
+
+// Event describes one versioning operation delivered to a trigger.
+type Event = trigger.Event
+
+// EventKind enumerates the operations triggers can watch.
+type EventKind = trigger.Kind
+
+// Event kinds.
+const (
+	EvCreate        = trigger.KindCreate
+	EvUpdate        = trigger.KindUpdate
+	EvNewVersion    = trigger.KindNewVersion
+	EvDeleteVersion = trigger.KindDeleteVersion
+	EvDeleteObject  = trigger.KindDeleteObject
+)
+
+// EventMask selects event kinds; build with On.
+type EventMask = trigger.Mask
+
+// On builds an EventMask from kinds.
+func On(kinds ...EventKind) EventMask { return trigger.MaskOf(kinds...) }
+
+// OnAny selects every event kind.
+const OnAny = trigger.All
+
+// TriggerHandler is a trigger body.
+type TriggerHandler = trigger.Handler
+
+// TriggerID identifies a registered trigger for removal.
+type TriggerID = trigger.SubID
+
+// OnObject registers a trigger on one object. once=true gives O++'s
+// "once" semantics: the trigger fires at most one time.
+func (db *DB) OnObject(o OID, mask EventMask, once bool, h TriggerHandler) TriggerID {
+	return db.eng.Bus().OnObject(o, mask, once, h)
+}
+
+// OnType registers a trigger on every object of a type.
+func (db *DB) OnType(t TypeID, mask EventMask, once bool, h TriggerHandler) TriggerID {
+	return db.eng.Bus().OnType(t, mask, once, h)
+}
+
+// OnAll registers a database-wide trigger.
+func (db *DB) OnAll(mask EventMask, once bool, h TriggerHandler) TriggerID {
+	return db.eng.Bus().OnAll(mask, once, h)
+}
+
+// RemoveTrigger cancels a trigger registration.
+func (db *DB) RemoveTrigger(id TriggerID) { db.eng.Bus().Unsubscribe(id) }
