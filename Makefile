@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race matrix check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The crash-consistency fault matrix (DESIGN.md §8) under the race
+# detector: every WAL/storage injection point plus the engine-level
+# matrix through the public Options.FS hook.
+matrix:
+	$(GO) test -race -run 'FaultMatrix|RecoveryDeterministic|PoolReadFault|EngineCrashMatrix|FailedCommitSync' ./internal/txn ./internal/storage .
+
+check: vet race

@@ -1,0 +1,89 @@
+// Package faultfs defines the small virtual-filesystem seam the storage
+// stack does all its I/O through, plus two test implementations: an
+// in-memory filesystem with power-cut semantics (Mem) and a
+// deterministic fault injector (Injector) that can fail the Nth sync,
+// tear the Nth write at byte k, drop everything after a simulated power
+// cut, or return EIO on a chosen read.
+//
+// Production code uses OS, a zero-cost passthrough to the real
+// filesystem; the seam exists so the crash-consistency matrix
+// (internal/txn/faultmatrix_test.go) can prove the durability contract
+// — "when Write returns nil, the effects survive a crash" — at every
+// injection point instead of a handful of hand-picked ones.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the per-file surface the storage stack needs. It is
+// deliberately positional-only (WriteAt/ReadAt, no Seek): every layer
+// tracks its own offsets, which keeps the crash model simple.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync flushes the file to stable storage. Data written before a
+	// successful Sync survives a power cut; data written after the last
+	// successful Sync may not.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Size reports the current file size.
+	Size() (int64, error)
+	// Close releases the handle without flushing.
+	Close() error
+}
+
+// FS opens files. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens path with os.OpenFile-style flags (O_RDONLY,
+	// O_RDWR, O_CREATE, O_TRUNC are honoured).
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Stat reports the size of path, or an error wrapping fs.ErrNotExist.
+	Stat(path string) (int64, error)
+	// MkdirAll ensures the directory exists (a no-op for filesystems
+	// without real directories).
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the real operating-system filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Stat(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osFile) Sync() error                              { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error                { return o.f.Truncate(size) }
+func (o osFile) Close() error                             { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,198 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+func TestMemSyncAndCrashSemantics(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenFile("/db/x", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("volatile"), 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power cut: only the synced prefix survives.
+	cut := m.Crash(false)
+	if got, _ := cut.ReadFile("/db/x"); string(got) != "durable" {
+		t.Fatalf("power cut kept %q, want %q", got, "durable")
+	}
+	// Process crash with OS flush: everything survives.
+	soft := m.Crash(true)
+	if got, _ := soft.ReadFile("/db/x"); string(got) != "durablevolatile" {
+		t.Fatalf("soft crash kept %q", got)
+	}
+	// The live filesystem is unaffected by taking crash images.
+	if got, _ := m.ReadFile("/db/x"); string(got) != "durablevolatile" {
+		t.Fatalf("live fs disturbed: %q", got)
+	}
+}
+
+func TestMemTruncateAndHoles(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("a", os.O_RDWR|os.O_CREATE, 0o644)
+	if _, err := f.WriteAt([]byte("xy"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 6 {
+		t.Fatalf("size %d, want 6 (hole write extends)", sz)
+	}
+	buf := make([]byte, 6)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "\x00\x00\x00\x00xy" {
+		t.Fatalf("hole not zero-filled: %q", buf)
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 3 {
+		t.Fatalf("size after truncate %d", sz)
+	}
+	// Truncation is volatile until synced.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Crash(false).ReadFile("a"); len(got) != 3 {
+		t.Fatalf("synced truncate lost: %d bytes", len(got))
+	}
+	// Short read at EOF behaves like os.File.ReadAt.
+	if n, err := f.ReadAt(buf, 1); n != 2 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 99); err != io.EOF {
+		t.Fatalf("past-EOF read: %v", err)
+	}
+}
+
+func TestMemOpenFlags(t *testing.T) {
+	m := NewMem()
+	if _, err := m.OpenFile("nope", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := m.Stat("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	f, err := m.OpenFile("yes", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("abc"), 0)
+	if sz, err := m.Stat("yes"); err != nil || sz != 3 {
+		t.Fatalf("stat: %d %v", sz, err)
+	}
+	if _, err := m.OpenFile("yes", os.O_RDWR|os.O_TRUNC, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := m.Stat("yes"); sz != 0 {
+		t.Fatalf("O_TRUNC left %d bytes", sz)
+	}
+}
+
+func TestInjectorFailSyncAndTearWrite(t *testing.T) {
+	mem := NewMem()
+	in := NewInjector(mem, Plan{FailSyncN: 2, TearWriteN: 3, TearBytes: 2})
+	f, err := in.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("aaaa"), 0); err != nil { // write 1
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // sync 1
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("bbbb"), 4); err != nil { // write 2
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // sync 2 fails
+		t.Fatalf("sync 2: %v", err)
+	}
+	n, err := f.WriteAt([]byte("cccc"), 8) // write 3 torn at 2
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	// Power-cut image holds only what sync 1 covered.
+	if got, _ := mem.Crash(false).ReadFile("f"); string(got) != "aaaa" {
+		t.Fatalf("synced image %q", got)
+	}
+	// Page cache holds the full second write and the torn half-write.
+	if got, _ := mem.ReadFile("f"); string(got) != "aaaabbbbcc" {
+		t.Fatalf("cache image %q", got)
+	}
+	c := in.Counts()
+	if c.Writes != 3 || c.Syncs != 2 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestInjectorPowerCut(t *testing.T) {
+	mem := NewMem()
+	in := NewInjector(mem, Plan{PowerCutAfterOps: 2})
+	f, _ := in.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); !errors.Is(err, ErrPowerCut) { // op 3: dead
+		t.Fatalf("post-cut write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut sync: %v", err)
+	}
+	var buf [3]byte
+	if _, err := f.ReadAt(buf[:], 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut read: %v", err)
+	}
+	if _, err := in.OpenFile("f", os.O_RDWR, 0o644); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut open: %v", err)
+	}
+	if got, _ := mem.ReadFile("f"); string(got) != "one" {
+		t.Fatalf("post-cut cache image %q", got)
+	}
+}
+
+func TestInjectorReadFaultIsTransient(t *testing.T) {
+	mem := NewMem()
+	in := NewInjector(mem, Plan{FailReadN: 1})
+	f, _ := in.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+	f.WriteAt([]byte("data"), 0)
+	var buf [4]byte
+	if _, err := f.ReadAt(buf[:], 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		t.Fatalf("read 2 (fault cleared): %v", err)
+	}
+	if string(buf[:]) != "data" {
+		t.Fatalf("read 2 data %q", buf)
+	}
+}
+
+func TestInjectorSyncLies(t *testing.T) {
+	mem := NewMem()
+	in := NewInjector(mem, Plan{SyncLiesFrom: 1})
+	f, _ := in.OpenFile("f", os.O_RDWR|os.O_CREATE, 0o644)
+	f.WriteAt([]byte("acked"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync must report success, got %v", err)
+	}
+	if got, _ := mem.Crash(false).ReadFile("f"); len(got) != 0 {
+		t.Fatalf("lying sync actually synced: %q", got)
+	}
+}

@@ -1,0 +1,235 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Errors returned by injected faults. ErrInjected models a transient
+// device error (EIO); ErrPowerCut models the machine dying — every
+// subsequent operation fails too.
+var (
+	ErrInjected = errors.New("faultfs: injected I/O error")
+	ErrPowerCut = errors.New("faultfs: power cut")
+)
+
+// Plan is a deterministic fault-injection plan. All counters are
+// 1-based and global across every file opened through the Injector, so
+// a plan plus a deterministic workload pinpoints one exact I/O
+// operation: the plan IS the reproduction seed (see DESIGN.md §8).
+// The zero Plan injects nothing.
+type Plan struct {
+	// FailSyncN makes the Nth Sync call fail with ErrInjected without
+	// syncing anything. 0 disables.
+	FailSyncN uint64
+	// TearWriteN makes the Nth WriteAt apply only the first TearBytes
+	// bytes, then fail with ErrInjected — a torn sector.
+	TearWriteN uint64
+	TearBytes  int
+	// PowerCutAfterOps kills the machine after that many mutating
+	// operations (writes + syncs + truncates) have completed: every
+	// later operation, reads included, fails with ErrPowerCut and
+	// nothing more reaches the file. 0 disables.
+	PowerCutAfterOps uint64
+	// FailReadN makes the Nth ReadAt fail with ErrInjected (EIO) without
+	// transferring data. 0 disables.
+	FailReadN uint64
+	// SyncLiesFrom makes Sync calls numbered >= N report success without
+	// syncing — firmware that acks flushes it drops. 0 disables. This
+	// knob exists so the matrix can prove it would catch an
+	// unsynced-commit bug (the acked data visibly fails to survive a
+	// power cut).
+	SyncLiesFrom uint64
+}
+
+// String renders the plan compactly for failure messages.
+func (p Plan) String() string {
+	s := ""
+	if p.FailSyncN > 0 {
+		s += fmt.Sprintf(" failSync=%d", p.FailSyncN)
+	}
+	if p.TearWriteN > 0 {
+		s += fmt.Sprintf(" tearWrite=%d@%d", p.TearWriteN, p.TearBytes)
+	}
+	if p.PowerCutAfterOps > 0 {
+		s += fmt.Sprintf(" powerCutAfter=%d", p.PowerCutAfterOps)
+	}
+	if p.FailReadN > 0 {
+		s += fmt.Sprintf(" failRead=%d", p.FailReadN)
+	}
+	if p.SyncLiesFrom > 0 {
+		s += fmt.Sprintf(" syncLiesFrom=%d", p.SyncLiesFrom)
+	}
+	if s == "" {
+		return "plan{none}"
+	}
+	return "plan{" + s[1:] + "}"
+}
+
+// Counts is the operation census an Injector has seen; a fault-free dry
+// run's Counts define the enumeration space of the crash matrix.
+type Counts struct {
+	Writes, Syncs, Reads, Truncates uint64
+	// Ops counts mutating operations (writes + syncs + truncates) in
+	// order, the clock PowerCutAfterOps runs on.
+	Ops uint64
+}
+
+// Injector wraps an FS and applies a Plan. It is safe for concurrent
+// use; counters are global across files so single-threaded workloads
+// are exactly reproducible.
+type Injector struct {
+	inner FS
+	plan  Plan
+
+	mu  sync.Mutex
+	c   Counts
+	cut bool
+}
+
+// NewInjector wraps inner with plan.
+func NewInjector(inner FS, plan Plan) *Injector {
+	return &Injector{inner: inner, plan: plan}
+}
+
+// Counts returns the operations seen so far.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.c
+}
+
+func (in *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	in.mu.Lock()
+	dead := in.cut
+	in.mu.Unlock()
+	if dead {
+		return nil, ErrPowerCut
+	}
+	f, err := in.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectHandle{in: in, f: f}, nil
+}
+
+func (in *Injector) Stat(path string) (int64, error) {
+	in.mu.Lock()
+	dead := in.cut
+	in.mu.Unlock()
+	if dead {
+		return 0, ErrPowerCut
+	}
+	return in.inner.Stat(path)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return in.inner.MkdirAll(path, perm)
+}
+
+// beginMutation advances the op clock and reports whether the machine
+// is still alive afterwards.
+func (in *Injector) beginMutation() error {
+	if in.cut {
+		return ErrPowerCut
+	}
+	in.c.Ops++
+	if in.plan.PowerCutAfterOps > 0 && in.c.Ops > in.plan.PowerCutAfterOps {
+		in.cut = true
+		return ErrPowerCut
+	}
+	return nil
+}
+
+type injectHandle struct {
+	in *Injector
+	f  File
+}
+
+func (h *injectHandle) ReadAt(p []byte, off int64) (int, error) {
+	in := h.in
+	in.mu.Lock()
+	if in.cut {
+		in.mu.Unlock()
+		return 0, ErrPowerCut
+	}
+	in.c.Reads++
+	fail := in.plan.FailReadN > 0 && in.c.Reads == in.plan.FailReadN
+	in.mu.Unlock()
+	if fail {
+		return 0, fmt.Errorf("read: %w", ErrInjected)
+	}
+	return h.f.ReadAt(p, off)
+}
+
+func (h *injectHandle) WriteAt(p []byte, off int64) (int, error) {
+	in := h.in
+	in.mu.Lock()
+	if err := in.beginMutation(); err != nil {
+		in.mu.Unlock()
+		return 0, err
+	}
+	in.c.Writes++
+	tear := in.plan.TearWriteN > 0 && in.c.Writes == in.plan.TearWriteN
+	in.mu.Unlock()
+	if tear {
+		k := in.plan.TearBytes
+		if k > len(p) {
+			k = len(p)
+		}
+		if k > 0 {
+			if n, err := h.f.WriteAt(p[:k], off); err != nil {
+				return n, err
+			}
+		}
+		return k, fmt.Errorf("write torn at %d/%d bytes: %w", k, len(p), ErrInjected)
+	}
+	return h.f.WriteAt(p, off)
+}
+
+func (h *injectHandle) Sync() error {
+	in := h.in
+	in.mu.Lock()
+	if err := in.beginMutation(); err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	in.c.Syncs++
+	fail := in.plan.FailSyncN > 0 && in.c.Syncs == in.plan.FailSyncN
+	lie := in.plan.SyncLiesFrom > 0 && in.c.Syncs >= in.plan.SyncLiesFrom
+	in.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync: %w", ErrInjected)
+	}
+	if lie {
+		return nil // ack without syncing
+	}
+	return h.f.Sync()
+}
+
+func (h *injectHandle) Truncate(size int64) error {
+	in := h.in
+	in.mu.Lock()
+	if err := in.beginMutation(); err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	in.c.Truncates++
+	in.mu.Unlock()
+	return h.f.Truncate(size)
+}
+
+func (h *injectHandle) Size() (int64, error) {
+	in := h.in
+	in.mu.Lock()
+	dead := in.cut
+	in.mu.Unlock()
+	if dead {
+		return 0, ErrPowerCut
+	}
+	return h.f.Size()
+}
+
+func (h *injectHandle) Close() error { return h.f.Close() }

@@ -1,0 +1,182 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sync"
+)
+
+// Mem is an in-memory filesystem that models the durability boundary a
+// real disk has: each file keeps the bytes the process has written
+// (what the OS page cache would hold) separately from the bytes a
+// successful Sync has pushed to "stable storage". Crash produces the
+// filesystem a machine would reboot with.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte // what the process sees (page cache)
+	synced []byte // what survives a power cut
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memFile)}
+}
+
+func (m *Mem) OpenFile(p string, flag int, _ os.FileMode) (File, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, fmt.Errorf("faultfs: open %s: %w", p, fs.ErrNotExist)
+		}
+		f = &memFile{}
+		m.files[p] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *Mem) Stat(p string) (int64, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return 0, fmt.Errorf("faultfs: stat %s: %w", p, fs.ErrNotExist)
+	}
+	return int64(len(f.data)), nil
+}
+
+func (m *Mem) MkdirAll(string, os.FileMode) error { return nil }
+
+// ReadFile returns a copy of the current (page-cache) contents of path,
+// for byte-level comparisons in tests.
+func (m *Mem) ReadFile(p string) ([]byte, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: read %s: %w", p, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Clone returns a deep copy of the filesystem, unsynced data included.
+func (m *Mem) Clone() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMem()
+	for p, f := range m.files {
+		out.files[p] = &memFile{
+			data:   append([]byte(nil), f.data...),
+			synced: append([]byte(nil), f.synced...),
+		}
+	}
+	return out
+}
+
+// Crash returns the filesystem a machine would reboot with. With
+// keepUnsynced=false it is a power cut: only data covered by a
+// successful Sync survives. With keepUnsynced=true it is a process
+// crash whose page cache the OS later flushed: everything written
+// survives. Both are legal crash outcomes the recovery path must
+// tolerate; the matrix tests each.
+func (m *Mem) Crash(keepUnsynced bool) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMem()
+	for p, f := range m.files {
+		img := f.synced
+		if keepUnsynced {
+			img = f.data
+		}
+		out.files[p] = &memFile{
+			data:   append([]byte(nil), img...),
+			synced: append([]byte(nil), img...),
+		}
+	}
+	return out
+}
+
+// memHandle is an open handle; all handles on a path share the file.
+type memHandle struct {
+	fs *Mem
+	f  *memFile
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("faultfs: negative offset %d", off)
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("faultfs: negative offset %d", off)
+	}
+	if need := off + int64(len(p)); need > int64(len(h.f.data)) {
+		// Extending writes zero-fill any hole, like a sparse file.
+		grown := make([]byte, need)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[off:], p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.synced = append(h.f.synced[:0:0], h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("faultfs: negative truncate %d", size)
+	}
+	cur := int64(len(h.f.data))
+	switch {
+	case size < cur:
+		h.f.data = h.f.data[:size]
+	case size > cur:
+		grown := make([]byte, size)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return int64(len(h.f.data)), nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -6,25 +6,32 @@ import (
 	"io"
 	"os"
 
+	"ode/internal/faultfs"
 	"ode/internal/oid"
 )
 
 // ErrOutOfRange reports a read of a page beyond the end of the file.
 var ErrOutOfRange = errors.New("storage: page out of range")
 
-// File is the page-granular I/O layer over one OS file. It knows nothing
-// about page contents beyond the checksum seal.
+// File is the page-granular I/O layer over one file. It knows nothing
+// about page contents beyond the checksum seal. All I/O goes through a
+// faultfs.FS so the crash-consistency matrix can inject device faults;
+// production uses faultfs.OS, a zero-cost passthrough.
 type File struct {
-	f        *os.File
+	f        faultfs.File
 	pageSize int
 	nPages   uint32 // pages physically present in the file
 	readonly bool
 }
 
-// OpenFile opens (or creates) a page file. pageSize is only used when the
-// file is created; an existing file's true page size is established by
-// the superblock and validated by the Store.
-func OpenFile(path string, pageSize int, readonly bool) (*File, error) {
+// OpenFile opens (or creates) a page file on fsys (nil means the real
+// OS filesystem). pageSize is only used when the file is created; an
+// existing file's true page size is established by the superblock and
+// validated by the Store.
+func OpenFile(fsys faultfs.FS, path string, pageSize int, readonly bool) (*File, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
 	if pageSize < MinPageSize || pageSize > MaxPageSize {
 		return nil, fmt.Errorf("storage: page size %d out of range [%d,%d]", pageSize, MinPageSize, MaxPageSize)
 	}
@@ -32,31 +39,32 @@ func OpenFile(path string, pageSize int, readonly bool) (*File, error) {
 	if readonly {
 		flags = os.O_RDONLY
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := fsys.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
-	if st.Size()%int64(pageSize) != 0 {
+	if size%int64(pageSize) != 0 {
 		// A torn trailing page can only be an unflushed page the WAL will
 		// re-write during recovery; round down rather than failing.
 		// Recovery rewrites any page whose image is in the committed log.
-		st0 := st.Size() - st.Size()%int64(pageSize)
+		st0 := size - size%int64(pageSize)
 		if !readonly {
 			if err := f.Truncate(st0); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("storage: truncate torn page: %w", err)
 			}
 		}
+		size = st0
 	}
 	return &File{
 		f:        f,
 		pageSize: pageSize,
-		nPages:   uint32(st.Size() / int64(pageSize)),
+		nPages:   uint32(size / int64(pageSize)),
 		readonly: readonly,
 	}, nil
 }

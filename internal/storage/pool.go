@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 
 	"ode/internal/oid"
@@ -155,6 +156,10 @@ func (pl *Pool) dirtyPagesLocked() []*Page {
 			out = append(out, p)
 		}
 	}
+	// Sorted by page id so flushes issue sequential I/O and, just as
+	// important, a deterministic write sequence: the fault matrix
+	// identifies an injection point by its global operation number.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

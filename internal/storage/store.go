@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"ode/internal/faultfs"
 	"ode/internal/oid"
 )
 
@@ -20,6 +21,10 @@ type Options struct {
 	PoolPages int
 	// ReadOnly opens the store without write permission.
 	ReadOnly bool
+	// FS is the filesystem the store does its I/O through. Nil means
+	// the real OS; tests install a fault-injecting implementation
+	// (internal/faultfs) here.
+	FS faultfs.FS
 }
 
 // MaxStorePageSize is the largest supported page size (slot offsets are
@@ -72,10 +77,14 @@ func Create(path string, opts Options) (*Store, error) {
 	if ps < MinPageSize || ps > MaxStorePageSize {
 		return nil, fmt.Errorf("storage: page size %d out of range [%d,%d]", ps, MinPageSize, MaxStorePageSize)
 	}
-	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if size, err := fsys.Stat(path); err == nil && size > 0 {
 		return nil, fmt.Errorf("storage: %s already exists", path)
 	}
-	file, err := OpenFile(path, ps, false)
+	file, err := OpenFile(fsys, path, ps, false)
 	if err != nil {
 		return nil, err
 	}
@@ -96,11 +105,15 @@ func Create(path string, opts Options) (*Store, error) {
 // Open opens an existing store, discovering its page size from the
 // superblock.
 func Open(path string, opts Options) (*Store, error) {
-	ps, err := peekPageSize(path)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	ps, err := peekPageSize(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	file, err := OpenFile(path, ps, opts.ReadOnly)
+	file, err := OpenFile(fsys, path, ps, opts.ReadOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -128,14 +141,14 @@ func poolCap(opts Options) int {
 
 // peekPageSize reads the fixed-offset pageSize field from page 0 without
 // knowing the page size yet.
-func peekPageSize(path string) (int, error) {
-	f, err := os.Open(path)
+func peekPageSize(fsys faultfs.FS, path string) (int, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, fmt.Errorf("storage: open %s: %w", path, err)
 	}
 	defer f.Close()
 	var hdr [HeaderSize + 16]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+	if n, err := f.ReadAt(hdr[:], 0); err != nil && !(n == len(hdr) && err == io.EOF) {
 		return 0, fmt.Errorf("storage: %s too short for a store: %w", path, err)
 	}
 	magic := binary.BigEndian.Uint64(hdr[HeaderSize : HeaderSize+8])
@@ -326,3 +339,9 @@ func (s *Store) Close() error {
 	}
 	return s.file.Close()
 }
+
+// CloseNoFlush closes the store without writing anything. The
+// transaction layer uses it when the page file must not be touched: the
+// caller has either already flushed, or an I/O failure means the WAL is
+// the only trustworthy copy and recovery will rebuild the pages.
+func (s *Store) CloseNoFlush() error { return s.file.Close() }

@@ -14,10 +14,10 @@ package txn
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 
+	"ode/internal/faultfs"
 	"ode/internal/oid"
 	"ode/internal/storage"
 	"ode/internal/wal"
@@ -43,6 +43,11 @@ var ErrReadOnly = errors.New("txn: database opened read-only")
 // holds committed work that the data file does not yet reflect.
 var ErrNeedsRecovery = errors.New("txn: read-only open requires crash recovery; open writable once first")
 
+// ErrPoisoned reports a manager disabled by an earlier unrecoverable
+// I/O failure. Durable state is intact (the WAL was preserved); reopen
+// the database to resume writing.
+var ErrPoisoned = errors.New("txn: manager disabled by earlier I/O error; reopen to recover")
+
 // Options configures the manager.
 type Options struct {
 	// Storage is forwarded to the storage layer.
@@ -54,6 +59,22 @@ type Options struct {
 	// CheckpointBytes overrides DefaultCheckpointBytes; <0 disables
 	// automatic checkpoints.
 	CheckpointBytes int64
+	// FS is the filesystem the data file and WAL live on. Nil means the
+	// real OS. The crash-consistency matrix installs a fault-injecting
+	// implementation (internal/faultfs) here.
+	FS faultfs.FS
+}
+
+// fsys resolves the filesystem the manager should use: Options.FS, then
+// the storage-level hook, then the real OS.
+func (o *Options) fsys() faultfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	if o.Storage.FS != nil {
+		return o.Storage.FS
+	}
+	return faultfs.OS
 }
 
 // Stats reports manager activity since open.
@@ -75,6 +96,12 @@ type Manager struct {
 	closed bool
 	stats  Stats
 	nextTx uint64 // in-memory: txids only disambiguate within one log lifetime
+
+	// ioErr, once set, permanently disables writes: an I/O failure left
+	// the in-memory state and the on-disk state possibly divergent in a
+	// way only recovery (a reopen) can reconcile. The WAL is preserved
+	// so no acked commit is lost.
+	ioErr error
 
 	cur *tracker // active write transaction's tracker (nil otherwise)
 }
@@ -117,14 +144,16 @@ func (tr *tracker) DidAllocate(id oid.PageID) { tr.allocated[id] = true }
 
 // Create initialises a new database directory.
 func Create(dir string, opts Options) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.fsys()
+	opts.Storage.FS = fsys
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("txn: mkdir %s: %w", dir, err)
 	}
 	st, err := storage.Create(filepath.Join(dir, DataFileName), opts.Storage)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(dir, WALFileName))
+	log, err := wal.OpenFS(fsys, filepath.Join(dir, WALFileName))
 	if err != nil {
 		st.Close()
 		return nil, err
@@ -136,9 +165,11 @@ func Create(dir string, opts Options) (*Manager, error) {
 // first if the WAL holds committed work. A read-only open refuses to
 // run recovery (it would have to write); open writable once to recover.
 func Open(dir string, opts Options) (*Manager, error) {
+	fsys := opts.fsys()
+	opts.Storage.FS = fsys
 	dataPath := filepath.Join(dir, DataFileName)
 	walPath := filepath.Join(dir, WALFileName)
-	log, err := wal.Open(walPath)
+	log, err := wal.OpenFS(fsys, walPath)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +185,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 			return nil, ErrNeedsRecovery
 		}
 	} else {
-		recovered, err = recover2(log, dataPath)
+		recovered, err = recover2(fsys, log, dataPath)
 		if err != nil {
 			log.Close()
 			return nil, fmt.Errorf("txn: recovery: %w", err)
@@ -184,7 +215,10 @@ func committedInLog(log *wal.Log) (uint64, error) {
 
 // recover2 replays committed transactions' page images into the data
 // file and truncates the log. Named to avoid shadowing builtin recover.
-func recover2(log *wal.Log, dataPath string) (uint64, error) {
+// It is idempotent: a crash at any point during recovery leaves the WAL
+// intact (it is only reset after the page file is synced), so rerunning
+// it converges to the same state.
+func recover2(fsys faultfs.FS, log *wal.Log, dataPath string) (uint64, error) {
 	type txImages struct {
 		order []oid.PageID
 		imgs  map[oid.PageID][]byte
@@ -238,7 +272,7 @@ func recover2(log *wal.Log, dataPath string) (uint64, error) {
 			ps = len(img)
 			break
 		}
-		f, err := storage.OpenFile(dataPath, ps, false)
+		f, err := storage.OpenFile(fsys, dataPath, ps, false)
 		if err != nil {
 			return 0, err
 		}
@@ -295,6 +329,9 @@ func (m *Manager) Write(fn func() error) error {
 	if m.opts.Storage.ReadOnly {
 		return ErrReadOnly
 	}
+	if m.ioErr != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
+	}
 	tr := newTracker()
 	m.cur = tr
 	m.st.SetTracker(tr)
@@ -316,17 +353,30 @@ func (m *Manager) Write(fn func() error) error {
 		m.rollback(tr)
 		return err
 	}
-	if err := m.commit(txid, tr); err != nil {
+	durable, err := m.commit(txid, tr)
+	if err != nil {
 		done = true
-		m.rollback(tr)
-		return fmt.Errorf("txn: commit: %w", err)
+		if !durable {
+			m.rollback(tr)
+			return fmt.Errorf("txn: commit: %w", err)
+		}
+		// The commit IS durable (its records are fsynced in the WAL);
+		// only post-commit maintenance — the automatic checkpoint —
+		// failed. Rolling back here would contradict the durable state,
+		// so keep the in-memory effects and surface the error. The
+		// manager is already poisoned; only a reopen resumes writes.
+		return fmt.Errorf("txn: post-commit checkpoint (commit IS durable): %w", err)
 	}
 	done = true
 	return nil
 }
 
 // commit logs the transaction's dirty pages and makes them durable.
-func (m *Manager) commit(txid oid.TxID, tr *tracker) error {
+// durable reports whether the commit record reached stable storage:
+// when false the caller must roll back; when true the effects are
+// permanent regardless of err (which can then only come from the
+// post-commit checkpoint).
+func (m *Manager) commit(txid oid.TxID, tr *tracker) (durable bool, err error) {
 	// Dirty set: every page with a before-image plus every allocation.
 	touched := make([]oid.PageID, 0, len(tr.before)+len(tr.allocated))
 	for id := range tr.before {
@@ -339,30 +389,66 @@ func (m *Manager) commit(txid oid.TxID, tr *tracker) error {
 	}
 	if len(touched) == 0 {
 		m.stats.Commits++
-		return nil // read-only "write" transaction
+		return false, nil // read-only "write" transaction
 	}
+	// Remember where this transaction's records start so a failed
+	// append or sync can erase them: once we report an error the commit
+	// must never resurface via recovery.
+	startLSN := m.log.End()
 	if _, err := m.log.AppendBegin(txid); err != nil {
-		return err
+		m.undoWAL(startLSN)
+		return false, err
 	}
 	for _, id := range touched {
 		p, err := m.st.Get(id)
 		if err != nil {
-			return err
+			m.undoWAL(startLSN)
+			return false, err
 		}
 		if _, err := m.log.AppendPageImage(txid, id, p.Data); err != nil {
-			return err
+			m.undoWAL(startLSN)
+			return false, err
 		}
 	}
 	if _, err := m.log.AppendCommit(txid); err != nil {
-		return err
+		m.undoWAL(startLSN)
+		return false, err
 	}
 	if !m.opts.NoSync {
 		if err := m.log.Sync(); err != nil {
-			return err
+			// The fsync failed: the records may or may not be on disk.
+			// They must not be replayable — the caller will report this
+			// commit as failed and roll it back.
+			m.undoWAL(startLSN)
+			return false, err
 		}
 	}
 	m.stats.Commits++
-	return m.maybeCheckpoint()
+	if err := m.maybeCheckpoint(); err != nil {
+		// The commit is durable but the page file and WAL may now
+		// disagree with the pool's clean/dirty bookkeeping; only
+		// recovery reconciles that. Disable further writes.
+		m.poison(err)
+		return true, err
+	}
+	return true, nil
+}
+
+// undoWAL erases a failed commit's records from the log. If even that
+// fails the manager is poisoned: the records might survive a crash and
+// be replayed, which would resurrect a commit we reported as failed.
+func (m *Manager) undoWAL(startLSN oid.LSN) {
+	if err := m.log.TruncateTo(startLSN); err != nil {
+		m.poison(fmt.Errorf("cannot erase failed commit from WAL: %w", err))
+	}
+}
+
+// poison permanently disables writes on this manager (reads stay
+// available; the in-memory state is still consistent).
+func (m *Manager) poison(err error) {
+	if m.ioErr == nil {
+		m.ioErr = err
+	}
 }
 
 // rollback restores before-images and drops pages allocated by the
@@ -418,20 +504,41 @@ func (m *Manager) checkpointLocked() error {
 	if m.opts.Storage.ReadOnly {
 		return ErrReadOnly
 	}
+	if m.ioErr != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
+	}
+	// Order matters: the WAL may only be reset after every page it
+	// covers is durably in the page file. A failure anywhere leaves the
+	// WAL intact, so recovery can redo the work — but it also poisons
+	// the manager: after a failed flush the pool's clean/dirty
+	// bookkeeping no longer proves what is on disk (and a kernel that
+	// reported the fsync failure may have dropped the writes while
+	// clearing the error — retrying could "succeed" without the data
+	// being durable), so a later checkpoint could reset the WAL without
+	// its pages actually persisted. Only a reopen re-establishes the
+	// invariant.
 	if err := m.st.FlushAll(); err != nil {
-		return fmt.Errorf("txn: checkpoint flush: %w", err)
+		err = fmt.Errorf("txn: checkpoint flush: %w", err)
+		m.poison(err)
+		return err
 	}
 	if _, err := m.log.AppendCheckpoint(); err != nil {
+		m.poison(err)
 		return err
 	}
 	if err := m.log.Reset(); err != nil {
+		m.poison(err)
 		return err
 	}
 	m.stats.Checkpoints++
 	return nil
 }
 
-// Close checkpoints and closes the database.
+// Close checkpoints and closes the database. If the final flush fails
+// (or the manager was already poisoned) the WAL is deliberately NOT
+// reset: it is then the only durable copy of recent commits, and the
+// next open replays it. Resetting it regardless — as this method once
+// did — silently discarded acked commits on a failing disk.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -441,21 +548,25 @@ func (m *Manager) Close() error {
 	m.closed = true
 	if m.opts.Storage.ReadOnly {
 		m.log.Close()
-		// storage.Close flushes; read-only stores have nothing dirty and
-		// their Sync is a no-op.
-		return m.st.Close()
+		// Read-only stores have nothing dirty to flush.
+		return m.st.CloseNoFlush()
+	}
+	if m.ioErr != nil {
+		m.log.Close()
+		m.st.CloseNoFlush()
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
 	}
 	var firstErr error
 	if err := m.st.FlushAll(); err != nil {
+		// Keep the WAL: the pages may not be durable.
 		firstErr = err
-	}
-	if err := m.log.Reset(); err != nil && firstErr == nil {
+	} else if err := m.log.Reset(); err != nil {
 		firstErr = err
 	}
 	if err := m.log.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if err := m.st.Close(); err != nil && firstErr == nil {
+	if err := m.st.CloseNoFlush(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr

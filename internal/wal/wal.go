@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"ode/internal/codec"
+	"ode/internal/faultfs"
 	"ode/internal/oid"
 )
 
@@ -54,9 +55,24 @@ type Record struct {
 	Data []byte     // RecPageImage only: the page image
 }
 
+// seqWriter adapts a positional faultfs.File to the io.Writer the
+// append buffer needs, tracking the append offset explicitly (the VFS
+// has no Seek, which keeps crash semantics simple).
+type seqWriter struct {
+	f   faultfs.File
+	off int64
+}
+
+func (w *seqWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
 // Log is an open write-ahead log.
 type Log struct {
-	f    *os.File
+	f    faultfs.File
+	sw   *seqWriter
 	w    *bufio.Writer
 	end  oid.LSN // next append offset
 	path string
@@ -65,20 +81,28 @@ type Log struct {
 	syncs   uint64
 }
 
-// Open opens or creates the log at path, validates its header, scans for
-// the end of the valid prefix, and truncates any torn tail.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// Open opens or creates the log at path on the real OS filesystem.
+func Open(path string) (*Log, error) { return OpenFS(faultfs.OS, path) }
+
+// OpenFS opens or creates the log at path on fsys (nil means the real
+// OS), validates its header, scans for the end of the valid prefix, and
+// truncates any torn tail.
+func OpenFS(fsys faultfs.FS, path string) (*Log, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	l := &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}
-	if st.Size() < headerSize {
+	sw := &seqWriter{f: f}
+	l := &Log{f: f, sw: sw, w: bufio.NewWriterSize(sw, 1<<16), path: path}
+	if size < headerSize {
 		// Fresh (or hopelessly torn) log: write a new header.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
@@ -92,10 +116,7 @@ func Open(path string) (*Log, error) {
 			return nil, err
 		}
 		l.end = headerSize
-		if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
-			f.Close()
-			return nil, err
-		}
+		sw.off = headerSize
 		return l, nil
 	}
 	var hdr [headerSize]byte
@@ -111,34 +132,38 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("%w: version %d", ErrBadLog, binary.BigEndian.Uint32(hdr[4:8]))
 	}
-	end, err := scanEnd(f, st.Size())
+	end, err := scanEnd(f, size)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if int64(end) < st.Size() {
+	if int64(end) < size {
 		if err := f.Truncate(int64(end)); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 	}
 	l.end = end
-	if _, err := f.Seek(int64(end), io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
-	}
+	sw.off = int64(end)
 	return l, nil
 }
 
 // scanEnd walks records from the header to find the end of the valid
-// prefix.
-func scanEnd(f *os.File, size int64) (oid.LSN, error) {
+// prefix. Only evidence of a torn tail — EOF, a short read at the end
+// of the file, an implausible length, a CRC mismatch — ends the prefix;
+// a device error (EIO) is returned as an error instead. Conflating the
+// two (as this function once did) turned a transient read fault at open
+// time into silent truncation of committed transactions.
+func scanEnd(f io.ReaderAt, size int64) (oid.LSN, error) {
 	r := bufio.NewReaderSize(io.NewSectionReader(f, headerSize, size-headerSize), 1<<16)
 	off := int64(headerSize)
 	var frame [8]byte
 	for {
 		if _, err := io.ReadFull(r, frame[:]); err != nil {
-			return oid.LSN(off), nil // clean EOF or torn frame header
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return oid.LSN(off), nil // clean EOF or torn frame header
+			}
+			return 0, fmt.Errorf("wal: scan at %d: %w", off, err)
 		}
 		n := binary.BigEndian.Uint32(frame[0:4])
 		crc := binary.BigEndian.Uint32(frame[4:8])
@@ -147,7 +172,10 @@ func scanEnd(f *os.File, size int64) (oid.LSN, error) {
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return oid.LSN(off), nil
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return oid.LSN(off), nil
+			}
+			return 0, fmt.Errorf("wal: scan at %d: %w", off, err)
 		}
 		if codec.Checksum(payload) != crc {
 			return oid.LSN(off), nil // torn write
@@ -238,13 +266,35 @@ func (l *Log) Reset() error {
 	if err := l.f.Truncate(headerSize); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
-	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
-		return err
-	}
-	l.w.Reset(l.f)
+	l.w.Reset(l.sw)
+	l.sw.off = headerSize
 	l.end = headerSize
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: reset sync: %w", err)
+	}
+	return nil
+}
+
+// TruncateTo rolls the log back to lsn, discarding buffered appends and
+// truncating the file. The transaction layer uses it when a commit's
+// records failed to reach stable storage (append or sync error): the
+// caller reported the commit as failed, so its records must not survive
+// for recovery to replay — otherwise a commit the application was told
+// failed could silently reappear after a crash.
+func (l *Log) TruncateTo(lsn oid.LSN) error {
+	if lsn < headerSize || lsn > l.end {
+		return fmt.Errorf("wal: truncate to %v outside [%d,%v]", lsn, headerSize, l.end)
+	}
+	// Drop buffered bytes (and any sticky write error) first; the file
+	// mutation below is then the only thing that can fail.
+	l.w.Reset(l.sw)
+	l.sw.off = int64(lsn)
+	l.end = lsn
+	if err := l.f.Truncate(int64(lsn)); err != nil {
+		return fmt.Errorf("wal: truncate to %v: %w", lsn, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate sync: %w", err)
 	}
 	return nil
 }

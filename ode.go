@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 
 	"ode/internal/core"
+	"ode/internal/faultfs"
 	"ode/internal/oid"
 	"ode/internal/txn"
 )
@@ -68,6 +69,11 @@ var (
 // StoragePolicy selects how version payloads are stored on disk.
 type StoragePolicy = core.PayloadPolicy
 
+// FS is the pluggable filesystem seam beneath the storage stack (see
+// internal/faultfs). Production never sets it; the crash-consistency
+// test matrix injects deterministic device faults through it.
+type FS = faultfs.FS
+
 // Storage policies: FullCopy stores each version whole; DeltaChain
 // stores versions as binary deltas against their derived-from parent
 // with periodic full keyframes (the SCCS/RCS-style policy the paper
@@ -97,6 +103,10 @@ type Options struct {
 	CheckpointBytes int64
 	// ReadOnly opens the database without write permission.
 	ReadOnly bool
+	// FS overrides the filesystem the data file and WAL live on. Nil
+	// (the default) means the real OS; tests install a fault-injecting
+	// implementation to exercise crash consistency.
+	FS FS
 }
 
 // DB is an open Ode database.
@@ -121,14 +131,19 @@ func Open(dir string, opts *Options) (*DB, error) {
 	topts := txn.Options{
 		NoSync:          o.NoSync,
 		CheckpointBytes: o.CheckpointBytes,
+		FS:              o.FS,
 	}
 	topts.Storage.PageSize = o.PageSize
 	topts.Storage.PoolPages = o.PoolPages
 	topts.Storage.ReadOnly = o.ReadOnly
 
+	fsys := o.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
 	dataPath := filepath.Join(dir, txn.DataFileName)
 	var mgr *txn.Manager
-	if _, err := os.Stat(dataPath); errors.Is(err, os.ErrNotExist) {
+	if _, err := fsys.Stat(dataPath); errors.Is(err, os.ErrNotExist) {
 		if o.ReadOnly {
 			return nil, fmt.Errorf("ode: no database at %s", dir)
 		}
