@@ -20,4 +20,4 @@ race:
 matrix:
 	$(GO) test -race -run 'FaultMatrix|RecoveryDeterministic|PoolReadFault|EngineCrashMatrix|FailedCommitSync' ./internal/txn ./internal/storage .
 
-check: vet race
+check: build vet race matrix

@@ -127,9 +127,8 @@ func TestAnnotationsRemovedWithVersion(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	eng := db.Engine()
 	if err := db.View(func(tx *Tx) error {
-		names, err := eng.Configs()
+		names, err := tx.Configs()
 		if err != nil || len(names) != 0 {
 			t.Fatalf("config tree residue: %v %v", names, err)
 		}

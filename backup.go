@@ -12,8 +12,9 @@ import (
 // Backup writes a consistent snapshot of the database into dstDir
 // (which must not already contain a database). It checkpoints first, so
 // the snapshot is a single data file with an empty log, then copies the
-// data file under the reader lock — writers are excluded for the
-// duration, readers are not.
+// data file while holding the writer mutex exclusively — writers (and
+// further checkpoints) are blocked for the duration; snapshot readers
+// keep running, since they never touch the data file's mutable tail.
 func (db *DB) Backup(dstDir string) error {
 	if err := os.MkdirAll(dstDir, 0o755); err != nil {
 		return fmt.Errorf("ode: backup mkdir: %w", err)
@@ -27,9 +28,9 @@ func (db *DB) Backup(dstDir string) error {
 	if err := db.Checkpoint(); err != nil {
 		return err
 	}
-	// Copy under the reader lock: writers (and further checkpoints) are
+	// Copy under the writer mutex: writers (and further checkpoints) are
 	// excluded, so the file cannot change underneath the copy.
-	return db.eng.Read(func() error {
+	return db.mgr.Exclusive(func() error {
 		src := db.dir()
 		in, err := os.Open(filepath.Join(src, txn.DataFileName))
 		if err != nil {

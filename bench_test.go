@@ -308,8 +308,12 @@ func benchmarkE5(b *testing.B, parts int, percolate bool) {
 		b.Fatal(err)
 	}
 	if percolate {
-		db.OnObject(part.OID(), On(EvNewVersion), false, func(Event) {
-			if _, err := db.Engine().NewVersion(composite.OID()); err != nil {
+		db.OnObject(part.OID(), On(EvNewVersion), false, func(ev Event) {
+			tx := db.TxOf(ev)
+			if tx == nil {
+				panic(ErrTxDone)
+			}
+			if _, err := tx.NewVersion(composite.OID()); err != nil {
 				panic(err)
 			}
 		})
@@ -454,13 +458,12 @@ func benchmarkE8(b *testing.B, walk bool, history int) {
 	}
 	b.ResetTimer()
 	err = db.View(func(tx *Tx) error {
-		eng := db.Engine()
 		for i := 0; i < b.N; i++ {
 			s := stamps[rng.Intn(len(stamps))]
 			var ok bool
 			var err error
 			if walk {
-				_, ok, err = eng.AsOfWalk(p.OID(), s)
+				_, ok, err = tx.AsOfWalk(p.OID(), s)
 			} else {
 				_, ok, err = tx.AsOf(p.OID(), s)
 			}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"ode"
+	"ode/internal/storage"
 )
 
 func main() {
@@ -50,12 +51,17 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "objects:      %d\n", st.Objects)
 	fmt.Fprintf(w, "versions:     %d\n", st.Versions)
 	fmt.Fprintf(w, "wal bytes:    %d\n", st.WALBytes)
-	if census, err := db.Engine().Manager().Store().Census(); err == nil {
+	_ = db.Engine().Manager().Read(func(v *storage.TxView) error {
+		census, err := v.Census()
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "pages:        %d slotted, %d btree, %d overflow, %d free\n",
 			census.Slotted, census.BTree, census.Overflow, census.Free)
 		fmt.Fprintf(w, "records:      %d (%d live bytes, %d reusable)\n",
 			census.Records, census.SlottedLiveBytes, census.SlottedFreeBytes)
-	}
+		return nil
+	})
 	fmt.Fprintln(w)
 
 	eng := db.Engine()

@@ -1,0 +1,198 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEscapedTxReturnsErrTxDone pins the handle lifecycle: a *Tx that
+// leaks out of its View/Update closure must refuse every operation with
+// ErrTxDone instead of silently running against later database state.
+func TestEscapedTxReturnsErrTxDone(t *testing.T) {
+	db := openDB(t, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var escaped *Tx
+	var o OID
+	if err := db.Update(func(tx *Tx) error {
+		p, err := parts.Create(tx, &Part{Name: "escapee"})
+		if err != nil {
+			return err
+		}
+		o = p.OID()
+		escaped = tx
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := escaped.Latest(o); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("read on escaped update tx: %v", err)
+	}
+	if _, err := escaped.NewVersion(o); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("write on escaped update tx: %v", err)
+	}
+	if _, _, err := escaped.CreateRaw(0, nil); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("create on escaped update tx: %v", err)
+	}
+
+	if err := db.View(func(tx *Tx) error {
+		escaped = tx
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := escaped.Versions(o); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("read on escaped view tx: %v", err)
+	}
+
+	var nilTx *Tx
+	if _, err := nilTx.Latest(o); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("read on nil tx: %v", err)
+	}
+
+	// None of the rejected calls touched the database.
+	if err := db.View(func(tx *Tx) error {
+		vs, err := tx.Versions(o)
+		if err != nil {
+			return err
+		}
+		if len(vs) != 1 {
+			t.Fatalf("escaped tx mutated state: %d versions", len(vs))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReadersConsistentSnapshots is the reader/writer stress
+// test for the epoch-pinned snapshot machinery (DESIGN.md §9). Reader
+// goroutines traverse History/Dprev while a writer loops
+// NewVersion/DeleteVersion against the same object; every View must see
+// a frozen, internally consistent version graph for its whole lifetime.
+// Run under -race this also proves readers share no unsynchronised
+// state with the writer.
+func TestConcurrentReadersConsistentSnapshots(t *testing.T) {
+	db := openDB(t, &Options{NoSync: true})
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o OID
+	if err := db.Update(func(tx *Tx) error {
+		p, err := parts.Create(tx, &Part{Name: "hot"})
+		if err != nil {
+			return err
+		}
+		o = p.OID()
+		for i := 0; i < 8; i++ {
+			if _, err := p.NewVersion(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers     = 8
+		writerIters = 250
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+
+	// Writer: advance the tip and prune the tail, keeping a sliding
+	// window of versions so readers race against both creation and
+	// deletion.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < writerIters; i++ {
+			if err := db.Update(func(tx *Tx) error {
+				if _, err := tx.NewVersion(o); err != nil {
+					return err
+				}
+				vs, err := tx.Versions(o)
+				if err != nil {
+					return err
+				}
+				if len(vs) > 12 {
+					return tx.DeleteVersion(o, vs[1])
+				}
+				return nil
+			}); err != nil {
+				errs <- fmt.Errorf("writer iter %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !stop.Load() {
+				err := db.View(func(tx *Tx) error {
+					vs, err := tx.Versions(o)
+					if err != nil {
+						return err
+					}
+					set := make(map[VID]bool, len(vs))
+					for _, v := range vs {
+						set[v] = true
+					}
+					for _, v := range vs {
+						if _, err := tx.Info(o, v); err != nil {
+							return fmt.Errorf("version %v vanished mid-view: %w", v, err)
+						}
+						d, err := tx.Dprev(o, v)
+						if err != nil {
+							return err
+						}
+						if d != 0 && !set[d] {
+							return fmt.Errorf("dprev %v of %v outside snapshot version set", d, v)
+						}
+					}
+					latest, err := tx.Latest(o)
+					if err != nil {
+						return err
+					}
+					if _, err := tx.History(o, latest); err != nil {
+						return err
+					}
+					// The version set must not move while the view lives.
+					again, err := tx.Versions(o)
+					if err != nil {
+						return err
+					}
+					if len(again) != len(vs) {
+						return fmt.Errorf("snapshot moved under view: %d -> %d versions", len(vs), len(again))
+					}
+					_ = db.Stats() // atomic counters: must be clean under -race
+					return nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

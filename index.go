@@ -49,7 +49,7 @@ func (ty *Type[T]) EnsureIndex(name string, keyer IndexKeyer[T]) (*Index[T], err
 	}
 	// Backfill when empty (fresh index over an existing extent).
 	err := ty.db.Update(func(tx *Tx) error {
-		n, err := ty.db.eng.IndexLen(ix.name)
+		n, err := tx.ctx.IndexLen(ix.name)
 		if err != nil {
 			return err
 		}
@@ -57,7 +57,7 @@ func (ty *Type[T]) EnsureIndex(name string, keyer IndexKeyer[T]) (*Index[T], err
 			return nil
 		}
 		return ty.Extent(tx, func(p Ptr[T]) (bool, error) {
-			if err := ix.reindex(p.OID()); err != nil {
+			if err := ix.reindex(tx, p.OID()); err != nil {
 				return false, err
 			}
 			return true, nil
@@ -80,10 +80,10 @@ func (ix *Index[T]) Drop(tx *Tx) error {
 		return err
 	}
 	ix.ty.db.RemoveTrigger(ix.trig)
-	if err := ix.ty.db.eng.IndexDrop(ix.name); err != nil {
+	if err := tx.ctx.IndexDrop(ix.name); err != nil {
 		return err
 	}
-	return ix.ty.db.eng.IndexDrop(ix.rev)
+	return tx.ctx.IndexDrop(ix.rev)
 }
 
 // Err returns the first maintenance error, if any. A non-nil Err means
@@ -103,13 +103,18 @@ func (ix *Index[T]) fail(err error) {
 	}
 }
 
-// onEvent runs inside the mutating transaction.
+// onEvent runs inside the mutating transaction, which arrives on the
+// event itself — there is no ambient engine state to fall back on.
 func (ix *Index[T]) onEvent(e Event) {
+	tx := ix.ty.db.TxOf(e)
 	var err error
-	if e.Kind == trigger.KindDeleteObject {
-		err = ix.remove(e.Obj)
-	} else {
-		err = ix.reindex(e.Obj)
+	switch {
+	case tx == nil:
+		err = ErrTxDone
+	case e.Kind == trigger.KindDeleteObject:
+		err = ix.remove(tx, e.Obj)
+	default:
+		err = ix.reindex(tx, e.Obj)
 	}
 	if err != nil {
 		ix.fail(fmt.Errorf("ode: index %s on %v of %v: %w", ix.name, e.Kind, e.Obj, err))
@@ -117,9 +122,11 @@ func (ix *Index[T]) onEvent(e Event) {
 }
 
 // reindex recomputes the entry for o from its latest version.
-func (ix *Index[T]) reindex(o OID) error {
-	eng := ix.ty.db.eng
-	raw, _, err := eng.ReadLatest(o)
+func (ix *Index[T]) reindex(tx *Tx, o OID) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	raw, _, err := tx.ctx.ReadLatest(o)
 	if err != nil {
 		return err
 	}
@@ -131,7 +138,7 @@ func (ix *Index[T]) reindex(o OID) error {
 	if userKey, ok := ix.key(v); ok {
 		entry = indexEntryKey(userKey, o)
 	}
-	old, hadOld, err := eng.IndexGet(ix.rev, oidKeyBytes(o))
+	old, hadOld, err := tx.ctx.IndexGet(ix.rev, oidKeyBytes(o))
 	if err != nil {
 		return err
 	}
@@ -139,34 +146,36 @@ func (ix *Index[T]) reindex(o OID) error {
 		return nil // key unchanged
 	}
 	if hadOld {
-		if _, err := eng.IndexDelete(ix.name, old); err != nil {
+		if _, err := tx.ctx.IndexDelete(ix.name, old); err != nil {
 			return err
 		}
 	}
 	if entry == nil {
 		if hadOld {
-			_, err := eng.IndexDelete(ix.rev, oidKeyBytes(o))
+			_, err := tx.ctx.IndexDelete(ix.rev, oidKeyBytes(o))
 			return err
 		}
 		return nil
 	}
-	if err := eng.IndexPut(ix.name, entry, oidKeyBytes(o)); err != nil {
+	if err := tx.ctx.IndexPut(ix.name, entry, oidKeyBytes(o)); err != nil {
 		return err
 	}
-	return eng.IndexPut(ix.rev, oidKeyBytes(o), entry)
+	return tx.ctx.IndexPut(ix.rev, oidKeyBytes(o), entry)
 }
 
 // remove drops o's entry entirely.
-func (ix *Index[T]) remove(o OID) error {
-	eng := ix.ty.db.eng
-	old, hadOld, err := eng.IndexGet(ix.rev, oidKeyBytes(o))
+func (ix *Index[T]) remove(tx *Tx, o OID) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	old, hadOld, err := tx.ctx.IndexGet(ix.rev, oidKeyBytes(o))
 	if err != nil || !hadOld {
 		return err
 	}
-	if _, err := eng.IndexDelete(ix.name, old); err != nil {
+	if _, err := tx.ctx.IndexDelete(ix.name, old); err != nil {
 		return err
 	}
-	_, err = eng.IndexDelete(ix.rev, oidKeyBytes(o))
+	_, err = tx.ctx.IndexDelete(ix.rev, oidKeyBytes(o))
 	return err
 }
 
@@ -176,9 +185,12 @@ func (ix *Index[T]) Lookup(tx *Tx, key []byte) ([]Ptr[T], error) {
 	if err := ix.Err(); err != nil {
 		return nil, err
 	}
+	if err := tx.guard(); err != nil {
+		return nil, err
+	}
 	var out []Ptr[T]
 	prefix := escapeIndexKey(key) // full escaped key incl. terminator
-	err := tx.db.eng.IndexAscendPrefix(ix.name, prefix, func(_, v []byte) (bool, error) {
+	err := tx.ctx.IndexAscendPrefix(ix.name, prefix, func(_, v []byte) (bool, error) {
 		out = append(out, Ptr[T]{obj: OID(binary.BigEndian.Uint64(v)), ty: ix.ty})
 		return true, nil
 	})
@@ -191,6 +203,9 @@ func (ix *Index[T]) Range(tx *Tx, from, to []byte, fn func(key []byte, p Ptr[T])
 	if err := ix.Err(); err != nil {
 		return err
 	}
+	if err := tx.guard(); err != nil {
+		return err
+	}
 	var lo, hi []byte
 	if from != nil {
 		lo = escapeIndexKey(from)
@@ -198,7 +213,7 @@ func (ix *Index[T]) Range(tx *Tx, from, to []byte, fn func(key []byte, p Ptr[T])
 	if to != nil {
 		hi = escapeIndexKey(to)
 	}
-	return tx.db.eng.IndexAscend(ix.name, lo, hi, func(k, v []byte) (bool, error) {
+	return tx.ctx.IndexAscend(ix.name, lo, hi, func(k, v []byte) (bool, error) {
 		user, err := unescapeIndexKey(k)
 		if err != nil {
 			return false, err
@@ -209,7 +224,10 @@ func (ix *Index[T]) Range(tx *Tx, from, to []byte, fn func(key []byte, p Ptr[T])
 
 // Count returns the number of entries (O(n)).
 func (ix *Index[T]) Count(tx *Tx) (int, error) {
-	return tx.db.eng.IndexLen(ix.name)
+	if err := tx.guard(); err != nil {
+		return 0, err
+	}
+	return tx.ctx.IndexLen(ix.name)
 }
 
 // --- entry-key encoding ---

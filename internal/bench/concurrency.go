@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode"
+)
+
+// ConcurrencyJSONPath, when non-empty, is where E11 writes its
+// machine-readable results. cmd/odebench points it at
+// BENCH_concurrency.json in the invocation directory; tests leave it
+// empty so quick runs emit nothing.
+var ConcurrencyJSONPath = ""
+
+// ConcurrencyResult is one E11 measurement cell.
+type ConcurrencyResult struct {
+	Readers         int     `json:"readers"`
+	Writer          string  `json:"writer"` // "idle" or "hot"
+	ReaderOpsPerSec float64 `json:"reader_ops_per_sec"`
+	WriterCommits   int64   `json:"writer_commits"`
+	Millis          int64   `json:"window_ms"`
+}
+
+// concurrencySeed creates the hot object with a starting version window.
+func concurrencySeed(db *ode.DB, ty *ode.Type[Blob]) (ode.OID, error) {
+	var o ode.OID
+	err := db.Update(func(tx *ode.Tx) error {
+		p, err := ty.Create(tx, &Blob{Data: Payload(rand.New(rand.NewSource(11)), 256, 0.5)})
+		if err != nil {
+			return err
+		}
+		o = p.OID()
+		for i := 0; i < 12; i++ {
+			if _, err := p.NewVersion(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return o, err
+}
+
+// concurrencyCell runs nReaders View-traversal loops (and, when hot, a
+// writer churning NewVersion/DeleteVersion on the same object) for one
+// wall-clock window. It returns total reader traversals and writer
+// commits.
+func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.Duration) (int64, int64, error) {
+	var (
+		readerOps atomic.Int64
+		commits   atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+
+	if hot {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				// Pace the writer: hundreds of synchronous commits/s is
+				// already "hot" for a versioned store, and the gap keeps
+				// a flat-out writer from monopolising small CPU counts —
+				// the cell measures readers not blocking behind commits,
+				// not time-slicing of one core.
+				time.Sleep(time.Millisecond)
+				err := db.Update(func(tx *ode.Tx) error {
+					if _, err := tx.NewVersion(o); err != nil {
+						return err
+					}
+					vs, err := tx.Versions(o)
+					if err != nil {
+						return err
+					}
+					if len(vs) > 16 {
+						return tx.DeleteVersion(o, vs[1])
+					}
+					return nil
+				})
+				if err != nil {
+					fail(fmt.Errorf("writer: %w", err))
+					return
+				}
+				commits.Add(1)
+			}
+		}()
+	}
+
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				err := db.View(func(tx *ode.Tx) error {
+					vs, err := tx.Versions(o)
+					if err != nil {
+						return err
+					}
+					for _, v := range vs {
+						if _, err := tx.Dprev(o, v); err != nil {
+							return err
+						}
+					}
+					latest, err := tx.Latest(o)
+					if err != nil {
+						return err
+					}
+					_, err = tx.History(o, latest)
+					return err
+				})
+				if err != nil {
+					fail(fmt.Errorf("reader: %w", err))
+					return
+				}
+				readerOps.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	return readerOps.Load(), commits.Load(), firstErr
+}
+
+// E11 — concurrent snapshot reads: View throughput while a writer
+// commits (with real fsyncs). The epoch-pinned read path means readers
+// never wait on the writer mutex or its commit fsync, so hot-writer
+// throughput should stay within 2× of writer-idle throughput.
+func E11(root string, s Scale) (*Table, error) {
+	window := time.Duration(1200/s.Factor) * time.Millisecond
+	if window < 100*time.Millisecond {
+		window = 100 * time.Millisecond
+	}
+
+	dir := filepath.Join(root, "e11")
+	// Deliberately NOT NoSync: the writer's commit fsync is the stall
+	// this experiment proves readers no longer share.
+	db, err := ode.Open(dir, &ode.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	ty, err := ode.RegisterWithCodec[Blob](db, "Blob", rawCodec{})
+	if err != nil {
+		return nil, err
+	}
+	o, err := concurrencySeed(db, ty)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "E11 — Concurrent snapshot reads: View throughput vs a hot writer",
+		Note:    fmt.Sprintf("Reader goroutines traverse Versions/Dprev/History of one object for %v per cell; the hot writer loops NewVersion+DeleteVersion with synchronous commits, paced ~1ms apart. Ratio = hot/idle reader throughput (1.0 = writers are free for readers).", window),
+		Headers: []string{"readers", "idle reads/s", "hot reads/s", "hot/idle", "writer commits/s"},
+	}
+
+	var results []ConcurrencyResult
+	for _, nReaders := range []int{1, 4, 16} {
+		var perWriter [2]float64 // idle, hot ops/sec
+		var commitsPerSec float64
+		for wi, hot := range []bool{false, true} {
+			ops, commits, err := concurrencyCell(db, o, nReaders, hot, window)
+			if err != nil {
+				return nil, err
+			}
+			perWriter[wi] = float64(ops) / window.Seconds()
+			label := "idle"
+			if hot {
+				label = "hot"
+				commitsPerSec = float64(commits) / window.Seconds()
+			}
+			results = append(results, ConcurrencyResult{
+				Readers:         nReaders,
+				Writer:          label,
+				ReaderOpsPerSec: perWriter[wi],
+				WriterCommits:   commits,
+				Millis:          window.Milliseconds(),
+			})
+		}
+		ratio := 0.0
+		if perWriter[0] > 0 {
+			ratio = perWriter[1] / perWriter[0]
+		}
+		t.AddRow(fmt.Sprintf("%d", nReaders),
+			fmt.Sprintf("%.0f", perWriter[0]),
+			fmt.Sprintf("%.0f", perWriter[1]),
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.0f", commitsPerSec))
+	}
+
+	if ConcurrencyJSONPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string              `json:"experiment"`
+			Results    []ConcurrencyResult `json:"results"`
+		}{"E11-concurrency", results}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(ConcurrencyJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ode"
+)
+
+// BenchmarkConcurrentReads measures one View traversal (Versions +
+// Dprev walk + History) per op, split across 1/4/16 reader goroutines,
+// with and without a hot writer churning NewVersion/DeleteVersion on
+// the same object. Under epoch-pinned snapshot reads the hot-writer
+// numbers should track the idle ones instead of collapsing during the
+// writer's commit fsync.
+func BenchmarkConcurrentReads(b *testing.B) {
+	for _, nReaders := range []int{1, 4, 16} {
+		for _, hot := range []bool{false, true} {
+			writer := "idle"
+			if hot {
+				writer = "hot"
+			}
+			b.Run(fmt.Sprintf("readers=%d/writer=%s", nReaders, writer), func(b *testing.B) {
+				db, err := ode.Open(b.TempDir(), &ode.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				ty, err := ode.RegisterWithCodec[Blob](db, "Blob", rawCodec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				o, err := concurrencySeed(db, ty)
+				if err != nil {
+					b.Fatal(err)
+				}
+
+				stop := make(chan struct{})
+				var wwg sync.WaitGroup
+				if hot {
+					wwg.Add(1)
+					go func() {
+						defer wwg.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							// Paced like E11: the cell measures readers not
+							// blocking behind commits, not one core's
+							// time-slicing against a flat-out writer.
+							time.Sleep(time.Millisecond)
+							err := db.Update(func(tx *ode.Tx) error {
+								if _, err := tx.NewVersion(o); err != nil {
+									return err
+								}
+								vs, err := tx.Versions(o)
+								if err != nil {
+									return err
+								}
+								if len(vs) > 16 {
+									return tx.DeleteVersion(o, vs[1])
+								}
+								return nil
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+
+				b.ResetTimer()
+				var next atomic.Int64
+				var rwg sync.WaitGroup
+				for r := 0; r < nReaders; r++ {
+					rwg.Add(1)
+					go func() {
+						defer rwg.Done()
+						for next.Add(1) <= int64(b.N) {
+							err := db.View(func(tx *ode.Tx) error {
+								vs, err := tx.Versions(o)
+								if err != nil {
+									return err
+								}
+								for _, v := range vs {
+									if _, err := tx.Dprev(o, v); err != nil {
+										return err
+									}
+								}
+								latest, err := tx.Latest(o)
+								if err != nil {
+									return err
+								}
+								_, err = tx.History(o, latest)
+								return err
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				rwg.Wait()
+				b.StopTimer()
+				close(stop)
+				wwg.Wait()
+			})
+		}
+	}
+}

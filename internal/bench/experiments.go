@@ -720,7 +720,6 @@ func E8(root string, s Scale) (*Table, error) {
 		probes := s.n(5000)
 		var tmIdx, tmWalk Timer
 		err = db.View(func(tx *ode.Tx) error {
-			eng := db.Engine()
 			for i := 0; i < probes; i++ {
 				stamp := stamps[rng.Intn(len(stamps))]
 				var vIdx, vWalk ode.VID
@@ -730,7 +729,7 @@ func E8(root string, s Scale) (*Table, error) {
 				if err != nil || !ok {
 					return fmt.Errorf("AsOf failed: %v %v", ok, err)
 				}
-				tmWalk.Time(func() { vWalk, ok, err = eng.AsOfWalk(p.OID(), stamp) })
+				tmWalk.Time(func() { vWalk, ok, err = tx.AsOfWalk(p.OID(), stamp) })
 				if err != nil || !ok {
 					return fmt.Errorf("AsOfWalk failed: %v %v", ok, err)
 				}
@@ -967,5 +966,6 @@ func All() []Experiment {
 		{"E8", "as-of access", E8},
 		{"E9", "substrate soundness", E9},
 		{"E10", "keyframe-interval ablation", E10},
+		{"E11", "concurrent snapshot reads", E11},
 	}
 }

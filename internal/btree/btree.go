@@ -36,7 +36,7 @@ var ErrValTooLarge = errors.New("btree: value too large")
 // mutations; persist Root() after every mutating call (the engine stores
 // it in a superblock root slot).
 type Tree struct {
-	st   *storage.Store
+	st   *storage.TxView
 	root oid.PageID
 }
 
@@ -50,7 +50,7 @@ type node struct {
 }
 
 // Create allocates an empty tree (a single empty leaf) and returns it.
-func Create(st *storage.Store) (*Tree, error) {
+func Create(st *storage.TxView) (*Tree, error) {
 	p, err := st.Allocate(storage.PageBTree)
 	if err != nil {
 		return nil, err
@@ -63,7 +63,7 @@ func Create(st *storage.Store) (*Tree, error) {
 }
 
 // Open returns a handle on the tree rooted at root.
-func Open(st *storage.Store, root oid.PageID) *Tree {
+func Open(st *storage.TxView, root oid.PageID) *Tree {
 	return &Tree{st: st, root: root}
 }
 
@@ -154,7 +154,7 @@ func (t *Tree) writeNode(p *storage.Page, n *node) error {
 	if len(enc) > t.bodyCap() {
 		return fmt.Errorf("btree: internal error: node %d encodes to %d > %d", p.ID, len(enc), t.bodyCap())
 	}
-	t.st.Touch(p)
+	p = t.st.Touch(p)
 	body := p.Body()
 	copy(body, enc)
 	clear(body[len(enc):])

@@ -12,7 +12,7 @@ import (
 	"ode/internal/storage"
 )
 
-func testTree(t testing.TB, pageSize int) (*Tree, *storage.Store) {
+func testTree(t testing.TB, pageSize int) (*Tree, *storage.TxView) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "bt.ode")
 	st, err := storage.Create(path, storage.Options{PageSize: pageSize})
@@ -20,11 +20,12 @@ func testTree(t testing.TB, pageSize int) (*Tree, *storage.Store) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	tr, err := Create(st)
+	v := st.OpenWriter(nil)
+	tr, err := Create(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return tr, st
+	return tr, v
 }
 
 func TestPutGetBasic(t *testing.T) {
@@ -237,7 +238,8 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Create(st)
+	v := st.OpenWriter(nil)
+	tr, err := Create(v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +248,7 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st.SetRoot(0, tr.Root())
+	v.SetRoot(0, tr.Root())
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +257,8 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	tr2 := Open(st2, st2.Root(0))
+	v2 := st2.OpenWriter(nil)
+	tr2 := Open(v2, v2.Root(0))
 	for i := 0; i < 300; i += 7 {
 		v, ok, err := tr2.Get([]byte(fmt.Sprintf("p%04d", i)))
 		if err != nil || !ok || string(v) != fmt.Sprintf("%d", i*i) {

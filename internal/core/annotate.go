@@ -69,14 +69,14 @@ func decodeAnnotations(raw []byte) (map[string]string, error) {
 }
 
 // Annotate sets (or with value=="" clears) one annotation on a version.
-func (e *Engine) Annotate(o oid.OID, v oid.VID, key, value string) error {
+func (tx *Tx) Annotate(o oid.OID, v oid.VID, key, value string) error {
 	if key == "" {
 		return fmt.Errorf("ode: empty annotation key")
 	}
-	if _, err := e.loadVer(o, v); err != nil {
+	if _, err := tx.loadVer(o, v); err != nil {
 		return err
 	}
-	m, _, err := e.Annotations(o, v)
+	m, _, err := tx.Annotations(o, v)
 	if err != nil {
 		return err
 	}
@@ -90,20 +90,20 @@ func (e *Engine) Annotate(o oid.OID, v oid.VID, key, value string) error {
 	}
 	k := annKey(o, v)
 	if len(m) == 0 {
-		if err := e.deleteConfigValue(k); err != nil {
+		if err := tx.deleteConfigValue(k); err != nil {
 			return err
 		}
-	} else if err := e.putConfigValue(k, encodeAnnotations(m)); err != nil {
+	} else if err := tx.putConfigValue(k, encodeAnnotations(m)); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // Annotations returns a version's annotation map (nil, false when the
 // version has none).
-func (e *Engine) Annotations(o oid.OID, v oid.VID) (map[string]string, bool, error) {
-	raw, ok, err := e.getConfigValue(annKey(o, v))
+func (tx *Tx) Annotations(o oid.OID, v oid.VID) (map[string]string, bool, error) {
+	raw, ok, err := tx.getConfigValue(annKey(o, v))
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -112,8 +112,8 @@ func (e *Engine) Annotations(o oid.OID, v oid.VID) (map[string]string, bool, err
 }
 
 // Annotation returns one annotation value (ok=false when unset).
-func (e *Engine) Annotation(o oid.OID, v oid.VID, key string) (string, bool, error) {
-	m, ok, err := e.Annotations(o, v)
+func (tx *Tx) Annotation(o oid.OID, v oid.VID, key string) (string, bool, error) {
+	m, ok, err := tx.Annotations(o, v)
 	if err != nil || !ok {
 		return "", false, err
 	}
@@ -124,14 +124,14 @@ func (e *Engine) Annotation(o oid.OID, v oid.VID, key string) (string, bool, err
 // VersionsWhere returns the object's versions whose annotation key has
 // the given value, in temporal order — the partitioning query the
 // Klahold model builds its version environments from.
-func (e *Engine) VersionsWhere(o oid.OID, key, value string) ([]oid.VID, error) {
-	vs, err := e.Versions(o)
+func (tx *Tx) VersionsWhere(o oid.OID, key, value string) ([]oid.VID, error) {
+	vs, err := tx.Versions(o)
 	if err != nil {
 		return nil, err
 	}
 	var out []oid.VID
 	for _, v := range vs {
-		got, ok, err := e.Annotation(o, v, key)
+		got, ok, err := tx.Annotation(o, v, key)
 		if err != nil {
 			return nil, err
 		}
@@ -144,15 +144,15 @@ func (e *Engine) VersionsWhere(o oid.OID, key, value string) ([]oid.VID, error) 
 
 // dropAnnotations removes all annotations of one version (on version
 // deletion).
-func (e *Engine) dropAnnotations(o oid.OID, v oid.VID) error {
-	return e.deleteConfigValue(annKey(o, v))
+func (tx *Tx) dropAnnotations(o oid.OID, v oid.VID) error {
+	return tx.deleteConfigValue(annKey(o, v))
 }
 
 // dropAllAnnotations removes every annotation of an object (on object
 // deletion).
-func (e *Engine) dropAllAnnotations(o oid.OID) error {
+func (tx *Tx) dropAllAnnotations(o oid.OID) error {
 	var keys [][]byte
-	err := e.config.AscendPrefix(annObjPrefix(o), func(k, _ []byte) (bool, error) {
+	err := tx.config.AscendPrefix(annObjPrefix(o), func(k, _ []byte) (bool, error) {
 		keys = append(keys, append([]byte(nil), k...))
 		return true, nil
 	})
@@ -160,7 +160,7 @@ func (e *Engine) dropAllAnnotations(o oid.OID) error {
 		return err
 	}
 	for _, k := range keys {
-		if err := e.deleteConfigValue(k); err != nil {
+		if err := tx.deleteConfigValue(k); err != nil {
 			return err
 		}
 	}

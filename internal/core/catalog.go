@@ -29,47 +29,53 @@ func catIDKey(t oid.TypeID) []byte {
 // RegisterType returns the TypeID for name, creating it on first use.
 // Registration is idempotent: the same name always maps to the same id
 // for the lifetime of the database.
-func (e *Engine) RegisterType(name string) (oid.TypeID, error) {
+func (tx *Tx) RegisterType(name string) (oid.TypeID, error) {
 	if name == "" {
 		return oid.NilType, fmt.Errorf("ode: empty type name")
 	}
-	raw, ok, err := e.catalog.Get(catNameKey(name))
+	raw, ok, err := tx.catalog.Get(catNameKey(name))
 	if err != nil {
 		return oid.NilType, err
 	}
 	if ok {
 		return oid.TypeID(binary.BigEndian.Uint32(raw)), nil
 	}
-	var t oid.TypeID
-	err = e.Write(func() error {
-		// Re-check inside the transaction (a concurrent caller may have
-		// registered it between our read and the lock).
-		raw, ok, err := e.catalog.Get(catNameKey(name))
-		if err != nil {
-			return err
-		}
-		if ok {
-			t = oid.TypeID(binary.BigEndian.Uint32(raw))
-			return nil
-		}
-		t = oid.TypeID(e.st.NextCounter(ctrTypeID))
-		var idv [4]byte
-		binary.BigEndian.PutUint32(idv[:], uint32(t))
-		if err := e.catalog.Put(catNameKey(name), idv[:]); err != nil {
-			return err
-		}
-		if err := e.catalog.Put(catIDKey(t), []byte(name)); err != nil {
-			return err
-		}
-		e.saveRoots()
-		return nil
+	t := oid.TypeID(tx.st.NextCounter(ctrTypeID))
+	var idv [4]byte
+	binary.BigEndian.PutUint32(idv[:], uint32(t))
+	if err := tx.catalog.Put(catNameKey(name), idv[:]); err != nil {
+		return oid.NilType, err
+	}
+	if err := tx.catalog.Put(catIDKey(t), []byte(name)); err != nil {
+		return oid.NilType, err
+	}
+	tx.saveRoots()
+	return t, nil
+}
+
+// RegisterType is the self-transacting convenience form for callers
+// outside a transaction. An existing registration is resolved under a
+// read snapshot so it works on read-only databases; only a genuinely
+// new name opens a write transaction.
+func (e *Engine) RegisterType(name string) (t oid.TypeID, err error) {
+	var ok bool
+	err = e.Read(func(tx *Tx) error {
+		t, ok, err = tx.LookupType(name)
+		return err
+	})
+	if err != nil || ok {
+		return t, err
+	}
+	err = e.Write(func(tx *Tx) error {
+		t, err = tx.RegisterType(name)
+		return err
 	})
 	return t, err
 }
 
 // LookupType returns the TypeID for a registered name.
-func (e *Engine) LookupType(name string) (oid.TypeID, bool, error) {
-	raw, ok, err := e.catalog.Get(catNameKey(name))
+func (tx *Tx) LookupType(name string) (oid.TypeID, bool, error) {
+	raw, ok, err := tx.catalog.Get(catNameKey(name))
 	if err != nil || !ok {
 		return oid.NilType, false, err
 	}
@@ -77,8 +83,8 @@ func (e *Engine) LookupType(name string) (oid.TypeID, bool, error) {
 }
 
 // TypeName returns the registered name of t.
-func (e *Engine) TypeName(t oid.TypeID) (string, bool, error) {
-	raw, ok, err := e.catalog.Get(catIDKey(t))
+func (tx *Tx) TypeName(t oid.TypeID) (string, bool, error) {
+	raw, ok, err := tx.catalog.Get(catIDKey(t))
 	if err != nil || !ok {
 		return "", false, err
 	}
@@ -86,15 +92,15 @@ func (e *Engine) TypeName(t oid.TypeID) (string, bool, error) {
 }
 
 // typeExists reports whether t is a registered type id.
-func (e *Engine) typeExists(t oid.TypeID) (bool, error) {
-	_, ok, err := e.catalog.Get(catIDKey(t))
+func (tx *Tx) typeExists(t oid.TypeID) (bool, error) {
+	_, ok, err := tx.catalog.Get(catIDKey(t))
 	return ok, err
 }
 
 // Types lists all registered type names in name order.
-func (e *Engine) Types() ([]string, error) {
+func (tx *Tx) Types() ([]string, error) {
 	var out []string
-	err := e.catalog.AscendPrefix([]byte(catByName), func(k, _ []byte) (bool, error) {
+	err := tx.catalog.AscendPrefix([]byte(catByName), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(catByName):]))
 		return true, nil
 	})
@@ -104,17 +110,47 @@ func (e *Engine) Types() ([]string, error) {
 // Extent calls fn for every object of type t in oid order — O++'s
 // "for x in Extent" iteration over a persistent set. Iteration stops
 // early when fn returns false.
-func (e *Engine) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
+func (tx *Tx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
 	var prefix [4]byte
 	binary.BigEndian.PutUint32(prefix[:], uint32(t))
-	return e.extent.AscendPrefix(prefix[:], func(k, _ []byte) (bool, error) {
+	return tx.extent.AscendPrefix(prefix[:], func(k, _ []byte) (bool, error) {
 		return fn(oid.OID(binary.BigEndian.Uint64(k[4:12])))
 	})
 }
 
 // ExtentCount returns the number of objects of type t.
-func (e *Engine) ExtentCount(t oid.TypeID) (int, error) {
+func (tx *Tx) ExtentCount(t oid.TypeID) (int, error) {
 	n := 0
-	err := e.Extent(t, func(oid.OID) (bool, error) { n++; return true, nil })
+	err := tx.Extent(t, func(oid.OID) (bool, error) { n++; return true, nil })
 	return n, err
+}
+
+// Self-transacting convenience forms for callers outside a transaction
+// (shell, dump tools); each runs one read snapshot.
+
+// LookupType returns the TypeID for a registered name.
+func (e *Engine) LookupType(name string) (t oid.TypeID, ok bool, err error) {
+	err = e.Read(func(tx *Tx) error {
+		t, ok, err = tx.LookupType(name)
+		return err
+	})
+	return t, ok, err
+}
+
+// TypeName returns the registered name of t.
+func (e *Engine) TypeName(t oid.TypeID) (name string, ok bool, err error) {
+	err = e.Read(func(tx *Tx) error {
+		name, ok, err = tx.TypeName(t)
+		return err
+	})
+	return name, ok, err
+}
+
+// Types lists all registered type names in name order.
+func (e *Engine) Types() (out []string, err error) {
+	err = e.Read(func(tx *Tx) error {
+		out, err = tx.Types()
+		return err
+	})
+	return out, err
 }

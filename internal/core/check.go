@@ -20,13 +20,13 @@ import (
 //  5. delta/shared payloads have a live parent and consistent depth.
 //
 // It is used by property tests, figure tests, and odedump --check.
-func (e *Engine) CheckObject(o oid.OID) error {
-	h, err := e.loadHeader(o)
+func (tx *Tx) CheckObject(o oid.OID) error {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
 	}
 	recs := map[oid.VID]verRec{}
-	err = e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+	err = tx.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
 		v := oid.VID(binary.BigEndian.Uint64(k[8:16]))
 		rec, err := decodeVerRec(val)
 		if err != nil {
@@ -97,14 +97,14 @@ func (e *Engine) CheckObject(o oid.OID) error {
 
 	// (4) index agreement.
 	for v, rec := range recs {
-		raw, ok, err := e.tempIdx.Get(tempKey(o, rec.stamp))
+		raw, ok, err := tx.tempIdx.Get(tempKey(o, rec.stamp))
 		if err != nil {
 			return err
 		}
 		if !ok || oid.VID(binary.BigEndian.Uint64(raw)) != v {
 			return fmt.Errorf("%v: temporal index missing/wrong for %v", o, v)
 		}
-		owner, err := e.Owner(v)
+		owner, err := tx.Owner(v)
 		if err != nil || owner != o {
 			return fmt.Errorf("%v: vid index wrong for %v: %v %v", o, v, owner, err)
 		}
@@ -142,7 +142,7 @@ func (e *Engine) CheckObject(o oid.OID) error {
 			return fmt.Errorf("%v: %v unknown payload kind %d", o, v, rec.kind)
 		}
 		// Content must materialise.
-		content, err := e.readContent(o, rec)
+		content, err := tx.readContent(o, rec)
 		if err != nil {
 			return fmt.Errorf("%v: %v unreadable: %w", o, v, err)
 		}
@@ -155,16 +155,16 @@ func (e *Engine) CheckObject(o oid.OID) error {
 
 // CheckAll validates every object in the database plus the structural
 // health of each index tree.
-func (e *Engine) CheckAll() error {
+func (tx *Tx) CheckAll() error {
 	for _, t := range []interface{ Check() error }{
-		e.objTable, e.verIdx, e.tempIdx, e.catalog, e.extent, e.config, e.vidIdx,
+		tx.objTable, tx.verIdx, tx.tempIdx, tx.catalog, tx.extent, tx.config, tx.vidIdx,
 	} {
 		if err := t.Check(); err != nil {
 			return err
 		}
 	}
 	var objs []oid.OID
-	err := e.objTable.Ascend(nil, nil, func(k, _ []byte) (bool, error) {
+	err := tx.objTable.Ascend(nil, nil, func(k, _ []byte) (bool, error) {
 		objs = append(objs, oid.OID(binary.BigEndian.Uint64(k)))
 		return true, nil
 	})
@@ -172,7 +172,7 @@ func (e *Engine) CheckAll() error {
 		return err
 	}
 	for _, o := range objs {
-		if err := e.CheckObject(o); err != nil {
+		if err := tx.CheckObject(o); err != nil {
 			return err
 		}
 	}

@@ -52,24 +52,24 @@ const (
 // putConfigValue stores raw under key, spilling to the heap when it
 // exceeds the tree's value budget, and frees any heap record the key's
 // previous value used.
-func (e *Engine) putConfigValue(key, raw []byte) error {
-	if err := e.dropConfigIndirect(key); err != nil {
+func (tx *Tx) putConfigValue(key, raw []byte) error {
+	if err := tx.dropConfigIndirect(key); err != nil {
 		return err
 	}
-	if len(raw)+1 <= e.config.MaxValueSize() {
-		return e.config.Put(key, append([]byte{cfgInline}, raw...))
+	if len(raw)+1 <= tx.config.MaxValueSize() {
+		return tx.config.Put(key, append([]byte{cfgInline}, raw...))
 	}
-	rid, err := e.heap.Insert(raw)
+	rid, err := tx.heap.Insert(raw)
 	if err != nil {
 		return err
 	}
 	packed := rid.Pack()
-	return e.config.Put(key, append([]byte{cfgIndirect}, packed[:]...))
+	return tx.config.Put(key, append([]byte{cfgIndirect}, packed[:]...))
 }
 
 // getConfigValue loads a value stored by putConfigValue.
-func (e *Engine) getConfigValue(key []byte) ([]byte, bool, error) {
-	v, ok, err := e.config.Get(key)
+func (tx *Tx) getConfigValue(key []byte) ([]byte, bool, error) {
+	v, ok, err := tx.config.Get(key)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -83,7 +83,7 @@ func (e *Engine) getConfigValue(key []byte) ([]byte, bool, error) {
 		if len(v) != 7 {
 			return nil, false, fmt.Errorf("%w: bad indirect config value", ErrCorrupt)
 		}
-		raw, err := e.heap.Read(oid.UnpackRID(v[1:7]))
+		raw, err := tx.heap.Read(oid.UnpackRID(v[1:7]))
 		return raw, err == nil, err
 	default:
 		return nil, false, fmt.Errorf("%w: config value tag %d", ErrCorrupt, v[0])
@@ -92,23 +92,23 @@ func (e *Engine) getConfigValue(key []byte) ([]byte, bool, error) {
 
 // dropConfigIndirect frees the heap record behind key's current value,
 // if it has one.
-func (e *Engine) dropConfigIndirect(key []byte) error {
-	v, ok, err := e.config.Get(key)
+func (tx *Tx) dropConfigIndirect(key []byte) error {
+	v, ok, err := tx.config.Get(key)
 	if err != nil || !ok {
 		return err
 	}
 	if len(v) == 7 && v[0] == cfgIndirect {
-		return e.heap.Delete(oid.UnpackRID(v[1:7]))
+		return tx.heap.Delete(oid.UnpackRID(v[1:7]))
 	}
 	return nil
 }
 
 // deleteConfigValue removes key and any heap spill.
-func (e *Engine) deleteConfigValue(key []byte) error {
-	if err := e.dropConfigIndirect(key); err != nil {
+func (tx *Tx) deleteConfigValue(key []byte) error {
+	if err := tx.dropConfigIndirect(key); err != nil {
 		return err
 	}
-	_, err := e.config.Delete(key)
+	_, err := tx.config.Delete(key)
 	return err
 }
 
@@ -144,7 +144,7 @@ func decodeBindings(raw []byte) ([]Binding, error) {
 // SaveConfig stores (or replaces) a named configuration. Bindings are
 // normalised to slot order. Static bindings are validated against live
 // versions; dynamic bindings against live objects.
-func (e *Engine) SaveConfig(name string, bindings []Binding) error {
+func (tx *Tx) SaveConfig(name string, bindings []Binding) error {
 	if name == "" {
 		return fmt.Errorf("ode: empty configuration name")
 	}
@@ -152,27 +152,27 @@ func (e *Engine) SaveConfig(name string, bindings []Binding) error {
 	sort.Slice(bs, func(i, j int) bool { return bs[i].Slot < bs[j].Slot })
 	for _, b := range bs {
 		if b.VID.IsNil() {
-			if ok, err := e.Exists(b.Obj); err != nil {
+			if ok, err := tx.Exists(b.Obj); err != nil {
 				return err
 			} else if !ok {
 				return fmt.Errorf("%w: %v in configuration %q", ErrNoObject, b.Obj, name)
 			}
 			continue
 		}
-		if _, err := e.loadVer(b.Obj, b.VID); err != nil {
+		if _, err := tx.loadVer(b.Obj, b.VID); err != nil {
 			return fmt.Errorf("configuration %q slot %q: %w", name, b.Slot, err)
 		}
 	}
-	if err := e.putConfigValue(cfgKey(name), encodeBindings(bs)); err != nil {
+	if err := tx.putConfigValue(cfgKey(name), encodeBindings(bs)); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // GetConfig returns a configuration's raw bindings.
-func (e *Engine) GetConfig(name string) ([]Binding, bool, error) {
-	raw, ok, err := e.getConfigValue(cfgKey(name))
+func (tx *Tx) GetConfig(name string) ([]Binding, bool, error) {
+	raw, ok, err := tx.getConfigValue(cfgKey(name))
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -183,8 +183,8 @@ func (e *Engine) GetConfig(name string) ([]Binding, bool, error) {
 // ResolveConfig resolves a configuration to concrete versions: static
 // bindings keep their pinned vid; dynamic bindings bind to the latest
 // version at call time (late binding).
-func (e *Engine) ResolveConfig(name string) ([]Resolved, error) {
-	bs, ok, err := e.GetConfig(name)
+func (tx *Tx) ResolveConfig(name string) ([]Resolved, error) {
+	bs, ok, err := tx.GetConfig(name)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func (e *Engine) ResolveConfig(name string) ([]Resolved, error) {
 	for _, b := range bs {
 		v := b.VID
 		if v.IsNil() {
-			v, err = e.Latest(b.Obj)
+			v, err = tx.Latest(b.Obj)
 			if err != nil {
 				return nil, fmt.Errorf("configuration %q slot %q: %w", name, b.Slot, err)
 			}
@@ -206,18 +206,18 @@ func (e *Engine) ResolveConfig(name string) ([]Resolved, error) {
 }
 
 // DeleteConfig removes a configuration; unknown names are not an error.
-func (e *Engine) DeleteConfig(name string) error {
-	if err := e.deleteConfigValue(cfgKey(name)); err != nil {
+func (tx *Tx) DeleteConfig(name string) error {
+	if err := tx.deleteConfigValue(cfgKey(name)); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // Configs lists configuration names in order.
-func (e *Engine) Configs() ([]string, error) {
+func (tx *Tx) Configs() ([]string, error) {
 	var out []string
-	err := e.config.AscendPrefix([]byte(cfgPrefix), func(k, _ []byte) (bool, error) {
+	err := tx.config.AscendPrefix([]byte(cfgPrefix), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(cfgPrefix):]))
 		return true, nil
 	})
@@ -229,7 +229,7 @@ func (e *Engine) Configs() ([]string, error) {
 // SetContext stores a context: a set of default versions, one per
 // object. Dereferencing an object id "in" a context yields the context's
 // pinned version when present, the latest otherwise.
-func (e *Engine) SetContext(name string, defaults map[oid.OID]oid.VID) error {
+func (tx *Tx) SetContext(name string, defaults map[oid.OID]oid.VID) error {
 	if name == "" {
 		return fmt.Errorf("ode: empty context name")
 	}
@@ -242,22 +242,22 @@ func (e *Engine) SetContext(name string, defaults map[oid.OID]oid.VID) error {
 	w.UVarint(uint64(len(objs)))
 	for _, o := range objs {
 		v := defaults[o]
-		if _, err := e.loadVer(o, v); err != nil {
+		if _, err := tx.loadVer(o, v); err != nil {
 			return fmt.Errorf("context %q: %w", name, err)
 		}
 		w.UVarint(uint64(o))
 		w.UVarint(uint64(v))
 	}
-	if err := e.putConfigValue(ctxKey(name), w.Bytes()); err != nil {
+	if err := tx.putConfigValue(ctxKey(name), w.Bytes()); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // GetContext returns a context's default-version map.
-func (e *Engine) GetContext(name string) (map[oid.OID]oid.VID, bool, error) {
-	raw, ok, err := e.getConfigValue(ctxKey(name))
+func (tx *Tx) GetContext(name string) (map[oid.OID]oid.VID, bool, error) {
+	raw, ok, err := tx.getConfigValue(ctxKey(name))
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -278,9 +278,9 @@ func (e *Engine) GetContext(name string) (map[oid.OID]oid.VID, bool, error) {
 // ResolveInContext dereferences an object id under a context: the
 // context's default version when the context pins one, the latest
 // otherwise. An empty context name resolves to the latest directly.
-func (e *Engine) ResolveInContext(ctx string, o oid.OID) (oid.VID, error) {
+func (tx *Tx) ResolveInContext(ctx string, o oid.OID) (oid.VID, error) {
 	if ctx != "" {
-		m, ok, err := e.GetContext(ctx)
+		m, ok, err := tx.GetContext(ctx)
 		if err != nil {
 			return oid.NilVID, err
 		}
@@ -291,22 +291,22 @@ func (e *Engine) ResolveInContext(ctx string, o oid.OID) (oid.VID, error) {
 			return v, nil
 		}
 	}
-	return e.Latest(o)
+	return tx.Latest(o)
 }
 
 // DeleteContext removes a context; unknown names are not an error.
-func (e *Engine) DeleteContext(name string) error {
-	if err := e.deleteConfigValue(ctxKey(name)); err != nil {
+func (tx *Tx) DeleteContext(name string) error {
+	if err := tx.deleteConfigValue(ctxKey(name)); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // Contexts lists context names in order.
-func (e *Engine) Contexts() ([]string, error) {
+func (tx *Tx) Contexts() ([]string, error) {
 	var out []string
-	err := e.config.AscendPrefix([]byte(ctxPrefix), func(k, _ []byte) (bool, error) {
+	err := tx.config.AscendPrefix([]byte(ctxPrefix), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(ctxPrefix):]))
 		return true, nil
 	})

@@ -28,7 +28,7 @@ func newEngine(t testing.TB, opts Options) *Engine {
 }
 
 // w runs fn in a write transaction and fails the test on error.
-func w(t testing.TB, e *Engine, fn func() error) {
+func w(t testing.TB, e *Engine, fn func(tx *Tx) error) {
 	t.Helper()
 	if err := e.Write(fn); err != nil {
 		t.Fatal(err)
@@ -49,16 +49,16 @@ func TestCreateReadUpdate(t *testing.T) {
 	ty := mustType(t, e, "Part")
 	var o oid.OID
 	var v0 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("v0 content"))
+		o, v0, err = tx.Create(ty, []byte("v0 content"))
 		return err
 	})
 	if o.IsNil() || v0.IsNil() {
 		t.Fatal("nil ids")
 	}
-	w(t, e, func() error {
-		content, latest, err := e.ReadLatest(o)
+	w(t, e, func(tx *Tx) error {
+		content, latest, err := tx.ReadLatest(o)
 		if err != nil {
 			return err
 		}
@@ -67,17 +67,17 @@ func TestCreateReadUpdate(t *testing.T) {
 		}
 		// In-place update does NOT create a version (version
 		// orthogonality: unversioned objects stay unversioned).
-		if _, err := e.UpdateLatest(o, []byte("edited")); err != nil {
+		if _, err := tx.UpdateLatest(o, []byte("edited")); err != nil {
 			return err
 		}
-		n, err := e.VersionCount(o)
+		n, err := tx.VersionCount(o)
 		if err != nil {
 			return err
 		}
 		if n != 1 {
 			t.Fatalf("update created a version: count=%d", n)
 		}
-		content, _, err = e.ReadLatest(o)
+		content, _, err = tx.ReadLatest(o)
 		if err != nil || string(content) != "edited" {
 			t.Fatalf("after update: %q %v", content, err)
 		}
@@ -87,8 +87,8 @@ func TestCreateReadUpdate(t *testing.T) {
 
 func TestCreateUnregisteredTypeFails(t *testing.T) {
 	e := newEngine(t, Options{})
-	err := e.Write(func() error {
-		_, _, err := e.Create(oid.TypeID(999), []byte("x"))
+	err := e.Write(func(tx *Tx) error {
+		_, _, err := tx.Create(oid.TypeID(999), []byte("x"))
 		return err
 	})
 	if !errors.Is(err, ErrNoType) {
@@ -127,21 +127,21 @@ func TestGenericVsSpecificBinding(t *testing.T) {
 			ty := mustType(t, e, "Doc")
 			var o oid.OID
 			var v0, v1 oid.VID
-			w(t, e, func() error {
+			w(t, e, func(tx *Tx) error {
 				var err error
-				o, v0, err = e.Create(ty, []byte("original"))
+				o, v0, err = tx.Create(ty, []byte("original"))
 				if err != nil {
 					return err
 				}
-				v1, err = e.NewVersion(o)
+				v1, err = tx.NewVersion(o)
 				if err != nil {
 					return err
 				}
-				return e.UpdateVersion(o, v1, []byte("revised"))
+				return tx.UpdateVersion(o, v1, []byte("revised"))
 			})
-			w(t, e, func() error {
+			w(t, e, func(tx *Tx) error {
 				// Generic reference (oid) now binds to v1.
-				content, latest, err := e.ReadLatest(o)
+				content, latest, err := tx.ReadLatest(o)
 				if err != nil {
 					return err
 				}
@@ -149,7 +149,7 @@ func TestGenericVsSpecificBinding(t *testing.T) {
 					t.Fatalf("generic deref: %v %q", latest, content)
 				}
 				// Specific reference still sees the old state.
-				old, err := e.ReadVersion(o, v0)
+				old, err := tx.ReadVersion(o, v0)
 				if err != nil {
 					return err
 				}
@@ -169,27 +169,27 @@ func TestTemporalAndDerivedFromMaintenance(t *testing.T) {
 	var v0, v1, v2, v3 oid.VID
 	// Reproduce the paper's §4 sequence: v1 := newversion(p);
 	// v2 := newversion(v0); v3 := newversion(v1).
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("root"))
+		o, v0, err = tx.Create(ty, []byte("root"))
 		if err != nil {
 			return err
 		}
-		if v1, err = e.NewVersion(o); err != nil { // from latest = v0
+		if v1, err = tx.NewVersion(o); err != nil { // from latest = v0
 			return err
 		}
-		if v2, err = e.NewVersionFrom(o, v0); err != nil { // alternative
+		if v2, err = tx.NewVersionFrom(o, v0); err != nil { // alternative
 			return err
 		}
-		if v3, err = e.NewVersionFrom(o, v1); err != nil {
+		if v3, err = tx.NewVersionFrom(o, v1); err != nil {
 			return err
 		}
 		return nil
 	})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		// Derived-from tree: v0 → {v1, v2}; v1 → {v3}.
 		check := func(v, wantD oid.VID) {
-			d, err := e.Dprev(o, v)
+			d, err := tx.Dprev(o, v)
 			if err != nil || d != wantD {
 				t.Fatalf("Dprev(%v) = %v, %v; want %v", v, d, err, wantD)
 			}
@@ -197,10 +197,10 @@ func TestTemporalAndDerivedFromMaintenance(t *testing.T) {
 		check(v1, v0)
 		check(v2, v0)
 		check(v3, v1)
-		if d, _ := e.Dprev(o, v0); !d.IsNil() {
+		if d, _ := tx.Dprev(o, v0); !d.IsNil() {
 			t.Fatalf("root Dprev = %v", d)
 		}
-		kids, err := e.DChildren(o, v0)
+		kids, err := tx.DChildren(o, v0)
 		if err != nil || len(kids) != 2 || kids[0] != v1 || kids[1] != v2 {
 			t.Fatalf("DChildren(v0) = %v, %v", kids, err)
 		}
@@ -208,39 +208,39 @@ func TestTemporalAndDerivedFromMaintenance(t *testing.T) {
 		// v0 ·▶ v1 ·▶ v2 ·▶ v3.
 		order := []oid.VID{v0, v1, v2, v3}
 		for i := 1; i < len(order); i++ {
-			tp, err := e.Tprev(o, order[i])
+			tp, err := tx.Tprev(o, order[i])
 			if err != nil || tp != order[i-1] {
 				t.Fatalf("Tprev(%v) = %v, %v", order[i], tp, err)
 			}
-			tn, err := e.Tnext(o, order[i-1])
+			tn, err := tx.Tnext(o, order[i-1])
 			if err != nil || tn != order[i] {
 				t.Fatalf("Tnext(%v) = %v, %v", order[i-1], tn, err)
 			}
 		}
-		if tp, _ := e.Tprev(o, v0); !tp.IsNil() {
+		if tp, _ := tx.Tprev(o, v0); !tp.IsNil() {
 			t.Fatal("oldest version has a Tprev")
 		}
-		if tn, _ := e.Tnext(o, v3); !tn.IsNil() {
+		if tn, _ := tx.Tnext(o, v3); !tn.IsNil() {
 			t.Fatal("latest version has a Tnext")
 		}
 		// The object id binds to v3 (most recently created, even though
 		// it was derived from v1, not from the previous latest v2).
-		latest, err := e.Latest(o)
+		latest, err := tx.Latest(o)
 		if err != nil || latest != v3 {
 			t.Fatalf("latest = %v, %v", latest, err)
 		}
 		// Version history of v3 (paper §4.4): v3, v1, v0.
-		hist, err := e.History(o, v3)
+		hist, err := tx.History(o, v3)
 		if err != nil || len(hist) != 3 || hist[0] != v3 || hist[1] != v1 || hist[2] != v0 {
 			t.Fatalf("history = %v, %v", hist, err)
 		}
 		// Leaves (alternatives' tips): v2 and v3.
-		leaves, err := e.Leaves(o)
+		leaves, err := tx.Leaves(o)
 		if err != nil || len(leaves) != 2 || leaves[0] != v2 || leaves[1] != v3 {
 			t.Fatalf("leaves = %v, %v", leaves, err)
 		}
 		// Temporal enumeration.
-		vs, err := e.Versions(o)
+		vs, err := tx.Versions(o)
 		if err != nil || len(vs) != 4 {
 			t.Fatalf("versions = %v, %v", vs, err)
 		}
@@ -258,39 +258,39 @@ func TestDeleteVersionSplices(t *testing.T) {
 	ty := mustType(t, e, "T")
 	var o oid.OID
 	var v0, v1, v2, v3 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("r"))
+		o, v0, err = tx.Create(ty, []byte("r"))
 		if err != nil {
 			return err
 		}
-		v1, _ = e.NewVersion(o)
-		v2, _ = e.NewVersionFrom(o, v1)
-		v3, _ = e.NewVersionFrom(o, v1)
+		v1, _ = tx.NewVersion(o)
+		v2, _ = tx.NewVersionFrom(o, v1)
+		v3, _ = tx.NewVersionFrom(o, v1)
 		return nil
 	})
 	// Delete the middle version v1: v2 and v3 must re-parent to v0, and
 	// the temporal chain v0 ·▶ v2 ·▶ v3 must close over the gap.
-	w(t, e, func() error { return e.DeleteVersion(o, v1) })
-	w(t, e, func() error {
-		if _, err := e.ReadVersion(o, v1); !errors.Is(err, ErrNoVersion) {
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, v1) })
+	w(t, e, func(tx *Tx) error {
+		if _, err := tx.ReadVersion(o, v1); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("deleted version readable: %v", err)
 		}
 		for _, v := range []oid.VID{v2, v3} {
-			d, err := e.Dprev(o, v)
+			d, err := tx.Dprev(o, v)
 			if err != nil || d != v0 {
 				t.Fatalf("splice: Dprev(%v) = %v, %v", v, d, err)
 			}
 		}
-		tp, err := e.Tprev(o, v2)
+		tp, err := tx.Tprev(o, v2)
 		if err != nil || tp != v0 {
 			t.Fatalf("temporal splice: Tprev(v2) = %v, %v", tp, err)
 		}
-		tn, err := e.Tnext(o, v0)
+		tn, err := tx.Tnext(o, v0)
 		if err != nil || tn != v2 {
 			t.Fatalf("temporal splice: Tnext(v0) = %v, %v", tn, err)
 		}
-		n, _ := e.VersionCount(o)
+		n, _ := tx.VersionCount(o)
 		if n != 3 {
 			t.Fatalf("count = %d", n)
 		}
@@ -298,9 +298,9 @@ func TestDeleteVersionSplices(t *testing.T) {
 	})
 	// Deleting the latest re-binds the object id to its temporal
 	// predecessor.
-	w(t, e, func() error { return e.DeleteVersion(o, v3) })
-	w(t, e, func() error {
-		latest, err := e.Latest(o)
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, v3) })
+	w(t, e, func(tx *Tx) error {
+		latest, err := tx.Latest(o)
 		if err != nil || latest != v2 {
 			t.Fatalf("latest after delete = %v, %v", latest, err)
 		}
@@ -313,17 +313,17 @@ func TestDeleteSoleVersionDeletesObject(t *testing.T) {
 	ty := mustType(t, e, "T")
 	var o oid.OID
 	var v0 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("only"))
+		o, v0, err = tx.Create(ty, []byte("only"))
 		return err
 	})
-	w(t, e, func() error { return e.DeleteVersion(o, v0) })
-	w(t, e, func() error {
-		if ok, _ := e.Exists(o); ok {
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, v0) })
+	w(t, e, func(tx *Tx) error {
+		if ok, _ := tx.Exists(o); ok {
 			t.Fatal("object survived deletion of its only version")
 		}
-		n, _ := e.ExtentCount(ty)
+		n, _ := tx.ExtentCount(ty)
 		if n != 0 {
 			t.Fatalf("extent count = %d", n)
 		}
@@ -335,26 +335,26 @@ func TestDeleteObjectRemovesEverything(t *testing.T) {
 	e := newEngine(t, Options{Policy: DeltaChain})
 	ty := mustType(t, e, "T")
 	var o, other oid.OID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, _, err = e.Create(ty, bytes.Repeat([]byte("x"), 1000))
+		o, _, err = tx.Create(ty, bytes.Repeat([]byte("x"), 1000))
 		if err != nil {
 			return err
 		}
 		for i := 0; i < 5; i++ {
-			v, err := e.NewVersion(o)
+			v, err := tx.NewVersion(o)
 			if err != nil {
 				return err
 			}
-			if err := e.UpdateVersion(o, v, bytes.Repeat([]byte{byte(i)}, 1000)); err != nil {
+			if err := tx.UpdateVersion(o, v, bytes.Repeat([]byte{byte(i)}, 1000)); err != nil {
 				return err
 			}
 		}
-		other, _, err = e.Create(ty, []byte("survivor"))
+		other, _, err = tx.Create(ty, []byte("survivor"))
 		return err
 	})
 	before := e.Stats()
-	w(t, e, func() error { return e.DeleteObject(o) })
+	w(t, e, func(tx *Tx) error { return tx.DeleteObject(o) })
 	after := e.Stats()
 	if after.Objects != before.Objects-1 {
 		t.Fatalf("objects %d -> %d", before.Objects, after.Objects)
@@ -362,18 +362,18 @@ func TestDeleteObjectRemovesEverything(t *testing.T) {
 	if after.Versions != before.Versions-6 {
 		t.Fatalf("versions %d -> %d", before.Versions, after.Versions)
 	}
-	w(t, e, func() error {
-		if ok, _ := e.Exists(o); ok {
+	w(t, e, func(tx *Tx) error {
+		if ok, _ := tx.Exists(o); ok {
 			t.Fatal("object still exists")
 		}
-		if _, err := e.Owner(oid.VID(2)); err == nil {
+		if _, err := tx.Owner(oid.VID(2)); err == nil {
 			t.Fatal("vid index entry survived")
 		}
-		content, _, err := e.ReadLatest(other)
+		content, _, err := tx.ReadLatest(other)
 		if err != nil || string(content) != "survivor" {
 			t.Fatalf("unrelated object damaged: %q %v", content, err)
 		}
-		n, _ := e.ExtentCount(ty)
+		n, _ := tx.ExtentCount(ty)
 		if n != 1 {
 			t.Fatalf("extent count = %d", n)
 		}
@@ -387,44 +387,44 @@ func TestAsOf(t *testing.T) {
 	var o oid.OID
 	var vids []oid.VID
 	var stamps []oid.Stamp
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
 		var v oid.VID
-		o, v, err = e.Create(ty, []byte("s0"))
+		o, v, err = tx.Create(ty, []byte("s0"))
 		if err != nil {
 			return err
 		}
 		vids = append(vids, v)
-		info, _ := e.Info(o, v)
+		info, _ := tx.Info(o, v)
 		stamps = append(stamps, info.Stamp)
 		for i := 1; i < 6; i++ {
-			v, err = e.NewVersion(o)
+			v, err = tx.NewVersion(o)
 			if err != nil {
 				return err
 			}
 			vids = append(vids, v)
-			info, _ := e.Info(o, v)
+			info, _ := tx.Info(o, v)
 			stamps = append(stamps, info.Stamp)
 		}
 		return nil
 	})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		for i, s := range stamps {
-			got, ok, err := e.AsOf(o, s)
+			got, ok, err := tx.AsOf(o, s)
 			if err != nil || !ok || got != vids[i] {
 				t.Fatalf("AsOf(exact %d) = %v, %v, %v", i, got, ok, err)
 			}
-			walk, ok2, err2 := e.AsOfWalk(o, s)
+			walk, ok2, err2 := tx.AsOfWalk(o, s)
 			if err2 != nil || !ok2 || walk != got {
 				t.Fatalf("AsOfWalk disagrees at %d: %v vs %v", i, walk, got)
 			}
 		}
 		// Before the first version: nothing.
-		if _, ok, _ := e.AsOf(o, stamps[0]-1); ok {
+		if _, ok, _ := tx.AsOf(o, stamps[0]-1); ok {
 			t.Fatal("AsOf before creation returned a version")
 		}
 		// Far future: the latest.
-		got, ok, _ := e.AsOf(o, stamps[len(stamps)-1]+1000)
+		got, ok, _ := tx.AsOf(o, stamps[len(stamps)-1]+1000)
 		if !ok || got != vids[len(vids)-1] {
 			t.Fatalf("AsOf(future) = %v, %v", got, ok)
 		}
@@ -438,12 +438,12 @@ func TestDeltaChainContentFidelity(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	var o oid.OID
 	contents := map[oid.VID][]byte{}
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		base := make([]byte, 2048)
 		rng.Read(base)
 		var err error
 		var v oid.VID
-		o, v, err = e.Create(ty, base)
+		o, v, err = tx.Create(ty, base)
 		if err != nil {
 			return err
 		}
@@ -451,29 +451,29 @@ func TestDeltaChainContentFidelity(t *testing.T) {
 		cur := append([]byte(nil), base...)
 		// A long linear chain with edits: crosses several keyframes.
 		for i := 0; i < 20; i++ {
-			v, err = e.NewVersion(o)
+			v, err = tx.NewVersion(o)
 			if err != nil {
 				return err
 			}
 			cur = append([]byte(nil), cur...)
 			cur[rng.Intn(len(cur))] ^= byte(rng.Intn(255) + 1)
-			if err := e.UpdateVersion(o, v, cur); err != nil {
+			if err := tx.UpdateVersion(o, v, cur); err != nil {
 				return err
 			}
 			contents[v] = append([]byte(nil), cur...)
 		}
 		return nil
 	})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		for v, want := range contents {
-			got, err := e.ReadVersion(o, v)
+			got, err := tx.ReadVersion(o, v)
 			if err != nil {
 				t.Fatalf("read %v: %v", v, err)
 			}
 			if !bytes.Equal(got, want) {
 				t.Fatalf("content drift at %v", v)
 			}
-			info, err := e.Info(o, v)
+			info, err := tx.Info(o, v)
 			if err != nil {
 				return err
 			}
@@ -491,29 +491,29 @@ func TestUpdateParentDoesNotCorruptDeltaChildren(t *testing.T) {
 	var o oid.OID
 	var v0, v1 oid.VID
 	childContent := []byte("child content derived from parent .....................")
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("parent content ........................................"))
+		o, v0, err = tx.Create(ty, []byte("parent content ........................................"))
 		if err != nil {
 			return err
 		}
-		v1, err = e.NewVersion(o)
+		v1, err = tx.NewVersion(o)
 		if err != nil {
 			return err
 		}
-		return e.UpdateVersion(o, v1, childContent)
+		return tx.UpdateVersion(o, v1, childContent)
 	})
 	// Mutating the parent must not change the child's materialised
 	// content even though the child may be stored as a delta against it.
-	w(t, e, func() error {
-		return e.UpdateVersion(o, v0, []byte("REWRITTEN"))
+	w(t, e, func(tx *Tx) error {
+		return tx.UpdateVersion(o, v0, []byte("REWRITTEN"))
 	})
-	w(t, e, func() error {
-		got, err := e.ReadVersion(o, v1)
+	w(t, e, func(tx *Tx) error {
+		got, err := tx.ReadVersion(o, v1)
 		if err != nil || !bytes.Equal(got, childContent) {
 			t.Fatalf("child corrupted: %q %v", got, err)
 		}
-		p, err := e.ReadVersion(o, v0)
+		p, err := tx.ReadVersion(o, v0)
 		if err != nil || string(p) != "REWRITTEN" {
 			t.Fatalf("parent: %q %v", p, err)
 		}
@@ -527,34 +527,34 @@ func TestDeleteDeltaBasePreservesChildren(t *testing.T) {
 	var o oid.OID
 	var v0, v1, v2 oid.VID
 	c2 := bytes.Repeat([]byte("z"), 500)
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, bytes.Repeat([]byte("a"), 500))
+		o, v0, err = tx.Create(ty, bytes.Repeat([]byte("a"), 500))
 		if err != nil {
 			return err
 		}
-		v1, err = e.NewVersion(o)
+		v1, err = tx.NewVersion(o)
 		if err != nil {
 			return err
 		}
-		if err := e.UpdateVersion(o, v1, bytes.Repeat([]byte("b"), 500)); err != nil {
+		if err := tx.UpdateVersion(o, v1, bytes.Repeat([]byte("b"), 500)); err != nil {
 			return err
 		}
-		v2, err = e.NewVersion(o)
+		v2, err = tx.NewVersion(o)
 		if err != nil {
 			return err
 		}
-		return e.UpdateVersion(o, v2, c2)
+		return tx.UpdateVersion(o, v2, c2)
 	})
 	// v2 is (likely) a delta against v1; deleting v1 must rewrite v2 so
 	// its content survives.
-	w(t, e, func() error { return e.DeleteVersion(o, v1) })
-	w(t, e, func() error {
-		got, err := e.ReadVersion(o, v2)
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, v1) })
+	w(t, e, func(tx *Tx) error {
+		got, err := tx.ReadVersion(o, v2)
 		if err != nil || !bytes.Equal(got, c2) {
 			t.Fatalf("orphaned delta child: %v", err)
 		}
-		d, err := e.Dprev(o, v2)
+		d, err := tx.Dprev(o, v2)
 		if err != nil || d != v0 {
 			t.Fatalf("Dprev(v2) = %v, %v", d, err)
 		}
@@ -579,17 +579,17 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 	var o oid.OID
 	var v0, v1 oid.VID
-	if err := e.Write(func() error {
+	if err := e.Write(func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("persisted-root"))
+		o, v0, err = tx.Create(ty, []byte("persisted-root"))
 		if err != nil {
 			return err
 		}
-		v1, err = e.NewVersion(o)
+		v1, err = tx.NewVersion(o)
 		if err != nil {
 			return err
 		}
-		return e.UpdateVersion(o, v1, []byte("persisted-edit"))
+		return tx.UpdateVersion(o, v1, []byte("persisted-edit"))
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -606,12 +606,12 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e2.Read(func() error {
-		content, latest, err := e2.ReadLatest(o)
+	if err := e2.Read(func(tx *Tx) error {
+		content, latest, err := tx.ReadLatest(o)
 		if err != nil || latest != v1 || string(content) != "persisted-edit" {
 			t.Fatalf("reopen latest: %q %v %v", content, latest, err)
 		}
-		old, err := e2.ReadVersion(o, v0)
+		old, err := tx.ReadVersion(o, v0)
 		if err != nil || string(old) != "persisted-root" {
 			t.Fatalf("reopen v0: %q %v", old, err)
 		}
@@ -630,24 +630,24 @@ func TestExtentIteration(t *testing.T) {
 	tyA := mustType(t, e, "A")
 	tyB := mustType(t, e, "B")
 	var as []oid.OID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		for i := 0; i < 5; i++ {
-			o, _, err := e.Create(tyA, []byte{byte(i)})
+			o, _, err := tx.Create(tyA, []byte{byte(i)})
 			if err != nil {
 				return err
 			}
 			as = append(as, o)
 		}
 		for i := 0; i < 3; i++ {
-			if _, _, err := e.Create(tyB, []byte{byte(i)}); err != nil {
+			if _, _, err := tx.Create(tyB, []byte{byte(i)}); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var got []oid.OID
-		if err := e.Extent(tyA, func(o oid.OID) (bool, error) {
+		if err := tx.Extent(tyA, func(o oid.OID) (bool, error) {
 			got = append(got, o)
 			return true, nil
 		}); err != nil {
@@ -661,7 +661,7 @@ func TestExtentIteration(t *testing.T) {
 				t.Fatalf("extent order: %v vs %v", got, as)
 			}
 		}
-		nB, _ := e.ExtentCount(tyB)
+		nB, _ := tx.ExtentCount(tyB)
 		if nB != 3 {
 			t.Fatalf("extent B count = %d", nB)
 		}
@@ -674,35 +674,35 @@ func TestConfigurations(t *testing.T) {
 	ty := mustType(t, e, "Rep")
 	var schematic, vectors oid.OID
 	var sV0, sV1 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		schematic, sV0, err = e.Create(ty, []byte("schematic-v0"))
+		schematic, sV0, err = tx.Create(ty, []byte("schematic-v0"))
 		if err != nil {
 			return err
 		}
-		vectors, _, err = e.Create(ty, []byte("vectors-v0"))
+		vectors, _, err = tx.Create(ty, []byte("vectors-v0"))
 		if err != nil {
 			return err
 		}
 		// Static binding pins schematic@v0; dynamic binding tracks
 		// vectors' latest.
-		return e.SaveConfig("timing", []Binding{
+		return tx.SaveConfig("timing", []Binding{
 			{Slot: "schematic", Obj: schematic, VID: sV0},
 			{Slot: "vectors", Obj: vectors}, // dynamic
 		})
 	})
 	// Evolve both objects.
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		sV1, err = e.NewVersion(schematic)
+		sV1, err = tx.NewVersion(schematic)
 		if err != nil {
 			return err
 		}
-		_, err = e.NewVersion(vectors)
+		_, err = tx.NewVersion(vectors)
 		return err
 	})
-	w(t, e, func() error {
-		rs, err := e.ResolveConfig("timing")
+	w(t, e, func(tx *Tx) error {
+		rs, err := tx.ResolveConfig("timing")
 		if err != nil {
 			return err
 		}
@@ -713,27 +713,27 @@ func TestConfigurations(t *testing.T) {
 		if rs[0].Slot != "schematic" || rs[0].VID != sV0 {
 			t.Fatalf("static binding drifted: %+v", rs[0])
 		}
-		vLatest, _ := e.Latest(vectors)
+		vLatest, _ := tx.Latest(vectors)
 		if rs[1].Slot != "vectors" || rs[1].VID != vLatest {
 			t.Fatalf("dynamic binding stale: %+v (latest %v)", rs[1], vLatest)
 		}
 		_ = sV1
-		names, err := e.Configs()
+		names, err := tx.Configs()
 		if err != nil || len(names) != 1 || names[0] != "timing" {
 			t.Fatalf("Configs: %v %v", names, err)
 		}
 		return nil
 	})
 	// Validation: static binding to a bogus version fails.
-	err := e.Write(func() error {
-		return e.SaveConfig("bad", []Binding{{Slot: "x", Obj: schematic, VID: oid.VID(9999)}})
+	err := e.Write(func(tx *Tx) error {
+		return tx.SaveConfig("bad", []Binding{{Slot: "x", Obj: schematic, VID: oid.VID(9999)}})
 	})
 	if err == nil {
 		t.Fatal("bogus static binding accepted")
 	}
-	w(t, e, func() error { return e.DeleteConfig("timing") })
-	w(t, e, func() error {
-		if _, ok, _ := e.GetConfig("timing"); ok {
+	w(t, e, func(tx *Tx) error { return tx.DeleteConfig("timing") })
+	w(t, e, func(tx *Tx) error {
+		if _, ok, _ := tx.GetConfig("timing"); ok {
 			t.Fatal("config survived delete")
 		}
 		return nil
@@ -745,37 +745,37 @@ func TestContexts(t *testing.T) {
 	ty := mustType(t, e, "Doc")
 	var o oid.OID
 	var v0 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("baseline"))
+		o, v0, err = tx.Create(ty, []byte("baseline"))
 		if err != nil {
 			return err
 		}
-		if _, err := e.NewVersion(o); err != nil {
+		if _, err := tx.NewVersion(o); err != nil {
 			return err
 		}
-		return e.SetContext("release-1", map[oid.OID]oid.VID{o: v0})
+		return tx.SetContext("release-1", map[oid.OID]oid.VID{o: v0})
 	})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		// In the context, the generic reference resolves to the pinned
 		// default; outside, to the latest.
-		pinned, err := e.ResolveInContext("release-1", o)
+		pinned, err := tx.ResolveInContext("release-1", o)
 		if err != nil || pinned != v0 {
 			t.Fatalf("context resolve: %v %v", pinned, err)
 		}
-		latest, _ := e.Latest(o)
-		free, err := e.ResolveInContext("", o)
+		latest, _ := tx.Latest(o)
+		free, err := tx.ResolveInContext("", o)
 		if err != nil || free != latest {
 			t.Fatalf("no-context resolve: %v %v", free, err)
 		}
 		// Unpinned object in a context falls back to latest.
 		var o2 oid.OID
 		_ = o2
-		names, err := e.Contexts()
+		names, err := tx.Contexts()
 		if err != nil || len(names) != 1 || names[0] != "release-1" {
 			t.Fatalf("Contexts: %v %v", names, err)
 		}
-		if _, err := e.ResolveInContext("nope", o); err == nil {
+		if _, err := tx.ResolveInContext("nope", o); err == nil {
 			t.Fatal("unknown context accepted")
 		}
 		return nil
@@ -786,23 +786,23 @@ func TestAbortRestoresEngineConsistency(t *testing.T) {
 	e := newEngine(t, Options{Policy: DeltaChain})
 	ty := mustType(t, e, "T")
 	var o oid.OID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, _, err = e.Create(ty, []byte("stable"))
+		o, _, err = tx.Create(ty, []byte("stable"))
 		return err
 	})
 	boom := errors.New("boom")
-	err := e.Write(func() error {
+	err := e.Write(func(tx *Tx) error {
 		for i := 0; i < 10; i++ {
-			v, err := e.NewVersion(o)
+			v, err := tx.NewVersion(o)
 			if err != nil {
 				return err
 			}
-			if err := e.UpdateVersion(o, v, bytes.Repeat([]byte{byte(i)}, 300)); err != nil {
+			if err := tx.UpdateVersion(o, v, bytes.Repeat([]byte{byte(i)}, 300)); err != nil {
 				return err
 			}
 		}
-		if _, _, err := e.Create(ty, []byte("doomed")); err != nil {
+		if _, _, err := tx.Create(ty, []byte("doomed")); err != nil {
 			return err
 		}
 		return boom
@@ -810,25 +810,25 @@ func TestAbortRestoresEngineConsistency(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("want boom, got %v", err)
 	}
-	w(t, e, func() error {
-		n, err := e.VersionCount(o)
+	w(t, e, func(tx *Tx) error {
+		n, err := tx.VersionCount(o)
 		if err != nil || n != 1 {
 			t.Fatalf("aborted versions visible: %d %v", n, err)
 		}
-		content, _, err := e.ReadLatest(o)
+		content, _, err := tx.ReadLatest(o)
 		if err != nil || string(content) != "stable" {
 			t.Fatalf("content after abort: %q %v", content, err)
 		}
-		cnt, _ := e.ExtentCount(ty)
+		cnt, _ := tx.ExtentCount(ty)
 		if cnt != 1 {
 			t.Fatalf("extent after abort: %d", cnt)
 		}
 		// Engine fully usable after abort.
-		v, err := e.NewVersion(o)
+		v, err := tx.NewVersion(o)
 		if err != nil {
 			return err
 		}
-		return e.UpdateVersion(o, v, []byte("post-abort"))
+		return tx.UpdateVersion(o, v, []byte("post-abort"))
 	})
 }
 
@@ -837,23 +837,23 @@ func TestOwnerReverseIndex(t *testing.T) {
 	ty := mustType(t, e, "T")
 	var o oid.OID
 	var v0, v1 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("x"))
+		o, v0, err = tx.Create(ty, []byte("x"))
 		if err != nil {
 			return err
 		}
-		v1, err = e.NewVersion(o)
+		v1, err = tx.NewVersion(o)
 		return err
 	})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		for _, v := range []oid.VID{v0, v1} {
-			owner, err := e.Owner(v)
+			owner, err := tx.Owner(v)
 			if err != nil || owner != o {
 				t.Fatalf("Owner(%v) = %v, %v", v, owner, err)
 			}
 		}
-		if _, err := e.Owner(oid.VID(424242)); !errors.Is(err, ErrNoVersion) {
+		if _, err := tx.Owner(oid.VID(424242)); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("phantom owner: %v", err)
 		}
 		return nil
@@ -864,9 +864,9 @@ func TestLargeConfigSpillsToHeap(t *testing.T) {
 	e := newEngine(t, Options{})
 	ty := mustType(t, e, "C")
 	var bindings []Binding
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		for i := 0; i < 200; i++ {
-			o, _, err := e.Create(ty, []byte{byte(i)})
+			o, _, err := tx.Create(ty, []byte{byte(i)})
 			if err != nil {
 				return err
 			}
@@ -875,14 +875,14 @@ func TestLargeConfigSpillsToHeap(t *testing.T) {
 				Obj:  o,
 			})
 		}
-		return e.SaveConfig("big", bindings)
+		return tx.SaveConfig("big", bindings)
 	})
-	w(t, e, func() error {
-		got, ok, err := e.GetConfig("big")
+	w(t, e, func(tx *Tx) error {
+		got, ok, err := tx.GetConfig("big")
 		if err != nil || !ok || len(got) != 200 {
 			t.Fatalf("big config roundtrip: %d %v %v", len(got), ok, err)
 		}
-		rs, err := e.ResolveConfig("big")
+		rs, err := tx.ResolveConfig("big")
 		if err != nil || len(rs) != 200 {
 			t.Fatalf("resolve: %d %v", len(rs), err)
 		}
@@ -891,21 +891,21 @@ func TestLargeConfigSpillsToHeap(t *testing.T) {
 	// Replacing a spilled config must not leak its heap record: replace
 	// it many times and ensure the store does not balloon.
 	var before uint64
-	w(t, e, func() error {
-		before = e.st.NumPages()
+	w(t, e, func(tx *Tx) error {
+		before = e.mgr.Store().NumPages()
 		return nil
 	})
 	for i := 0; i < 20; i++ {
-		w(t, e, func() error { return e.SaveConfig("big", bindings) })
+		w(t, e, func(tx *Tx) error { return tx.SaveConfig("big", bindings) })
 	}
-	w(t, e, func() error {
-		if after := e.st.NumPages(); after > before+4 {
+	w(t, e, func(tx *Tx) error {
+		if after := e.mgr.Store().NumPages(); after > before+4 {
 			t.Fatalf("spilled config leaked pages: %d -> %d", before, after)
 		}
-		return e.DeleteConfig("big")
+		return tx.DeleteConfig("big")
 	})
-	w(t, e, func() error {
-		if _, ok, _ := e.GetConfig("big"); ok {
+	w(t, e, func(tx *Tx) error {
+		if _, ok, _ := tx.GetConfig("big"); ok {
 			t.Fatal("config survived delete")
 		}
 		return nil
@@ -916,22 +916,22 @@ func TestLargeContextSpillsToHeap(t *testing.T) {
 	e := newEngine(t, Options{})
 	ty := mustType(t, e, "C")
 	defaults := map[oid.OID]oid.VID{}
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		for i := 0; i < 500; i++ {
-			o, v, err := e.Create(ty, []byte{byte(i)})
+			o, v, err := tx.Create(ty, []byte{byte(i)})
 			if err != nil {
 				return err
 			}
 			defaults[o] = v
 		}
-		return e.SetContext("bigctx", defaults)
+		return tx.SetContext("bigctx", defaults)
 	})
-	w(t, e, func() error {
-		got, ok, err := e.GetContext("bigctx")
+	w(t, e, func(tx *Tx) error {
+		got, ok, err := tx.GetContext("bigctx")
 		if err != nil || !ok || len(got) != 500 {
 			t.Fatalf("big context roundtrip: %d %v %v", len(got), ok, err)
 		}
-		return e.DeleteContext("bigctx")
+		return tx.DeleteContext("bigctx")
 	})
 }
 
@@ -942,39 +942,39 @@ func TestDeleteRootCreatesForest(t *testing.T) {
 	ty := mustType(t, e, "T")
 	var o oid.OID
 	var v0, v1, v2 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, []byte("root"))
+		o, v0, err = tx.Create(ty, []byte("root"))
 		if err != nil {
 			return err
 		}
-		v1, _ = e.NewVersionFrom(o, v0)
-		v2, _ = e.NewVersionFrom(o, v0)
+		v1, _ = tx.NewVersionFrom(o, v0)
+		v2, _ = tx.NewVersionFrom(o, v0)
 		return nil
 	})
-	w(t, e, func() error { return e.DeleteVersion(o, v0) })
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, v0) })
+	w(t, e, func(tx *Tx) error {
 		// Both children become roots.
 		for _, v := range []oid.VID{v1, v2} {
-			d, err := e.Dprev(o, v)
+			d, err := tx.Dprev(o, v)
 			if err != nil || !d.IsNil() {
 				t.Fatalf("Dprev(%v) = %v, %v", v, d, err)
 			}
 		}
 		// Both are also leaves (no children of their own).
-		leaves, err := e.Leaves(o)
+		leaves, err := tx.Leaves(o)
 		if err != nil || len(leaves) != 2 {
 			t.Fatalf("leaves = %v, %v", leaves, err)
 		}
 		// Renderer handles the forest.
-		out, err := e.Render(o)
+		out, err := tx.Render(o)
 		if err != nil {
 			return err
 		}
 		if !strings.Contains(out, "├── v2") || !strings.Contains(out, "└── v3") {
 			t.Fatalf("forest render wrong:\n%s", out)
 		}
-		return e.CheckObject(o)
+		return tx.CheckObject(o)
 	})
 }
 
@@ -983,17 +983,17 @@ func TestInfoFields(t *testing.T) {
 	ty := mustType(t, e, "T")
 	var o oid.OID
 	var v0, v1 oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, v0, err = e.Create(ty, bytes.Repeat([]byte("a"), 100))
+		o, v0, err = tx.Create(ty, bytes.Repeat([]byte("a"), 100))
 		if err != nil {
 			return err
 		}
-		v1, err = e.NewVersion(o)
+		v1, err = tx.NewVersion(o)
 		return err
 	})
-	w(t, e, func() error {
-		i0, err := e.Info(o, v0)
+	w(t, e, func(tx *Tx) error {
+		i0, err := tx.Info(o, v0)
 		if err != nil {
 			return err
 		}
@@ -1003,7 +1003,7 @@ func TestInfoFields(t *testing.T) {
 		if i0.Size != 100 || i0.Delta || i0.ChainDepth != 0 {
 			t.Fatalf("i0 storage = %+v", i0)
 		}
-		i1, err := e.Info(o, v1)
+		i1, err := tx.Info(o, v1)
 		if err != nil {
 			return err
 		}

@@ -19,9 +19,11 @@
 //   - trigger events so notification/percolation policies can be built
 //     outside the kernel (§1, §7).
 //
-// The engine is not locked internally: every public method must run
-// inside the transaction manager's Write (mutating) or Read callback.
-// The public ode package enforces that discipline.
+// Every engine operation runs on a Tx — a per-transaction handle binding
+// the storage view, heap and tree handles of exactly one transaction.
+// Engine.Write and Engine.Read mint the Tx and scope its lifetime to the
+// callback; read transactions run against an epoch-pinned snapshot and
+// never block behind writers.
 package core
 
 import (
@@ -37,6 +39,10 @@ import (
 	"ode/internal/trigger"
 	"ode/internal/txn"
 )
+
+// ErrTxDone reports use of a transaction handle whose transaction has
+// ended (re-exported by the ode package).
+var ErrTxDone = storage.ErrTxDone
 
 // Superblock counter slots (on-disk format).
 const (
@@ -91,10 +97,27 @@ type Options struct {
 // DefaultMaxChain is the delta-chain keyframe interval.
 const DefaultMaxChain = 16
 
-// Engine is the versioned-object store.
+// Engine is the versioned-object store. It holds only cross-transaction
+// state; everything a single transaction needs lives on its Tx.
 type Engine struct {
 	mgr  *txn.Manager
-	st   *storage.Store
+	bus  *trigger.Bus
+	opts Options
+
+	// heapSpace is the heap's advisory free-space cache, shared across
+	// write transactions (writers are serialised; hsMu orders the
+	// reset-after-abort against the next writer's pickup).
+	hsMu      sync.Mutex
+	heapSpace *storage.HeapState
+}
+
+// Tx is one transaction's engine handle: the storage view plus tree and
+// heap handles bound to that view. All engine operations are Tx methods;
+// a Tx is created by Engine.Write/Engine.Read and is invalid once the
+// callback returns (the underlying view returns ErrTxDone).
+type Tx struct {
+	e    *Engine
+	st   *storage.TxView
 	heap *storage.Heap
 	bus  *trigger.Bus
 	opts Options
@@ -107,11 +130,11 @@ type Engine struct {
 	config   *btree.Tree // configurations and contexts
 	vidIdx   *btree.Tree // vid → oid
 
-	// indexes caches open named secondary-index trees (roots live in
-	// the catalog tree); cleared whenever tree handles are rebound.
-	// idxMu makes the cache safe for concurrent readers.
-	idxMu   sync.Mutex
+	// indexes caches named secondary-index trees opened by this
+	// transaction (roots live in the catalog tree).
 	indexes map[string]*btree.Tree
+
+	writable bool
 }
 
 // New wires an engine over mgr, creating the persistent structures on
@@ -121,24 +144,30 @@ func New(mgr *txn.Manager, opts Options) (*Engine, error) {
 		opts.MaxChain = DefaultMaxChain
 	}
 	e := &Engine{
-		mgr:  mgr,
-		st:   mgr.Store(),
-		heap: storage.NewHeap(mgr.Store()),
-		bus:  trigger.NewBus(),
-		opts: opts,
+		mgr:       mgr,
+		bus:       trigger.NewBus(),
+		opts:      opts,
+		heapSpace: storage.NewHeapState(),
 	}
-	if e.st.Root(rootObjTable) == oid.NilPage {
+	fresh := false
+	if err := mgr.Read(func(v *storage.TxView) error {
+		fresh = v.Root(rootObjTable) == oid.NilPage
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if fresh {
 		// Fresh database: create every structure in one transaction.
-		err := mgr.Write(func() error {
+		err := mgr.Write(func(v *storage.TxView) error {
 			for _, slot := range []int{
 				rootObjTable, rootVerIdx, rootTempIdx, rootCatalog,
 				rootExtent, rootConfig, rootVidIdx,
 			} {
-				t, err := btree.Create(e.st)
+				t, err := btree.Create(v)
 				if err != nil {
 					return err
 				}
-				e.st.SetRoot(slot, t.Root())
+				v.SetRoot(slot, t.Root())
 			}
 			return nil
 		})
@@ -146,40 +175,44 @@ func New(mgr *txn.Manager, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("core: init structures: %w", err)
 		}
 	}
-	e.reopenTrees()
 	return e, nil
 }
 
-// reopenTrees rebinds tree handles to the roots currently recorded in
-// the superblock. Called at startup and after any abort (an abort can
-// roll a root change back, leaving handles stale).
-func (e *Engine) reopenTrees() {
-	e.objTable = btree.Open(e.st, e.st.Root(rootObjTable))
-	e.verIdx = btree.Open(e.st, e.st.Root(rootVerIdx))
-	e.tempIdx = btree.Open(e.st, e.st.Root(rootTempIdx))
-	e.catalog = btree.Open(e.st, e.st.Root(rootCatalog))
-	e.extent = btree.Open(e.st, e.st.Root(rootExtent))
-	e.config = btree.Open(e.st, e.st.Root(rootConfig))
-	e.vidIdx = btree.Open(e.st, e.st.Root(rootVidIdx))
-	e.idxMu.Lock()
-	e.indexes = make(map[string]*btree.Tree)
-	e.idxMu.Unlock()
+// newTx binds a transaction handle to v, opening every tree at the root
+// the view's superblock snapshot records.
+func (e *Engine) newTx(v *storage.TxView, hs *storage.HeapState, writable bool) *Tx {
+	return &Tx{
+		e:        e,
+		st:       v,
+		heap:     storage.NewHeap(v, hs),
+		bus:      e.bus,
+		opts:     e.opts,
+		objTable: btree.Open(v, v.Root(rootObjTable)),
+		verIdx:   btree.Open(v, v.Root(rootVerIdx)),
+		tempIdx:  btree.Open(v, v.Root(rootTempIdx)),
+		catalog:  btree.Open(v, v.Root(rootCatalog)),
+		extent:   btree.Open(v, v.Root(rootExtent)),
+		config:   btree.Open(v, v.Root(rootConfig)),
+		vidIdx:   btree.Open(v, v.Root(rootVidIdx)),
+		indexes:  make(map[string]*btree.Tree),
+		writable: writable,
+	}
 }
 
 // saveRoots persists any root page movements after a mutating operation.
-func (e *Engine) saveRoots() {
+func (tx *Tx) saveRoots() {
 	set := func(slot int, t *btree.Tree) {
-		if e.st.Root(slot) != t.Root() {
-			e.st.SetRoot(slot, t.Root())
+		if tx.st.Root(slot) != t.Root() {
+			tx.st.SetRoot(slot, t.Root())
 		}
 	}
-	set(rootObjTable, e.objTable)
-	set(rootVerIdx, e.verIdx)
-	set(rootTempIdx, e.tempIdx)
-	set(rootCatalog, e.catalog)
-	set(rootExtent, e.extent)
-	set(rootConfig, e.config)
-	set(rootVidIdx, e.vidIdx)
+	set(rootObjTable, tx.objTable)
+	set(rootVerIdx, tx.verIdx)
+	set(rootTempIdx, tx.tempIdx)
+	set(rootCatalog, tx.catalog)
+	set(rootExtent, tx.extent)
+	set(rootConfig, tx.config)
+	set(rootVidIdx, tx.vidIdx)
 }
 
 // Bus exposes the trigger bus.
@@ -191,19 +224,39 @@ func (e *Engine) Manager() *txn.Manager { return e.mgr }
 // Policy returns the configured payload policy.
 func (e *Engine) Policy() PayloadPolicy { return e.opts.Policy }
 
-// Write runs fn as a transaction, refreshing tree handles after aborts.
-func (e *Engine) Write(fn func() error) error {
-	err := e.mgr.Write(fn)
+// Write runs fn as a write transaction. The Tx is valid only until fn
+// returns; on error or panic every effect is rolled back.
+func (e *Engine) Write(fn func(tx *Tx) error) error {
+	e.hsMu.Lock()
+	hs := e.heapSpace
+	e.hsMu.Unlock()
+	err := e.mgr.Write(func(v *storage.TxView) error {
+		return fn(e.newTx(v, hs, true))
+	})
 	if err != nil {
-		// Abort may have rolled back root changes and heap state.
-		e.reopenTrees()
-		e.heap = storage.NewHeap(e.st)
+		// Abort rolled pages back underneath the shared heap space
+		// cache; its entries self-heal, but the sweep position may hide
+		// reverted pages, so start the next writer fresh.
+		e.hsMu.Lock()
+		e.heapSpace = storage.NewHeapState()
+		e.hsMu.Unlock()
 	}
 	return err
 }
 
-// Read runs fn under the shared reader lock.
-func (e *Engine) Read(fn func() error) error { return e.mgr.Read(fn) }
+// Read runs fn against a snapshot of the most recently committed state;
+// it neither blocks nor is blocked by concurrent writers.
+func (e *Engine) Read(fn func(tx *Tx) error) error {
+	return e.mgr.Read(func(v *storage.TxView) error {
+		return fn(e.newTx(v, nil, false))
+	})
+}
+
+// Writable reports whether this transaction may mutate.
+func (tx *Tx) Writable() bool { return tx.writable }
+
+// Epoch returns the snapshot epoch this transaction reads at.
+func (tx *Tx) Epoch() uint64 { return tx.st.Epoch() }
 
 // --- keys ---
 
@@ -279,8 +332,8 @@ func decodeObjHeader(b []byte) (objHeader, error) {
 	return h, nil
 }
 
-func (e *Engine) loadHeader(o oid.OID) (objHeader, error) {
-	raw, ok, err := e.objTable.Get(objKey(o))
+func (tx *Tx) loadHeader(o oid.OID) (objHeader, error) {
+	raw, ok, err := tx.objTable.Get(objKey(o))
 	if err != nil {
 		return objHeader{}, err
 	}
@@ -290,19 +343,19 @@ func (e *Engine) loadHeader(o oid.OID) (objHeader, error) {
 	return decodeObjHeader(raw)
 }
 
-func (e *Engine) storeHeader(o oid.OID, h objHeader) error {
-	return e.objTable.Put(objKey(o), h.encode())
+func (tx *Tx) storeHeader(o oid.OID, h objHeader) error {
+	return tx.objTable.Put(objKey(o), h.encode())
 }
 
 // Exists reports whether an object is present.
-func (e *Engine) Exists(o oid.OID) (bool, error) {
-	_, ok, err := e.objTable.Get(objKey(o))
+func (tx *Tx) Exists(o oid.OID) (bool, error) {
+	_, ok, err := tx.objTable.Get(objKey(o))
 	return ok, err
 }
 
 // TypeOf returns the catalog type of an object.
-func (e *Engine) TypeOf(o oid.OID) (oid.TypeID, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) TypeOf(o oid.OID) (oid.TypeID, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilType, err
 	}
@@ -312,8 +365,8 @@ func (e *Engine) TypeOf(o oid.OID) (oid.TypeID, error) {
 // Latest returns the vid the object id currently binds to — the paper's
 // generic-reference resolution ("an object id ... logically refers to
 // the latest version of the object").
-func (e *Engine) Latest(o oid.OID) (oid.VID, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) Latest(o oid.OID) (oid.VID, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
 	}
@@ -321,8 +374,8 @@ func (e *Engine) Latest(o oid.OID) (oid.VID, error) {
 }
 
 // VersionCount returns the number of live versions of the object.
-func (e *Engine) VersionCount(o oid.OID) (uint64, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) VersionCount(o oid.OID) (uint64, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return 0, err
 	}
@@ -330,8 +383,8 @@ func (e *Engine) VersionCount(o oid.OID) (uint64, error) {
 }
 
 // Owner resolves a vid to its object (reverse index).
-func (e *Engine) Owner(v oid.VID) (oid.OID, error) {
-	raw, ok, err := e.vidIdx.Get(vidKey(v))
+func (tx *Tx) Owner(v oid.VID) (oid.OID, error) {
+	raw, ok, err := tx.vidIdx.Get(vidKey(v))
 	if err != nil {
 		return oid.NilOID, err
 	}
@@ -350,13 +403,23 @@ type Stats struct {
 	Stamp    uint64
 }
 
-// Stats returns engine totals.
-func (e *Engine) Stats() Stats {
+// Stats returns engine totals from this transaction's snapshot.
+func (tx *Tx) Stats() Stats {
 	return Stats{
-		Objects:  e.st.Counter(ctrObjects),
-		Versions: e.st.Counter(ctrVersion),
-		NextOID:  e.st.Counter(ctrOID),
-		NextVID:  e.st.Counter(ctrVID),
-		Stamp:    e.st.Counter(ctrStamp),
+		Objects:  tx.st.Counter(ctrObjects),
+		Versions: tx.st.Counter(ctrVersion),
+		NextOID:  tx.st.Counter(ctrOID),
+		NextVID:  tx.st.Counter(ctrVID),
+		Stamp:    tx.st.Counter(ctrStamp),
 	}
+}
+
+// Stats returns engine totals as of the most recent commit.
+func (e *Engine) Stats() Stats {
+	var s Stats
+	_ = e.Read(func(tx *Tx) error {
+		s = tx.Stats()
+		return nil
+	})
+	return s
 }

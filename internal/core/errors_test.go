@@ -14,26 +14,26 @@ import (
 func TestOpsOnMissingObject(t *testing.T) {
 	e := newEngine(t, Options{})
 	ghost := oid.OID(4242)
-	w(t, e, func() error {
-		if _, _, err := e.ReadLatest(ghost); !errors.Is(err, ErrNoObject) {
+	w(t, e, func(tx *Tx) error {
+		if _, _, err := tx.ReadLatest(ghost); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("ReadLatest: %v", err)
 		}
-		if _, err := e.NewVersion(ghost); !errors.Is(err, ErrNoObject) {
+		if _, err := tx.NewVersion(ghost); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("NewVersion: %v", err)
 		}
-		if err := e.DeleteObject(ghost); !errors.Is(err, ErrNoObject) {
+		if err := tx.DeleteObject(ghost); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("DeleteObject: %v", err)
 		}
-		if err := e.DeleteVersion(ghost, oid.VID(1)); !errors.Is(err, ErrNoObject) {
+		if err := tx.DeleteVersion(ghost, oid.VID(1)); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("DeleteVersion: %v", err)
 		}
-		if _, err := e.Latest(ghost); !errors.Is(err, ErrNoObject) {
+		if _, err := tx.Latest(ghost); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("Latest: %v", err)
 		}
-		if _, err := e.Render(ghost); !errors.Is(err, ErrNoObject) {
+		if _, err := tx.Render(ghost); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("Render: %v", err)
 		}
-		if _, err := e.Versions(ghost); err != nil {
+		if _, err := tx.Versions(ghost); err != nil {
 			// Versions on a missing object is an empty scan, not an error.
 			t.Fatalf("Versions: %v", err)
 		}
@@ -45,75 +45,75 @@ func TestOpsOnMissingVersion(t *testing.T) {
 	e := newEngine(t, Options{})
 	ty := mustType(t, e, "T")
 	var o oid.OID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, _, err = e.Create(ty, []byte("x"))
+		o, _, err = tx.Create(ty, []byte("x"))
 		return err
 	})
 	ghost := oid.VID(777)
-	w(t, e, func() error {
-		if _, err := e.ReadVersion(o, ghost); !errors.Is(err, ErrNoVersion) {
+	w(t, e, func(tx *Tx) error {
+		if _, err := tx.ReadVersion(o, ghost); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("ReadVersion: %v", err)
 		}
-		if err := e.UpdateVersion(o, ghost, []byte("y")); !errors.Is(err, ErrNoVersion) {
+		if err := tx.UpdateVersion(o, ghost, []byte("y")); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("UpdateVersion: %v", err)
 		}
-		if _, err := e.NewVersionFrom(o, ghost); !errors.Is(err, ErrNoVersion) {
+		if _, err := tx.NewVersionFrom(o, ghost); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("NewVersionFrom: %v", err)
 		}
 		// DeleteVersion on a multi-version object with a ghost vid.
-		if _, err := e.NewVersion(o); err != nil {
+		if _, err := tx.NewVersion(o); err != nil {
 			return err
 		}
-		if err := e.DeleteVersion(o, ghost); !errors.Is(err, ErrNoVersion) {
+		if err := tx.DeleteVersion(o, ghost); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("DeleteVersion: %v", err)
 		}
-		if _, err := e.Dprev(o, ghost); !errors.Is(err, ErrNoVersion) {
+		if _, err := tx.Dprev(o, ghost); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("Dprev: %v", err)
 		}
-		if _, err := e.Info(o, ghost); !errors.Is(err, ErrNoVersion) {
+		if _, err := tx.Info(o, ghost); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("Info: %v", err)
 		}
 		return nil
 	})
 	// Engine state undamaged by all the failures.
-	w(t, e, func() error { return e.CheckAll() })
+	w(t, e, func(tx *Tx) error { return tx.CheckAll() })
 }
 
 func TestConfigErrorPaths(t *testing.T) {
 	e := newEngine(t, Options{})
 	ty := mustType(t, e, "T")
 	var o oid.OID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, _, err = e.Create(ty, []byte("x"))
+		o, _, err = tx.Create(ty, []byte("x"))
 		return err
 	})
-	w(t, e, func() error {
-		if err := e.SaveConfig("", nil); err == nil {
+	w(t, e, func(tx *Tx) error {
+		if err := tx.SaveConfig("", nil); err == nil {
 			t.Fatal("empty config name accepted")
 		}
-		if err := e.SetContext("", nil); err == nil {
+		if err := tx.SetContext("", nil); err == nil {
 			t.Fatal("empty context name accepted")
 		}
-		if _, err := e.ResolveConfig("missing"); err == nil {
+		if _, err := tx.ResolveConfig("missing"); err == nil {
 			t.Fatal("missing config resolved")
 		}
-		if _, err := e.ResolveInContext("missing", o); err == nil {
+		if _, err := tx.ResolveInContext("missing", o); err == nil {
 			t.Fatal("missing context resolved")
 		}
 		// Config naming a dead object fails validation.
-		if err := e.SaveConfig("bad", []Binding{{Slot: "s", Obj: oid.OID(999)}}); !errors.Is(err, ErrNoObject) {
+		if err := tx.SaveConfig("bad", []Binding{{Slot: "s", Obj: oid.OID(999)}}); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("dead dynamic binding: %v", err)
 		}
-		if err := e.SetContext("bad", map[oid.OID]oid.VID{o: oid.VID(999)}); !errors.Is(err, ErrNoVersion) {
+		if err := tx.SetContext("bad", map[oid.OID]oid.VID{o: oid.VID(999)}); !errors.Is(err, ErrNoVersion) {
 			t.Fatalf("dead context pin: %v", err)
 		}
 		// Deleting unknown config/context is a no-op, not an error.
-		if err := e.DeleteConfig("never-existed"); err != nil {
+		if err := tx.DeleteConfig("never-existed"); err != nil {
 			t.Fatalf("DeleteConfig: %v", err)
 		}
-		if err := e.DeleteContext("never-existed"); err != nil {
+		if err := tx.DeleteContext("never-existed"); err != nil {
 			t.Fatalf("DeleteContext: %v", err)
 		}
 		return nil
@@ -126,17 +126,17 @@ func TestConfigResolutionAfterComponentDeletion(t *testing.T) {
 	e := newEngine(t, Options{})
 	ty := mustType(t, e, "T")
 	var o oid.OID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		o, _, err = e.Create(ty, []byte("x"))
+		o, _, err = tx.Create(ty, []byte("x"))
 		if err != nil {
 			return err
 		}
-		return e.SaveConfig("cfg", []Binding{{Slot: "s", Obj: o}})
+		return tx.SaveConfig("cfg", []Binding{{Slot: "s", Obj: o}})
 	})
-	w(t, e, func() error { return e.DeleteObject(o) })
-	w(t, e, func() error {
-		if _, err := e.ResolveConfig("cfg"); !errors.Is(err, ErrNoObject) {
+	w(t, e, func(tx *Tx) error { return tx.DeleteObject(o) })
+	w(t, e, func(tx *Tx) error {
+		if _, err := tx.ResolveConfig("cfg"); !errors.Is(err, ErrNoObject) {
 			t.Fatalf("dangling config resolve: %v", err)
 		}
 		return nil
@@ -159,23 +159,23 @@ func TestAsOfAfterDeletions(t *testing.T) {
 	var o oid.OID
 	var vids []oid.VID
 	var stamps []oid.Stamp
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
 		var v oid.VID
-		o, v, err = e.Create(ty, []byte("s"))
+		o, v, err = tx.Create(ty, []byte("s"))
 		if err != nil {
 			return err
 		}
 		vids = append(vids, v)
 		for i := 0; i < 4; i++ {
-			v, err = e.NewVersion(o)
+			v, err = tx.NewVersion(o)
 			if err != nil {
 				return err
 			}
 			vids = append(vids, v)
 		}
 		for _, v := range vids {
-			info, err := e.Info(o, v)
+			info, err := tx.Info(o, v)
 			if err != nil {
 				return err
 			}
@@ -184,9 +184,9 @@ func TestAsOfAfterDeletions(t *testing.T) {
 		return nil
 	})
 	// Delete the middle version.
-	w(t, e, func() error { return e.DeleteVersion(o, vids[2]) })
-	w(t, e, func() error {
-		got, ok, err := e.AsOf(o, stamps[2])
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, vids[2]) })
+	w(t, e, func(tx *Tx) error {
+		got, ok, err := tx.AsOf(o, stamps[2])
 		if err != nil || !ok {
 			t.Fatalf("AsOf after deletion: %v %v", ok, err)
 		}
@@ -194,7 +194,7 @@ func TestAsOfAfterDeletions(t *testing.T) {
 			t.Fatalf("AsOf(%v) = %v, want predecessor %v", stamps[2], got, vids[1])
 		}
 		// The walk-based variant agrees.
-		walk, ok, err := e.AsOfWalk(o, stamps[2])
+		walk, ok, err := tx.AsOfWalk(o, stamps[2])
 		if err != nil || !ok || walk != got {
 			t.Fatalf("AsOfWalk disagrees: %v %v %v", walk, ok, err)
 		}
@@ -204,22 +204,22 @@ func TestAsOfAfterDeletions(t *testing.T) {
 
 func TestIndexOnMissingNameIsCreated(t *testing.T) {
 	e := newEngine(t, Options{})
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		// Reading from a never-written index creates an empty tree.
-		if _, ok, err := e.IndexGet("fresh", []byte("k")); err != nil || ok {
+		if _, ok, err := tx.IndexGet("fresh", []byte("k")); err != nil || ok {
 			t.Fatalf("fresh index get: %v %v", ok, err)
 		}
-		if err := e.IndexPut("fresh", []byte("k"), []byte("v")); err != nil {
+		if err := tx.IndexPut("fresh", []byte("k"), []byte("v")); err != nil {
 			return err
 		}
-		v, ok, err := e.IndexGet("fresh", []byte("k"))
+		v, ok, err := tx.IndexGet("fresh", []byte("k"))
 		if err != nil || !ok || string(v) != "v" {
 			t.Fatalf("index roundtrip: %q %v %v", v, ok, err)
 		}
-		names, err := e.IndexNames()
+		names, err := tx.IndexNames()
 		if err != nil || len(names) != 1 || names[0] != "fresh" {
 			t.Fatalf("index names: %v %v", names, err)
 		}
-		return e.IndexCheck("fresh")
+		return tx.IndexCheck("fresh")
 	})
 }

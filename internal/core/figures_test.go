@@ -26,30 +26,30 @@ func figureObject(t *testing.T, e *Engine, steps int) (oid.OID, []oid.VID) {
 	ty := mustType(t, e, "item")
 	var o oid.OID
 	var vids []oid.VID
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
 		var v oid.VID
-		o, v, err = e.Create(ty, []byte("v0"))
+		o, v, err = tx.Create(ty, []byte("v0"))
 		if err != nil {
 			return err
 		}
 		vids = append(vids, v)
 		if steps >= 2 {
-			v, err = e.NewVersion(o) // derived from latest = v0
+			v, err = tx.NewVersion(o) // derived from latest = v0
 			if err != nil {
 				return err
 			}
 			vids = append(vids, v)
 		}
 		if steps >= 3 {
-			v, err = e.NewVersionFrom(o, vids[0]) // alternative from v0
+			v, err = tx.NewVersionFrom(o, vids[0]) // alternative from v0
 			if err != nil {
 				return err
 			}
 			vids = append(vids, v)
 		}
 		if steps >= 4 {
-			v, err = e.NewVersionFrom(o, vids[1]) // revision of v1
+			v, err = tx.NewVersionFrom(o, vids[1]) // revision of v1
 			if err != nil {
 				return err
 			}
@@ -63,9 +63,9 @@ func figureObject(t *testing.T, e *Engine, steps int) (oid.OID, []oid.VID) {
 func renderOf(t *testing.T, e *Engine, o oid.OID) string {
 	t.Helper()
 	var out string
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		var err error
-		out, err = e.Render(o)
+		out, err = tx.Render(o)
 		return err
 	})
 	return out
@@ -88,7 +88,7 @@ func TestFigureRevision(t *testing.T) {
 	if got := renderOf(t, e, o); got != golden {
 		t.Fatalf("F1 mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
-	w(t, e, func() error { return e.CheckObject(o) })
+	w(t, e, func(tx *Tx) error { return tx.CheckObject(o) })
 	_ = vids
 }
 
@@ -132,10 +132,10 @@ func TestFigureHistory(t *testing.T) {
 	if got := renderOf(t, e, o); got != golden {
 		t.Fatalf("F3 mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
-	w(t, e, func() error {
+	w(t, e, func(tx *Tx) error {
 		// "v3, v1, and v0 constitute a version history" — in our vids:
 		// v4, v2, v1.
-		hist, err := e.History(o, vids[3])
+		hist, err := tx.History(o, vids[3])
 		if err != nil {
 			return err
 		}
@@ -143,7 +143,7 @@ func TestFigureHistory(t *testing.T) {
 		if len(hist) != 3 || hist[0] != want[0] || hist[1] != want[1] || hist[2] != want[2] {
 			t.Fatalf("history = %v want %v", hist, want)
 		}
-		return e.CheckObject(o)
+		return tx.CheckObject(o)
 	})
 }
 
@@ -155,7 +155,7 @@ func TestFigurePdelete(t *testing.T) {
 	o, vids := figureObject(t, e, 4)
 	// Delete v1 (paper's v0's first revision): v4 re-parents onto v1's
 	// parent v0 (our v1).
-	w(t, e, func() error { return e.DeleteVersion(o, vids[1]) })
+	w(t, e, func(tx *Tx) error { return tx.DeleteVersion(o, vids[1]) })
 	golden := strings.Join([]string{
 		"o1 (item) latest=v4 versions=3",
 		"derived-from:",
@@ -168,15 +168,15 @@ func TestFigurePdelete(t *testing.T) {
 	if got := renderOf(t, e, o); got != golden {
 		t.Fatalf("F4a mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
-	w(t, e, func() error { return e.CheckObject(o) })
+	w(t, e, func(tx *Tx) error { return tx.CheckObject(o) })
 	// pdelete(oid): everything goes.
-	w(t, e, func() error { return e.DeleteObject(o) })
-	w(t, e, func() error {
-		if ok, _ := e.Exists(o); ok {
+	w(t, e, func(tx *Tx) error { return tx.DeleteObject(o) })
+	w(t, e, func(tx *Tx) error {
+		if ok, _ := tx.Exists(o); ok {
 			t.Fatal("object survived pdelete(oid)")
 		}
 		for _, v := range vids {
-			if _, err := e.Owner(v); err == nil {
+			if _, err := tx.Owner(v); err == nil {
 				t.Fatalf("version %v survived pdelete(oid)", v)
 			}
 		}

@@ -18,115 +18,120 @@ const idxRootPrefix = "r:" // catalog key: r:<name> → u32 root page
 
 func idxRootKey(name string) []byte { return append([]byte(idxRootPrefix), name...) }
 
-// indexTree returns the named index's tree, creating it on first use.
-// Trees are cached per engine; the cache is dropped by reopenTrees after
-// aborts. The cache mutex makes concurrent readers safe; tree creation
-// (a mutation) only happens inside write transactions.
-func (e *Engine) indexTree(name string) (*btree.Tree, error) {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	if t, ok := e.indexes[name]; ok {
+// indexTree returns the named index's tree, cached per transaction.
+// With create=true (write paths) a missing index is created; with
+// create=false a missing index yields (nil, nil) and the caller treats
+// it as empty — read transactions must never mutate, and historically
+// a read-path lookup of an unknown index silently created its tree.
+func (tx *Tx) indexTree(name string, create bool) (*btree.Tree, error) {
+	if t, ok := tx.indexes[name]; ok {
 		return t, nil
 	}
-	raw, ok, err := e.catalog.Get(idxRootKey(name))
+	raw, ok, err := tx.catalog.Get(idxRootKey(name))
 	if err != nil {
 		return nil, err
 	}
 	var t *btree.Tree
 	if ok {
-		t = btree.Open(e.st, oid.PageID(binary.BigEndian.Uint32(raw)))
+		t = btree.Open(tx.st, oid.PageID(binary.BigEndian.Uint32(raw)))
 	} else {
-		t, err = btree.Create(e.st)
+		if !create {
+			return nil, nil
+		}
+		t, err = btree.Create(tx.st)
 		if err != nil {
 			return nil, err
 		}
-		if err := e.putIndexRoot(name, t.Root()); err != nil {
+		if err := tx.putIndexRoot(name, t.Root()); err != nil {
 			return nil, err
 		}
 	}
-	e.indexes[name] = t
+	tx.indexes[name] = t
 	return t, nil
 }
 
-func (e *Engine) putIndexRoot(name string, root oid.PageID) error {
+func (tx *Tx) putIndexRoot(name string, root oid.PageID) error {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], uint32(root))
-	if err := e.catalog.Put(idxRootKey(name), b[:]); err != nil {
+	if err := tx.catalog.Put(idxRootKey(name), b[:]); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // saveIndexRoot persists a root movement after a mutation.
-func (e *Engine) saveIndexRoot(name string, t *btree.Tree) error {
-	raw, ok, err := e.catalog.Get(idxRootKey(name))
+func (tx *Tx) saveIndexRoot(name string, t *btree.Tree) error {
+	raw, ok, err := tx.catalog.Get(idxRootKey(name))
 	if err != nil {
 		return err
 	}
 	if ok && oid.PageID(binary.BigEndian.Uint32(raw)) == t.Root() {
 		return nil
 	}
-	return e.putIndexRoot(name, t.Root())
+	return tx.putIndexRoot(name, t.Root())
 }
 
-// IndexPut inserts or replaces an entry in a named index.
-func (e *Engine) IndexPut(name string, key, val []byte) error {
-	t, err := e.indexTree(name)
+// IndexPut inserts or replaces an entry in a named index, creating the
+// index on first use.
+func (tx *Tx) IndexPut(name string, key, val []byte) error {
+	t, err := tx.indexTree(name, true)
 	if err != nil {
 		return err
 	}
 	if err := t.Put(key, val); err != nil {
 		return err
 	}
-	return e.saveIndexRoot(name, t)
+	return tx.saveIndexRoot(name, t)
 }
 
-// IndexGet reads one entry from a named index.
-func (e *Engine) IndexGet(name string, key []byte) ([]byte, bool, error) {
-	t, err := e.indexTree(name)
-	if err != nil {
+// IndexGet reads one entry from a named index. A missing index reads as
+// empty.
+func (tx *Tx) IndexGet(name string, key []byte) ([]byte, bool, error) {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return nil, false, err
 	}
 	return t.Get(key)
 }
 
 // IndexDelete removes an entry, reporting whether it was present.
-func (e *Engine) IndexDelete(name string, key []byte) (bool, error) {
-	t, err := e.indexTree(name)
-	if err != nil {
+func (tx *Tx) IndexDelete(name string, key []byte) (bool, error) {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return false, err
 	}
 	ok, err := t.Delete(key)
 	if err != nil {
 		return false, err
 	}
-	return ok, e.saveIndexRoot(name, t)
+	return ok, tx.saveIndexRoot(name, t)
 }
 
 // IndexAscend iterates entries in [from, to) order (nil bounds are
-// open).
-func (e *Engine) IndexAscend(name string, from, to []byte, fn func(k, v []byte) (bool, error)) error {
-	t, err := e.indexTree(name)
-	if err != nil {
+// open). A missing index iterates nothing.
+func (tx *Tx) IndexAscend(name string, from, to []byte, fn func(k, v []byte) (bool, error)) error {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return err
 	}
 	return t.Ascend(from, to, fn)
 }
 
 // IndexAscendPrefix iterates all entries whose key has the prefix.
-func (e *Engine) IndexAscendPrefix(name string, prefix []byte, fn func(k, v []byte) (bool, error)) error {
-	t, err := e.indexTree(name)
-	if err != nil {
+func (tx *Tx) IndexAscendPrefix(name string, prefix []byte, fn func(k, v []byte) (bool, error)) error {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return err
 	}
 	return t.AscendPrefix(prefix, fn)
 }
 
-// IndexDrop deletes a named index entirely, freeing its pages.
-func (e *Engine) IndexDrop(name string) error {
-	t, err := e.indexTree(name)
-	if err != nil {
+// IndexDrop deletes a named index entirely, freeing its pages. Dropping
+// an index that does not exist is a no-op.
+func (tx *Tx) IndexDrop(name string) error {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return err
 	}
 	// Drain the tree so its pages return to the free list, then free the
@@ -143,43 +148,60 @@ func (e *Engine) IndexDrop(name string) error {
 			return err
 		}
 	}
-	if err := e.st.Free(t.Root()); err != nil {
+	if err := tx.st.Free(t.Root()); err != nil {
 		return err
 	}
-	e.idxMu.Lock()
-	delete(e.indexes, name)
-	e.idxMu.Unlock()
-	if _, err := e.catalog.Delete(idxRootKey(name)); err != nil {
+	delete(tx.indexes, name)
+	if _, err := tx.catalog.Delete(idxRootKey(name)); err != nil {
 		return err
 	}
-	e.saveRoots()
+	tx.saveRoots()
 	return nil
 }
 
 // IndexNames lists the named indexes in order.
-func (e *Engine) IndexNames() ([]string, error) {
+func (tx *Tx) IndexNames() ([]string, error) {
 	var out []string
-	err := e.catalog.AscendPrefix([]byte(idxRootPrefix), func(k, _ []byte) (bool, error) {
+	err := tx.catalog.AscendPrefix([]byte(idxRootPrefix), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(idxRootPrefix):]))
 		return true, nil
 	})
 	return out, err
 }
 
-// IndexLen counts the entries of a named index (O(n)).
-func (e *Engine) IndexLen(name string) (int, error) {
-	t, err := e.indexTree(name)
-	if err != nil {
+// IndexLen counts the entries of a named index (O(n)); a missing index
+// has length 0.
+func (tx *Tx) IndexLen(name string) (int, error) {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return 0, err
 	}
 	return t.Len()
 }
 
 // IndexCheck validates the named index tree's structural invariants.
-func (e *Engine) IndexCheck(name string) error {
-	t, err := e.indexTree(name)
-	if err != nil {
+func (tx *Tx) IndexCheck(name string) error {
+	t, err := tx.indexTree(name, false)
+	if err != nil || t == nil {
 		return err
 	}
 	return t.Check()
+}
+
+// IndexNames is the self-transacting convenience form.
+func (e *Engine) IndexNames() (out []string, err error) {
+	err = e.Read(func(tx *Tx) error {
+		out, err = tx.IndexNames()
+		return err
+	})
+	return out, err
+}
+
+// IndexLen is the self-transacting convenience form.
+func (e *Engine) IndexLen(name string) (n int, err error) {
+	err = e.Read(func(tx *Tx) error {
+		n, err = tx.IndexLen(name)
+		return err
+	})
+	return n, err
 }

@@ -98,8 +98,8 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 				id.full.v = map[int]uint64{}
 				id.delta.v = map[int]uint64{}
 				applyCreate := func(e *Engine, tyID uint32, o *uint64, vm map[int]uint64) {
-					if err := e.Write(func() error {
-						oo, vv, err := e.Create(toTypeID(tyID), content)
+					if err := e.Write(func(tx *Tx) error {
+						oo, vv, err := tx.Create(toTypeID(tyID), content)
 						if err != nil {
 							return err
 						}
@@ -128,8 +128,8 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 				m.dprev[seq] = base
 				m.temporal = append(m.temporal, seq)
 				applyNV := func(e *Engine, o uint64, vm map[int]uint64) {
-					if err := e.Write(func() error {
-						vv, err := e.NewVersionFrom(toOID(o), toVID(vm[base]))
+					if err := e.Write(func(tx *Tx) error {
+						vv, err := tx.NewVersionFrom(toOID(o), toVID(vm[base]))
 						if err != nil {
 							return err
 						}
@@ -149,8 +149,8 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 				content := randContent()
 				m.versions[seq] = content
 				applyUp := func(e *Engine, o uint64, vm map[int]uint64) {
-					if err := e.Write(func() error {
-						return e.UpdateVersion(toOID(o), toVID(vm[seq]), content)
+					if err := e.Write(func(tx *Tx) error {
+						return tx.UpdateVersion(toOID(o), toVID(vm[seq]), content)
 					}); err != nil {
 						t.Fatal(err)
 					}
@@ -163,8 +163,8 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 				m, id := objects[oi], objIDs[oi]
 				seq := m.temporal[rng.Intn(len(m.temporal))]
 				applyDel := func(e *Engine, o uint64, vm map[int]uint64) {
-					if err := e.Write(func() error {
-						return e.DeleteVersion(toOID(o), toVID(vm[seq]))
+					if err := e.Write(func(tx *Tx) error {
+						return tx.DeleteVersion(toOID(o), toVID(vm[seq]))
 					}); err != nil {
 						t.Fatal(err)
 					}
@@ -196,8 +196,8 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 				oi := alive[rng.Intn(len(alive))]
 				m, id := objects[oi], objIDs[oi]
 				applyDO := func(e *Engine, o uint64) {
-					if err := e.Write(func() error {
-						return e.DeleteObject(toOID(o))
+					if err := e.Write(func(tx *Tx) error {
+						return tx.DeleteObject(toOID(o))
 					}); err != nil {
 						t.Fatal(err)
 					}
@@ -220,8 +220,8 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 				{eFull, id.full.o, id.full.v},
 				{eDelta, id.delta.o, id.delta.v},
 			} {
-				err := pair.e.Read(func() error {
-					exists, err := pair.e.Exists(toOID(pair.o))
+				err := pair.e.Read(func(tx *Tx) error {
+					exists, err := tx.Exists(toOID(pair.o))
 					if err != nil {
 						return err
 					}
@@ -232,7 +232,7 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 						return nil
 					}
 					// Latest binding.
-					latest, err := pair.e.Latest(toOID(pair.o))
+					latest, err := tx.Latest(toOID(pair.o))
 					if err != nil {
 						return err
 					}
@@ -241,14 +241,14 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 					}
 					// All contents and derivation parents.
 					for seq, want := range m.versions {
-						got, err := pair.e.ReadVersion(toOID(pair.o), toVID(pair.v[seq]))
+						got, err := tx.ReadVersion(toOID(pair.o), toVID(pair.v[seq]))
 						if err != nil {
 							return fmt.Errorf("obj %d seq %d: %w", oi, seq, err)
 						}
 						if !bytes.Equal(got, want) {
 							t.Fatalf("burst %d eng %d obj %d seq %d: content mismatch", burst, which, oi, seq)
 						}
-						d, err := pair.e.Dprev(toOID(pair.o), toVID(pair.v[seq]))
+						d, err := tx.Dprev(toOID(pair.o), toVID(pair.v[seq]))
 						if err != nil {
 							return err
 						}
@@ -261,7 +261,7 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 						}
 					}
 					// Temporal order.
-					vs, err := pair.e.Versions(toOID(pair.o))
+					vs, err := tx.Versions(toOID(pair.o))
 					if err != nil {
 						return err
 					}
@@ -281,10 +281,10 @@ func runPolicyEquivalence(t *testing.T, seed int64) {
 			}
 		}
 		// Full invariant sweep on both engines.
-		if err := eFull.Read(func() error { return eFull.CheckAll() }); err != nil {
+		if err := eFull.Read(func(tx *Tx) error { return tx.CheckAll() }); err != nil {
 			t.Fatalf("burst %d FullCopy invariants: %v", burst, err)
 		}
-		if err := eDelta.Read(func() error { return eDelta.CheckAll() }); err != nil {
+		if err := eDelta.Read(func(tx *Tx) error { return tx.CheckAll() }); err != nil {
 			t.Fatalf("burst %d DeltaChain invariants: %v", burst, err)
 		}
 	}

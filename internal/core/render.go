@@ -14,23 +14,23 @@ import (
 // chain. The figure golden tests (figures_test.go) compare these
 // renderings against the states in the paper's §4 walkthrough, and
 // odedump prints them.
-func (e *Engine) Render(o oid.OID) (string, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) Render(o oid.OID) (string, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return "", err
 	}
-	name, _, err := e.TypeName(h.typ)
+	name, _, err := tx.TypeName(h.typ)
 	if err != nil {
 		return "", err
 	}
-	versions, err := e.Versions(o)
+	versions, err := tx.Versions(o)
 	if err != nil {
 		return "", err
 	}
 	children := map[oid.VID][]oid.VID{}
 	var roots []oid.VID
 	for _, v := range versions {
-		rec, err := e.loadVer(o, v)
+		rec, err := tx.loadVer(o, v)
 		if err != nil {
 			return "", err
 		}

@@ -22,8 +22,8 @@ type VersionInfo struct {
 }
 
 // Info returns a version's metadata.
-func (e *Engine) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
-	rec, err := e.loadVer(o, v)
+func (tx *Tx) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return VersionInfo{}, err
 	}
@@ -43,8 +43,8 @@ func (e *Engine) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
 
 // Dprev returns the version this version was derived from — the paper's
 // Dprevious traversal. Nil for a root version.
-func (e *Engine) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
-	rec, err := e.loadVer(o, v)
+func (tx *Tx) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return oid.NilVID, err
 	}
@@ -53,8 +53,8 @@ func (e *Engine) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
 
 // Tprev returns the version temporally preceding v — the paper's
 // Tprevious traversal. Nil for the object's oldest version.
-func (e *Engine) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
-	rec, err := e.loadVer(o, v)
+func (tx *Tx) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return oid.NilVID, err
 	}
@@ -62,8 +62,8 @@ func (e *Engine) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
 }
 
 // Tnext returns the version temporally following v, nil for the latest.
-func (e *Engine) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
-	rec, err := e.loadVer(o, v)
+func (tx *Tx) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return oid.NilVID, err
 	}
@@ -73,9 +73,9 @@ func (e *Engine) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
 // DChildren returns the versions directly derived from v, in vid
 // (creation) order. Multiple children are the paper's alternatives
 // (§4.3): parallel versions derived from the same ancestor.
-func (e *Engine) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
+func (tx *Tx) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
 	var out []oid.VID
-	err := e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+	err := tx.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
 		rec, err := decodeVerRec(val)
 		if err != nil {
 			return false, err
@@ -91,12 +91,12 @@ func (e *Engine) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
 // History returns the version history of v: the derivation chain from v
 // back to the root version, in that order — §4.4's "v3, v1, and v0
 // constitute a version history".
-func (e *Engine) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
+func (tx *Tx) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
 	var out []oid.VID
 	cur := v
 	for !cur.IsNil() {
 		out = append(out, cur)
-		rec, err := e.loadVer(o, cur)
+		rec, err := tx.loadVer(o, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -108,10 +108,10 @@ func (e *Engine) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
 // Leaves returns the leaves of the derived-from tree in vid order. Each
 // leaf is "the most up-to-date version of an alternative design" (§4.5);
 // each root→leaf path is the evolution of one alternative.
-func (e *Engine) Leaves(o oid.OID) ([]oid.VID, error) {
+func (tx *Tx) Leaves(o oid.OID) ([]oid.VID, error) {
 	hasChild := map[oid.VID]bool{}
 	var all []oid.VID
-	err := e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+	err := tx.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
 		rec, err := decodeVerRec(val)
 		if err != nil {
 			return false, err
@@ -136,9 +136,9 @@ func (e *Engine) Leaves(o oid.OID) ([]oid.VID, error) {
 
 // Versions returns all live versions of the object in temporal
 // (creation) order, oldest first.
-func (e *Engine) Versions(o oid.OID) ([]oid.VID, error) {
+func (tx *Tx) Versions(o oid.OID) ([]oid.VID, error) {
 	var out []oid.VID
-	err := e.tempIdx.AscendPrefix(objKey(o), func(_, val []byte) (bool, error) {
+	err := tx.tempIdx.AscendPrefix(objKey(o), func(_, val []byte) (bool, error) {
 		out = append(out, oid.VID(binary.BigEndian.Uint64(val)))
 		return true, nil
 	})
@@ -149,8 +149,8 @@ func (e *Engine) Versions(o oid.OID) ([]oid.VID, error) {
 // version with the largest creation stamp ≤ s. ok=false when the object
 // had no version yet at s. This is the historical-database access the
 // paper motivates with accounting/legal/financial applications (§2).
-func (e *Engine) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
-	k, val, ok, err := e.tempIdx.SeekLE(tempKey(o, s))
+func (tx *Tx) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
+	k, val, ok, err := tx.tempIdx.SeekLE(tempKey(o, s))
 	if err != nil || !ok {
 		return oid.NilVID, false, err
 	}
@@ -164,14 +164,14 @@ func (e *Engine) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 // AsOfWalk answers the same question as AsOf by walking the temporal
 // chain backwards from the latest version — the baseline E8 benchmarks
 // against the indexed SeekLE.
-func (e *Engine) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, false, err
 	}
 	cur := h.latest
 	for !cur.IsNil() {
-		rec, err := e.loadVer(o, cur)
+		rec, err := tx.loadVer(o, cur)
 		if err != nil {
 			return oid.NilVID, false, err
 		}
@@ -185,6 +185,6 @@ func (e *Engine) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 
 // CurrentStamp returns the engine's logical clock value (the stamp of
 // the most recent version-creating operation).
-func (e *Engine) CurrentStamp() oid.Stamp {
-	return oid.Stamp(e.st.Counter(ctrStamp))
+func (tx *Tx) CurrentStamp() oid.Stamp {
+	return oid.Stamp(tx.st.Counter(ctrStamp))
 }

@@ -65,8 +65,8 @@ func decodeVerRec(b []byte) (verRec, error) {
 	return v, nil
 }
 
-func (e *Engine) loadVer(o oid.OID, v oid.VID) (verRec, error) {
-	raw, ok, err := e.verIdx.Get(verKey(o, v))
+func (tx *Tx) loadVer(o oid.OID, v oid.VID) (verRec, error) {
+	raw, ok, err := tx.verIdx.Get(verKey(o, v))
 	if err != nil {
 		return verRec{}, err
 	}
@@ -76,8 +76,8 @@ func (e *Engine) loadVer(o oid.OID, v oid.VID) (verRec, error) {
 	return decodeVerRec(raw)
 }
 
-func (e *Engine) storeVer(o oid.OID, v oid.VID, rec verRec) error {
-	return e.verIdx.Put(verKey(o, v), rec.encode())
+func (tx *Tx) storeVer(o oid.OID, v oid.VID, rec verRec) error {
+	return tx.verIdx.Put(verKey(o, v), rec.encode())
 }
 
 // --- object lifecycle ---
@@ -86,41 +86,41 @@ func (e *Engine) storeVer(o oid.OID, v oid.VID, rec verRec) error {
 // content — the paper's pnew. The object starts with a single root
 // version (it is "unversioned" in the paper's sense: versioning costs
 // nothing until the first newversion). Returns the oid and the root vid.
-func (e *Engine) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
-	if ok, err := e.typeExists(t); err != nil {
+func (tx *Tx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
+	if ok, err := tx.typeExists(t); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	} else if !ok {
 		return oid.NilOID, oid.NilVID, fmt.Errorf("%w: %v", ErrNoType, t)
 	}
-	o := oid.OID(e.st.NextCounter(ctrOID))
-	v := oid.VID(e.st.NextCounter(ctrVID))
-	stamp := oid.Stamp(e.st.NextCounter(ctrStamp))
+	o := oid.OID(tx.st.NextCounter(ctrOID))
+	v := oid.VID(tx.st.NextCounter(ctrVID))
+	stamp := oid.Stamp(tx.st.NextCounter(ctrStamp))
 
-	rid, err := e.heap.Insert(content)
+	rid, err := tx.heap.Insert(content)
 	if err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
 	rec := verRec{stamp: stamp, payload: rid, kind: payFull, size: uint64(len(content))}
-	if err := e.storeVer(o, v, rec); err != nil {
+	if err := tx.storeVer(o, v, rec); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
 	h := objHeader{typ: t, latest: v, count: 1, firstVID: v, created: stamp}
-	if err := e.storeHeader(o, h); err != nil {
+	if err := tx.storeHeader(o, h); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
-	if err := e.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+	if err := tx.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
-	if err := e.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
+	if err := tx.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
-	if err := e.extent.Put(extKey(t, o), nil); err != nil {
+	if err := tx.extent.Put(extKey(t, o), nil); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
-	e.st.SetCounter(ctrObjects, e.st.Counter(ctrObjects)+1)
-	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)+1)
-	e.saveRoots()
-	e.bus.Fire(trigger.Event{Kind: trigger.KindCreate, Obj: o, VID: v, Type: t, Stamp: stamp})
+	tx.st.SetCounter(ctrObjects, tx.st.Counter(ctrObjects)+1)
+	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)+1)
+	tx.saveRoots()
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindCreate, Obj: o, VID: v, Type: t, Stamp: stamp, Tx: tx})
 	return o, v, nil
 }
 
@@ -130,13 +130,13 @@ func (e *Engine) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) 
 // chain down to the nearest full payload and applying the deltas back up.
 // Iterative so that long chains cannot exhaust the stack; the chain
 // length is bounded by Options.MaxChain via depth accounting anyway.
-func (e *Engine) readContent(o oid.OID, rec verRec) ([]byte, error) {
+func (tx *Tx) readContent(o oid.OID, rec verRec) ([]byte, error) {
 	var chain [][]byte // deltas from rec down toward the keyframe
 	cur := rec
 	for {
 		switch cur.kind {
 		case payFull:
-			base, err := e.heap.Read(cur.payload)
+			base, err := tx.heap.Read(cur.payload)
 			if err != nil {
 				return nil, err
 			}
@@ -151,7 +151,7 @@ func (e *Engine) readContent(o oid.OID, rec verRec) ([]byte, error) {
 		case paySame:
 			// Content equals the parent's; nothing to collect.
 		case payDelta:
-			d, err := e.heap.Read(cur.payload)
+			d, err := tx.heap.Read(cur.payload)
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +162,7 @@ func (e *Engine) readContent(o oid.OID, rec verRec) ([]byte, error) {
 		if cur.dprev.IsNil() {
 			return nil, fmt.Errorf("%w: dependent payload with no parent", ErrCorrupt)
 		}
-		parent, err := e.loadVer(o, cur.dprev)
+		parent, err := tx.loadVer(o, cur.dprev)
 		if err != nil {
 			return nil, err
 		}
@@ -172,27 +172,27 @@ func (e *Engine) readContent(o oid.OID, rec verRec) ([]byte, error) {
 
 // ReadVersion returns the content of a specific version — the paper's
 // specific-reference dereference (*vp on a version id).
-func (e *Engine) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
-	rec, err := e.loadVer(o, v)
+func (tx *Tx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return nil, err
 	}
-	return e.readContent(o, rec)
+	return tx.readContent(o, rec)
 }
 
 // ReadLatest returns the latest version's content and its vid — the
 // paper's generic-reference dereference (*p on an object id binds to the
 // latest version at access time).
-func (e *Engine) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return nil, oid.NilVID, err
 	}
-	rec, err := e.loadVer(o, h.latest)
+	rec, err := tx.loadVer(o, h.latest)
 	if err != nil {
 		return nil, oid.NilVID, err
 	}
-	content, err := e.readContent(o, rec)
+	content, err := tx.readContent(o, rec)
 	return content, h.latest, err
 }
 
@@ -202,18 +202,18 @@ func (e *Engine) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
 // dprev, choosing full or delta representation per policy. It updates
 // rec's payload/kind/depth/size fields in place; rec.payload must be
 // NilRID or an existing record to overwrite.
-func (e *Engine) writePayload(o oid.OID, rec *verRec, content []byte) error {
+func (tx *Tx) writePayload(o oid.OID, rec *verRec, content []byte) error {
 	kind := uint8(payFull)
 	var encoded []byte
 	var depth uint16
 
-	if e.opts.Policy == DeltaChain && !rec.dprev.IsNil() {
-		parent, err := e.loadVer(o, rec.dprev)
+	if tx.opts.Policy == DeltaChain && !rec.dprev.IsNil() {
+		parent, err := tx.loadVer(o, rec.dprev)
 		if err != nil {
 			return err
 		}
-		if int(parent.depth)+1 <= e.opts.MaxChain {
-			base, err := e.readContent(o, parent)
+		if int(parent.depth)+1 <= tx.opts.MaxChain {
+			base, err := tx.readContent(o, parent)
 			if err != nil {
 				return err
 			}
@@ -232,13 +232,13 @@ func (e *Engine) writePayload(o oid.OID, rec *verRec, content []byte) error {
 	}
 
 	if rec.payload.IsNil() {
-		rid, err := e.heap.Insert(encoded)
+		rid, err := tx.heap.Insert(encoded)
 		if err != nil {
 			return err
 		}
 		rec.payload = rid
 	} else {
-		if err := e.heap.Update(rec.payload, encoded); err != nil {
+		if err := tx.heap.Update(rec.payload, encoded); err != nil {
 			return err
 		}
 	}
@@ -253,12 +253,12 @@ func (e *Engine) writePayload(o oid.OID, rec *verRec, content []byte) error {
 // through a specific reference). Children stored as deltas against this
 // version are first converted to stand-alone payloads so their content
 // is unaffected.
-func (e *Engine) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
-	rec, err := e.loadVer(o, v)
+func (tx *Tx) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return err
 	}
-	if err := e.detachDependents(o, v); err != nil {
+	if err := tx.detachDependents(o, v); err != nil {
 		return err
 	}
 	// Reload: detachDependents may have rewritten rec's entry? (It only
@@ -267,45 +267,45 @@ func (e *Engine) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
 		// Gains its own payload record now.
 		rec.payload = oid.NilRID
 	}
-	if err := e.writePayload(o, &rec, content); err != nil {
+	if err := tx.writePayload(o, &rec, content); err != nil {
 		return err
 	}
-	if err := e.storeVer(o, v, rec); err != nil {
+	if err := tx.storeVer(o, v, rec); err != nil {
 		return err
 	}
-	if err := e.fixDepths(o, v, rec.depth); err != nil {
+	if err := tx.fixDepths(o, v, rec.depth); err != nil {
 		return err
 	}
-	h, err := e.loadHeader(o)
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
 	}
-	e.saveRoots()
-	e.bus.Fire(trigger.Event{Kind: trigger.KindUpdate, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp})
+	tx.saveRoots()
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindUpdate, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx})
 	return nil
 }
 
 // UpdateLatest overwrites the latest version's content (generic-
 // reference assignment).
-func (e *Engine) UpdateLatest(o oid.OID, content []byte) (oid.VID, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) UpdateLatest(o oid.OID, content []byte) (oid.VID, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
 	}
-	return h.latest, e.UpdateVersion(o, h.latest, content)
+	return h.latest, tx.UpdateVersion(o, h.latest, content)
 }
 
 // fixDepths recomputes the chain-depth hints of v's dependent
 // descendants after v's own depth changed. A child stored as a delta or
 // shared payload has depth parent.depth+1; subtrees whose depth is
 // already correct are pruned.
-func (e *Engine) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
-	children, err := e.DChildren(o, v)
+func (tx *Tx) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
+	children, err := tx.DChildren(o, v)
 	if err != nil {
 		return err
 	}
 	for _, c := range children {
-		crec, err := e.loadVer(o, c)
+		crec, err := tx.loadVer(o, c)
 		if err != nil {
 			return err
 		}
@@ -317,10 +317,10 @@ func (e *Engine) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
 			continue
 		}
 		crec.depth = want
-		if err := e.storeVer(o, c, crec); err != nil {
+		if err := tx.storeVer(o, c, crec); err != nil {
 			return err
 		}
-		if err := e.fixDepths(o, c, want); err != nil {
+		if err := tx.fixDepths(o, c, want); err != nil {
 			return err
 		}
 	}
@@ -329,41 +329,41 @@ func (e *Engine) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
 
 // detachDependents rewrites every child version whose payload depends on
 // v's content (paySame or payDelta with dprev == v) as a full payload.
-func (e *Engine) detachDependents(o oid.OID, v oid.VID) error {
-	children, err := e.DChildren(o, v)
+func (tx *Tx) detachDependents(o oid.OID, v oid.VID) error {
+	children, err := tx.DChildren(o, v)
 	if err != nil {
 		return err
 	}
 	for _, c := range children {
-		crec, err := e.loadVer(o, c)
+		crec, err := tx.loadVer(o, c)
 		if err != nil {
 			return err
 		}
 		if crec.kind == payFull {
 			continue
 		}
-		content, err := e.readContent(o, crec)
+		content, err := tx.readContent(o, crec)
 		if err != nil {
 			return err
 		}
 		if crec.kind == paySame {
-			rid, err := e.heap.Insert(content)
+			rid, err := tx.heap.Insert(content)
 			if err != nil {
 				return err
 			}
 			crec.payload = rid
 		} else {
-			if err := e.heap.Update(crec.payload, content); err != nil {
+			if err := tx.heap.Update(crec.payload, content); err != nil {
 				return err
 			}
 		}
 		crec.kind = payFull
 		crec.depth = 0
 		crec.size = uint64(len(content))
-		if err := e.storeVer(o, c, crec); err != nil {
+		if err := tx.storeVer(o, c, crec); err != nil {
 			return err
 		}
-		if err := e.fixDepths(o, c, 0); err != nil {
+		if err := tx.fixDepths(o, c, 0); err != nil {
 			return err
 		}
 	}
@@ -374,35 +374,35 @@ func (e *Engine) detachDependents(o oid.OID, v oid.VID) error {
 
 // NewVersion creates a new version derived from the object's latest
 // version — the paper's newversion(oid). Returns the new vid.
-func (e *Engine) NewVersion(o oid.OID) (oid.VID, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) NewVersion(o oid.OID) (oid.VID, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
 	}
-	return e.newVersionFrom(o, h, h.latest)
+	return tx.newVersionFrom(o, h, h.latest)
 }
 
 // NewVersionFrom creates a new version derived from a specific base
 // version — the paper's newversion(vid); parallel calls on different
 // bases create the alternatives of §4.3.
-func (e *Engine) NewVersionFrom(o oid.OID, base oid.VID) (oid.VID, error) {
-	h, err := e.loadHeader(o)
+func (tx *Tx) NewVersionFrom(o oid.OID, base oid.VID) (oid.VID, error) {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
 	}
-	if _, err := e.loadVer(o, base); err != nil {
+	if _, err := tx.loadVer(o, base); err != nil {
 		return oid.NilVID, err
 	}
-	return e.newVersionFrom(o, h, base)
+	return tx.newVersionFrom(o, h, base)
 }
 
-func (e *Engine) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, error) {
-	baseRec, err := e.loadVer(o, base)
+func (tx *Tx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, error) {
+	baseRec, err := tx.loadVer(o, base)
 	if err != nil {
 		return oid.NilVID, err
 	}
-	v := oid.VID(e.st.NextCounter(ctrVID))
-	stamp := oid.Stamp(e.st.NextCounter(ctrStamp))
+	v := oid.VID(tx.st.NextCounter(ctrVID))
+	stamp := oid.Stamp(tx.st.NextCounter(ctrStamp))
 
 	// The new version starts with content identical to its base. Under
 	// DeltaChain (and within depth budget) that is represented without
@@ -414,49 +414,49 @@ func (e *Engine) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, 
 		tprev: h.latest,
 		size:  baseRec.size,
 	}
-	if e.opts.Policy == DeltaChain && int(baseRec.depth)+1 <= e.opts.MaxChain {
+	if tx.opts.Policy == DeltaChain && int(baseRec.depth)+1 <= tx.opts.MaxChain {
 		rec.kind = paySame
 		rec.depth = baseRec.depth + 1
 	} else {
-		content, err := e.readContent(o, baseRec)
+		content, err := tx.readContent(o, baseRec)
 		if err != nil {
 			return oid.NilVID, err
 		}
-		rid, err := e.heap.Insert(content)
+		rid, err := tx.heap.Insert(content)
 		if err != nil {
 			return oid.NilVID, err
 		}
 		rec.kind = payFull
 		rec.payload = rid
 	}
-	if err := e.storeVer(o, v, rec); err != nil {
+	if err := tx.storeVer(o, v, rec); err != nil {
 		return oid.NilVID, err
 	}
 	// Temporal chain: the old latest gains a successor.
-	prevRec, err := e.loadVer(o, h.latest)
+	prevRec, err := tx.loadVer(o, h.latest)
 	if err != nil {
 		return oid.NilVID, err
 	}
 	prevRec.tnext = v
-	if err := e.storeVer(o, h.latest, prevRec); err != nil {
+	if err := tx.storeVer(o, h.latest, prevRec); err != nil {
 		return oid.NilVID, err
 	}
 	h.latest = v
 	h.count++
-	if err := e.storeHeader(o, h); err != nil {
+	if err := tx.storeHeader(o, h); err != nil {
 		return oid.NilVID, err
 	}
-	if err := e.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+	if err := tx.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
 		return oid.NilVID, err
 	}
-	if err := e.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
+	if err := tx.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
 		return oid.NilVID, err
 	}
-	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)+1)
-	e.saveRoots()
-	e.bus.Fire(trigger.Event{
+	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)+1)
+	tx.saveRoots()
+	tx.bus.Fire(trigger.Event{
 		Kind: trigger.KindNewVersion, Obj: o, VID: v, Prev: base,
-		Type: h.typ, Stamp: stamp,
+		Type: h.typ, Stamp: stamp, Tx: tx,
 	})
 	return v, nil
 }
@@ -469,55 +469,55 @@ func (e *Engine) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, 
 // likewise spliced. If the deleted version was the latest, the object id
 // re-binds to the temporally preceding version. Deleting the only
 // version deletes the object.
-func (e *Engine) DeleteVersion(o oid.OID, v oid.VID) error {
-	h, err := e.loadHeader(o)
+func (tx *Tx) DeleteVersion(o oid.OID, v oid.VID) error {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
 	}
 	if h.count == 1 {
-		return e.DeleteObject(o)
+		return tx.DeleteObject(o)
 	}
-	rec, err := e.loadVer(o, v)
+	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return err
 	}
 	// Children depending on v's bytes must be made self-sufficient, then
 	// re-parented onto v's parent.
-	if err := e.detachDependents(o, v); err != nil {
+	if err := tx.detachDependents(o, v); err != nil {
 		return err
 	}
-	children, err := e.DChildren(o, v)
+	children, err := tx.DChildren(o, v)
 	if err != nil {
 		return err
 	}
 	for _, c := range children {
-		crec, err := e.loadVer(o, c)
+		crec, err := tx.loadVer(o, c)
 		if err != nil {
 			return err
 		}
 		crec.dprev = rec.dprev
-		if err := e.storeVer(o, c, crec); err != nil {
+		if err := tx.storeVer(o, c, crec); err != nil {
 			return err
 		}
 	}
 	// Splice the temporal chain.
 	if !rec.tprev.IsNil() {
-		p, err := e.loadVer(o, rec.tprev)
+		p, err := tx.loadVer(o, rec.tprev)
 		if err != nil {
 			return err
 		}
 		p.tnext = rec.tnext
-		if err := e.storeVer(o, rec.tprev, p); err != nil {
+		if err := tx.storeVer(o, rec.tprev, p); err != nil {
 			return err
 		}
 	}
 	if !rec.tnext.IsNil() {
-		n, err := e.loadVer(o, rec.tnext)
+		n, err := tx.loadVer(o, rec.tnext)
 		if err != nil {
 			return err
 		}
 		n.tprev = rec.tprev
-		if err := e.storeVer(o, rec.tnext, n); err != nil {
+		if err := tx.storeVer(o, rec.tnext, n); err != nil {
 			return err
 		}
 	}
@@ -528,36 +528,36 @@ func (e *Engine) DeleteVersion(o oid.OID, v oid.VID) error {
 		h.firstVID = rec.tnext
 	}
 	h.count--
-	if err := e.storeHeader(o, h); err != nil {
+	if err := tx.storeHeader(o, h); err != nil {
 		return err
 	}
 	if !rec.payload.IsNil() {
-		if err := e.heap.Delete(rec.payload); err != nil {
+		if err := tx.heap.Delete(rec.payload); err != nil {
 			return err
 		}
 	}
-	if err := e.dropAnnotations(o, v); err != nil {
+	if err := tx.dropAnnotations(o, v); err != nil {
 		return err
 	}
-	if _, err := e.verIdx.Delete(verKey(o, v)); err != nil {
+	if _, err := tx.verIdx.Delete(verKey(o, v)); err != nil {
 		return err
 	}
-	if _, err := e.vidIdx.Delete(vidKey(v)); err != nil {
+	if _, err := tx.vidIdx.Delete(vidKey(v)); err != nil {
 		return err
 	}
-	if _, err := e.tempIdx.Delete(tempKey(o, rec.stamp)); err != nil {
+	if _, err := tx.tempIdx.Delete(tempKey(o, rec.stamp)); err != nil {
 		return err
 	}
-	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)-1)
-	e.saveRoots()
-	e.bus.Fire(trigger.Event{Kind: trigger.KindDeleteVersion, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp})
+	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)-1)
+	tx.saveRoots()
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteVersion, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx})
 	return nil
 }
 
 // DeleteObject removes an object and all its versions — the paper's
 // pdelete(oid).
-func (e *Engine) DeleteObject(o oid.OID) error {
-	h, err := e.loadHeader(o)
+func (tx *Tx) DeleteObject(o oid.OID) error {
+	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
 	}
@@ -566,7 +566,7 @@ func (e *Engine) DeleteObject(o oid.OID) error {
 		rec verRec
 	}
 	var versions []entry
-	err = e.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
+	err = tx.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
 		v := oid.VID(binary.BigEndian.Uint64(k[8:16]))
 		rec, err := decodeVerRec(val)
 		if err != nil {
@@ -580,32 +580,32 @@ func (e *Engine) DeleteObject(o oid.OID) error {
 	}
 	for _, en := range versions {
 		if !en.rec.payload.IsNil() {
-			if err := e.heap.Delete(en.rec.payload); err != nil {
+			if err := tx.heap.Delete(en.rec.payload); err != nil {
 				return err
 			}
 		}
-		if _, err := e.verIdx.Delete(verKey(o, en.v)); err != nil {
+		if _, err := tx.verIdx.Delete(verKey(o, en.v)); err != nil {
 			return err
 		}
-		if _, err := e.vidIdx.Delete(vidKey(en.v)); err != nil {
+		if _, err := tx.vidIdx.Delete(vidKey(en.v)); err != nil {
 			return err
 		}
-		if _, err := e.tempIdx.Delete(tempKey(o, en.rec.stamp)); err != nil {
+		if _, err := tx.tempIdx.Delete(tempKey(o, en.rec.stamp)); err != nil {
 			return err
 		}
 	}
-	if err := e.dropAllAnnotations(o); err != nil {
+	if err := tx.dropAllAnnotations(o); err != nil {
 		return err
 	}
-	if _, err := e.objTable.Delete(objKey(o)); err != nil {
+	if _, err := tx.objTable.Delete(objKey(o)); err != nil {
 		return err
 	}
-	if _, err := e.extent.Delete(extKey(h.typ, o)); err != nil {
+	if _, err := tx.extent.Delete(extKey(h.typ, o)); err != nil {
 		return err
 	}
-	e.st.SetCounter(ctrObjects, e.st.Counter(ctrObjects)-1)
-	e.st.SetCounter(ctrVersion, e.st.Counter(ctrVersion)-uint64(len(versions)))
-	e.saveRoots()
-	e.bus.Fire(trigger.Event{Kind: trigger.KindDeleteObject, Obj: o, Type: h.typ})
+	tx.st.SetCounter(ctrObjects, tx.st.Counter(ctrObjects)-1)
+	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)-uint64(len(versions)))
+	tx.saveRoots()
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteObject, Obj: o, Type: h.typ, Tx: tx})
 	return nil
 }

@@ -81,6 +81,15 @@ func (p *Percolator) Created() uint64 {
 
 // onNewVersion runs inside the transaction that created a version.
 func (p *Percolator) onNewVersion(e ode.Event) {
+	tx := p.db.TxOf(e)
+	if tx == nil {
+		p.mu.Lock()
+		if p.err == nil {
+			p.err = ode.ErrTxDone
+		}
+		p.mu.Unlock()
+		return
+	}
 	p.mu.Lock()
 	composites := append([]ode.OID(nil), p.parents[e.Obj]...)
 	p.mu.Unlock()
@@ -94,12 +103,12 @@ func (p *Percolator) onNewVersion(e ode.Event) {
 		if skip {
 			continue
 		}
-		// We are inside the firing Update transaction, so mutating
-		// through the engine directly is safe and atomic with the
+		// We are inside the firing Update transaction and mutate through
+		// its handle, so the percolated versions are atomic with the
 		// triggering change. A failure here is recorded and surfaces via
 		// Err (the kernel treats triggers as notifications and does not
 		// let them veto operations).
-		_, err := p.db.Engine().NewVersion(comp)
+		_, err := tx.NewVersion(comp)
 		p.mu.Lock()
 		delete(p.inFlight, comp)
 		if err == nil {

@@ -96,10 +96,15 @@ func (r *Retention) onNewVersion(e ode.Event) {
 	if !watch {
 		return
 	}
-	// We run inside the creating transaction: prune synchronously.
-	eng := r.db.Engine()
+	// We run inside the creating transaction: prune synchronously
+	// through its handle.
+	tx := r.db.TxOf(e)
+	if tx == nil {
+		r.fail(ode.ErrTxDone)
+		return
+	}
 	for {
-		vs, err := eng.Versions(e.Obj)
+		vs, err := tx.Versions(e.Obj)
 		if err != nil {
 			r.fail(err)
 			return
@@ -108,7 +113,7 @@ func (r *Retention) onNewVersion(e ode.Event) {
 			return
 		}
 		// Delete the temporally oldest version.
-		if err := eng.DeleteVersion(e.Obj, vs[0]); err != nil {
+		if err := tx.DeleteVersion(e.Obj, vs[0]); err != nil {
 			r.fail(err)
 			return
 		}

@@ -31,11 +31,11 @@ const ovHeader = 6
 // ErrNoRecord reports a read of a deleted or never-written record.
 var ErrNoRecord = errors.New("storage: no such record")
 
-// Heap is the record heap: variable-length records addressed by stable
-// RIDs, with overflow chains for records larger than a page. One store
-// has exactly one heap (B+trees use their own page type).
-type Heap struct {
-	st *Store
+// HeapState is the heap's cross-transaction space-hunting state. It is
+// advisory only (every entry is re-verified before use, and pageWithSpace
+// self-heals stale entries), so the engine shares one HeapState across
+// its write transactions and hands fresh ones to readers.
+type HeapState struct {
 	// space caches known free bytes of slotted pages discovered this
 	// session (populated by inserts, updates, deletes, and the sweep).
 	space map[oid.PageID]int
@@ -46,9 +46,28 @@ type Heap struct {
 	sweepDone bool
 }
 
-// NewHeap returns a heap over st.
-func NewHeap(st *Store) *Heap {
-	return &Heap{st: st, space: make(map[oid.PageID]int), sweep: 1}
+// NewHeapState returns empty heap space-hunting state.
+func NewHeapState() *HeapState {
+	return &HeapState{space: make(map[oid.PageID]int), sweep: 1}
+}
+
+// Heap is the record heap: variable-length records addressed by stable
+// RIDs, with overflow chains for records larger than a page. One store
+// has exactly one heap (B+trees use their own page type); each
+// transaction binds it through its own TxView.
+type Heap struct {
+	st *TxView
+	hs *HeapState
+}
+
+// NewHeap returns a heap over the transaction view st. hs carries the
+// space cache across transactions; nil means start fresh (fine for
+// readers and tests).
+func NewHeap(st *TxView, hs *HeapState) *Heap {
+	if hs == nil {
+		hs = NewHeapState()
+	}
+	return &Heap{st: st, hs: hs}
 }
 
 // maxInlinePayload returns the largest payload storable inline.
@@ -89,12 +108,12 @@ func (h *Heap) Insert(data []byte) (oid.RID, error) {
 	if err != nil {
 		return oid.NilRID, err
 	}
-	h.st.Touch(p)
+	p = h.st.Touch(p)
 	slot, err := SlottedInsert(p, cell)
 	if err != nil {
 		return oid.NilRID, fmt.Errorf("storage: insert on page %d: %w", p.ID, err)
 	}
-	h.space[p.ID] = SlottedFreeSpace(p)
+	h.hs.space[p.ID] = SlottedFreeSpace(p)
 	return oid.RID{Page: p.ID, Slot: slot}, nil
 }
 
@@ -129,7 +148,7 @@ func (h *Heap) writeOverflow(data []byte) (oid.PageID, error) {
 		binary.BigEndian.PutUint16(body[4:6], uint16(end-off))
 		copy(body[ovHeader:], data[off:end])
 		if prev != nil {
-			h.st.Touch(prev)
+			prev = h.st.Touch(prev)
 			binary.BigEndian.PutUint32(prev.Body()[0:4], uint32(p.ID))
 		} else {
 			first = p.ID
@@ -241,13 +260,13 @@ func (h *Heap) Update(rid oid.RID, data []byte) error {
 	}
 	oldChain := cellOverflowHead(old)
 
-	h.st.Touch(p)
+	p = h.st.Touch(p)
 	// Try inline first when it fits the page; otherwise use overflow.
 	if len(data) <= h.maxInlinePayload() {
 		cell := encodeInline(data)
 		err = SlottedUpdate(p, rid.Slot, cell)
 		if err == nil {
-			h.space[p.ID] = SlottedFreeSpace(p)
+			h.hs.space[p.ID] = SlottedFreeSpace(p)
 			if oldChain != oid.NilPage {
 				return h.freeOverflow(oldChain)
 			}
@@ -267,7 +286,7 @@ func (h *Heap) Update(rid oid.RID, data []byte) error {
 	if err := SlottedUpdate(p, rid.Slot, cell); err != nil {
 		return fmt.Errorf("storage: overflow cell update on page %d: %w", p.ID, err)
 	}
-	h.space[p.ID] = SlottedFreeSpace(p)
+	h.hs.space[p.ID] = SlottedFreeSpace(p)
 	if oldChain != oid.NilPage {
 		return h.freeOverflow(oldChain)
 	}
@@ -285,11 +304,11 @@ func (h *Heap) Delete(rid oid.RID) error {
 		return fmt.Errorf("%w: %v (%v)", ErrNoRecord, rid, err)
 	}
 	chain := cellOverflowHead(cell)
-	h.st.Touch(p)
+	p = h.st.Touch(p)
 	if err := SlottedDelete(p, rid.Slot); err != nil {
 		return err
 	}
-	h.space[p.ID] = SlottedFreeSpace(p)
+	h.hs.space[p.ID] = SlottedFreeSpace(p)
 	if chain != oid.NilPage {
 		return h.freeOverflow(chain)
 	}
@@ -299,7 +318,7 @@ func (h *Heap) Delete(rid oid.RID) error {
 // pageWithSpace finds or allocates a slotted page with at least need
 // bytes of cell space.
 func (h *Heap) pageWithSpace(need int) (*Page, error) {
-	for id, free := range h.space {
+	for id, free := range h.hs.space {
 		if free < need {
 			continue
 		}
@@ -308,14 +327,14 @@ func (h *Heap) pageWithSpace(need int) (*Page, error) {
 			// The cache can go stale across transaction aborts (the page
 			// may have been rolled out of existence or repurposed);
 			// self-heal by dropping the entry.
-			delete(h.space, id)
+			delete(h.hs.space, id)
 			continue
 		}
 		// Re-verify: the cached value may also be stale after an abort.
 		if got := SlottedFreeSpace(p); got >= need {
 			return p, nil
 		} else {
-			h.space[id] = got
+			h.hs.space[id] = got
 		}
 	}
 	if p, err := h.sweepForSpace(need); err != nil {
@@ -330,16 +349,16 @@ func (h *Heap) pageWithSpace(need int) (*Page, error) {
 // recording their free space, and returns the first with enough room.
 func (h *Heap) sweepForSpace(need int) (*Page, error) {
 	const sweepBudget = 16
-	if h.sweepDone {
+	if h.hs.sweepDone {
 		return nil, nil
 	}
 	for i := 0; i < sweepBudget; i++ {
-		if uint64(h.sweep) >= h.st.NumPages() {
-			h.sweepDone = true
+		if uint64(h.hs.sweep) >= h.st.NumPages() {
+			h.hs.sweepDone = true
 			return nil, nil
 		}
-		id := h.sweep
-		h.sweep++
+		id := h.hs.sweep
+		h.hs.sweep++
 		p, err := h.st.Get(id)
 		if err != nil {
 			return nil, err
@@ -348,7 +367,7 @@ func (h *Heap) sweepForSpace(need int) (*Page, error) {
 			continue
 		}
 		free := SlottedFreeSpace(p)
-		h.space[id] = free
+		h.hs.space[id] = free
 		if free >= need {
 			return p, nil
 		}

@@ -13,8 +13,8 @@ func chunkCap(pageSize int) int { return pageSize - HeaderSize - ovHeader }
 
 func TestOverflowChunkBoundaries(t *testing.T) {
 	const ps = 512
-	st, _ := tempStore(t, Options{PageSize: ps})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: ps})
+	h := NewHeap(v, nil)
 	cap1 := chunkCap(ps)
 	// Records exactly at, one below, and one above chunk multiples.
 	sizes := []int{
@@ -41,8 +41,8 @@ func TestOverflowChunkBoundaries(t *testing.T) {
 }
 
 func TestEmptyRecord(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	rid, err := h.Insert(nil)
 	if err != nil {
 		t.Fatal(err)
@@ -64,10 +64,10 @@ func TestEmptyRecord(t *testing.T) {
 }
 
 func TestHeapOpsOnWrongPageType(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	// Allocate a btree page and aim a RID at it.
-	p, err := st.Allocate(PageBTree)
+	p, err := v.Allocate(PageBTree)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,8 +91,8 @@ func TestReadBeyondFile(t *testing.T) {
 }
 
 func TestScanEarlyStopAndError(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	for i := 0; i < 10; i++ {
 		if _, err := h.Insert([]byte{byte(i)}); err != nil {
 			t.Fatal(err)

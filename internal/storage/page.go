@@ -3,10 +3,14 @@
 // pages with overflow chains for large records, a free-page list, and a
 // superblock holding the roots of every engine structure.
 //
-// The storage layer is deliberately not goroutine-safe: the transaction
-// layer (internal/txn) serialises writers and excludes readers during a
-// write, which is the concurrency model this reproduction documents
-// (the paper explicitly does not discuss concurrency control).
+// Concurrency model: the transaction layer (internal/txn) serialises
+// writers; readers run fully concurrently with the writer by pinning a
+// buffer-pool epoch (Store.OpenReader) and resolving pages against
+// copy-on-write snapshots, so a page object a reader can reach is never
+// mutated. All transactional access goes through a per-transaction
+// TxView handle — the Store holds no global transaction state. (The
+// paper itself does not discuss concurrency control; this is the
+// documented extension.)
 package storage
 
 import (
@@ -80,7 +84,8 @@ var ErrPageType = errors.New("storage: unexpected page type")
 
 // Page is an in-memory image of one on-disk page. Data always has
 // exactly the store's page size. A Page is owned by the Pool; callers
-// must call MarkDirty after mutating Data.
+// mutate Data only via the writable page returned by a writer view's
+// Touch (snapshot pages handed to readers are immutable).
 type Page struct {
 	ID     oid.PageID
 	Data   []byte

@@ -14,9 +14,29 @@ import (
 // until the next checkpoint flushes them.
 const DefaultPoolPages = 1024
 
+// snap is one retained pre-image of a page: the live image the page had
+// at the moment a writer first mutated it during the given epoch. A
+// reader pinned at epoch r resolves a page to the earliest snapshot
+// whose epoch is >= r (the image unchanged since r), falling back to the
+// live page when no such snapshot exists (the page has not been mutated
+// since r). Snapshot pages are immutable: the copy-on-write swap in COW
+// guarantees no writer ever mutates a page object once it is published
+// here.
+type snap struct {
+	epoch uint64
+	pg    *Page
+}
+
 // Pool is the buffer pool: an in-memory cache of page images keyed by
 // PageID. Clean pages are evictable under an LRU policy; dirty pages are
 // retained until FlushDirty writes them back.
+//
+// The pool also owns the snapshot machinery that gives readers epoch
+// isolation: writers swap in fresh page copies on first mutation
+// (copy-on-write), publishing the previous image into an epoch-tagged
+// snapshot table; readers pin the epoch current at their start and
+// resolve every page against that table. Snapshots are reclaimed when
+// the last reader that could need them unpins.
 type Pool struct {
 	// mu guards all pool state. The transaction layer serialises
 	// writers, but any number of readers share the pool concurrently,
@@ -27,6 +47,14 @@ type Pool struct {
 	cleanLRU *list.List // of *Page, front = most recent
 	capacity int
 	nDirty   int
+
+	// epoch counts committed write transactions this session. Readers
+	// pin it; commit advances it after WAL durability.
+	epoch uint64
+	// pins refcounts readers per pinned epoch.
+	pins map[uint64]int
+	// snaps holds retained pre-images per page, epoch-ascending.
+	snaps map[oid.PageID][]snap
 
 	// stats
 	hits, misses, evictions uint64
@@ -42,6 +70,8 @@ func NewPool(file *File, capacity int) *Pool {
 		pages:    make(map[oid.PageID]*Page),
 		cleanLRU: list.New(),
 		capacity: capacity,
+		pins:     make(map[uint64]int),
+		snaps:    make(map[oid.PageID][]snap),
 	}
 }
 
@@ -59,12 +89,153 @@ func (pl *Pool) Resident() (total, dirty int) {
 	return len(pl.pages), pl.nDirty
 }
 
-// Get returns the page with the given id, reading it from the file if it
-// is not resident. The returned Page is shared; callers mutating Data
-// must call MarkDirty.
+// --- epochs and snapshots ---
+
+// Epoch returns the current epoch (the count of committed write
+// transactions this session).
+func (pl *Pool) Epoch() uint64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.epoch
+}
+
+// PinEpoch registers a reader at the current epoch and returns it. The
+// reader sees exactly the committed state as of this moment until it
+// calls UnpinEpoch, regardless of concurrent writers.
+func (pl *Pool) PinEpoch() uint64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.pins[pl.epoch]++
+	return pl.epoch
+}
+
+// UnpinEpoch releases a reader's pin. When the last reader of the
+// oldest pinned epoch leaves, snapshots nobody can need anymore are
+// reclaimed.
+func (pl *Pool) UnpinEpoch(epoch uint64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if n := pl.pins[epoch]; n > 1 {
+		pl.pins[epoch] = n - 1
+		return
+	}
+	delete(pl.pins, epoch)
+	pl.reclaimLocked()
+}
+
+// AdvanceEpoch moves the pool to the next epoch. The transaction layer
+// calls it once per committed write transaction, after WAL durability:
+// readers that pin afterwards observe the new state.
+func (pl *Pool) AdvanceEpoch() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.epoch++
+	pl.reclaimLocked()
+}
+
+// SnapshotCount returns the number of retained snapshot pages (for
+// tests and stats).
+func (pl *Pool) SnapshotCount() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	n := 0
+	for _, ss := range pl.snaps {
+		n += len(ss)
+	}
+	return n
+}
+
+// reclaimLocked drops every snapshot no pinned reader (and no reader
+// that could still pin the current epoch) can resolve to: a snapshot
+// tagged e serves readers pinned at epochs <= e, so it is garbage once
+// every pin — and the current epoch itself — is above it.
+func (pl *Pool) reclaimLocked() {
+	min := pl.epoch
+	for e := range pl.pins {
+		if e < min {
+			min = e
+		}
+	}
+	for id, ss := range pl.snaps {
+		i := 0
+		for i < len(ss) && ss[i].epoch < min {
+			i++
+		}
+		switch {
+		case i == 0:
+		case i == len(ss):
+			delete(pl.snaps, id)
+		default:
+			pl.snaps[id] = append([]snap(nil), ss[i:]...)
+		}
+	}
+}
+
+// publishLocked retains p's current image as the snapshot for the
+// current epoch. Publishing is keep-first: if this epoch already has a
+// snapshot of the page (a previous transaction in the same epoch
+// aborted), the existing image is byte-identical and is kept.
+func (pl *Pool) publishLocked(p *Page) {
+	ss := pl.snaps[p.ID]
+	if len(ss) > 0 && ss[len(ss)-1].epoch == pl.epoch {
+		return
+	}
+	p.lruElem = nil
+	pl.snaps[p.ID] = append(ss, snap{epoch: pl.epoch, pg: p})
+}
+
+// COW performs the copy-on-write swap for a writer's first mutation of
+// a page this transaction: the current image is published as this
+// epoch's snapshot (so in-flight and future readers of the epoch keep a
+// stable view), and a fresh writable copy replaces it as the live page.
+// It returns the writable copy plus the pre-image the transaction layer
+// needs for abort; before aliases the immutable snapshot (both stay
+// untouched by construction), so no extra copy is made.
+func (pl *Pool) COW(p *Page) (np *Page, before []byte, wasDirty bool) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	basis := pl.pages[p.ID]
+	if basis == nil {
+		// Evicted between the caller's Get and now; the caller's (clean)
+		// image is still the current one.
+		basis = p
+	}
+	if el, ok := basis.lruElem.(*list.Element); ok && el != nil {
+		pl.cleanLRU.Remove(el)
+	}
+	pl.publishLocked(basis)
+	np = &Page{
+		ID:     basis.ID,
+		Data:   append([]byte(nil), basis.Data...),
+		dirty:  true,
+		pinned: basis.pinned,
+	}
+	if !basis.dirty || pl.pages[np.ID] == nil {
+		pl.nDirty++
+	}
+	pl.pages[np.ID] = np
+	return np, basis.Data, basis.dirty
+}
+
+// Live returns the current live page object for id, or nil if it is not
+// resident. Writers use it to re-resolve page pointers taken before a
+// COW swap.
+func (pl *Pool) Live(id oid.PageID) *Page {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.pages[id]
+}
+
+// Get returns the live page with the given id, reading it from the file
+// if it is not resident. The returned Page is shared; callers mutating
+// Data must go through a write view's Touch.
 func (pl *Pool) Get(id oid.PageID) (*Page, error) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	return pl.getLocked(id)
+}
+
+func (pl *Pool) getLocked(id oid.PageID) (*Page, error) {
 	if p, ok := pl.pages[id]; ok {
 		pl.hits++
 		pl.touch(p)
@@ -78,6 +249,25 @@ func (pl *Pool) Get(id oid.PageID) (*Page, error) {
 	p := &Page{ID: id, Data: buf}
 	pl.insertClean(p)
 	return p, nil
+}
+
+// GetAt returns the page as it was at the given pinned epoch: the
+// earliest snapshot at or after the epoch if the page has been mutated
+// since, otherwise the live page (whose image is then unchanged since
+// that epoch). The returned page must be treated as immutable.
+func (pl *Pool) GetAt(id oid.PageID, epoch uint64) (*Page, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if ss := pl.snaps[id]; len(ss) > 0 {
+		// Epoch-ascending: linear scan; chains are short (one entry per
+		// epoch with a pinned reader).
+		for _, s := range ss {
+			if s.epoch >= epoch {
+				return s.pg, nil
+			}
+		}
+	}
+	return pl.getLocked(id)
 }
 
 // GetTyped is Get plus a page-type assertion.
@@ -142,7 +332,7 @@ func (pl *Pool) MarkClean(p *Page) {
 	pl.evictOverflow()
 }
 
-// DirtyPages returns the resident dirty pages in unspecified order.
+// DirtyPages returns the resident dirty pages in page-id order.
 func (pl *Pool) DirtyPages() []*Page {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
@@ -164,21 +354,48 @@ func (pl *Pool) dirtyPagesLocked() []*Page {
 }
 
 // FlushDirty writes every dirty page to the page file (without syncing)
-// and moves the pages to the clean LRU. The caller is responsible for
-// ordering this after WAL durability and for the final Sync.
+// and moves the pages to the clean LRU. The caller (the writer path) is
+// responsible for ordering this after WAL durability and for the final
+// Sync.
+//
+// The page I/O happens outside the pool mutex so concurrent readers are
+// never stalled behind a checkpoint's writes; only the writer mutates
+// pages, and it is the one in here. Each image is sealed into a scratch
+// buffer because WritePage stamps the checksum in place, and the page
+// objects being flushed are visible to concurrent readers at the
+// current epoch.
 func (pl *Pool) FlushDirty() error {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	for _, p := range pl.dirtyPagesLocked() {
-		if err := pl.file.WritePage(p.ID, p.Data); err != nil {
-			return err
+	dirty := pl.dirtyPagesLocked()
+	pl.mu.Unlock()
+
+	var scratch []byte
+	written := 0
+	var werr error
+	for _, p := range dirty {
+		if scratch == nil {
+			scratch = make([]byte, len(p.Data))
+		}
+		copy(scratch, p.Data)
+		if err := pl.file.WritePage(p.ID, scratch); err != nil {
+			werr = err
+			break
+		}
+		written++
+	}
+
+	pl.mu.Lock()
+	for _, p := range dirty[:written] {
+		if !p.dirty {
+			continue
 		}
 		p.dirty = false
 		pl.nDirty--
 		pl.insertCleanExisting(p)
 	}
 	pl.evictOverflow()
-	return nil
+	pl.mu.Unlock()
+	return werr
 }
 
 // DropDirty discards every dirty page image without writing it (used on
@@ -194,8 +411,8 @@ func (pl *Pool) DropDirty() {
 	}
 }
 
-// Forget removes a page from the cache entirely (used when a page is
-// freed).
+// Forget removes a page from the cache entirely (used when a page
+// allocated by an aborted transaction is rolled out of existence).
 func (pl *Pool) Forget(id oid.PageID) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()

@@ -23,7 +23,7 @@ func buildFaultStore(t *testing.T, mem *faultfs.Mem, nRecs int) []oid.RID {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := NewHeap(st)
+	h := NewHeap(st.OpenWriter(nil), nil)
 	rids := make([]oid.RID, nRecs)
 	for i := range rids {
 		// 400-byte payloads: one record per 512-byte page.
@@ -104,7 +104,7 @@ func TestPoolReadFaultDoesNotPoisonCache(t *testing.T) {
 		t.Fatalf("retry residency: %d, want %d", res2, res0+1)
 	}
 	// And the record on it is intact.
-	hp := NewHeap(st)
+	hp := NewHeap(st.OpenWriter(nil), nil)
 	data, err := hp.Read(rids[2])
 	if err != nil || string(data[:len("record-2")]) != "record-2" {
 		t.Fatalf("record after retry: %q, %v", data, err)
@@ -132,7 +132,7 @@ func TestPoolReadFaultSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h0 := NewHeap(st0)
+	h0 := NewHeap(st0.OpenWriter(nil), nil)
 	for _, rid := range rids {
 		if _, err := h0.Read(rid); err != nil {
 			t.Fatal(err)
@@ -147,7 +147,7 @@ func TestPoolReadFaultSweep(t *testing.T) {
 		if err != nil {
 			continue // fault hit the open path; that is its own trial
 		}
-		h := NewHeap(st)
+		h := NewHeap(st.OpenWriter(nil), nil)
 		for _, rid := range rids {
 			if _, err := h.Read(rid); err != nil && !errors.Is(err, faultfs.ErrInjected) {
 				t.Fatalf("failRead=%d: unexpected error class: %v", n, err)

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -33,34 +32,27 @@ const MaxStorePageSize = 32768
 
 // MutationTracker observes page mutations so the transaction layer can
 // capture before-images (for abort) and dirty sets (for WAL logging).
-// BeforeMutate is called before the page's contents change; DidAllocate
-// when a page id is newly allocated (no before-image exists).
+// BeforeMutate is called on the first copy-on-write of a page in a
+// transaction with the pre-image (which aliases the pool's immutable
+// snapshot — do not mutate) and whether the page was already dirty;
+// DidAllocate when a page id is newly allocated (no before-image
+// exists); Tracked reports whether the transaction has already captured
+// the page, letting the view skip redundant copies.
 type MutationTracker interface {
-	BeforeMutate(p *Page)
+	BeforeMutate(id oid.PageID, before []byte, wasDirty bool)
 	DidAllocate(id oid.PageID)
+	Tracked(id oid.PageID) bool
 }
 
 // Store combines the page file, buffer pool and superblock into the unit
-// the engine programs against.
+// the engine programs against. All transactional access goes through a
+// per-transaction TxView handle (OpenWriter/OpenReader); the Store
+// itself holds no transaction state.
 type Store struct {
-	file    *File
-	pool    *Pool
-	super   super
-	supPg   *Page // page 0, always resident
-	tracker MutationTracker
-}
-
-// SetTracker installs (or clears, with nil) the mutation tracker.
-func (s *Store) SetTracker(t MutationTracker) { s.tracker = t }
-
-// Touch must be called before mutating a page's contents: it gives the
-// tracker its chance to capture a before-image, then marks the page
-// dirty. All engine code mutates pages via Touch.
-func (s *Store) Touch(p *Page) {
-	if s.tracker != nil {
-		s.tracker.BeforeMutate(p)
-	}
-	s.pool.MarkDirty(p)
+	file  *File
+	pool  *Pool
+	super super
+	supPg *Page // live page 0, always resident
 }
 
 // ReloadSuper re-decodes the superblock from page 0's current image
@@ -184,103 +176,6 @@ func (s *Store) GetTyped(id oid.PageID, t PageType) (*Page, error) {
 	return s.pool.GetTyped(id, t)
 }
 
-// MarkDirty flags a page as modified.
-func (s *Store) MarkDirty(p *Page) { s.pool.MarkDirty(p) }
-
-// Allocate returns a zeroed dirty page of the requested type, reusing the
-// free list when possible.
-func (s *Store) Allocate(t PageType) (*Page, error) {
-	var p *Page
-	if s.super.freeHead != oid.NilPage {
-		id := s.super.freeHead
-		fp, err := s.pool.GetTyped(id, PageFree)
-		if err != nil {
-			return nil, fmt.Errorf("storage: free list: %w", err)
-		}
-		next := oid.PageID(binary.BigEndian.Uint32(fp.Body()[0:4]))
-		s.Touch(fp)
-		s.super.freeHead = next
-		s.markSuper()
-		clear(fp.Data)
-		p = fp
-	} else {
-		id := oid.PageID(s.super.nPages)
-		s.super.nPages++
-		s.markSuper()
-		p = s.pool.Install(id, make([]byte, s.PageSize()))
-		if s.tracker != nil {
-			s.tracker.DidAllocate(id)
-		}
-	}
-	p.SetType(t)
-	if t == PageSlotted {
-		SlottedInit(p)
-	}
-	return p, nil
-}
-
-// Free returns a page to the free list.
-func (s *Store) Free(id oid.PageID) error {
-	if id == 0 {
-		return errors.New("storage: cannot free superblock")
-	}
-	p, err := s.pool.Get(id)
-	if err != nil {
-		return err
-	}
-	s.Touch(p)
-	clear(p.Data)
-	p.SetType(PageFree)
-	binary.BigEndian.PutUint32(p.Body()[0:4], uint32(s.super.freeHead))
-	s.super.freeHead = id
-	s.markSuper()
-	return nil
-}
-
-// Root returns named structure root i.
-func (s *Store) Root(i int) oid.PageID { return s.super.roots[i] }
-
-// SetRoot updates named structure root i.
-func (s *Store) SetRoot(i int, id oid.PageID) {
-	s.super.roots[i] = id
-	s.markSuper()
-}
-
-// Counter returns persistent counter i.
-func (s *Store) Counter(i int) uint64 { return s.super.counters[i] }
-
-// SetCounter stores persistent counter i.
-func (s *Store) SetCounter(i int, v uint64) {
-	s.super.counters[i] = v
-	s.markSuper()
-}
-
-// NextCounter increments persistent counter i and returns the new value
-// (so counters start handing out 1, keeping 0 as nil).
-func (s *Store) NextCounter(i int) uint64 {
-	s.super.counters[i]++
-	s.markSuper()
-	return s.super.counters[i]
-}
-
-// CheckpointLSN returns the LSN up to which the page file reflects the
-// log.
-func (s *Store) CheckpointLSN() oid.LSN { return s.super.ckptLSN }
-
-// SetCheckpointLSN records a new checkpoint LSN.
-func (s *Store) SetCheckpointLSN(lsn oid.LSN) {
-	s.super.ckptLSN = lsn
-	s.markSuper()
-}
-
-func (s *Store) markSuper() {
-	if s.tracker != nil {
-		s.tracker.BeforeMutate(s.supPg)
-	}
-	s.super.marshalInto(s.supPg)
-	s.pool.MarkDirty(s.supPg)
-}
-
 // Census reports page counts by type plus aggregate slotted-page
 // utilisation — the space accounting odedump prints.
 type Census struct {
@@ -290,36 +185,6 @@ type Census struct {
 	SlottedLiveBytes uint64
 	SlottedFreeBytes uint64
 	Records          uint64
-}
-
-// Census scans every page and tallies the census. O(file size).
-func (s *Store) Census() (Census, error) {
-	var c Census
-	for pid := uint64(0); pid < s.super.nPages; pid++ {
-		p, err := s.Get(oid.PageID(pid))
-		if err != nil {
-			return Census{}, err
-		}
-		switch p.Type() {
-		case PageSuper:
-			c.Super++
-		case PageSlotted:
-			c.Slotted++
-			c.SlottedFreeBytes += uint64(SlottedFreeSpace(p))
-			SlottedSlots(p, func(_ uint16, data []byte) bool {
-				c.Records++
-				c.SlottedLiveBytes += uint64(len(data))
-				return true
-			})
-		case PageOverflow:
-			c.Overflow++
-		case PageBTree:
-			c.BTree++
-		case PageFree:
-			c.Free++
-		}
-	}
-	return c, nil
 }
 
 // FlushAll writes every dirty page to the page file and syncs it. The

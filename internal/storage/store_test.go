@@ -22,10 +22,18 @@ func tempStore(t *testing.T, opts Options) (*Store, string) {
 	return st, path
 }
 
+// tempWriter is tempStore plus an untracked writer view, for tests that
+// exercise page-level behaviour without a transaction layer.
+func tempWriter(t *testing.T, opts Options) (*Store, *TxView, string) {
+	t.Helper()
+	st, path := tempStore(t, opts)
+	return st, st.OpenWriter(nil), path
+}
+
 func TestCreateOpenRoundtrip(t *testing.T) {
-	st, path := tempStore(t, Options{PageSize: 1024})
-	st.SetRoot(0, 7)
-	st.SetCounter(2, 99)
+	st, v, path := tempWriter(t, Options{PageSize: 1024})
+	v.SetRoot(0, 7)
+	v.SetCounter(2, 99)
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +45,12 @@ func TestCreateOpenRoundtrip(t *testing.T) {
 	if st2.PageSize() != 1024 {
 		t.Fatalf("page size %d", st2.PageSize())
 	}
-	if st2.Root(0) != 7 {
-		t.Fatalf("root = %v", st2.Root(0))
+	v2 := st2.OpenWriter(nil)
+	if v2.Root(0) != 7 {
+		t.Fatalf("root = %v", v2.Root(0))
 	}
-	if st2.Counter(2) != 99 {
-		t.Fatalf("counter = %d", st2.Counter(2))
+	if v2.Counter(2) != 99 {
+		t.Fatalf("counter = %d", v2.Counter(2))
 	}
 }
 
@@ -63,12 +72,12 @@ func TestOpenRejectsGarbage(t *testing.T) {
 }
 
 func TestChecksumDetectsCorruption(t *testing.T) {
-	st, path := tempStore(t, Options{PageSize: 512})
-	p, err := st.Allocate(PageSlotted)
+	st, v, path := tempWriter(t, Options{PageSize: 512})
+	p, err := v.Allocate(PageSlotted)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.Touch(p)
+	p = v.Touch(p)
 	if _, err := SlottedInsert(p, []byte("precious")); err != nil {
 		t.Fatal(err)
 	}
@@ -96,12 +105,12 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 }
 
 func TestAllocateFreeReuse(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	p1, err := st.Allocate(PageSlotted)
+	_, v, _ := tempWriter(t, Options{PageSize: 512})
+	p1, err := v.Allocate(PageSlotted)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := st.Allocate(PageBTree)
+	p2, err := v.Allocate(PageBTree)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +118,10 @@ func TestAllocateFreeReuse(t *testing.T) {
 		t.Fatal("duplicate allocation")
 	}
 	id1 := p1.ID
-	if err := st.Free(id1); err != nil {
+	if err := v.Free(id1); err != nil {
 		t.Fatal(err)
 	}
-	p3, err := st.Allocate(PageOverflow)
+	p3, err := v.Allocate(PageOverflow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,22 +134,22 @@ func TestAllocateFreeReuse(t *testing.T) {
 }
 
 func TestFreeSuperblockRejected(t *testing.T) {
-	st, _ := tempStore(t, Options{})
-	if err := st.Free(0); err == nil {
+	_, v, _ := tempWriter(t, Options{})
+	if err := v.Free(0); err == nil {
 		t.Fatal("freeing page 0 must fail")
 	}
 }
 
 func TestPoolEviction(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512, PoolPages: 8})
+	st, v, _ := tempWriter(t, Options{PageSize: 512, PoolPages: 8})
 	// Allocate and flush many pages so they become clean and evictable.
 	var ids []oid.PageID
 	for i := 0; i < 64; i++ {
-		p, err := st.Allocate(PageSlotted)
+		p, err := v.Allocate(PageSlotted)
 		if err != nil {
 			t.Fatal(err)
 		}
-		st.Touch(p)
+		p = v.Touch(p)
 		if _, err := SlottedInsert(p, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
@@ -174,17 +183,17 @@ func TestPoolEviction(t *testing.T) {
 }
 
 func TestSuperblockSurvivesEvictionPressure(t *testing.T) {
-	st, path := tempStore(t, Options{PageSize: 512, PoolPages: 8})
-	st.SetCounter(0, 1234)
+	st, v, path := tempWriter(t, Options{PageSize: 512, PoolPages: 8})
+	v.SetCounter(0, 1234)
 	for i := 0; i < 50; i++ {
-		if _, err := st.Allocate(PageSlotted); err != nil {
+		if _, err := v.Allocate(PageSlotted); err != nil {
 			t.Fatal(err)
 		}
 		if err := st.FlushAll(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if st.Counter(0) != 1234 {
+	if v.Counter(0) != 1234 {
 		t.Fatal("superblock counter lost under pressure")
 	}
 	if err := st.Close(); err != nil {
@@ -195,14 +204,14 @@ func TestSuperblockSurvivesEvictionPressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	if st2.Counter(0) != 1234 {
+	if st2.OpenWriter(nil).Counter(0) != 1234 {
 		t.Fatal("superblock counter lost across reopen")
 	}
 }
 
 func TestHeapInsertReadDelete(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	r1, err := h.Insert([]byte("hello heap"))
 	if err != nil {
 		t.Fatal(err)
@@ -220,8 +229,8 @@ func TestHeapInsertReadDelete(t *testing.T) {
 }
 
 func TestHeapLargeRecordOverflow(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	st, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	big := make([]byte, 10_000)
 	rng := rand.New(rand.NewSource(7))
 	rng.Read(big)
@@ -251,8 +260,8 @@ func TestHeapLargeRecordOverflow(t *testing.T) {
 }
 
 func TestHeapUpdateTransitions(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	st, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	rid, err := h.Insert([]byte("small"))
 	if err != nil {
 		t.Fatal(err)
@@ -283,8 +292,8 @@ func TestHeapUpdateTransitions(t *testing.T) {
 }
 
 func TestHeapModelCheck(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 1024})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: 1024})
+	h := NewHeap(v, nil)
 	rng := rand.New(rand.NewSource(99))
 	model := map[oid.RID][]byte{}
 	var rids []oid.RID
@@ -355,8 +364,8 @@ func TestHeapModelCheck(t *testing.T) {
 }
 
 func TestHeapSpaceReuseAcrossReopen(t *testing.T) {
-	st, path := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	st, v, path := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	var rids []oid.RID
 	for i := 0; i < 100; i++ {
 		rid, err := h.Insert(bytes.Repeat([]byte{byte(i)}, 50))
@@ -380,7 +389,7 @@ func TestHeapSpaceReuseAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	h2 := NewHeap(st2)
+	h2 := NewHeap(st2.OpenWriter(nil), nil)
 	before := st2.NumPages()
 	for i := 0; i < 40; i++ {
 		if _, err := h2.Insert(bytes.Repeat([]byte{0xAA}, 50)); err != nil {
@@ -394,22 +403,32 @@ func TestHeapSpaceReuseAcrossReopen(t *testing.T) {
 
 type recordingTracker struct {
 	mutated   map[oid.PageID]int
-	allocated []oid.PageID
+	allocated map[oid.PageID]bool
 }
 
-func (rt *recordingTracker) BeforeMutate(p *Page) {
+func (rt *recordingTracker) BeforeMutate(id oid.PageID, before []byte, wasDirty bool) {
 	if rt.mutated == nil {
 		rt.mutated = map[oid.PageID]int{}
 	}
-	rt.mutated[p.ID]++
+	rt.mutated[id]++
 }
-func (rt *recordingTracker) DidAllocate(id oid.PageID) { rt.allocated = append(rt.allocated, id) }
+
+func (rt *recordingTracker) DidAllocate(id oid.PageID) {
+	if rt.allocated == nil {
+		rt.allocated = map[oid.PageID]bool{}
+	}
+	rt.allocated[id] = true
+}
+
+func (rt *recordingTracker) Tracked(id oid.PageID) bool {
+	return rt.allocated[id] || rt.mutated[id] > 0
+}
 
 func TestTrackerSeesMutationsAndAllocations(t *testing.T) {
 	st, _ := tempStore(t, Options{PageSize: 512})
 	tr := &recordingTracker{}
-	st.SetTracker(tr)
-	h := NewHeap(st)
+	v := st.OpenWriter(tr)
+	h := NewHeap(v, nil)
 	rid, err := h.Insert([]byte("tracked"))
 	if err != nil {
 		t.Fatal(err)
@@ -420,15 +439,22 @@ func TestTrackerSeesMutationsAndAllocations(t *testing.T) {
 	if tr.mutated[0] == 0 {
 		t.Fatal("tracker missed superblock mutation")
 	}
-	st.SetTracker(nil)
-	if err := h.Delete(rid); err != nil {
+	// A Tracked page must be copied only once: the second insert touches
+	// the same pages without growing the mutation counts unboundedly.
+	if tr.mutated[0] != 1 {
+		t.Fatalf("superblock before-image captured %d times", tr.mutated[0])
+	}
+	// A fresh untracked writer view (a new "transaction") still operates
+	// on the same live pages.
+	h2 := NewHeap(st.OpenWriter(nil), NewHeapState())
+	if err := h2.Delete(rid); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCensus(t *testing.T) {
-	st, _ := tempStore(t, Options{PageSize: 512})
-	h := NewHeap(st)
+	_, v, _ := tempWriter(t, Options{PageSize: 512})
+	h := NewHeap(v, nil)
 	var rids []oid.RID
 	for i := 0; i < 20; i++ {
 		rid, err := h.Insert(bytes.Repeat([]byte{byte(i)}, 60))
@@ -441,14 +467,14 @@ func TestCensus(t *testing.T) {
 	if _, err := h.Insert(bytes.Repeat([]byte("O"), 3000)); err != nil {
 		t.Fatal(err)
 	}
-	p, err := st.Allocate(PageBTree)
+	p, err := v.Allocate(PageBTree)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Free(p.ID); err != nil {
+	if err := v.Free(p.ID); err != nil {
 		t.Fatal(err)
 	}
-	c, err := st.Census()
+	c, err := v.Census()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +497,7 @@ func TestCensus(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	c2, err := st.Census()
+	c2, err := v.Census()
 	if err != nil {
 		t.Fatal(err)
 	}

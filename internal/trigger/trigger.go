@@ -75,6 +75,12 @@ type Event struct {
 	Prev  oid.VID    // derived-from parent (KindNewVersion), else nil
 	Type  oid.TypeID // the object's catalog type
 	Stamp oid.Stamp  // logical creation stamp of the operation
+
+	// Tx is the firing transaction's engine handle (a *core.Tx, typed
+	// any to avoid an import cycle). Handlers run synchronously inside
+	// that transaction and must do their further reads and writes
+	// through it; it is invalid once the transaction ends.
+	Tx any
 }
 
 // Handler is a trigger body. Handlers run synchronously inside the

@@ -31,10 +31,9 @@ func buildCommits(t *testing.T, nTxns int) (string, []oid.RID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := storage.NewHeap(m.Store())
 	var rids []oid.RID
 	for i := 0; i < nTxns; i++ {
-		if err := m.Write(func() error {
+		if err := writeH(m, func(h *storage.Heap) error {
 			rid, err := h.Insert([]byte(fmt.Sprintf("txn-%d", i)))
 			rids = append(rids, rid)
 			return err
@@ -76,12 +75,11 @@ func countSurvivors(t *testing.T, dir string, rids []oid.RID) int {
 		t.Fatalf("open after injection: %v", err)
 	}
 	defer m.Close()
-	h := storage.NewHeap(m.Store())
 	survivors := 0
 	broken := false
 	for i, rid := range rids {
 		var got []byte
-		err := m.Read(func() error {
+		err := readH(m, func(h *storage.Heap) error {
 			var err error
 			got, err = h.Read(rid)
 			return err
@@ -162,9 +160,8 @@ func TestDataFileCorruptionIsDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := storage.NewHeap(m.Store())
 	var rid oid.RID
-	if err := m.Write(func() error {
+	if err := writeH(m, func(h *storage.Heap) error {
 		var err error
 		rid, err = h.Insert([]byte("precious data"))
 		return err
@@ -189,8 +186,7 @@ func TestDataFileCorruptionIsDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m2.Close()
-	h2 := storage.NewHeap(m2.Store())
-	readErr := m2.Read(func() error {
+	readErr := readH(m2, func(h2 *storage.Heap) error {
 		_, err := h2.Read(rid)
 		return err
 	})
@@ -208,9 +204,8 @@ func TestRecoveryIgnoresUncommittedAndAborted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := storage.NewHeap(m.Store())
 	var r1, r4 oid.RID
-	if err := m.Write(func() error { // T1
+	if err := writeH(m, func(h *storage.Heap) error { // T1
 		var err error
 		r1, err = h.Insert([]byte("committed-1"))
 		return err
@@ -240,7 +235,7 @@ func TestRecoveryIgnoresUncommittedAndAborted(t *testing.T) {
 	if err := m.log.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Write(func() error { // T4
+	if err := writeH(m, func(h *storage.Heap) error { // T4
 		var err error
 		r4, err = h.Insert([]byte("committed-4"))
 		return err
@@ -256,8 +251,7 @@ func TestRecoveryIgnoresUncommittedAndAborted(t *testing.T) {
 	if got := m2.Stats().RecoveredTxns; got != 2 {
 		t.Fatalf("recovered %d txns, want 2 (T1 and T4)", got)
 	}
-	h2 := storage.NewHeap(m2.Store())
-	if err := m2.Read(func() error {
+	if err := readH(m2, func(h2 *storage.Heap) error {
 		for rid, want := range map[oid.RID]string{r1: "committed-1", r4: "committed-4"} {
 			got, err := h2.Read(rid)
 			if err != nil || string(got) != want {
@@ -285,10 +279,9 @@ func TestNoSyncCrashLosesTailButStaysConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := storage.NewHeap(m.Store())
 	var rids []oid.RID
 	for i := 0; i < 10; i++ {
-		if err := m.Write(func() error {
+		if err := writeH(m, func(h *storage.Heap) error {
 			rid, err := h.Insert([]byte{byte(i)})
 			rids = append(rids, rid)
 			return err

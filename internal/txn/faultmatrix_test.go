@@ -54,10 +54,9 @@ func runMatrixWorkload(fsys faultfs.FS) matrixResult {
 		res.buildErr = err
 		return res
 	}
-	h := storage.NewHeap(m.Store())
 	for i := 0; i < matrixTxns; i++ {
 		var rid oid.RID
-		err := m.Write(func() error {
+		err := writeH(m, func(h *storage.Heap) error {
 			var err error
 			rid, err = h.Insert(matrixPayload(i))
 			return err
@@ -96,10 +95,9 @@ func verifyCrashImage(crashed faultfs.FS, res matrixResult) error {
 		return fmt.Errorf("reopen failed with %d acked commits: %w", len(res.acked), err)
 	}
 	defer m.Close()
-	h := storage.NewHeap(m.Store())
 	for _, i := range res.acked {
 		var got []byte
-		err := m.Read(func() error {
+		err := readH(m, func(h *storage.Heap) error {
 			var err error
 			got, err = h.Read(res.rids[i])
 			return err
@@ -112,7 +110,7 @@ func verifyCrashImage(crashed faultfs.FS, res matrixResult) error {
 		}
 	}
 	// The recovered database must accept new work.
-	if err := m.Write(func() error {
+	if err := writeH(m, func(h *storage.Heap) error {
 		_, err := h.Insert([]byte("post-recovery"))
 		return err
 	}); err != nil {
@@ -240,11 +238,10 @@ func TestFaultMatrixCatchesUnsyncedCommitBug(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := storage.NewHeap(m.Store())
 	res2 := matrixResult{rids: map[int]oid.RID{}}
 	for i := 0; i < matrixTxns; i++ {
 		var rid oid.RID
-		if err := m.Write(func() error {
+		if err := writeH(m, func(h *storage.Heap) error {
 			var err error
 			rid, err = h.Insert(matrixPayload(i))
 			return err
@@ -292,10 +289,9 @@ func TestFailedCommitSyncNeverResurfaces(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h := storage.NewHeap(m.Store())
 		insert := func(s string) (oid.RID, error) {
 			var rid oid.RID
-			err := m.Write(func() error {
+			err := writeH(m, func(h *storage.Heap) error {
 				var err error
 				rid, err = h.Insert([]byte(s))
 				return err
@@ -322,11 +318,10 @@ func TestFailedCommitSyncNeverResurfaces(t *testing.T) {
 		if err != nil {
 			t.Fatalf("keepUnsynced=%v: reopen: %v", keepUnsynced, err)
 		}
-		h2 := storage.NewHeap(m2.Store())
 		check := func(rid oid.RID, want string) {
 			t.Helper()
 			var got []byte
-			err := m2.Read(func() error {
+			err := readH(m2, func(h2 *storage.Heap) error {
 				var err error
 				got, err = h2.Read(rid)
 				return err

@@ -1,0 +1,19 @@
+package txn
+
+import "ode/internal/storage"
+
+// writeH runs fn in a write transaction with a heap bound to the
+// transaction's view. Heap free-space state is fresh per call; tests
+// exercise correctness, not the engine's cross-transaction space cache.
+func writeH(m *Manager, fn func(h *storage.Heap) error) error {
+	return m.Write(func(v *storage.TxView) error {
+		return fn(storage.NewHeap(v, nil))
+	})
+}
+
+// readH runs fn in a read transaction with a heap over its snapshot.
+func readH(m *Manager, fn func(h *storage.Heap) error) error {
+	return m.Read(func(v *storage.TxView) error {
+		return fn(storage.NewHeap(v, nil))
+	})
+}

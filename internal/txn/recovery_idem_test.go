@@ -28,10 +28,9 @@ func verifyRecovered(fsys faultfs.FS, res matrixResult) error {
 	if err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
-	h := storage.NewHeap(m.Store())
 	for _, i := range res.acked {
 		var got []byte
-		rerr := m.Read(func() error {
+		rerr := readH(m, func(h *storage.Heap) error {
 			var err error
 			got, err = h.Read(res.rids[i])
 			return err

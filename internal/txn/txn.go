@@ -1,14 +1,20 @@
 // Package txn implements Ode's transaction manager: single-writer /
-// multi-reader isolation, redo-only write-ahead logging of page
+// multi-reader snapshot isolation, redo-only write-ahead logging of page
 // after-images, in-memory before-images for abort, crash recovery, and
 // log-truncating checkpoints.
 //
 // The durability contract: when Write returns nil, the transaction's
 // effects survive a crash (its page images and commit record are fsynced
-// in the WAL before the lock is released). A transaction that returns an
-// error, or panics, is rolled back completely. The paper does not
-// discuss concurrency control; this minimal model is the substrate a
-// real library needs and is documented as beyond-paper (DESIGN.md §2).
+// in the WAL before the writer lock is released). A transaction that
+// returns an error, or panics, is rolled back completely.
+//
+// Concurrency: writers serialise on a narrow mutex; readers never take
+// it. Read pins a buffer-pool epoch (advanced by each commit after WAL
+// fsync) and runs against copy-on-write page snapshots, so a View
+// neither blocks nor is blocked by a concurrent Update — including its
+// commit fsync. The paper does not discuss concurrency control; this
+// model is the substrate a real library needs and is documented as
+// beyond-paper (DESIGN.md §2, §9).
 package txn
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"ode/internal/faultfs"
 	"ode/internal/oid"
@@ -87,27 +94,43 @@ type Stats struct {
 }
 
 // Manager owns one database directory: its store, its WAL, and the
-// writer lock.
+// writer lock. Readers do not take the writer lock: they are admitted
+// under rmu (a brief critical section) and then run lock-free against
+// an epoch-pinned snapshot view.
 type Manager struct {
-	mu     sync.RWMutex
+	// mu is the writer lock: Write, Checkpoint, Exclusive, and the tail
+	// of Close serialise on it. st (superblock mutation), log, nextTx
+	// and ioErr are writer-side state guarded by it.
+	mu     sync.Mutex
 	st     *storage.Store
 	log    *wal.Log
 	opts   Options
-	closed bool
-	stats  Stats
 	nextTx uint64 // in-memory: txids only disambiguate within one log lifetime
+
+	// rmu guards reader admission and closed; Close flips closed and
+	// then drains in-flight readers via the WaitGroup.
+	rmu     sync.Mutex
+	readers sync.WaitGroup
+	closed  bool
+
+	// Activity counters. Atomic so Stats never touches either lock —
+	// it must stay cheap and non-blocking even mid-commit.
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	checkpoints atomic.Uint64
+	recovered   uint64       // set once at open, read-only after
+	walBytes    atomic.Int64 // mirror of log.Size(), updated under mu
 
 	// ioErr, once set, permanently disables writes: an I/O failure left
 	// the in-memory state and the on-disk state possibly divergent in a
 	// way only recovery (a reopen) can reconcile. The WAL is preserved
 	// so no acked commit is lost.
 	ioErr error
-
-	cur *tracker // active write transaction's tracker (nil otherwise)
 }
 
 // tracker captures before-images for abort and the dirty set for commit
-// logging. It implements storage.MutationTracker.
+// logging. It implements storage.MutationTracker; one is born per write
+// transaction and dies with it (there is no global tracker seam).
 type tracker struct {
 	before    map[oid.PageID]beforeImage
 	allocated map[oid.PageID]bool
@@ -125,22 +148,31 @@ func newTracker() *tracker {
 	}
 }
 
-// BeforeMutate implements storage.MutationTracker.
-func (tr *tracker) BeforeMutate(p *storage.Page) {
-	if tr.allocated[p.ID] {
+// BeforeMutate implements storage.MutationTracker. before aliases the
+// pool's immutable snapshot page, so no copy is made here; rollback
+// copies it back into the (distinct) live page.
+func (tr *tracker) BeforeMutate(id oid.PageID, before []byte, wasDirty bool) {
+	if tr.allocated[id] {
 		return // born this txn; no before-image exists
 	}
-	if _, ok := tr.before[p.ID]; ok {
+	if _, ok := tr.before[id]; ok {
 		return
 	}
-	tr.before[p.ID] = beforeImage{
-		data:     append([]byte(nil), p.Data...),
-		wasDirty: p.Dirty(),
-	}
+	tr.before[id] = beforeImage{data: before, wasDirty: wasDirty}
 }
 
 // DidAllocate implements storage.MutationTracker.
 func (tr *tracker) DidAllocate(id oid.PageID) { tr.allocated[id] = true }
+
+// Tracked implements storage.MutationTracker: the view skips the
+// copy-on-write for pages this transaction already captured.
+func (tr *tracker) Tracked(id oid.PageID) bool {
+	if tr.allocated[id] {
+		return true
+	}
+	_, ok := tr.before[id]
+	return ok
+}
 
 // Create initialises a new database directory.
 func Create(dir string, opts Options) (*Manager, error) {
@@ -158,7 +190,9 @@ func Create(dir string, opts Options) (*Manager, error) {
 		st.Close()
 		return nil, err
 	}
-	return &Manager{st: st, log: log, opts: opts}, nil
+	m := &Manager{st: st, log: log, opts: opts}
+	m.walBytes.Store(log.Size())
+	return m, nil
 }
 
 // Open opens an existing database directory, running crash recovery
@@ -197,7 +231,8 @@ func Open(dir string, opts Options) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{st: st, log: log, opts: opts}
-	m.stats.RecoveredTxns = recovered
+	m.recovered = recovered
+	m.walBytes.Store(log.Size())
 	return m, nil
 }
 
@@ -294,36 +329,76 @@ func recover2(fsys faultfs.FS, log *wal.Log, dataPath string) (uint64, error) {
 }
 
 // Store exposes the underlying store to the engine. Mutations are only
-// legal inside Write.
+// legal inside Write, through the transaction's view.
 func (m *Manager) Store() *storage.Store { return m.st }
 
-// Stats returns activity counters.
+// Stats returns activity counters. It is lock-free: safe to call from
+// any goroutine at any time, including mid-commit.
 func (m *Manager) Stats() Stats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s := m.stats
-	s.WALBytes = m.log.Size()
-	return s
+	return Stats{
+		Commits:       m.commits.Load(),
+		Aborts:        m.aborts.Load(),
+		Checkpoints:   m.checkpoints.Load(),
+		RecoveredTxns: m.recovered,
+		WALBytes:      m.walBytes.Load(),
+	}
 }
 
-// Read runs fn under the shared reader lock. fn must not mutate the
-// store.
-func (m *Manager) Read(fn func() error) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+// BeginRead admits a reader and returns its snapshot view, pinned at
+// the epoch of the most recent commit. The caller must pass the view to
+// EndRead exactly once. Readers never take the writer lock: a View is
+// never stalled behind an Update or its commit fsync.
+func (m *Manager) BeginRead() (*storage.TxView, error) {
+	m.rmu.Lock()
 	if m.closed {
-		return ErrClosed
+		m.rmu.Unlock()
+		return nil, ErrClosed
 	}
-	return fn()
+	m.readers.Add(1)
+	m.rmu.Unlock()
+	v, err := m.st.OpenReader()
+	if err != nil {
+		m.readers.Done()
+		return nil, err
+	}
+	return v, nil
+}
+
+// EndRead ends a reader: the view is invalidated (ErrTxDone on further
+// use) and its epoch pin released, allowing snapshot reclamation.
+func (m *Manager) EndRead(v *storage.TxView) {
+	v.Close()
+	m.readers.Done()
+}
+
+// Read runs fn against a snapshot of the most recently committed state.
+// The view is only valid until fn returns.
+func (m *Manager) Read(fn func(*storage.TxView) error) error {
+	v, err := m.BeginRead()
+	if err != nil {
+		return err
+	}
+	defer m.EndRead(v)
+	return fn(v)
+}
+
+// isClosed reports whether Close has begun.
+func (m *Manager) isClosed() bool {
+	m.rmu.Lock()
+	defer m.rmu.Unlock()
+	return m.closed
 }
 
 // Write runs fn as a transaction under the exclusive writer lock. If fn
 // returns nil the transaction commits durably; if it returns an error or
-// panics the transaction rolls back (and the panic resumes).
-func (m *Manager) Write(fn func() error) error {
+// panics the transaction rolls back (and the panic resumes). Readers
+// admitted before the commit's epoch advance keep their snapshot; ones
+// admitted after see the new state.
+func (m *Manager) Write(fn func(*storage.TxView) error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	defer func() { m.walBytes.Store(m.log.Size()) }()
+	if m.isClosed() {
 		return ErrClosed
 	}
 	if m.opts.Storage.ReadOnly {
@@ -333,22 +408,20 @@ func (m *Manager) Write(fn func() error) error {
 		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
 	}
 	tr := newTracker()
-	m.cur = tr
-	m.st.SetTracker(tr)
+	v := m.st.OpenWriter(tr)
 	m.nextTx++
 	txid := oid.TxID(m.nextTx)
 
 	done := false
 	defer func() {
-		m.st.SetTracker(nil)
-		m.cur = nil
+		v.Close()
 		if !done {
 			// fn panicked: roll back, then let the panic continue.
 			m.rollback(tr)
 		}
 	}()
 
-	if err := fn(); err != nil {
+	if err := fn(v); err != nil {
 		done = true
 		m.rollback(tr)
 		return err
@@ -371,6 +444,19 @@ func (m *Manager) Write(fn func() error) error {
 	return nil
 }
 
+// Exclusive runs fn while holding the writer lock, with no transaction
+// in flight and no mutation tracking. Backup uses it to copy the data
+// file without a concurrent writer or checkpoint moving it underneath;
+// readers are unaffected. fn must not mutate the store.
+func (m *Manager) Exclusive(fn func() error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.isClosed() {
+		return ErrClosed
+	}
+	return fn()
+}
+
 // commit logs the transaction's dirty pages and makes them durable.
 // durable reports whether the commit record reached stable storage:
 // when false the caller must roll back; when true the effects are
@@ -388,7 +474,7 @@ func (m *Manager) commit(txid oid.TxID, tr *tracker) (durable bool, err error) {
 		}
 	}
 	if len(touched) == 0 {
-		m.stats.Commits++
+		m.commits.Add(1)
 		return false, nil // read-only "write" transaction
 	}
 	// Remember where this transaction's records start so a failed
@@ -423,7 +509,12 @@ func (m *Manager) commit(txid oid.TxID, tr *tracker) (durable bool, err error) {
 			return false, err
 		}
 	}
-	m.stats.Commits++
+	m.commits.Add(1)
+	// The commit is durable: advance the epoch so new readers see it.
+	// Readers pinned at earlier epochs keep their snapshots (reclaimed
+	// when the last of them unpins). This precedes the checkpoint so a
+	// checkpoint failure cannot strand readers on a stale epoch.
+	m.st.Pool().AdvanceEpoch()
 	if err := m.maybeCheckpoint(); err != nil {
 		// The commit is durable but the page file and WAL may now
 		// disagree with the pool's clean/dirty bookkeeping; only
@@ -452,7 +543,10 @@ func (m *Manager) poison(err error) {
 }
 
 // rollback restores before-images and drops pages allocated by the
-// transaction.
+// transaction. It only ever mutates the transaction's own live page
+// copies (readers hold the pre-COW snapshot objects, whose images are
+// byte-identical to what this restores), so it is invisible to
+// concurrent readers. The epoch does not advance.
 func (m *Manager) rollback(tr *tracker) {
 	for id, bi := range tr.before {
 		p, err := m.st.Get(id)
@@ -476,7 +570,7 @@ func (m *Manager) rollback(tr *tracker) {
 		// superblock unless memory was corrupted.
 		panic(fmt.Sprintf("txn: rollback broke superblock: %v", err))
 	}
-	m.stats.Aborts++
+	m.aborts.Add(1)
 }
 
 func (m *Manager) maybeCheckpoint() error {
@@ -494,7 +588,8 @@ func (m *Manager) maybeCheckpoint() error {
 func (m *Manager) Checkpoint() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	defer func() { m.walBytes.Store(m.log.Size()) }()
+	if m.isClosed() {
 		return ErrClosed
 	}
 	return m.checkpointLocked()
@@ -530,7 +625,7 @@ func (m *Manager) checkpointLocked() error {
 		m.poison(err)
 		return err
 	}
-	m.stats.Checkpoints++
+	m.checkpoints.Add(1)
 	return nil
 }
 
@@ -540,12 +635,18 @@ func (m *Manager) checkpointLocked() error {
 // next open replays it. Resetting it regardless — as this method once
 // did — silently discarded acked commits on a failing disk.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.rmu.Lock()
 	if m.closed {
+		m.rmu.Unlock()
 		return nil
 	}
 	m.closed = true
+	m.rmu.Unlock()
+	// New readers are now refused; drain the in-flight ones so no
+	// snapshot view outlives the store.
+	m.readers.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.opts.Storage.ReadOnly {
 		m.log.Close()
 		// Read-only stores have nothing dirty to flush.

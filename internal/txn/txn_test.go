@@ -25,9 +25,8 @@ func createDB(t *testing.T, opts Options) (*Manager, string) {
 
 func TestCommitVisibleAfterReopen(t *testing.T) {
 	m, dir := createDB(t, Options{})
-	h := storage.NewHeap(m.Store())
 	var rid oid.RID
-	err := m.Write(func() error {
+	err := writeH(m, func(h *storage.Heap) error {
 		var err error
 		rid, err = h.Insert([]byte("durable"))
 		return err
@@ -43,9 +42,8 @@ func TestCommitVisibleAfterReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m2.Close()
-	h2 := storage.NewHeap(m2.Store())
 	var got []byte
-	err = m2.Read(func() error {
+	err = readH(m2, func(h2 *storage.Heap) error {
 		var err error
 		got, err = h2.Read(rid)
 		return err
@@ -69,10 +67,9 @@ func crashReopen(t *testing.T, dir string) *Manager {
 
 func TestCrashRecoveryReplaysCommitted(t *testing.T) {
 	m, dir := createDB(t, Options{})
-	h := storage.NewHeap(m.Store())
 	var rids []oid.RID
 	for i := 0; i < 20; i++ {
-		err := m.Write(func() error {
+		err := writeH(m, func(h *storage.Heap) error {
 			rid, err := h.Insert([]byte(fmt.Sprintf("record-%d", i)))
 			rids = append(rids, rid)
 			return err
@@ -87,10 +84,9 @@ func TestCrashRecoveryReplaysCommitted(t *testing.T) {
 	if m2.Stats().RecoveredTxns == 0 {
 		t.Fatal("no transactions recovered")
 	}
-	h2 := storage.NewHeap(m2.Store())
 	for i, rid := range rids {
 		var got []byte
-		err := m2.Read(func() error {
+		err := readH(m2, func(h2 *storage.Heap) error {
 			var err error
 			got, err = h2.Read(rid)
 			return err
@@ -104,9 +100,8 @@ func TestCrashRecoveryReplaysCommitted(t *testing.T) {
 func TestAbortRestoresState(t *testing.T) {
 	m, _ := createDB(t, Options{})
 	defer m.Close()
-	h := storage.NewHeap(m.Store())
 	var keep oid.RID
-	if err := m.Write(func() error {
+	if err := writeH(m, func(h *storage.Heap) error {
 		var err error
 		keep, err = h.Insert([]byte("keep"))
 		return err
@@ -115,7 +110,7 @@ func TestAbortRestoresState(t *testing.T) {
 	}
 	boom := errors.New("boom")
 	var lost oid.RID
-	err := m.Write(func() error {
+	err := writeH(m, func(h *storage.Heap) error {
 		var err error
 		lost, err = h.Insert([]byte("lost"))
 		if err != nil {
@@ -130,7 +125,7 @@ func TestAbortRestoresState(t *testing.T) {
 		t.Fatalf("want boom, got %v", err)
 	}
 	// Aborted insert gone, aborted update undone.
-	if err := m.Read(func() error {
+	if err := readH(m, func(h *storage.Heap) error {
 		if _, err := h.Read(lost); !errors.Is(err, storage.ErrNoRecord) {
 			// The RID's page may not even exist anymore.
 			if err == nil {
@@ -149,7 +144,7 @@ func TestAbortRestoresState(t *testing.T) {
 		t.Fatalf("aborts = %d", m.Stats().Aborts)
 	}
 	// Engine still consistent: new writes work.
-	if err := m.Write(func() error {
+	if err := writeH(m, func(h *storage.Heap) error {
 		_, err := h.Insert([]byte("after"))
 		return err
 	}); err != nil {
@@ -160,14 +155,13 @@ func TestAbortRestoresState(t *testing.T) {
 func TestPanicRollsBackAndPropagates(t *testing.T) {
 	m, _ := createDB(t, Options{})
 	defer m.Close()
-	h := storage.NewHeap(m.Store())
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("panic swallowed")
 			}
 		}()
-		_ = m.Write(func() error {
+		_ = writeH(m, func(h *storage.Heap) error {
 			if _, err := h.Insert([]byte("doomed")); err != nil {
 				return err
 			}
@@ -178,7 +172,7 @@ func TestPanicRollsBackAndPropagates(t *testing.T) {
 		t.Fatalf("aborts = %d", m.Stats().Aborts)
 	}
 	// Manager usable after panic rollback.
-	if err := m.Write(func() error {
+	if err := writeH(m, func(h *storage.Heap) error {
 		_, err := h.Insert([]byte("fine"))
 		return err
 	}); err != nil {
@@ -188,8 +182,7 @@ func TestPanicRollsBackAndPropagates(t *testing.T) {
 
 func TestUncommittedLostOnCrash(t *testing.T) {
 	m, dir := createDB(t, Options{})
-	h := storage.NewHeap(m.Store())
-	if err := m.Write(func() error {
+	if err := writeH(m, func(h *storage.Heap) error {
 		_, err := h.Insert([]byte("committed"))
 		return err
 	}); err != nil {
@@ -197,7 +190,7 @@ func TestUncommittedLostOnCrash(t *testing.T) {
 	}
 	sizeAfterCommit := dataFileSize(t, dir)
 	// An aborted transaction's work must never reach disk.
-	_ = m.Write(func() error {
+	_ = writeH(m, func(h *storage.Heap) error {
 		for i := 0; i < 50; i++ {
 			if _, err := h.Insert(bytes.Repeat([]byte("x"), 1000)); err != nil {
 				return err
@@ -223,9 +216,8 @@ func dataFileSize(t *testing.T, dir string) int64 {
 
 func TestCheckpointTruncatesWAL(t *testing.T) {
 	m, dir := createDB(t, Options{})
-	h := storage.NewHeap(m.Store())
 	for i := 0; i < 10; i++ {
-		if err := m.Write(func() error {
+		if err := writeH(m, func(h *storage.Heap) error {
 			_, err := h.Insert(bytes.Repeat([]byte("w"), 500))
 			return err
 		}); err != nil {
@@ -248,8 +240,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 		t.Fatalf("unexpected recovery work after checkpoint: %d", m2.Stats().RecoveredTxns)
 	}
 	n := 0
-	h2 := storage.NewHeap(m2.Store())
-	if err := m2.Read(func() error {
+	if err := readH(m2, func(h2 *storage.Heap) error {
 		return h2.Scan(func(oid.RID, []byte) (bool, error) { n++; return true, nil })
 	}); err != nil {
 		t.Fatal(err)
@@ -262,9 +253,8 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 func TestAutoCheckpoint(t *testing.T) {
 	m, _ := createDB(t, Options{CheckpointBytes: 10_000})
 	defer m.Close()
-	h := storage.NewHeap(m.Store())
 	for i := 0; i < 30; i++ {
-		if err := m.Write(func() error {
+		if err := writeH(m, func(h *storage.Heap) error {
 			_, err := h.Insert(bytes.Repeat([]byte("c"), 800))
 			return err
 		}); err != nil {
@@ -280,7 +270,7 @@ func TestReadOnlyWriteTxnLogsNothing(t *testing.T) {
 	m, _ := createDB(t, Options{})
 	defer m.Close()
 	before := m.Stats().WALBytes
-	if err := m.Write(func() error { return nil }); err != nil {
+	if err := m.Write(func(*storage.TxView) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.Stats().WALBytes; got != before {
@@ -293,10 +283,10 @@ func TestClosedManagerRejectsWork(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Write(func() error { return nil }); !errors.Is(err, ErrClosed) {
+	if err := m.Write(func(*storage.TxView) error { return nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
-	if err := m.Read(func() error { return nil }); !errors.Is(err, ErrClosed) {
+	if err := m.Read(func(*storage.TxView) error { return nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 	if err := m.Close(); err != nil {
@@ -315,7 +305,6 @@ func TestRandomizedCrashConsistency(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(321))
 	model := map[oid.RID][]byte{} // committed state
-	h := storage.NewHeap(m.Store())
 
 	reopen := func() {
 		m2, err := Open(dir, Options{Storage: storage.Options{PageSize: 512}})
@@ -323,7 +312,6 @@ func TestRandomizedCrashConsistency(t *testing.T) {
 			t.Fatal(err)
 		}
 		m = m2
-		h = storage.NewHeap(m.Store())
 	}
 
 	for round := 0; round < 30; round++ {
@@ -337,7 +325,7 @@ func TestRandomizedCrashConsistency(t *testing.T) {
 			for k, v := range model {
 				cur[k] = v
 			}
-			err := m.Write(func() error {
+			err := writeH(m, func(h *storage.Heap) error {
 				ops := rng.Intn(6) + 1
 				for j := 0; j < ops; j++ {
 					if rng.Intn(4) == 0 && len(cur) > 0 {
@@ -387,7 +375,7 @@ func TestRandomizedCrashConsistency(t *testing.T) {
 		// Validate the committed model.
 		for rid, want := range model {
 			var got []byte
-			err := m.Read(func() error {
+			err := readH(m, func(h *storage.Heap) error {
 				var err error
 				got, err = h.Read(rid)
 				return err
@@ -401,7 +389,7 @@ func TestRandomizedCrashConsistency(t *testing.T) {
 		}
 		// And that nothing extra survived.
 		count := 0
-		if err := m.Read(func() error {
+		if err := readH(m, func(h *storage.Heap) error {
 			return h.Scan(func(rid oid.RID, _ []byte) (bool, error) {
 				if _, ok := model[rid]; !ok {
 					t.Fatalf("round %d: phantom record %v", round, rid)

@@ -66,6 +66,8 @@ var (
 	ErrClosed   = txn.ErrClosed
 )
 
+// (ErrTxDone is declared alongside Tx in tx.go.)
+
 // StoragePolicy selects how version payloads are stored on disk.
 type StoragePolicy = core.PayloadPolicy
 
@@ -173,18 +175,26 @@ func (db *DB) Close() error { return db.mgr.Close() }
 
 // Update runs fn in a read-write transaction. If fn returns nil the
 // transaction commits durably; on error or panic it rolls back
-// completely.
+// completely. The Tx is invalid once fn returns (ErrTxDone on later
+// use).
 func (db *DB) Update(fn func(tx *Tx) error) error {
-	return db.eng.Write(func() error {
-		return fn(&Tx{db: db, writable: true})
+	return db.eng.Write(func(ctx *core.Tx) error {
+		tx := &Tx{db: db, ctx: ctx, writable: true}
+		defer func() { tx.done = true }()
+		return fn(tx)
 	})
 }
 
-// View runs fn in a read-only transaction. Any number of Views run
-// concurrently; an Update excludes them.
+// View runs fn in a read-only transaction against a snapshot of the
+// most recently committed state. Views run fully concurrently with each
+// other and with Updates: a View neither blocks nor is blocked by a
+// writer (including its commit fsync). The Tx is invalid once fn
+// returns (ErrTxDone on later use).
 func (db *DB) View(fn func(tx *Tx) error) error {
-	return db.eng.Read(func() error {
-		return fn(&Tx{db: db})
+	return db.eng.Read(func(ctx *core.Tx) error {
+		tx := &Tx{db: db, ctx: ctx}
+		defer func() { tx.done = true }()
+		return fn(tx)
 	})
 }
 
@@ -218,7 +228,7 @@ func (db *DB) Stats() Stats {
 // CheckIntegrity validates every structural invariant of every object
 // and index (expensive; meant for tests and tools).
 func (db *DB) CheckIntegrity() error {
-	return db.eng.Read(func() error { return db.eng.CheckAll() })
+	return db.eng.Read(func(tx *core.Tx) error { return tx.CheckAll() })
 }
 
 // Engine exposes the underlying engine for the repository's internal

@@ -91,7 +91,7 @@ func (ty *Type[T]) Create(tx *Tx, v *T) (Ptr[T], error) {
 // Ref wraps a known OID as a typed generic reference, verifying the
 // object's catalog type.
 func (ty *Type[T]) Ref(tx *Tx, o OID) (Ptr[T], error) {
-	got, err := tx.db.eng.TypeOf(o)
+	got, err := tx.TypeOf(o)
 	if err != nil {
 		return Ptr[T]{}, err
 	}

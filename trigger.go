@@ -1,6 +1,7 @@
 package ode
 
 import (
+	"ode/internal/core"
 	"ode/internal/trigger"
 )
 
@@ -58,3 +59,16 @@ func (db *DB) OnAll(mask EventMask, once bool, h TriggerHandler) TriggerID {
 
 // RemoveTrigger cancels a trigger registration.
 func (db *DB) RemoveTrigger(id TriggerID) { db.eng.Bus().Unsubscribe(id) }
+
+// TxOf returns the firing transaction of an event, as a public handle.
+// Handlers must do all further reads and writes through it so their
+// effects stay atomic with the triggering operation. The handle shares
+// the firing transaction's lifetime: it is invalid (ErrTxDone) once
+// that transaction ends.
+func (db *DB) TxOf(ev Event) *Tx {
+	ctx, ok := ev.Tx.(*core.Tx)
+	if !ok || ctx == nil {
+		return nil
+	}
+	return &Tx{db: db, ctx: ctx, writable: ctx.Writable()}
+}
