@@ -1,6 +1,5 @@
 GO ?= go
-
-.PHONY: build test vet race matrix check
+FUZZTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -20,4 +19,19 @@ race:
 matrix:
 	$(GO) test -race -run 'FaultMatrix|RecoveryDeterministic|PoolReadFault|EngineCrashMatrix|FailedCommitSync' ./internal/txn ./internal/storage .
 
+# Short continuous-fuzz pass over every native fuzz target (seed
+# corpora under testdata/fuzz always run as part of plain `go test`;
+# this explores beyond them). One target at a time — `go test -fuzz`
+# accepts a single pattern per run.
+fuzz:
+	$(GO) test -fuzz FuzzScanEnd -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -fuzz FuzzBatchTail -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -fuzz FuzzReaderOps -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
+
+cover:
+	$(GO) test -cover ./...
+
 check: build vet race matrix
+
+.PHONY: build test vet race matrix fuzz cover check

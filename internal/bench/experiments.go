@@ -967,5 +967,6 @@ func All() []Experiment {
 		{"E9", "substrate soundness", E9},
 		{"E10", "keyframe-interval ablation", E10},
 		{"E11", "concurrent snapshot reads", E11},
+		{"E12", "group commit throughput", E12},
 	}
 }

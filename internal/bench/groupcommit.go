@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode"
+)
+
+// GroupCommitJSONPath, when non-empty, is where E12 writes its
+// machine-readable results. cmd/odebench points it at
+// BENCH_groupcommit.json in the invocation directory; tests leave it
+// empty so quick runs emit nothing.
+var GroupCommitJSONPath = ""
+
+// GroupCommitResult is one E12 measurement cell.
+type GroupCommitResult struct {
+	Committers      int     `json:"committers"`
+	Mode            string  `json:"mode"` // "baseline" (NoGroupCommit) or "grouped"
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	Commits         int64   `json:"commits"`
+	Batches         uint64  `json:"fsync_batches"`
+	MeanLatencyUS   float64 `json:"mean_latency_us"`
+	Millis          int64   `json:"window_ms"`
+	MeanCommitGroup float64 `json:"mean_commit_group"`
+}
+
+// groupCommitCell opens a fresh store with the given options, seeds one
+// object per committer (disjoint objects — the cell measures the commit
+// pipeline, not version-level contention) and lets nCommitters
+// goroutines commit small in-place updates back-to-back with real
+// fsyncs for one wall-clock window. It returns total commits, the
+// fsync-batch count and the summed per-commit latency.
+func groupCommitCell(dir string, opts *ode.Options, nCommitters int, window time.Duration) (int64, uint64, time.Duration, error) {
+	db, err := ode.Open(dir, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer db.Close()
+	ty, err := ode.RegisterWithCodec[Blob](db, "Blob", rawCodec{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	objs := make([]ode.OID, nCommitters)
+	rng := rand.New(rand.NewSource(12))
+	if err := db.Update(func(tx *ode.Tx) error {
+		for i := range objs {
+			p, err := ty.Create(tx, &Blob{Data: Payload(rng, 128, 0.5)})
+			if err != nil {
+				return err
+			}
+			objs[i] = p.OID()
+		}
+		return nil
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+	startBatches := db.Stats().Batches
+
+	var (
+		commits   atomic.Int64
+		latencyNS atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+	)
+	for i := 0; i < nCommitters; i++ {
+		wg.Add(1)
+		go func(o ode.OID) {
+			defer wg.Done()
+			payload := Payload(rand.New(rand.NewSource(int64(len(objs)))), 64, 0.5)
+			for !stop.Load() {
+				t0 := time.Now()
+				// A small in-place update is the canonical group-commit
+				// workload: almost no CPU per txn, so the commit cost IS
+				// the WAL flush. It is also stationary — NewVersion would
+				// grow the version index over the window and make later
+				// commits dearer than earlier ones.
+				err := db.Update(func(tx *ode.Tx) error {
+					_, err := tx.UpdateLatestRaw(o, payload)
+					return err
+				})
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+				latencyNS.Add(time.Since(t0).Nanoseconds())
+				commits.Add(1)
+			}
+		}(objs[i])
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	return commits.Load(), db.Stats().Batches - startBatches,
+		time.Duration(latencyNS.Load()), nil
+}
+
+// E12 — group-commit throughput: synchronous commit rate as committer
+// concurrency grows, grouped WAL batching versus the one-fsync-per-txn
+// baseline (NoGroupCommit). With batching, concurrent committers share
+// a single fsync per group, so throughput should scale well past the
+// device's fsync rate while the baseline stays pinned to it. The
+// 1-committer row doubles as the latency-regression check: grouping
+// may add at most the configured batch delay (default 0 — the leader
+// flushes immediately and batches form from natural backpressure).
+func E12(root string, s Scale) (*Table, error) {
+	window := time.Duration(1500/s.Factor) * time.Millisecond
+	if window < 150*time.Millisecond {
+		window = 150 * time.Millisecond
+	}
+
+	t := &Table{
+		Title:   "E12 — Group commit: synchronous commit throughput vs committer concurrency",
+		Note:    fmt.Sprintf("Each committer loops a small in-place update on its own object with real fsyncs for %v per cell (512-byte pages, checkpoints off). baseline = NoGroupCommit (one WAL fsync per txn); grouped = default pipeline (concurrent commits share one fsync). Speedup = grouped/baseline commits/s.", window),
+		Headers: []string{"committers", "baseline commits/s", "grouped commits/s", "speedup", "mean group", "grouped p-lat (µs)"},
+	}
+
+	var results []GroupCommitResult
+	cell := 0
+	for _, n := range []int{1, 4, 16, 64} {
+		var perMode [2]GroupCommitResult
+		for mi, mode := range []string{"baseline", "grouped"} {
+			// Checkpoints off in both modes: a checkpoint stalls the whole
+			// pipeline while it flushes the heap, and those pauses land at
+			// different points per run — pure commit throughput is what
+			// this experiment compares. 512-byte pages keep the physical
+			// redo images small (~3.5KB per commit instead of ~27KB), so
+			// the commit cost is the fsync rather than WAL write
+			// bandwidth — the regime group commit exists for, and the one
+			// small-object OLTP workloads actually sit in.
+			opts := &ode.Options{CheckpointBytes: -1, PageSize: 512}
+			if mode == "baseline" {
+				opts.NoGroupCommit = true
+			}
+			cell++
+			dir := filepath.Join(root, fmt.Sprintf("e12-%02d", cell))
+			commits, batches, latency, err := groupCommitCell(dir, opts, n, window)
+			if err != nil {
+				return nil, err
+			}
+			r := GroupCommitResult{
+				Committers:    n,
+				Mode:          mode,
+				CommitsPerSec: float64(commits) / window.Seconds(),
+				Commits:       commits,
+				Batches:       batches,
+				Millis:        window.Milliseconds(),
+			}
+			if commits > 0 {
+				r.MeanLatencyUS = float64(latency.Microseconds()) / float64(commits)
+			}
+			if batches > 0 {
+				r.MeanCommitGroup = float64(commits) / float64(batches)
+			}
+			perMode[mi] = r
+			results = append(results, r)
+		}
+		speedup := 0.0
+		if perMode[0].CommitsPerSec > 0 {
+			speedup = perMode[1].CommitsPerSec / perMode[0].CommitsPerSec
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", perMode[0].CommitsPerSec),
+			fmt.Sprintf("%.0f", perMode[1].CommitsPerSec),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.1f", perMode[1].MeanCommitGroup),
+			fmt.Sprintf("%.0f", perMode[1].MeanLatencyUS))
+	}
+
+	if GroupCommitJSONPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string              `json:"experiment"`
+			Results    []GroupCommitResult `json:"results"`
+		}{"E12-groupcommit", results}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(GroupCommitJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -48,9 +48,16 @@ type Pool struct {
 	capacity int
 	nDirty   int
 
-	// epoch counts committed write transactions this session. Readers
-	// pin it; commit advances it after WAL durability.
-	epoch uint64
+	// epoch counts prepared write transactions this session: it advances
+	// when a transaction reaches its in-memory commit point (its live
+	// pages carry the new state and its WAL records are staged). durable
+	// trails it, advancing only when those records are fsynced; readers
+	// pin durable, so a prepared-but-not-yet-durable transaction is never
+	// visible to a new reader. With group commit several transactions can
+	// sit in the gap at once; their COW snapshots (tagged with the epoch
+	// at first mutation) keep every pinned reader consistent.
+	epoch   uint64
+	durable uint64
 	// pins refcounts readers per pinned epoch.
 	pins map[uint64]int
 	// snaps holds retained pre-images per page, epoch-ascending.
@@ -91,22 +98,33 @@ func (pl *Pool) Resident() (total, dirty int) {
 
 // --- epochs and snapshots ---
 
-// Epoch returns the current epoch (the count of committed write
-// transactions this session).
+// Epoch returns the current prepared epoch (the count of write
+// transactions that reached their in-memory commit point this session).
 func (pl *Pool) Epoch() uint64 {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	return pl.epoch
 }
 
-// PinEpoch registers a reader at the current epoch and returns it. The
-// reader sees exactly the committed state as of this moment until it
-// calls UnpinEpoch, regardless of concurrent writers.
+// DurableEpoch returns the durable epoch: the newest epoch whose
+// transactions' WAL records are known to be on stable storage. This is
+// the epoch readers pin.
+func (pl *Pool) DurableEpoch() uint64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.durable
+}
+
+// PinEpoch registers a reader at the current durable epoch and returns
+// it. The reader sees exactly the durably committed state as of this
+// moment until it calls UnpinEpoch, regardless of concurrent writers —
+// including writers whose commits are staged in a group-commit batch
+// but not yet fsynced.
 func (pl *Pool) PinEpoch() uint64 {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	pl.pins[pl.epoch]++
-	return pl.epoch
+	pl.pins[pl.durable]++
+	return pl.durable
 }
 
 // UnpinEpoch releases a reader's pin. When the last reader of the
@@ -123,14 +141,34 @@ func (pl *Pool) UnpinEpoch(epoch uint64) {
 	pl.reclaimLocked()
 }
 
-// AdvanceEpoch moves the pool to the next epoch. The transaction layer
-// calls it once per committed write transaction, after WAL durability:
-// readers that pin afterwards observe the new state.
-func (pl *Pool) AdvanceEpoch() {
+// AdvanceEpoch moves the pool to the next prepared epoch and returns
+// it. The transaction layer calls it once per write transaction at the
+// in-memory commit point (under the writer mutex, before the commit is
+// durable). Readers do not observe the new state until AdvanceDurableTo
+// catches the durable epoch up.
+func (pl *Pool) AdvanceEpoch() uint64 {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.epoch++
 	pl.reclaimLocked()
+	return pl.epoch
+}
+
+// AdvanceDurableTo raises the durable epoch to e (typically the epoch
+// of the newest member of a just-fsynced group-commit batch): readers
+// that pin afterwards observe every transaction up to e. Rollback of a
+// failed batch leaves durable where it was — the burned epochs are
+// simply never pinned. Regressions are ignored.
+func (pl *Pool) AdvanceDurableTo(e uint64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if e > pl.epoch {
+		e = pl.epoch
+	}
+	if e > pl.durable {
+		pl.durable = e
+		pl.reclaimLocked()
+	}
 }
 
 // SnapshotCount returns the number of retained snapshot pages (for
@@ -146,11 +184,14 @@ func (pl *Pool) SnapshotCount() int {
 }
 
 // reclaimLocked drops every snapshot no pinned reader (and no reader
-// that could still pin the current epoch) can resolve to: a snapshot
+// that could still pin the durable epoch) can resolve to: a snapshot
 // tagged e serves readers pinned at epochs <= e, so it is garbage once
-// every pin — and the current epoch itself — is above it.
+// every pin — and the durable epoch future readers would pin — is above
+// it. Snapshots tagged between durable and the prepared epoch are
+// always retained; they are what keeps readers consistent while a
+// group-commit batch is in flight.
 func (pl *Pool) reclaimLocked() {
-	min := pl.epoch
+	min := pl.durable
 	for e := range pl.pins {
 		if e < min {
 			min = e

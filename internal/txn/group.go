@@ -1,0 +1,303 @@
+// Group commit: the commit path is split into prepare (run fn, stage
+// WAL frames, advance the prepared epoch — all under the writer mutex)
+// and publish (append + fsync, done by a single committer goroutine for
+// a whole batch of prepared transactions at once). Writers therefore
+// hold the writer mutex only for their in-memory work; the fsync — the
+// expensive, latency-dominating step — is shared by everyone in the
+// batch, so N concurrent committers cost one fsync instead of N.
+//
+// Protocol (DESIGN.md §10):
+//
+//   - prepare (Manager.prepare, writer mutex held): run fn, stage the
+//     transaction's Begin/PageImage/Commit records into a wal.Frames,
+//     advance the pool's prepared epoch, enqueue a commitReq. Queue
+//     order is prepare order because enqueue happens under the mutex.
+//   - publish (groupCommitter.run, its own goroutine): pop everything
+//     queued (bounded by CommitBatchSize), splice the members' frames
+//     into the log, one fsync, advance the durable epoch to the newest
+//     member's, then ack every member. "Leader election" is degenerate
+//     by construction: the committer goroutine is the standing leader,
+//     and members only ever wait on their own done channel.
+//   - failure (Manager.failSuffix): if the batch's append or fsync
+//     fails, every prepared-but-not-durable transaction — the failed
+//     batch and anything queued behind it — is rolled back newest-first
+//     (their before-images only compose in that order), the WAL is
+//     truncated back to the batch start so the failed commits can never
+//     be replayed, and each member gets its own error. The manager is
+//     NOT poisoned: durable state is intact and the next commit must
+//     succeed (see TestFailedCommitSyncNeverResurfaces). Only a failure
+//     to heal the WAL itself poisons.
+//
+// Batching needs no timer to be effective: while a flush is in flight,
+// new requests pile up in the queue and the next pop takes them all.
+// CommitBatchDelay > 0 additionally makes the committer linger after
+// the first request of a batch, trading single-writer latency for
+// larger groups.
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ode/internal/oid"
+	"ode/internal/wal"
+)
+
+// DefaultCommitBatchSize bounds how many prepared transactions one
+// group-commit fsync may cover unless configured otherwise.
+const DefaultCommitBatchSize = 64
+
+// commitReq is one prepared transaction awaiting its group fsync.
+type commitReq struct {
+	txid  oid.TxID
+	tr    *tracker    // for rollback if the batch fails
+	fr    *wal.Frames // staged Begin/PageImage/Commit run
+	epoch uint64      // prepared epoch assigned at the commit point
+	done  chan error  // buffered(1); nil = durable
+}
+
+// groupCommitter owns the commit queue and the goroutine that publishes
+// batches. Writers enqueue while holding the Manager's writer mutex;
+// the queue is unbounded (a slice) so enqueue never blocks — essential,
+// because the committer itself takes the writer mutex on the failure
+// path and a bounded queue could deadlock against it.
+type groupCommitter struct {
+	m        *Manager
+	maxBatch int
+	maxDelay time.Duration
+
+	qmu     sync.Mutex
+	more    *sync.Cond // signalled on enqueue and stop
+	idle    *sync.Cond // signalled when the pipeline may have drained
+	q       []*commitReq
+	busy    bool // a batch is being flushed right now
+	stopped bool
+	exited  chan struct{}
+}
+
+func newGroupCommitter(m *Manager, maxBatch int, maxDelay time.Duration) *groupCommitter {
+	if maxBatch <= 0 {
+		maxBatch = DefaultCommitBatchSize
+	}
+	gc := &groupCommitter{m: m, maxBatch: maxBatch, maxDelay: maxDelay, exited: make(chan struct{})}
+	gc.more = sync.NewCond(&gc.qmu)
+	gc.idle = sync.NewCond(&gc.qmu)
+	go gc.run()
+	return gc
+}
+
+// enqueue hands a prepared transaction to the committer. Callers hold
+// the writer mutex, which is what makes queue order prepare order.
+func (gc *groupCommitter) enqueue(req *commitReq) {
+	gc.qmu.Lock()
+	if gc.stopped {
+		// Unreachable by Close's ordering (writers are barred before the
+		// committer stops), but an unacked request would hang its writer
+		// forever, so fail it rather than trust that reasoning with a
+		// goroutine's life.
+		gc.qmu.Unlock()
+		req.done <- ErrClosed
+		return
+	}
+	gc.q = append(gc.q, req)
+	gc.more.Signal()
+	gc.qmu.Unlock()
+}
+
+// next blocks until there is work, then claims up to maxBatch requests.
+// It returns nil only when stopped with an empty queue. busy is raised
+// before the queue lock is released so pipelineIdle stays accurate.
+func (gc *groupCommitter) next() []*commitReq {
+	gc.qmu.Lock()
+	defer gc.qmu.Unlock()
+	for len(gc.q) == 0 {
+		if gc.stopped {
+			return nil
+		}
+		gc.more.Wait()
+	}
+	if gc.maxDelay > 0 && len(gc.q) < gc.maxBatch && !gc.stopped {
+		// Linger for stragglers. The queue stays non-empty throughout, so
+		// the pipeline correctly reads as busy.
+		gc.qmu.Unlock()
+		time.Sleep(gc.maxDelay)
+		gc.qmu.Lock()
+	}
+	n := len(gc.q)
+	if n > gc.maxBatch {
+		n = gc.maxBatch
+	}
+	batch := gc.q[:n:n]
+	rest := make([]*commitReq, len(gc.q)-n)
+	copy(rest, gc.q[n:])
+	gc.q = rest
+	gc.busy = true
+	return batch
+}
+
+// drainQueued empties the queue (called by failSuffix under the writer
+// mutex: everything still queued was prepared on top of the failed
+// batch and must be rolled back with it).
+func (gc *groupCommitter) drainQueued() []*commitReq {
+	gc.qmu.Lock()
+	defer gc.qmu.Unlock()
+	q := gc.q
+	gc.q = nil
+	return q
+}
+
+// batchDone lowers busy and wakes pipeline-idle waiters.
+func (gc *groupCommitter) batchDone() {
+	gc.qmu.Lock()
+	gc.busy = false
+	gc.idle.Broadcast()
+	gc.qmu.Unlock()
+}
+
+// pipelineIdle reports whether no commit is queued or in flight. Only
+// meaningful while the caller holds the writer mutex (which is what
+// stops new requests from arriving).
+func (gc *groupCommitter) pipelineIdle() bool {
+	gc.qmu.Lock()
+	defer gc.qmu.Unlock()
+	return len(gc.q) == 0 && !gc.busy
+}
+
+// waitIdle blocks until the pipeline drains. The caller must NOT hold
+// the writer mutex (the committer needs it to fail a batch).
+func (gc *groupCommitter) waitIdle() {
+	gc.qmu.Lock()
+	for len(gc.q) > 0 || gc.busy {
+		gc.idle.Wait()
+	}
+	gc.qmu.Unlock()
+}
+
+// stop makes the committer exit once the queue is drained; wait blocks
+// until it has.
+func (gc *groupCommitter) stop() {
+	gc.qmu.Lock()
+	gc.stopped = true
+	gc.more.Broadcast()
+	gc.qmu.Unlock()
+}
+
+func (gc *groupCommitter) wait() { <-gc.exited }
+
+func (gc *groupCommitter) run() {
+	defer close(gc.exited)
+	for {
+		batch := gc.next()
+		if batch == nil {
+			return
+		}
+		gc.m.publishBatch(batch)
+		gc.batchDone()
+	}
+}
+
+// publishBatch makes a batch durable: splice every member's staged
+// frames into the log, one fsync for the group, advance the durable
+// epoch, ack the members. Log access is under logMu (checkpoints and
+// Close also touch the log); the writer mutex is NOT held, which is the
+// entire point — writers prepare the next batch meanwhile.
+func (m *Manager) publishBatch(batch []*commitReq) {
+	m.logMu.Lock()
+	startLSN := m.log.End()
+	var err error
+	for _, r := range batch {
+		if _, err = m.log.AppendFrames(r.fr); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = m.log.Sync()
+	}
+	if err != nil {
+		m.logMu.Unlock()
+		m.failSuffix(batch, startLSN, err)
+		return
+	}
+	size := m.log.Size()
+	m.walBytes.Store(size)
+	m.logMu.Unlock()
+
+	// Durable. Advance the readers' epoch to the newest member before
+	// acking anyone: a writer whose Write returned nil is entitled to
+	// have the next reader see its transaction.
+	m.st.Pool().AdvanceDurableTo(batch[len(batch)-1].epoch)
+	m.commits.Add(uint64(len(batch)))
+	m.batches.Add(1)
+	for _, r := range batch {
+		r.done <- nil
+	}
+	m.maybeKickCheckpoint(size)
+}
+
+// failSuffix handles a failed batch append/fsync: every prepared-but-
+// not-durable transaction — the batch plus anything queued behind it
+// (prepared on top of the batch's in-memory effects) — is rolled back
+// newest-first, the WAL is healed back to the batch start, and each
+// member is acked with an error. Batch members get the cause; queued
+// members get a wrapper naming why an fsync they were not part of took
+// them down. The prepared epochs burned here are simply never made
+// durable, so no reader ever pins them.
+func (m *Manager) failSuffix(batch []*commitReq, startLSN oid.LSN, cause error) {
+	m.mu.Lock()
+	suffix := append(batch, m.gc.drainQueued()...)
+	for i := len(suffix) - 1; i >= 0; i-- {
+		m.rollback(suffix[i].tr)
+	}
+	m.logMu.Lock()
+	if err := m.log.TruncateTo(startLSN); err != nil {
+		// The failed commits might survive in the log and be replayed
+		// after a crash even though we are about to report them failed.
+		// That is the one thing recovery cannot fix: stop writing.
+		m.poison(fmt.Errorf("cannot erase failed commit group from WAL: %w", err))
+	}
+	m.walBytes.Store(m.log.Size())
+	m.logMu.Unlock()
+	m.mu.Unlock()
+	for i, r := range suffix {
+		if i < len(batch) {
+			r.done <- cause
+		} else {
+			r.done <- fmt.Errorf("aborted with failed commit group: %w", cause)
+		}
+	}
+}
+
+// maybeKickCheckpoint nudges the background checkpointer when the WAL
+// has outgrown the configured threshold. Non-blocking: if a kick is
+// already pending the checkpointer will see the current size anyway.
+func (m *Manager) maybeKickCheckpoint(walSize int64) {
+	limit := m.opts.CheckpointBytes
+	if limit == 0 {
+		limit = DefaultCheckpointBytes
+	}
+	if limit < 0 || walSize < limit {
+		return
+	}
+	select {
+	case m.ckptKick <- struct{}{}:
+	default:
+	}
+}
+
+// checkpointer is the background goroutine that runs checkpoints off
+// the commit path. Errors are already recorded by Checkpoint (poisoned
+// manager); ErrClosed just means shutdown won the race.
+func (m *Manager) checkpointer() {
+	defer m.ckptWG.Done()
+	for {
+		select {
+		case <-m.ckptStop:
+			return
+		case <-m.ckptKick:
+			if err := m.Checkpoint(); err != nil {
+				return // poisoned or closed; either way no more checkpoints
+			}
+		}
+	}
+}

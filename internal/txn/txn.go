@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ode/internal/faultfs"
 	"ode/internal/oid"
@@ -70,6 +71,27 @@ type Options struct {
 	// real OS. The crash-consistency matrix installs a fault-injecting
 	// implementation (internal/faultfs) here.
 	FS faultfs.FS
+	// NoGroupCommit forces the pre-batching commit path: every commit
+	// appends and fsyncs its own records while holding the writer mutex.
+	// Benchmarks use it as the baseline group commit is measured against;
+	// it is also implied by NoSync (with no fsync to share there is
+	// nothing to batch) and by ReadOnly.
+	NoGroupCommit bool
+	// CommitBatchSize caps how many prepared transactions one group
+	// fsync may cover; 0 means DefaultCommitBatchSize.
+	CommitBatchSize int
+	// CommitBatchDelay makes the group committer linger that long after
+	// a batch's first transaction, collecting stragglers: larger groups,
+	// at the price of that much single-writer commit latency. 0 (the
+	// default) flushes immediately — batching still happens naturally,
+	// because requests queue up while the previous fsync is in flight.
+	CommitBatchDelay time.Duration
+}
+
+// grouped reports whether the manager should commit via the group
+// committer.
+func (o *Options) grouped() bool {
+	return !o.NoSync && !o.NoGroupCommit && !o.Storage.ReadOnly
 }
 
 // fsys resolves the filesystem the manager should use: Options.FS, then
@@ -91,6 +113,9 @@ type Stats struct {
 	Checkpoints   uint64
 	RecoveredTxns uint64
 	WALBytes      int64
+	// Batches counts group-commit fsyncs; Commits/Batches is the mean
+	// group size. Zero when group commit is disabled.
+	Batches uint64
 }
 
 // Manager owns one database directory: its store, its WAL, and the
@@ -98,14 +123,30 @@ type Stats struct {
 // under rmu (a brief critical section) and then run lock-free against
 // an epoch-pinned snapshot view.
 type Manager struct {
-	// mu is the writer lock: Write, Checkpoint, Exclusive, and the tail
-	// of Close serialise on it. st (superblock mutation), log, nextTx
-	// and ioErr are writer-side state guarded by it.
+	// mu is the writer lock: Write (prepare), Checkpoint, Exclusive,
+	// failSuffix, and the tail of Close serialise on it. st (superblock
+	// mutation), nextTx and ioErr are writer-side state guarded by it.
 	mu     sync.Mutex
 	st     *storage.Store
-	log    *wal.Log
 	opts   Options
 	nextTx uint64 // in-memory: txids only disambiguate within one log lifetime
+
+	// logMu guards the WAL when group commit is on: the committer
+	// goroutine appends and fsyncs batches without holding mu, while
+	// checkpoints (under mu, pipeline drained) append markers and reset.
+	// Lock order is mu before logMu; a logMu holder never takes mu.
+	// Without group commit all log access is already serialised under mu
+	// and logMu is uncontended.
+	logMu sync.Mutex
+	log   *wal.Log
+
+	// gc is the group committer (nil when Options.grouped() is false).
+	// The checkpointer goroutine exists under the same condition and
+	// coalesces WAL-size-triggered checkpoints off the commit path.
+	gc       *groupCommitter
+	ckptKick chan struct{}
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
 
 	// rmu guards reader admission and closed; Close flips closed and
 	// then drains in-flight readers via the WaitGroup.
@@ -117,6 +158,7 @@ type Manager struct {
 	// it must stay cheap and non-blocking even mid-commit.
 	commits     atomic.Uint64
 	aborts      atomic.Uint64
+	batches     atomic.Uint64
 	checkpoints atomic.Uint64
 	recovered   uint64       // set once at open, read-only after
 	walBytes    atomic.Int64 // mirror of log.Size(), updated under mu
@@ -164,6 +206,21 @@ func (tr *tracker) BeforeMutate(id oid.PageID, before []byte, wasDirty bool) {
 // DidAllocate implements storage.MutationTracker.
 func (tr *tracker) DidAllocate(id oid.PageID) { tr.allocated[id] = true }
 
+// touchedPages returns the transaction's dirty set: every page with a
+// before-image plus every allocation.
+func (tr *tracker) touchedPages() []oid.PageID {
+	touched := make([]oid.PageID, 0, len(tr.before)+len(tr.allocated))
+	for id := range tr.before {
+		touched = append(touched, id)
+	}
+	for id := range tr.allocated {
+		if _, dup := tr.before[id]; !dup {
+			touched = append(touched, id)
+		}
+	}
+	return touched
+}
+
 // Tracked implements storage.MutationTracker: the view skips the
 // copy-on-write for pages this transaction already captured.
 func (tr *tracker) Tracked(id oid.PageID) bool {
@@ -192,7 +249,21 @@ func Create(dir string, opts Options) (*Manager, error) {
 	}
 	m := &Manager{st: st, log: log, opts: opts}
 	m.walBytes.Store(log.Size())
+	m.startPipeline()
 	return m, nil
+}
+
+// startPipeline launches the group committer and the background
+// checkpointer when the options call for them.
+func (m *Manager) startPipeline() {
+	if !m.opts.grouped() {
+		return
+	}
+	m.gc = newGroupCommitter(m, m.opts.CommitBatchSize, m.opts.CommitBatchDelay)
+	m.ckptKick = make(chan struct{}, 1)
+	m.ckptStop = make(chan struct{})
+	m.ckptWG.Add(1)
+	go m.checkpointer()
 }
 
 // Open opens an existing database directory, running crash recovery
@@ -233,6 +304,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 	m := &Manager{st: st, log: log, opts: opts}
 	m.recovered = recovered
 	m.walBytes.Store(log.Size())
+	m.startPipeline()
 	return m, nil
 }
 
@@ -341,6 +413,7 @@ func (m *Manager) Stats() Stats {
 		Checkpoints:   m.checkpoints.Load(),
 		RecoveredTxns: m.recovered,
 		WALBytes:      m.walBytes.Load(),
+		Batches:       m.batches.Load(),
 	}
 }
 
@@ -389,12 +462,100 @@ func (m *Manager) isClosed() bool {
 	return m.closed
 }
 
-// Write runs fn as a transaction under the exclusive writer lock. If fn
-// returns nil the transaction commits durably; if it returns an error or
-// panics the transaction rolls back (and the panic resumes). Readers
-// admitted before the commit's epoch advance keep their snapshot; ones
-// admitted after see the new state.
+// Write runs fn as a transaction. If fn returns nil the transaction
+// commits durably; if it returns an error or panics the transaction
+// rolls back (and the panic resumes). Readers admitted before the
+// commit becomes durable keep their snapshot; ones admitted after see
+// the new state.
+//
+// With group commit (the default for a sync-writable manager), fn runs
+// under the writer lock but the commit fsync does not: the transaction
+// is prepared — frames staged, prepared epoch advanced — and then waits
+// off-lock for the committer goroutine to fsync it along with every
+// other transaction prepared in the same window.
 func (m *Manager) Write(fn func(*storage.TxView) error) error {
+	if m.gc == nil {
+		return m.writeSync(fn)
+	}
+	req, err := m.prepare(fn)
+	if err != nil || req == nil {
+		return err
+	}
+	if err := <-req.done; err != nil {
+		// The whole prepared suffix was rolled back by the committer
+		// (failSuffix) before this ack; nothing left to undo here.
+		return fmt.Errorf("txn: commit: %w", err)
+	}
+	return nil
+}
+
+// prepare runs fn and, on success, stages the transaction's WAL frames,
+// advances the prepared epoch and enqueues it for the group committer —
+// all while holding the writer lock. It returns (nil, nil) for a
+// transaction with nothing to log. Any error (from fn or staging) has
+// already been rolled back.
+func (m *Manager) prepare(fn func(*storage.TxView) error) (*commitReq, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.isClosed() {
+		return nil, ErrClosed
+	}
+	if m.ioErr != nil {
+		return nil, fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
+	}
+	tr := newTracker()
+	v := m.st.OpenWriter(tr)
+	m.nextTx++
+	txid := oid.TxID(m.nextTx)
+
+	done := false
+	defer func() {
+		v.Close()
+		if !done {
+			// fn panicked: roll back, then let the panic continue.
+			m.rollback(tr)
+		}
+	}()
+
+	if err := fn(v); err != nil {
+		done = true
+		m.rollback(tr)
+		return nil, err
+	}
+	touched := tr.touchedPages()
+	if len(touched) == 0 {
+		done = true
+		m.commits.Add(1)
+		return nil, nil // read-only "write" transaction
+	}
+	// Stage the commit record run. The images are copied into the frame
+	// buffer here, under the lock, while they are this transaction's
+	// final state; the committer appends the frozen bytes later.
+	fr := &wal.Frames{}
+	fr.Begin(txid)
+	for _, id := range touched {
+		p, err := m.st.Get(id)
+		if err != nil {
+			done = true
+			m.rollback(tr)
+			return nil, fmt.Errorf("txn: commit: %w", err)
+		}
+		fr.PageImage(txid, id, p.Data)
+	}
+	fr.Commit(txid)
+	// The in-memory commit point: pages mutated by later transactions
+	// will COW against snapshots tagged at the new epoch. Readers keep
+	// pinning the durable epoch until our batch's fsync lands.
+	epoch := m.st.Pool().AdvanceEpoch()
+	req := &commitReq{txid: txid, tr: tr, fr: fr, epoch: epoch, done: make(chan error, 1)}
+	m.gc.enqueue(req)
+	done = true
+	return req, nil
+}
+
+// writeSync is the pre-batching commit path (NoSync or NoGroupCommit):
+// fn, WAL append, fsync and checkpoint all happen under the writer lock.
+func (m *Manager) writeSync(fn func(*storage.TxView) error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer func() { m.walBytes.Store(m.log.Size()) }()
@@ -463,16 +624,7 @@ func (m *Manager) Exclusive(fn func() error) error {
 // permanent regardless of err (which can then only come from the
 // post-commit checkpoint).
 func (m *Manager) commit(txid oid.TxID, tr *tracker) (durable bool, err error) {
-	// Dirty set: every page with a before-image plus every allocation.
-	touched := make([]oid.PageID, 0, len(tr.before)+len(tr.allocated))
-	for id := range tr.before {
-		touched = append(touched, id)
-	}
-	for id := range tr.allocated {
-		if _, dup := tr.before[id]; !dup {
-			touched = append(touched, id)
-		}
-	}
+	touched := tr.touchedPages()
 	if len(touched) == 0 {
 		m.commits.Add(1)
 		return false, nil // read-only "write" transaction
@@ -511,10 +663,13 @@ func (m *Manager) commit(txid oid.TxID, tr *tracker) (durable bool, err error) {
 	}
 	m.commits.Add(1)
 	// The commit is durable: advance the epoch so new readers see it.
-	// Readers pinned at earlier epochs keep their snapshots (reclaimed
-	// when the last of them unpins). This precedes the checkpoint so a
-	// checkpoint failure cannot strand readers on a stale epoch.
-	m.st.Pool().AdvanceEpoch()
+	// On this synchronous path prepared and durable move in lockstep
+	// (under NoSync "durable" means "logged" — same contract as before
+	// group commit existed). Readers pinned at earlier epochs keep their
+	// snapshots (reclaimed when the last of them unpins). This precedes
+	// the checkpoint so a checkpoint failure cannot strand readers on a
+	// stale epoch.
+	m.st.Pool().AdvanceDurableTo(m.st.Pool().AdvanceEpoch())
 	if err := m.maybeCheckpoint(); err != nil {
 		// The commit is durable but the page file and WAL may now
 		// disagree with the pool's clean/dirty bookkeeping; only
@@ -584,14 +739,26 @@ func (m *Manager) maybeCheckpoint() error {
 	return m.checkpointLocked()
 }
 
-// Checkpoint forces the page file current and truncates the WAL.
+// Checkpoint forces the page file current and truncates the WAL. With
+// group commit it first drains the commit pipeline: the page flush must
+// only ever persist effects of durable transactions (flushing a
+// prepared-but-unfsynced transaction and then resetting the WAL could
+// make a commit durable that its writer was told failed).
 func (m *Manager) Checkpoint() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	defer func() { m.walBytes.Store(m.log.Size()) }()
-	if m.isClosed() {
-		return ErrClosed
+	for {
+		m.mu.Lock()
+		if m.isClosed() {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		if m.gc == nil || m.gc.pipelineIdle() {
+			// Idle is stable while we hold mu: enqueueing requires it.
+			break
+		}
+		m.mu.Unlock()
+		m.gc.waitIdle() // off-lock: the committer may need mu to fail a batch
 	}
+	defer m.mu.Unlock()
 	return m.checkpointLocked()
 }
 
@@ -617,6 +784,8 @@ func (m *Manager) checkpointLocked() error {
 		m.poison(err)
 		return err
 	}
+	m.logMu.Lock()
+	defer func() { m.walBytes.Store(m.log.Size()); m.logMu.Unlock() }()
 	if _, err := m.log.AppendCheckpoint(); err != nil {
 		m.poison(err)
 		return err
@@ -645,6 +814,22 @@ func (m *Manager) Close() error {
 	// New readers are now refused; drain the in-flight ones so no
 	// snapshot view outlives the store.
 	m.readers.Wait()
+	if m.gc != nil {
+		// Stop the background checkpointer first: it takes mu inside
+		// Checkpoint, so it must be gone before Close camps on the lock.
+		close(m.ckptStop)
+		m.ckptWG.Wait()
+		// Writer barrier: any Write that passed the closed check holds mu
+		// until it has enqueued, so after one lock/unlock round trip the
+		// queue holds every outstanding commit and no more can arrive.
+		// Then stop the committer, which drains (and acks) that queue.
+		// mu must NOT be held across the wait: a failing final batch
+		// takes it to roll the suffix back.
+		m.mu.Lock()
+		m.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		m.gc.stop()
+		m.gc.wait()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.opts.Storage.ReadOnly {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ode/internal/oid"
 	"ode/internal/storage"
@@ -261,8 +262,14 @@ func TestAutoCheckpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if m.Stats().Checkpoints == 0 {
-		t.Fatal("auto checkpoint never fired")
+	// With group commit the checkpoint runs on a background goroutine,
+	// so give it a moment rather than racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto checkpoint never fired")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ode/internal/core"
 	"ode/internal/faultfs"
@@ -100,6 +101,21 @@ type Options struct {
 	// NoSync disables fsync on commit. Much faster; the most recent
 	// commits may be lost on a crash (database integrity is preserved).
 	NoSync bool
+	// NoGroupCommit disables group commit: every Update then appends and
+	// fsyncs its own WAL records while holding the writer lock, instead
+	// of sharing one fsync with every transaction committing in the same
+	// window. Benchmarks use it as the pre-batching baseline.
+	NoGroupCommit bool
+	// CommitBatchSize caps how many concurrent Updates one group-commit
+	// fsync may cover; 0 means txn.DefaultCommitBatchSize (64).
+	CommitBatchSize int
+	// CommitBatchDelay makes the group committer wait that long after a
+	// batch's first commit for more to join. 0 (the default) flushes
+	// immediately: commits batch only as far as they naturally pile up
+	// behind an in-flight fsync, and single-writer latency is unchanged.
+	// A positive delay buys larger batches at exactly that much added
+	// commit latency.
+	CommitBatchDelay time.Duration
 	// CheckpointBytes sets the WAL size that triggers a checkpoint;
 	// <0 disables automatic checkpoints.
 	CheckpointBytes int64
@@ -131,9 +147,12 @@ func Open(dir string, opts *Options) (*DB, error) {
 		o = *opts
 	}
 	topts := txn.Options{
-		NoSync:          o.NoSync,
-		CheckpointBytes: o.CheckpointBytes,
-		FS:              o.FS,
+		NoSync:           o.NoSync,
+		NoGroupCommit:    o.NoGroupCommit,
+		CommitBatchSize:  o.CommitBatchSize,
+		CommitBatchDelay: o.CommitBatchDelay,
+		CheckpointBytes:  o.CheckpointBytes,
+		FS:               o.FS,
 	}
 	topts.Storage.PageSize = o.PageSize
 	topts.Storage.PoolPages = o.PoolPages
@@ -209,6 +228,10 @@ type Stats struct {
 	Aborts      uint64
 	Checkpoints uint64
 	WALBytes    int64
+	// Batches counts group-commit fsyncs; Commits/Batches is the mean
+	// number of transactions sharing one fsync. Zero with NoGroupCommit
+	// or NoSync.
+	Batches uint64
 }
 
 // Stats returns current database statistics.
@@ -222,6 +245,7 @@ func (db *DB) Stats() Stats {
 		Aborts:      ms.Aborts,
 		Checkpoints: ms.Checkpoints,
 		WALBytes:    ms.WALBytes,
+		Batches:     ms.Batches,
 	}
 }
 
