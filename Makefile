@@ -29,9 +29,23 @@ fuzz:
 	$(GO) test -fuzz FuzzReaderOps -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
 
+# Metrics-reconciling soak suite (soak_test.go) under the race
+# detector: randomized concurrent workloads whose Stats/Metrics
+# counters must reconcile exactly with an in-memory model, plus the
+# tracer fault-isolation tests.
+soak:
+	$(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
+
+# Line coverage, with a hard floor on internal/obs: the observability
+# layer is pure bookkeeping, so uncovered lines are untested claims.
 cover:
 	$(GO) test -cover ./...
+	$(GO) test -coverprofile=/tmp/obs.cover ./internal/obs
+	@$(GO) tool cover -func=/tmp/obs.cover | awk '/^total:/ { \
+	  pct = $$3 + 0; \
+	  printf "internal/obs coverage: %s (floor 85%%)\n", $$3; \
+	  if (pct < 85) { print "FAIL: internal/obs below 85% coverage"; exit 1 } }'
 
-check: build vet race matrix
+check: build vet race matrix soak
 
-.PHONY: build test vet race matrix fuzz cover check
+.PHONY: build test vet race matrix fuzz soak cover check

@@ -641,3 +641,35 @@ func benchmarkE10(b *testing.B, maxChain int) {
 func BenchmarkE10TipReadMaxChain4(b *testing.B)  { benchmarkE10(b, 4) }
 func BenchmarkE10TipReadMaxChain16(b *testing.B) { benchmarkE10(b, 16) }
 func BenchmarkE10TipReadMaxChain64(b *testing.B) { benchmarkE10(b, 64) }
+
+// --- E13: observability overhead ---
+
+// benchmarkE13 measures small-commit cost with the metrics layer on
+// (default) vs off (NoMetrics). NoSync isolates the instrumentation's
+// CPU cost — a few atomic adds and two time.Now() calls per commit —
+// from fsync latency; cmd/odebench's E13 does the durable comparison.
+func benchmarkE13(b *testing.B, noMetrics bool) {
+	db, ty := benchDB(b, &Options{NoMetrics: noMetrics, NoSync: true, CheckpointBytes: -1})
+	rng := rand.New(rand.NewSource(13))
+	var p Ptr[blob]
+	if err := db.Update(func(tx *Tx) error {
+		var err error
+		p, err = ty.Create(tx, &blob{Data: payload(rng, 128)})
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	content := payload(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			_, err := tx.UpdateLatestRaw(p.OID(), content)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13CommitInstrumented(b *testing.B) { benchmarkE13(b, false) }
+func BenchmarkE13CommitNoMetrics(b *testing.B)    { benchmarkE13(b, true) }

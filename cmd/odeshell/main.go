@@ -74,7 +74,7 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Fprintln(s.out, "types | new <type> <text> | show <oid> | read <oid> [vid] | set <oid> <vid> <text>")
 		fmt.Fprintln(s.out, "nv <oid> [vid] | del <oid> [vid] | hist <oid> <vid> | leaves <oid> | asof <oid> <stamp>")
-		fmt.Fprintln(s.out, "ls <type> | stats | check | quit")
+		fmt.Fprintln(s.out, "ls <type> | stats | metrics | check | quit")
 		return nil
 	case "types":
 		return s.db.View(func(tx *ode.Tx) error {
@@ -280,6 +280,10 @@ func (s *shell) exec(line string) error {
 		st := s.db.Stats()
 		fmt.Fprintf(s.out, "%+v\n", st)
 		return nil
+	case "metrics", ".metrics":
+		// Prometheus text exposition: counters, gauges and latency
+		// histograms (commit, fsync, checkpoint, chain walks).
+		return s.db.WriteMetrics(s.out)
 	case "check":
 		if err := s.db.CheckIntegrity(); err != nil {
 			return err

@@ -30,8 +30,19 @@ type ackedState struct {
 // runVersionWorkload creates nObjs objects and grows versions on each,
 // checkpointing midway, until an injected fault stops it. Never closes.
 func runVersionWorkload(fsys faultfs.FS) (ackedState, error) {
+	return runVersionWorkloadOpts(fsys, nil)
+}
+
+// runVersionWorkloadOpts is runVersionWorkload with an optional Options
+// mutator, so variants (e.g. the crash matrix with a hostile tracer
+// installed) reuse the same op space.
+func runVersionWorkloadOpts(fsys faultfs.FS, mutate func(*ode.Options)) (ackedState, error) {
 	acked := ackedState{ptrs: map[string]ode.Ptr[Widget]{}, rev: map[string]int{}}
-	db, err := ode.Open("/vdb", &ode.Options{PageSize: 512, CheckpointBytes: -1, FS: fsys})
+	opts := &ode.Options{PageSize: 512, CheckpointBytes: -1, FS: fsys}
+	if mutate != nil {
+		mutate(opts)
+	}
+	db, err := ode.Open("/vdb", opts)
 	if err != nil {
 		return acked, err
 	}

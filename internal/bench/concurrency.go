@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ode"
+	"ode/internal/obs"
 )
 
 // ConcurrencyJSONPath, when non-empty, is where E11 writes its
@@ -19,11 +20,16 @@ import (
 // empty so quick runs emit nothing.
 var ConcurrencyJSONPath = ""
 
-// ConcurrencyResult is one E11 measurement cell.
+// ConcurrencyResult is one E11 measurement cell. The reader-latency
+// percentiles come from a per-cell obs histogram over individual View
+// traversals (exact to within one power-of-two bucket width).
 type ConcurrencyResult struct {
 	Readers         int     `json:"readers"`
 	Writer          string  `json:"writer"` // "idle" or "hot"
 	ReaderOpsPerSec float64 `json:"reader_ops_per_sec"`
+	ReaderP50US     float64 `json:"reader_p50_us"`
+	ReaderP95US     float64 `json:"reader_p95_us"`
+	ReaderP99US     float64 `json:"reader_p99_us"`
 	WriterCommits   int64   `json:"writer_commits"`
 	Millis          int64   `json:"window_ms"`
 }
@@ -50,8 +56,8 @@ func concurrencySeed(db *ode.DB, ty *ode.Type[Blob]) (ode.OID, error) {
 // concurrencyCell runs nReaders View-traversal loops (and, when hot, a
 // writer churning NewVersion/DeleteVersion on the same object) for one
 // wall-clock window. It returns total reader traversals and writer
-// commits.
-func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.Duration) (int64, int64, error) {
+// commits and a latency histogram over individual reader traversals.
+func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.Duration) (int64, int64, obs.HistSnapshot, error) {
 	var (
 		readerOps atomic.Int64
 		commits   atomic.Int64
@@ -59,6 +65,7 @@ func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.
 		wg        sync.WaitGroup
 		errOnce   sync.Once
 		firstErr  error
+		readerLat obs.Histogram
 	)
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err })
@@ -103,6 +110,7 @@ func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				t0 := time.Now()
 				err := db.View(func(tx *ode.Tx) error {
 					vs, err := tx.Versions(o)
 					if err != nil {
@@ -124,6 +132,7 @@ func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.
 					fail(fmt.Errorf("reader: %w", err))
 					return
 				}
+				readerLat.ObserveDuration(time.Since(t0))
 				readerOps.Add(1)
 			}
 		}()
@@ -132,7 +141,7 @@ func concurrencyCell(db *ode.DB, o ode.OID, nReaders int, hot bool, window time.
 	time.Sleep(window)
 	stop.Store(true)
 	wg.Wait()
-	return readerOps.Load(), commits.Load(), firstErr
+	return readerOps.Load(), commits.Load(), readerLat.Snapshot(), firstErr
 }
 
 // E11 — concurrent snapshot reads: View throughput while a writer
@@ -165,15 +174,16 @@ func E11(root string, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "E11 — Concurrent snapshot reads: View throughput vs a hot writer",
 		Note:    fmt.Sprintf("Reader goroutines traverse Versions/Dprev/History of one object for %v per cell; the hot writer loops NewVersion+DeleteVersion with synchronous commits, paced ~1ms apart. Ratio = hot/idle reader throughput (1.0 = writers are free for readers).", window),
-		Headers: []string{"readers", "idle reads/s", "hot reads/s", "hot/idle", "writer commits/s"},
+		Headers: []string{"readers", "idle reads/s", "hot reads/s", "hot/idle", "hot read p50/p99 (µs)", "writer commits/s"},
 	}
 
 	var results []ConcurrencyResult
 	for _, nReaders := range []int{1, 4, 16} {
 		var perWriter [2]float64 // idle, hot ops/sec
 		var commitsPerSec float64
+		var hotLat obs.HistSnapshot
 		for wi, hot := range []bool{false, true} {
-			ops, commits, err := concurrencyCell(db, o, nReaders, hot, window)
+			ops, commits, lat, err := concurrencyCell(db, o, nReaders, hot, window)
 			if err != nil {
 				return nil, err
 			}
@@ -182,11 +192,15 @@ func E11(root string, s Scale) (*Table, error) {
 			if hot {
 				label = "hot"
 				commitsPerSec = float64(commits) / window.Seconds()
+				hotLat = lat
 			}
 			results = append(results, ConcurrencyResult{
 				Readers:         nReaders,
 				Writer:          label,
 				ReaderOpsPerSec: perWriter[wi],
+				ReaderP50US:     usFromNS(lat.P50()),
+				ReaderP95US:     usFromNS(lat.P95()),
+				ReaderP99US:     usFromNS(lat.P99()),
 				WriterCommits:   commits,
 				Millis:          window.Milliseconds(),
 			})
@@ -199,6 +213,7 @@ func E11(root string, s Scale) (*Table, error) {
 			fmt.Sprintf("%.0f", perWriter[0]),
 			fmt.Sprintf("%.0f", perWriter[1]),
 			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.0f/%.0f", usFromNS(hotLat.P50()), usFromNS(hotLat.P99())),
 			fmt.Sprintf("%.0f", commitsPerSec))
 	}
 

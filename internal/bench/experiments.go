@@ -968,5 +968,6 @@ func All() []Experiment {
 		{"E10", "keyframe-interval ablation", E10},
 		{"E11", "concurrent snapshot reads", E11},
 		{"E12", "group commit throughput", E12},
+		{"E13", "observability overhead", E13},
 	}
 }

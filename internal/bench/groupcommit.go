@@ -19,7 +19,9 @@ import (
 // empty so quick runs emit nothing.
 var GroupCommitJSONPath = ""
 
-// GroupCommitResult is one E12 measurement cell.
+// GroupCommitResult is one E12 measurement cell. The percentile columns
+// come from the engine's own commit-latency histogram (db.Metrics()),
+// so they are exact to within one power-of-two bucket width.
 type GroupCommitResult struct {
 	Committers      int     `json:"committers"`
 	Mode            string  `json:"mode"` // "baseline" (NoGroupCommit) or "grouped"
@@ -27,25 +29,33 @@ type GroupCommitResult struct {
 	Commits         int64   `json:"commits"`
 	Batches         uint64  `json:"fsync_batches"`
 	MeanLatencyUS   float64 `json:"mean_latency_us"`
+	P50LatencyUS    float64 `json:"p50_latency_us"`
+	P95LatencyUS    float64 `json:"p95_latency_us"`
+	P99LatencyUS    float64 `json:"p99_latency_us"`
 	Millis          int64   `json:"window_ms"`
 	MeanCommitGroup float64 `json:"mean_commit_group"`
 }
+
+// usFromNS converts a nanosecond histogram quantile to microseconds.
+func usFromNS(ns uint64) float64 { return float64(ns) / 1e3 }
 
 // groupCommitCell opens a fresh store with the given options, seeds one
 // object per committer (disjoint objects — the cell measures the commit
 // pipeline, not version-level contention) and lets nCommitters
 // goroutines commit small in-place updates back-to-back with real
 // fsyncs for one wall-clock window. It returns total commits, the
-// fsync-batch count and the summed per-commit latency.
-func groupCommitCell(dir string, opts *ode.Options, nCommitters int, window time.Duration) (int64, uint64, time.Duration, error) {
+// fsync-batch count, the summed per-commit latency, and the engine's
+// commit-latency histogram snapshot (zero-valued under NoMetrics).
+func groupCommitCell(dir string, opts *ode.Options, nCommitters int, window time.Duration) (int64, uint64, time.Duration, ode.HistSnapshot, error) {
+	var hist ode.HistSnapshot
 	db, err := ode.Open(dir, opts)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, hist, err
 	}
 	defer db.Close()
 	ty, err := ode.RegisterWithCodec[Blob](db, "Blob", rawCodec{})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, hist, err
 	}
 
 	objs := make([]ode.OID, nCommitters)
@@ -60,7 +70,7 @@ func groupCommitCell(dir string, opts *ode.Options, nCommitters int, window time
 		}
 		return nil
 	}); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, hist, err
 	}
 	startBatches := db.Stats().Batches
 
@@ -102,10 +112,11 @@ func groupCommitCell(dir string, opts *ode.Options, nCommitters int, window time
 	stop.Store(true)
 	wg.Wait()
 	if firstErr != nil {
-		return 0, 0, 0, firstErr
+		return 0, 0, 0, hist, firstErr
 	}
+	hist = db.Metrics().CommitLatency
 	return commits.Load(), db.Stats().Batches - startBatches,
-		time.Duration(latencyNS.Load()), nil
+		time.Duration(latencyNS.Load()), hist, nil
 }
 
 // E12 — group-commit throughput: synchronous commit rate as committer
@@ -125,7 +136,7 @@ func E12(root string, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "E12 — Group commit: synchronous commit throughput vs committer concurrency",
 		Note:    fmt.Sprintf("Each committer loops a small in-place update on its own object with real fsyncs for %v per cell (512-byte pages, checkpoints off). baseline = NoGroupCommit (one WAL fsync per txn); grouped = default pipeline (concurrent commits share one fsync). Speedup = grouped/baseline commits/s.", window),
-		Headers: []string{"committers", "baseline commits/s", "grouped commits/s", "speedup", "mean group", "grouped p-lat (µs)"},
+		Headers: []string{"committers", "baseline commits/s", "grouped commits/s", "speedup", "mean group", "grouped p50/p95/p99 (µs)"},
 	}
 
 	var results []GroupCommitResult
@@ -147,7 +158,7 @@ func E12(root string, s Scale) (*Table, error) {
 			}
 			cell++
 			dir := filepath.Join(root, fmt.Sprintf("e12-%02d", cell))
-			commits, batches, latency, err := groupCommitCell(dir, opts, n, window)
+			commits, batches, latency, hist, err := groupCommitCell(dir, opts, n, window)
 			if err != nil {
 				return nil, err
 			}
@@ -157,6 +168,9 @@ func E12(root string, s Scale) (*Table, error) {
 				CommitsPerSec: float64(commits) / window.Seconds(),
 				Commits:       commits,
 				Batches:       batches,
+				P50LatencyUS:  usFromNS(hist.P50()),
+				P95LatencyUS:  usFromNS(hist.P95()),
+				P99LatencyUS:  usFromNS(hist.P99()),
 				Millis:        window.Milliseconds(),
 			}
 			if commits > 0 {
@@ -177,7 +191,8 @@ func E12(root string, s Scale) (*Table, error) {
 			fmt.Sprintf("%.0f", perMode[1].CommitsPerSec),
 			fmt.Sprintf("%.2fx", speedup),
 			fmt.Sprintf("%.1f", perMode[1].MeanCommitGroup),
-			fmt.Sprintf("%.0f", perMode[1].MeanLatencyUS))
+			fmt.Sprintf("%.0f/%.0f/%.0f", perMode[1].P50LatencyUS,
+				perMode[1].P95LatencyUS, perMode[1].P99LatencyUS))
 	}
 
 	if GroupCommitJSONPath != "" {

@@ -34,6 +34,7 @@ import (
 
 	"ode/internal/btree"
 	"ode/internal/codec"
+	"ode/internal/obs"
 	"ode/internal/oid"
 	"ode/internal/storage"
 	"ode/internal/trigger"
@@ -104,6 +105,10 @@ type Engine struct {
 	bus  *trigger.Bus
 	opts Options
 
+	// m is the manager's observability registry (nil under NoMetrics);
+	// the engine records version-chain walk lengths into it.
+	m *obs.Metrics
+
 	// heapSpace is the heap's advisory free-space cache, shared across
 	// write transactions (writers are serialised; hsMu orders the
 	// reset-after-abort against the next writer's pickup).
@@ -147,6 +152,7 @@ func New(mgr *txn.Manager, opts Options) (*Engine, error) {
 		mgr:       mgr,
 		bus:       trigger.NewBus(),
 		opts:      opts,
+		m:         mgr.Metrics(),
 		heapSpace: storage.NewHeapState(),
 	}
 	fresh := false

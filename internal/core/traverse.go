@@ -102,6 +102,11 @@ func (tx *Tx) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
 		}
 		cur = rec.dprev
 	}
+	if m := tx.e.m; m != nil {
+		// Chain-walk length: versions visited per History call. Growth
+		// here is the signal that derivation chains are getting deep.
+		m.DprevWalk.Observe(uint64(len(out)))
+	}
 	return out, nil
 }
 
@@ -169,12 +174,19 @@ func (tx *Tx) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 	if err != nil {
 		return oid.NilVID, false, err
 	}
+	visited := uint64(0)
+	defer func() {
+		if m := tx.e.m; m != nil {
+			m.TprevWalk.Observe(visited)
+		}
+	}()
 	cur := h.latest
 	for !cur.IsNil() {
 		rec, err := tx.loadVer(o, cur)
 		if err != nil {
 			return oid.NilVID, false, err
 		}
+		visited++
 		if rec.stamp <= s {
 			return cur, true, nil
 		}

@@ -1,0 +1,59 @@
+// Prometheus-style text exposition. The helpers here render one
+// metric family each; the ode package composes them into the full
+// /metrics page (and odeshell's .metrics command reuses that).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteCounter renders one counter family in exposition format.
+func WriteCounter(w io.Writer, name, help string, v uint64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// WriteGauge renders one gauge family.
+func WriteGauge(w io.Writer, name, help string, v int64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// WriteHistogram renders one histogram family with cumulative le
+// buckets. Trailing empty buckets are elided (the +Inf bucket always
+// closes the family), keeping the page readable without changing its
+// meaning — cumulative counts are unaffected by absent empty tails.
+func WriteHistogram(w io.Writer, name, help string, s HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	last := -1
+	for i, n := range s.Counts {
+		if n > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last && i < NumBuckets-1; i++ {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
+	return err
+}
+
+// WriteFloatGauge renders a gauge with a float value (ratios, means).
+func WriteFloatGauge(w io.Writer, name, help string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	return err
+}

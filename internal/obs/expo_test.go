@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteCounterAndGauge(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCounter(&b, "ode_commits_total", "Committed transactions.", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGauge(&b, "ode_active_readers", "In-flight readers.", -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFloatGauge(&b, "ode_ratio", "A ratio.", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFloatGauge(&b, "ode_nan", "NaN clamps to 0.", math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ode_commits_total counter",
+		"ode_commits_total 7",
+		"# TYPE ode_active_readers gauge",
+		"ode_active_readers -1",
+		"ode_ratio 0.5",
+		"ode_nan 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteHistogramCumulativeBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(1)
+	h.Observe(6) // bucket 3 (le=7)
+	var b strings.Builder
+	if err := WriteHistogram(&b, "ode_commit_latency_ns", "Commit latency.", h.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ode_commit_latency_ns histogram",
+		`ode_commit_latency_ns_bucket{le="0"} 1`,
+		`ode_commit_latency_ns_bucket{le="1"} 3`,
+		`ode_commit_latency_ns_bucket{le="3"} 3`, // empty bucket still cumulative
+		`ode_commit_latency_ns_bucket{le="7"} 4`,
+		`ode_commit_latency_ns_bucket{le="+Inf"} 4`,
+		"ode_commit_latency_ns_sum 8",
+		"ode_commit_latency_ns_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets past the last non-empty one are elided.
+	if strings.Contains(out, `le="15"`) {
+		t.Fatalf("empty tail bucket not elided:\n%s", out)
+	}
+}
+
+func TestWriteHistogramEmpty(t *testing.T) {
+	var h Histogram
+	var b strings.Builder
+	if err := WriteHistogram(&b, "ode_empty", "Nothing yet.", h.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `ode_empty_bucket{le="+Inf"} 0`) || !strings.Contains(out, "ode_empty_count 0") {
+		t.Fatalf("empty histogram exposition wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,181 @@
+// Tracer spans: structured per-transaction events delivered to a
+// user-supplied hook through a bounded queue, so a slow, blocking or
+// panicking tracer can never corrupt or stall a commit.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanKind identifies a span event (DESIGN.md §11 event taxonomy).
+type SpanKind uint8
+
+const (
+	// SpanBegin: a write transaction was admitted (its txid assigned).
+	SpanBegin SpanKind = iota + 1
+	// SpanPrepare: fn ran and the transaction's WAL frames were staged
+	// under the writer lock; Dur is the time spent there.
+	SpanPrepare
+	// SpanFsync: one group-commit WAL flush; Batch is the number of
+	// transactions it covered, Dur the append+fsync time. Tx is zero —
+	// the flush belongs to the batch, not one member.
+	SpanFsync
+	// SpanPublish: the transaction is durable and acknowledged; Dur is
+	// the whole commit latency its writer observed.
+	SpanPublish
+	// SpanAbort: the transaction rolled back; Err carries the cause.
+	SpanAbort
+	// SpanCheckpoint: a checkpoint ran; Dur is flush + WAL reset time.
+	SpanCheckpoint
+)
+
+// String returns the event name used in exposition and logs.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanBegin:
+		return "begin"
+	case SpanPrepare:
+		return "prepare"
+	case SpanFsync:
+		return "fsync"
+	case SpanPublish:
+		return "publish"
+	case SpanAbort:
+		return "abort"
+	case SpanCheckpoint:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// SpanEvent is one structured trace event.
+type SpanEvent struct {
+	Kind  SpanKind
+	Seq   uint64 // per-sink monotone sequence, assigned at emit
+	Tx    uint64 // transaction id; 0 for batch- or manager-level events
+	Dur   time.Duration
+	Batch int    // SpanFsync: transactions covered by the flush
+	Err   string // SpanAbort / failed SpanFsync: cause
+}
+
+// Tracer receives span events. Implementations run on the sink's
+// consumer goroutine, never on a commit path: they may block or panic
+// without affecting the engine (events are dropped instead).
+type Tracer interface {
+	TraceSpan(SpanEvent)
+}
+
+// DefaultTracerBuffer is the sink queue capacity when unconfigured.
+const DefaultTracerBuffer = 1024
+
+// closeGrace bounds how long Sink.Close waits for a tracer stuck
+// inside TraceSpan before abandoning the consumer goroutine. A
+// well-behaved tracer drains in microseconds; a pathological one must
+// not be able to hang db.Close.
+const closeGrace = time.Second
+
+// Sink decouples the engine from the tracer: Emit is a non-blocking
+// send into a bounded channel, a single consumer goroutine delivers to
+// the tracer with panics recovered, and events past the bound are
+// counted in dropped and discarded. A nil *Sink is inert.
+type Sink struct {
+	ch      chan SpanEvent
+	stop    chan struct{}
+	done    chan struct{}
+	dropped *Counter
+	seq     atomic.Uint64
+	closed  atomic.Bool
+	once    sync.Once
+}
+
+// NewSink starts a sink delivering to t. A nil tracer yields a nil
+// sink (every method is nil-safe). capacity ≤ 0 means
+// DefaultTracerBuffer. dropped, if non-nil, counts discarded events.
+func NewSink(t Tracer, capacity int, dropped *Counter) *Sink {
+	if t == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultTracerBuffer
+	}
+	s := &Sink{
+		ch:      make(chan SpanEvent, capacity),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		dropped: dropped,
+	}
+	go s.consume(t)
+	return s
+}
+
+// Emit enqueues an event, assigning its sequence number. It never
+// blocks: when the queue is full the event is dropped and counted.
+func (s *Sink) Emit(ev SpanEvent) {
+	if s == nil || s.closed.Load() {
+		return
+	}
+	ev.Seq = s.seq.Add(1)
+	select {
+	case s.ch <- ev:
+	default:
+		s.drop()
+	}
+}
+
+func (s *Sink) drop() {
+	if s.dropped != nil {
+		s.dropped.Inc()
+	}
+}
+
+// Close stops accepting events, drains what is buffered, and waits up
+// to closeGrace for the consumer to finish. A tracer blocked inside
+// TraceSpan forfeits the remaining queue; the goroutine is abandoned
+// rather than allowed to hang the caller.
+func (s *Sink) Close() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+	})
+	select {
+	case <-s.done:
+	case <-time.After(closeGrace):
+	}
+}
+
+// consume delivers queued events until stopped, then drains whatever
+// is still buffered without blocking for more.
+func (s *Sink) consume(t Tracer) {
+	defer close(s.done)
+	for {
+		select {
+		case ev := <-s.ch:
+			s.deliver(t, ev)
+		case <-s.stop:
+			for {
+				select {
+				case ev := <-s.ch:
+					s.deliver(t, ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver hands one event to the tracer, absorbing panics. A panicked
+// delivery counts as dropped: the tracer did not observe the event.
+func (s *Sink) deliver(t Tracer, ev SpanEvent) {
+	defer func() {
+		if recover() != nil {
+			s.drop()
+		}
+	}()
+	t.TraceSpan(ev)
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingTracer collects events under a lock.
+type recordingTracer struct {
+	mu  sync.Mutex
+	evs []SpanEvent
+}
+
+func (r *recordingTracer) TraceSpan(ev SpanEvent) {
+	r.mu.Lock()
+	r.evs = append(r.evs, ev)
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) events() []SpanEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanEvent(nil), r.evs...)
+}
+
+func TestSinkDeliversInOrder(t *testing.T) {
+	tr := &recordingTracer{}
+	s := NewSink(tr, 16, nil)
+	for i := 0; i < 10; i++ {
+		s.Emit(SpanEvent{Kind: SpanPublish, Tx: uint64(i)})
+	}
+	s.Close()
+	evs := tr.events()
+	if len(evs) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Tx != uint64(i) || ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d out of order: tx=%d seq=%d", i, ev.Tx, ev.Seq)
+		}
+	}
+}
+
+func TestNilSinkIsInert(t *testing.T) {
+	var s *Sink
+	s.Emit(SpanEvent{Kind: SpanBegin}) // must not panic
+	s.Close()
+	if got := NewSink(nil, 8, nil); got != nil {
+		t.Fatalf("NewSink(nil) = %v, want nil", got)
+	}
+}
+
+func TestEmitAfterCloseIsDropped(t *testing.T) {
+	tr := &recordingTracer{}
+	s := NewSink(tr, 4, nil)
+	s.Close()
+	s.Emit(SpanEvent{Kind: SpanBegin})
+	if n := len(tr.events()); n != 0 {
+		t.Fatalf("event delivered after close: %d", n)
+	}
+}
+
+// blockingTracer blocks every delivery until released.
+type blockingTracer struct{ release chan struct{} }
+
+func (b *blockingTracer) TraceSpan(SpanEvent) { <-b.release }
+
+// TestSinkBoundedQueueDropsWhenBlocked: with the consumer stuck inside
+// the tracer, Emit never blocks — events past the bound are counted as
+// dropped.
+func TestSinkBoundedQueueDropsWhenBlocked(t *testing.T) {
+	bt := &blockingTracer{release: make(chan struct{})}
+	var dropped Counter
+	s := NewSink(bt, 4, &dropped)
+
+	// One event occupies the tracer; up to 4 sit in the queue; the rest
+	// must drop. Emit a generous surplus and require it to return fast.
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		s.Emit(SpanEvent{Kind: SpanPublish, Tx: uint64(i)})
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("Emit blocked for %v with a stuck tracer", el)
+	}
+	if dropped.Load() < 40 {
+		t.Fatalf("dropped = %d, want most of the 50", dropped.Load())
+	}
+	close(bt.release)
+	s.Close()
+}
+
+// TestSinkCloseWithBlockedTracer: Close must return within the grace
+// period even when the tracer never returns.
+func TestSinkCloseWithBlockedTracer(t *testing.T) {
+	bt := &blockingTracer{release: make(chan struct{})}
+	s := NewSink(bt, 2, nil)
+	s.Emit(SpanEvent{Kind: SpanBegin})
+	start := time.Now()
+	s.Close()
+	if el := time.Since(start); el > closeGrace+time.Second {
+		t.Fatalf("Close took %v", el)
+	}
+	close(bt.release)
+}
+
+// panickyTracer panics on every delivery.
+type panickyTracer struct{ calls Counter }
+
+func (p *panickyTracer) TraceSpan(SpanEvent) {
+	p.calls.Inc()
+	panic("tracer exploded")
+}
+
+// TestSinkSurvivesPanickingTracer: panics are recovered per event; the
+// consumer keeps running and the panicked deliveries count as dropped.
+func TestSinkSurvivesPanickingTracer(t *testing.T) {
+	pt := &panickyTracer{}
+	var dropped Counter
+	s := NewSink(pt, 16, &dropped)
+	for i := 0; i < 10; i++ {
+		s.Emit(SpanEvent{Kind: SpanAbort, Tx: uint64(i)})
+	}
+	s.Close()
+	if pt.calls.Load() != 10 {
+		t.Fatalf("tracer called %d times, want 10 (consumer died?)", pt.calls.Load())
+	}
+	if dropped.Load() != 10 {
+		t.Fatalf("dropped = %d, want 10", dropped.Load())
+	}
+}
+
+func TestSinkCloseIdempotentAndDefaultCapacity(t *testing.T) {
+	tr := &recordingTracer{}
+	s := NewSink(tr, 0, nil) // 0 → DefaultTracerBuffer
+	s.Emit(SpanEvent{Kind: SpanCheckpoint})
+	s.Close()
+	s.Close() // second close must be a no-op
+	if len(tr.events()) != 1 {
+		t.Fatalf("events = %d", len(tr.events()))
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	kinds := map[SpanKind]string{
+		SpanBegin: "begin", SpanPrepare: "prepare", SpanFsync: "fsync",
+		SpanPublish: "publish", SpanAbort: "abort", SpanCheckpoint: "checkpoint",
+		SpanKind(0): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("SpanKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"ode/internal/obs"
 	"ode/internal/oid"
 )
 
@@ -65,6 +66,19 @@ type Pool struct {
 
 	// stats
 	hits, misses, evictions uint64
+
+	// m, when set, mirrors pool activity into the shared observability
+	// registry (hit/miss/eviction counters, reader-pin gauges, snapshot
+	// retention). Nil — the NoMetrics baseline — records nothing.
+	m *obs.Metrics
+}
+
+// SetMetrics wires the observability registry in; the manager calls it
+// once at open, before the pool is shared.
+func (pl *Pool) SetMetrics(m *obs.Metrics) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.m = m
 }
 
 // NewPool creates a pool over file with room for capacity clean pages.
@@ -124,6 +138,10 @@ func (pl *Pool) PinEpoch() uint64 {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.pins[pl.durable]++
+	if pl.m != nil {
+		pl.m.ReaderPins.Inc()
+		pl.m.ActiveReaders.Inc()
+	}
 	return pl.durable
 }
 
@@ -133,6 +151,9 @@ func (pl *Pool) PinEpoch() uint64 {
 func (pl *Pool) UnpinEpoch(epoch uint64) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if pl.m != nil {
+		pl.m.ActiveReaders.Dec()
+	}
 	if n := pl.pins[epoch]; n > 1 {
 		pl.pins[epoch] = n - 1
 		return
@@ -197,6 +218,7 @@ func (pl *Pool) reclaimLocked() {
 			min = e
 		}
 	}
+	dropped := 0
 	for id, ss := range pl.snaps {
 		i := 0
 		for i < len(ss) && ss[i].epoch < min {
@@ -209,6 +231,10 @@ func (pl *Pool) reclaimLocked() {
 		default:
 			pl.snaps[id] = append([]snap(nil), ss[i:]...)
 		}
+		dropped += i
+	}
+	if pl.m != nil && dropped > 0 {
+		pl.m.SnapshotPages.Add(int64(-dropped))
 	}
 }
 
@@ -223,6 +249,9 @@ func (pl *Pool) publishLocked(p *Page) {
 	}
 	p.lruElem = nil
 	pl.snaps[p.ID] = append(ss, snap{epoch: pl.epoch, pg: p})
+	if pl.m != nil {
+		pl.m.SnapshotPages.Inc()
+	}
 }
 
 // COW performs the copy-on-write swap for a writer's first mutation of
@@ -279,10 +308,16 @@ func (pl *Pool) Get(id oid.PageID) (*Page, error) {
 func (pl *Pool) getLocked(id oid.PageID) (*Page, error) {
 	if p, ok := pl.pages[id]; ok {
 		pl.hits++
+		if pl.m != nil {
+			pl.m.PoolHits.Inc()
+		}
 		pl.touch(p)
 		return p, nil
 	}
 	pl.misses++
+	if pl.m != nil {
+		pl.m.PoolMisses.Inc()
+	}
 	buf := make([]byte, pl.file.PageSize())
 	if err := pl.file.ReadPage(id, buf); err != nil {
 		return nil, err
@@ -512,5 +547,8 @@ func (pl *Pool) evictOverflow() {
 		victim.lruElem = nil
 		delete(pl.pages, victim.ID)
 		pl.evictions++
+		if pl.m != nil {
+			pl.m.PoolEvictions.Inc()
+		}
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"ode/internal/obs"
 	"ode/internal/oid"
 	"ode/internal/wal"
 )
@@ -203,6 +204,10 @@ func (gc *groupCommitter) run() {
 // Close also touch the log); the writer mutex is NOT held, which is the
 // entire point — writers prepare the next batch meanwhile.
 func (m *Manager) publishBatch(batch []*commitReq) {
+	var flushStart time.Time
+	if m.timed() {
+		flushStart = time.Now()
+	}
 	m.logMu.Lock()
 	startLSN := m.log.End()
 	var err error
@@ -216,6 +221,9 @@ func (m *Manager) publishBatch(batch []*commitReq) {
 	}
 	if err != nil {
 		m.logMu.Unlock()
+		if m.sink != nil {
+			m.sink.Emit(obs.SpanEvent{Kind: obs.SpanFsync, Batch: len(batch), Dur: time.Since(flushStart), Err: err.Error()})
+		}
 		m.failSuffix(batch, startLSN, err)
 		return
 	}
@@ -223,12 +231,17 @@ func (m *Manager) publishBatch(batch []*commitReq) {
 	m.walBytes.Store(size)
 	m.logMu.Unlock()
 
+	if m.m != nil {
+		m.m.BatchSize.Observe(uint64(len(batch)))
+	}
+	if m.sink != nil {
+		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanFsync, Batch: len(batch), Dur: time.Since(flushStart)})
+	}
 	// Durable. Advance the readers' epoch to the newest member before
 	// acking anyone: a writer whose Write returned nil is entitled to
 	// have the next reader see its transaction.
 	m.st.Pool().AdvanceDurableTo(batch[len(batch)-1].epoch)
-	m.commits.Add(uint64(len(batch)))
-	m.batches.Add(1)
+	m.addCommitsBatches(uint64(len(batch)), 1)
 	for _, r := range batch {
 		r.done <- nil
 	}
@@ -248,6 +261,9 @@ func (m *Manager) failSuffix(batch []*commitReq, startLSN oid.LSN, cause error) 
 	suffix := append(batch, m.gc.drainQueued()...)
 	for i := len(suffix) - 1; i >= 0; i-- {
 		m.rollback(suffix[i].tr)
+		if m.sink != nil {
+			m.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: uint64(suffix[i].txid), Err: cause.Error()})
+		}
 	}
 	m.logMu.Lock()
 	if err := m.log.TruncateTo(startLSN); err != nil {

@@ -21,11 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ode/internal/faultfs"
+	"ode/internal/obs"
 	"ode/internal/oid"
 	"ode/internal/storage"
 	"ode/internal/wal"
@@ -86,6 +88,20 @@ type Options struct {
 	// default) flushes immediately — batching still happens naturally,
 	// because requests queue up while the previous fsync is in flight.
 	CommitBatchDelay time.Duration
+	// NoMetrics disables the observability registry entirely: no
+	// counters, no histograms, no timestamps on the commit path. It
+	// exists for the overhead benchmark (E13), which compares the
+	// instrumented default against this uninstrumented baseline.
+	NoMetrics bool
+	// Tracer, when set, receives structured span events for every
+	// write transaction (begin/prepare/fsync/publish/abort) and
+	// checkpoint. Delivery is decoupled through a bounded queue; see
+	// obs.Sink.
+	Tracer obs.Tracer
+	// TracerBuffer bounds the tracer event queue; 0 means
+	// obs.DefaultTracerBuffer. Events past the bound are dropped (and
+	// counted) rather than ever blocking a commit.
+	TracerBuffer int
 }
 
 // grouped reports whether the manager should commit via the group
@@ -155,13 +171,29 @@ type Manager struct {
 	closed  bool
 
 	// Activity counters. Atomic so Stats never touches either lock —
-	// it must stay cheap and non-blocking even mid-commit.
+	// it must stay cheap and non-blocking even mid-commit. commits and
+	// batches additionally move together under a seqlock (statsMu +
+	// statsSeq) so Stats returns a mutually consistent pair: a batch's
+	// publication is never visible half-applied (Batches advanced but
+	// not its Commits, or vice versa).
 	commits     atomic.Uint64
 	aborts      atomic.Uint64
 	batches     atomic.Uint64
 	checkpoints atomic.Uint64
 	recovered   uint64       // set once at open, read-only after
 	walBytes    atomic.Int64 // mirror of log.Size(), updated under mu
+
+	// statsMu serialises commits/batches updaters (the committer
+	// goroutine and the writeSync path can otherwise race); statsSeq is
+	// the seqlock generation — odd while an update is in flight.
+	statsMu  sync.Mutex
+	statsSeq atomic.Uint64
+
+	// m is the observability registry shared with the pool, the WAL
+	// and the engine; nil when Options.NoMetrics (the benchmark
+	// baseline). sink delivers tracer spans; nil without a tracer.
+	m    *obs.Metrics
+	sink *obs.Sink
 
 	// ioErr, once set, permanently disables writes: an I/O failure left
 	// the in-memory state and the on-disk state possibly divergent in a
@@ -249,8 +281,45 @@ func Create(dir string, opts Options) (*Manager, error) {
 	}
 	m := &Manager{st: st, log: log, opts: opts}
 	m.walBytes.Store(log.Size())
+	m.initObs()
 	m.startPipeline()
 	return m, nil
+}
+
+// initObs builds the metrics registry (unless NoMetrics) and the
+// tracer sink (when a tracer is configured), wiring the registry into
+// the pool and the WAL before either is shared across goroutines.
+func (m *Manager) initObs() {
+	if !m.opts.NoMetrics {
+		m.m = obs.New()
+		m.st.Pool().SetMetrics(m.m)
+		m.log.SetMetrics(m.m)
+	}
+	var dropped *obs.Counter
+	if m.m != nil {
+		dropped = &m.m.TracerDropped
+	}
+	m.sink = obs.NewSink(m.opts.Tracer, m.opts.TracerBuffer, dropped)
+}
+
+// Metrics returns the observability registry; nil under NoMetrics.
+func (m *Manager) Metrics() *obs.Metrics { return m.m }
+
+// timed reports whether the commit path needs timestamps (either the
+// registry or a tracer consumes them). False — the NoMetrics, no-
+// tracer baseline — keeps even the time.Now calls off the hot path.
+func (m *Manager) timed() bool { return m.m != nil || m.sink != nil }
+
+// addCommitsBatches publishes a commits/batches delta under the stats
+// seqlock. Readers (Stats) retry while statsSeq is odd or changed, so
+// they never observe the pair half-applied.
+func (m *Manager) addCommitsBatches(commits, batches uint64) {
+	m.statsMu.Lock()
+	m.statsSeq.Add(1) // odd: update in flight
+	m.batches.Add(batches)
+	m.commits.Add(commits)
+	m.statsSeq.Add(1) // even: stable
+	m.statsMu.Unlock()
 }
 
 // startPipeline launches the group committer and the background
@@ -304,6 +373,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 	m := &Manager{st: st, log: log, opts: opts}
 	m.recovered = recovered
 	m.walBytes.Store(log.Size())
+	m.initObs()
 	m.startPipeline()
 	return m, nil
 }
@@ -405,15 +475,29 @@ func recover2(fsys faultfs.FS, log *wal.Log, dataPath string) (uint64, error) {
 func (m *Manager) Store() *storage.Store { return m.st }
 
 // Stats returns activity counters. It is lock-free: safe to call from
-// any goroutine at any time, including mid-commit.
+// any goroutine at any time, including mid-commit. Commits and Batches
+// are read under the seqlock so the pair is mutually consistent — a
+// snapshot can never show a published batch without its commits.
 func (m *Manager) Stats() Stats {
+	var commits, batches uint64
+	for {
+		s1 := m.statsSeq.Load()
+		if s1&1 == 0 {
+			commits = m.commits.Load()
+			batches = m.batches.Load()
+			if m.statsSeq.Load() == s1 {
+				break
+			}
+		}
+		runtime.Gosched() // an update is in flight; it is a few adds away
+	}
 	return Stats{
-		Commits:       m.commits.Load(),
+		Commits:       commits,
 		Aborts:        m.aborts.Load(),
 		Checkpoints:   m.checkpoints.Load(),
 		RecoveredTxns: m.recovered,
 		WALBytes:      m.walBytes.Load(),
-		Batches:       m.batches.Load(),
+		Batches:       batches,
 	}
 }
 
@@ -477,8 +561,16 @@ func (m *Manager) Write(fn func(*storage.TxView) error) error {
 	if m.gc == nil {
 		return m.writeSync(fn)
 	}
+	var start time.Time
+	if m.timed() {
+		start = time.Now()
+	}
 	req, err := m.prepare(fn)
 	if err != nil || req == nil {
+		if err == nil {
+			// Read-only "write": committed without logging anything.
+			m.observeCommit(0, start)
+		}
 		return err
 	}
 	if err := <-req.done; err != nil {
@@ -486,7 +578,21 @@ func (m *Manager) Write(fn func(*storage.TxView) error) error {
 		// (failSuffix) before this ack; nothing left to undo here.
 		return fmt.Errorf("txn: commit: %w", err)
 	}
+	m.observeCommit(uint64(req.txid), start)
 	return nil
+}
+
+// observeCommit records a successful commit's whole-Update latency and
+// emits its publish span. start is the zero time when untimed.
+func (m *Manager) observeCommit(txid uint64, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	if m.m != nil {
+		m.m.CommitLatencyNS.ObserveDuration(d)
+	}
+	m.sink.Emit(obs.SpanEvent{Kind: obs.SpanPublish, Tx: txid, Dur: d})
 }
 
 // prepare runs fn and, on success, stages the transaction's WAL frames,
@@ -503,10 +609,19 @@ func (m *Manager) prepare(fn func(*storage.TxView) error) (*commitReq, error) {
 	if m.ioErr != nil {
 		return nil, fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
 	}
+	// prepStart only feeds span durations, so without a tracer neither
+	// the clock read nor the event construction happens.
+	var prepStart time.Time
+	if m.sink != nil {
+		prepStart = time.Now()
+	}
 	tr := newTracker()
 	v := m.st.OpenWriter(tr)
 	m.nextTx++
 	txid := oid.TxID(m.nextTx)
+	if m.sink != nil {
+		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanBegin, Tx: uint64(txid)})
+	}
 
 	done := false
 	defer func() {
@@ -520,12 +635,15 @@ func (m *Manager) prepare(fn func(*storage.TxView) error) (*commitReq, error) {
 	if err := fn(v); err != nil {
 		done = true
 		m.rollback(tr)
+		if m.sink != nil {
+			m.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: uint64(txid), Dur: time.Since(prepStart), Err: err.Error()})
+		}
 		return nil, err
 	}
 	touched := tr.touchedPages()
 	if len(touched) == 0 {
 		done = true
-		m.commits.Add(1)
+		m.addCommitsBatches(1, 0)
 		return nil, nil // read-only "write" transaction
 	}
 	// Stage the commit record run. The images are copied into the frame
@@ -538,6 +656,9 @@ func (m *Manager) prepare(fn func(*storage.TxView) error) (*commitReq, error) {
 		if err != nil {
 			done = true
 			m.rollback(tr)
+			if m.sink != nil {
+				m.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: uint64(txid), Dur: time.Since(prepStart), Err: err.Error()})
+			}
 			return nil, fmt.Errorf("txn: commit: %w", err)
 		}
 		fr.PageImage(txid, id, p.Data)
@@ -550,28 +671,52 @@ func (m *Manager) prepare(fn func(*storage.TxView) error) (*commitReq, error) {
 	req := &commitReq{txid: txid, tr: tr, fr: fr, epoch: epoch, done: make(chan error, 1)}
 	m.gc.enqueue(req)
 	done = true
+	if m.sink != nil {
+		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanPrepare, Tx: uint64(txid), Dur: time.Since(prepStart)})
+	}
 	return req, nil
 }
 
 // writeSync is the pre-batching commit path (NoSync or NoGroupCommit):
 // fn, WAL append, fsync and checkpoint all happen under the writer lock.
+// The latency observation happens after the lock is released so that
+// instrumentation cost overlaps with the next committer's serial work
+// instead of extending it.
 func (m *Manager) writeSync(fn func(*storage.TxView) error) error {
+	var start time.Time
+	if m.timed() {
+		start = time.Now()
+	}
+	txid, err := m.writeSyncLocked(fn, start)
+	if err != nil {
+		return err
+	}
+	m.observeCommit(uint64(txid), start)
+	return nil
+}
+
+// writeSyncLocked is writeSync's body under the writer lock; it returns
+// the committed transaction id for the caller's latency observation.
+func (m *Manager) writeSyncLocked(fn func(*storage.TxView) error, start time.Time) (oid.TxID, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer func() { m.walBytes.Store(m.log.Size()) }()
 	if m.isClosed() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if m.opts.Storage.ReadOnly {
-		return ErrReadOnly
+		return 0, ErrReadOnly
 	}
 	if m.ioErr != nil {
-		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
+		return 0, fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
 	}
 	tr := newTracker()
 	v := m.st.OpenWriter(tr)
 	m.nextTx++
 	txid := oid.TxID(m.nextTx)
+	if m.sink != nil {
+		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanBegin, Tx: uint64(txid)})
+	}
 
 	done := false
 	defer func() {
@@ -585,24 +730,30 @@ func (m *Manager) writeSync(fn func(*storage.TxView) error) error {
 	if err := fn(v); err != nil {
 		done = true
 		m.rollback(tr)
-		return err
+		if m.sink != nil {
+			m.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: uint64(txid), Dur: time.Since(start), Err: err.Error()})
+		}
+		return 0, err
 	}
 	durable, err := m.commit(txid, tr)
 	if err != nil {
 		done = true
 		if !durable {
 			m.rollback(tr)
-			return fmt.Errorf("txn: commit: %w", err)
+			if m.sink != nil {
+				m.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: uint64(txid), Dur: time.Since(start), Err: err.Error()})
+			}
+			return 0, fmt.Errorf("txn: commit: %w", err)
 		}
 		// The commit IS durable (its records are fsynced in the WAL);
 		// only post-commit maintenance — the automatic checkpoint —
 		// failed. Rolling back here would contradict the durable state,
 		// so keep the in-memory effects and surface the error. The
 		// manager is already poisoned; only a reopen resumes writes.
-		return fmt.Errorf("txn: post-commit checkpoint (commit IS durable): %w", err)
+		return 0, fmt.Errorf("txn: post-commit checkpoint (commit IS durable): %w", err)
 	}
 	done = true
-	return nil
+	return txid, nil
 }
 
 // Exclusive runs fn while holding the writer lock, with no transaction
@@ -624,6 +775,9 @@ func (m *Manager) Exclusive(fn func() error) error {
 // permanent regardless of err (which can then only come from the
 // post-commit checkpoint).
 func (m *Manager) commit(txid oid.TxID, tr *tracker) (durable bool, err error) {
+	// This path only runs when the group committer is absent, so the
+	// batches counter never moves: a bare add cannot produce a torn
+	// commits/batches pair and the stats seqlock is skipped.
 	touched := tr.touchedPages()
 	if len(touched) == 0 {
 		m.commits.Add(1)
@@ -769,6 +923,10 @@ func (m *Manager) checkpointLocked() error {
 	if m.ioErr != nil {
 		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
 	}
+	var start time.Time
+	if m.timed() {
+		start = time.Now()
+	}
 	// Order matters: the WAL may only be reset after every page it
 	// covers is durably in the page file. A failure anywhere leaves the
 	// WAL intact, so recovery can redo the work — but it also poisons
@@ -795,6 +953,13 @@ func (m *Manager) checkpointLocked() error {
 		return err
 	}
 	m.checkpoints.Add(1)
+	if !start.IsZero() {
+		d := time.Since(start)
+		if m.m != nil {
+			m.m.CheckpointNS.ObserveDuration(d)
+		}
+		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanCheckpoint, Dur: d})
+	}
 	return nil
 }
 
@@ -811,6 +976,11 @@ func (m *Manager) Close() error {
 	}
 	m.closed = true
 	m.rmu.Unlock()
+	// Drain and stop the tracer sink on the way out (after mu is
+	// released): every span source — writers, the committer, the
+	// checkpointer — is gone by then. A tracer stuck inside TraceSpan
+	// forfeits the queue after a grace period rather than hanging Close.
+	defer m.sink.Close()
 	// New readers are now refused; drain the in-flight ones so no
 	// snapshot view outlives the store.
 	m.readers.Wait()

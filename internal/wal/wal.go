@@ -20,8 +20,11 @@ import (
 	"io"
 	"os"
 
+	"time"
+
 	"ode/internal/codec"
 	"ode/internal/faultfs"
+	"ode/internal/obs"
 	"ode/internal/oid"
 )
 
@@ -79,7 +82,15 @@ type Log struct {
 
 	appends uint64
 	syncs   uint64
+
+	// m, when set, receives the fsync-latency distribution. Nil (the
+	// default, and the NoMetrics baseline) records nothing.
+	m *obs.Metrics
 }
+
+// SetMetrics wires the observability registry in. Call before the log
+// is shared across goroutines (the manager does so at open).
+func (l *Log) SetMetrics(m *obs.Metrics) { l.m = m }
 
 // Open opens or creates the log at path on the real OS filesystem.
 func Open(path string) (*Log, error) { return OpenFS(faultfs.OS, path) }
@@ -317,6 +328,10 @@ func (l *Log) AppendCheckpoint() (oid.LSN, error) {
 // Sync flushes buffered appends and fsyncs the log. A commit is durable
 // only after Sync returns.
 func (l *Log) Sync() error {
+	var start time.Time
+	if l.m != nil {
+		start = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
@@ -324,6 +339,9 @@ func (l *Log) Sync() error {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.syncs++
+	if l.m != nil {
+		l.m.FsyncLatencyNS.ObserveDuration(time.Since(start))
+	}
 	return nil
 }
 

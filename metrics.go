@@ -1,0 +1,219 @@
+// Observability surface: db.Metrics() histogram snapshots, the Tracer
+// hook re-exports, the Prometheus-style text exposition (shared by
+// odeshell's .metrics command and the optional debug HTTP listener).
+// See DESIGN.md §11.
+package ode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"ode/internal/obs"
+)
+
+// Tracer receives structured span events from the commit pipeline. It
+// is invoked on a dedicated goroutine behind a bounded queue — never
+// on a commit path — so implementations may block or panic without
+// affecting the database (overflowing or panicked events are dropped
+// and counted).
+type Tracer = obs.Tracer
+
+// SpanEvent is one structured trace event; Kind tells which stage of
+// the transaction lifecycle it marks.
+type SpanEvent = obs.SpanEvent
+
+// SpanKind identifies a span event.
+type SpanKind = obs.SpanKind
+
+// Span event kinds (see DESIGN.md §11 for the taxonomy).
+const (
+	SpanBegin      = obs.SpanBegin
+	SpanPrepare    = obs.SpanPrepare
+	SpanFsync      = obs.SpanFsync
+	SpanPublish    = obs.SpanPublish
+	SpanAbort      = obs.SpanAbort
+	SpanCheckpoint = obs.SpanCheckpoint
+)
+
+// DefaultTracerBuffer is the tracer queue capacity when
+// Options.TracerBuffer is zero.
+const DefaultTracerBuffer = obs.DefaultTracerBuffer
+
+// HistSnapshot is a point-in-time copy of one latency/size histogram:
+// fixed power-of-two buckets with Quantile/P50/P95/P99/Mean/Max
+// estimation (estimates are exact to within one bucket width).
+type HistSnapshot = obs.HistSnapshot
+
+// Metrics is the full observability snapshot: every Stats counter plus
+// the registry's gauges and histogram snapshots. The zero value is
+// what a NoMetrics database returns (Stats fields still populated).
+type Metrics struct {
+	Stats
+
+	// Buffer-pool activity.
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
+
+	// Snapshot-epoch pinning: ReaderPins counts reader admissions
+	// since open, ActiveReaders is the in-flight count, SnapshotPages
+	// the copy-on-write pages currently retained for pinned epochs.
+	ReaderPins    uint64
+	ActiveReaders int64
+	SnapshotPages int64
+
+	// TracerDropped counts span events discarded because the tracer
+	// queue was full or the tracer panicked mid-delivery.
+	TracerDropped uint64
+
+	// Distributions. The latency histograms are in nanoseconds.
+	CommitLatency      HistSnapshot // whole Update: fn + staging + fsync wait
+	WALFsyncLatency    HistSnapshot // one WAL fsync
+	CheckpointDuration HistSnapshot // flush + WAL reset
+	BatchSize          HistSnapshot // transactions per group-commit fsync
+	DprevWalkLen       HistSnapshot // versions visited per History call
+	TprevWalkLen       HistSnapshot // versions visited per AsOfWalk call
+}
+
+// Metrics returns the current observability snapshot. Counter loads
+// are lock-free; the Commits/Batches pair is seqlock-consistent (see
+// Stats). Histogram snapshots are taken bucket-by-bucket and may
+// straddle a concurrent Observe by one sample — fine for monitoring,
+// and the counters the soak tests reconcile on are exact at quiescence.
+func (db *DB) Metrics() Metrics {
+	var ms Metrics
+	ms.Stats = db.Stats()
+	m := db.mgr.Metrics()
+	if m == nil {
+		return ms // NoMetrics: counters only
+	}
+	ms.PoolHits = m.PoolHits.Load()
+	ms.PoolMisses = m.PoolMisses.Load()
+	ms.PoolEvictions = m.PoolEvictions.Load()
+	ms.ReaderPins = m.ReaderPins.Load()
+	ms.ActiveReaders = m.ActiveReaders.Load()
+	ms.SnapshotPages = m.SnapshotPages.Load()
+	ms.TracerDropped = m.TracerDropped.Load()
+	ms.CommitLatency = m.CommitLatencyNS.Snapshot()
+	ms.WALFsyncLatency = m.FsyncLatencyNS.Snapshot()
+	ms.CheckpointDuration = m.CheckpointNS.Snapshot()
+	ms.BatchSize = m.BatchSize.Snapshot()
+	ms.DprevWalkLen = m.DprevWalk.Snapshot()
+	ms.TprevWalkLen = m.TprevWalk.Snapshot()
+	return ms
+}
+
+// WriteMetrics renders the full metrics page in Prometheus text
+// exposition format.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	ms := db.Metrics()
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"ode_objects", "Live objects.", ms.Objects},
+		{"ode_versions", "Live versions across all objects.", ms.Versions},
+		{"ode_commits_total", "Committed write transactions.", ms.Commits},
+		{"ode_aborts_total", "Rolled-back write transactions.", ms.Aborts},
+		{"ode_checkpoints_total", "Checkpoints completed.", ms.Checkpoints},
+		{"ode_commit_batches_total", "Group-commit fsync batches.", ms.Batches},
+		{"ode_recovered_txns_total", "Transactions replayed by crash recovery at open.", ms.RecoveredTxns},
+		{"ode_pool_hits_total", "Buffer-pool page hits.", ms.PoolHits},
+		{"ode_pool_misses_total", "Buffer-pool page misses (faulted from disk).", ms.PoolMisses},
+		{"ode_pool_evictions_total", "Clean pages evicted from the buffer pool.", ms.PoolEvictions},
+		{"ode_reader_pins_total", "Reader snapshot-epoch pins since open.", ms.ReaderPins},
+		{"ode_tracer_dropped_total", "Tracer span events dropped past the bounded queue.", ms.TracerDropped},
+	}
+	for _, c := range counters {
+		if err := obs.WriteCounter(w, c.name, c.help, c.v); err != nil {
+			return err
+		}
+	}
+	if err := obs.WriteGauge(w, "ode_wal_bytes", "Current WAL size in bytes.", ms.WALBytes); err != nil {
+		return err
+	}
+	if err := obs.WriteGauge(w, "ode_active_readers", "Readers currently pinning a snapshot epoch.", ms.ActiveReaders); err != nil {
+		return err
+	}
+	if err := obs.WriteGauge(w, "ode_snapshot_pages", "Copy-on-write snapshot pages retained for pinned epochs.", ms.SnapshotPages); err != nil {
+		return err
+	}
+	hists := []struct {
+		name, help string
+		s          HistSnapshot
+	}{
+		{"ode_commit_latency_ns", "Whole-Update commit latency (fn + staging + fsync wait).", ms.CommitLatency},
+		{"ode_wal_fsync_latency_ns", "WAL fsync latency.", ms.WALFsyncLatency},
+		{"ode_checkpoint_duration_ns", "Checkpoint duration (page flush + WAL reset).", ms.CheckpointDuration},
+		{"ode_commit_batch_size", "Transactions covered by one group-commit fsync.", ms.BatchSize},
+		{"ode_dprev_walk_len", "Versions visited per History (derived-from chain) walk.", ms.DprevWalkLen},
+		{"ode_tprev_walk_len", "Versions visited per AsOfWalk (temporal chain) walk.", ms.TprevWalkLen},
+	}
+	for _, h := range hists {
+		if err := obs.WriteHistogram(w, h.name, h.help, h.s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DebugAddr returns the bound address of the debug HTTP listener, or
+// "" when Options.DebugAddr was not set. With a ":0" option this is
+// how tests (and operators) learn the actual port.
+func (db *DB) DebugAddr() string {
+	if db.debugLis == nil {
+		return ""
+	}
+	return db.debugLis.Addr().String()
+}
+
+// startDebugServer binds the debug listener and serves /metrics and
+// /stats until the DB closes.
+func (db *DB) startDebugServer(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := db.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(db.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	db.debugLis = lis
+	db.debugSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns http.ErrServerClosed on shutdown; anything else
+		// means the listener died, which the next scrape will notice.
+		_ = db.debugSrv.Serve(lis)
+	}()
+	return nil
+}
+
+// stopDebugServer tears the listener down; safe without one.
+func (db *DB) stopDebugServer() {
+	if db.debugSrv != nil {
+		_ = db.debugSrv.Close()
+		db.debugSrv = nil
+		db.debugLis = nil
+	}
+}
+
+// String renders a one-line summary of the snapshot (handy in logs).
+func (ms Metrics) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d batches=%d p50=%s p99=%s pool=%d/%d",
+		ms.Commits, ms.Aborts, ms.Batches,
+		time.Duration(ms.CommitLatency.P50()), time.Duration(ms.CommitLatency.P99()),
+		ms.PoolHits, ms.PoolHits+ms.PoolMisses)
+}

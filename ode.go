@@ -32,6 +32,8 @@ package ode
 import (
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -125,6 +127,28 @@ type Options struct {
 	// (the default) means the real OS; tests install a fault-injecting
 	// implementation to exercise crash consistency.
 	FS FS
+	// Tracer, when set, receives structured span events for every
+	// write transaction (begin/prepare/fsync/publish/abort) and
+	// checkpoint. The tracer runs on its own goroutine behind a
+	// bounded queue: it may be slow, block, or panic without ever
+	// stalling or corrupting a commit — events past the queue bound
+	// are dropped and counted in Metrics().TracerDropped.
+	Tracer Tracer
+	// TracerBuffer bounds the tracer event queue; 0 means
+	// DefaultTracerBuffer (1024).
+	TracerBuffer int
+	// NoMetrics disables the observability layer entirely — no
+	// counters, histograms, or commit-path timestamps. It exists as
+	// the uninstrumented baseline for the overhead benchmark (E13);
+	// production should leave it false (the instrumented hot path
+	// costs a few atomic adds per commit).
+	NoMetrics bool
+	// DebugAddr, when non-empty, starts a debug HTTP listener on that
+	// address (e.g. "127.0.0.1:6060" or "127.0.0.1:0") serving
+	// GET /metrics (Prometheus text exposition) and GET /stats
+	// (Stats as JSON). The listener closes with the DB; the bound
+	// address is available from DebugAddr().
+	DebugAddr string
 }
 
 // DB is an open Ode database.
@@ -132,6 +156,10 @@ type DB struct {
 	mgr  *txn.Manager
 	eng  *core.Engine
 	path string
+
+	// debug HTTP listener state (metrics.go); nil without DebugAddr.
+	debugLis net.Listener
+	debugSrv *http.Server
 }
 
 // dir returns the database directory.
@@ -153,6 +181,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 		CommitBatchDelay: o.CommitBatchDelay,
 		CheckpointBytes:  o.CheckpointBytes,
 		FS:               o.FS,
+		NoMetrics:        o.NoMetrics,
+		Tracer:           o.Tracer,
+		TracerBuffer:     o.TracerBuffer,
 	}
 	topts.Storage.PageSize = o.PageSize
 	topts.Storage.PoolPages = o.PoolPages
@@ -186,11 +217,21 @@ func Open(dir string, opts *Options) (*DB, error) {
 		mgr.Close()
 		return nil, err
 	}
-	return &DB{mgr: mgr, eng: eng, path: dir}, nil
+	db := &DB{mgr: mgr, eng: eng, path: dir}
+	if o.DebugAddr != "" {
+		if err := db.startDebugServer(o.DebugAddr); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("ode: debug listener: %w", err)
+		}
+	}
+	return db, nil
 }
 
 // Close checkpoints and closes the database.
-func (db *DB) Close() error { return db.mgr.Close() }
+func (db *DB) Close() error {
+	db.stopDebugServer()
+	return db.mgr.Close()
+}
 
 // Update runs fn in a read-write transaction. If fn returns nil the
 // transaction commits durably; on error or panic it rolls back
@@ -232,6 +273,9 @@ type Stats struct {
 	// number of transactions sharing one fsync. Zero with NoGroupCommit
 	// or NoSync.
 	Batches uint64
+	// RecoveredTxns counts committed transactions replayed from the WAL
+	// by crash recovery at Open.
+	RecoveredTxns uint64
 }
 
 // Stats returns current database statistics.
@@ -239,13 +283,14 @@ func (db *DB) Stats() Stats {
 	es := db.eng.Stats()
 	ms := db.mgr.Stats()
 	return Stats{
-		Objects:     es.Objects,
-		Versions:    es.Versions,
-		Commits:     ms.Commits,
-		Aborts:      ms.Aborts,
-		Checkpoints: ms.Checkpoints,
-		WALBytes:    ms.WALBytes,
-		Batches:     ms.Batches,
+		Objects:       es.Objects,
+		Versions:      es.Versions,
+		Commits:       ms.Commits,
+		Aborts:        ms.Aborts,
+		Checkpoints:   ms.Checkpoints,
+		WALBytes:      ms.WALBytes,
+		Batches:       ms.Batches,
+		RecoveredTxns: ms.RecoveredTxns,
 	}
 }
 
