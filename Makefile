@@ -13,11 +13,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The crash-consistency fault matrix (DESIGN.md §8) under the race
+# The crash-consistency fault matrix (DESIGN.md §8, §12) under the race
 # detector: every WAL/storage injection point plus the engine-level
-# matrix through the public Options.FS hook.
+# matrix through the public Options.FS hook, at both shard dimensions —
+# ODE_SHARDS=1 is the legacy single-shard layout, ODE_SHARDS=4 re-runs
+# the engine-level matrix against four shard WALs plus the 2PC
+# coordinator log (the coordinator's own fault matrix runs in
+# ./internal/txn either way).
 matrix:
-	$(GO) test -race -run 'FaultMatrix|RecoveryDeterministic|PoolReadFault|EngineCrashMatrix|FailedCommitSync' ./internal/txn ./internal/storage .
+	ODE_SHARDS=1 $(GO) test -race -run 'FaultMatrix|RecoveryDeterministic|PoolReadFault|EngineCrashMatrix|FailedCommitSync' ./internal/txn ./internal/storage .
+	ODE_SHARDS=4 $(GO) test -race -count=1 -run 'FaultMatrix|EngineCrashMatrix|FailedCommitSync' .
 
 # Short continuous-fuzz pass over every native fuzz target (seed
 # corpora under testdata/fuzz always run as part of plain `go test`;
@@ -32,9 +37,11 @@ fuzz:
 # Metrics-reconciling soak suite (soak_test.go) under the race
 # detector: randomized concurrent workloads whose Stats/Metrics
 # counters must reconcile exactly with an in-memory model, plus the
-# tracer fault-isolation tests.
+# tracer fault-isolation tests — at Shards=1 and again at Shards=4
+# (per-shard pipelines, cross-shard 2PC, rolled-up metrics).
 soak:
-	$(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
+	ODE_SHARDS=1 $(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
+	ODE_SHARDS=4 $(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
 
 # Line coverage, with a hard floor on internal/obs: the observability
 # layer is pure bookkeeping, so uncovered lines are untested claims.

@@ -11,44 +11,67 @@ import (
 
 // Backup writes a consistent snapshot of the database into dstDir
 // (which must not already contain a database). It checkpoints first, so
-// the snapshot is a single data file with an empty log, then copies the
-// data file while holding the writer mutex exclusively — writers (and
+// the snapshot is the data file(s) with empty logs, then copies them
+// while holding every shard's writer mutex exclusively — writers (and
 // further checkpoints) are blocked for the duration; snapshot readers
-// keep running, since they never touch the data file's mutable tail.
+// keep running, since they never touch the data files' mutable tails.
+// A sharded database copies the shard-count metadata file and every
+// shard's data file; the WALs and the coordinator decision log are
+// empty after the checkpoint and are recreated on open.
 func (db *DB) Backup(dstDir string) error {
 	if err := os.MkdirAll(dstDir, 0o755); err != nil {
 		return fmt.Errorf("ode: backup mkdir: %w", err)
 	}
-	dst := filepath.Join(dstDir, txn.DataFileName)
-	if _, err := os.Stat(dst); err == nil {
-		return fmt.Errorf("ode: backup target %s already exists", dst)
+	var files []string
+	if db.Shards() == 1 {
+		files = []string{txn.DataFileName}
+	} else {
+		files = []string{txn.ShardsFileName}
+		for i := 0; i < db.Shards(); i++ {
+			files = append(files, txn.ShardDataFileName(i))
+		}
 	}
-	// Checkpoint: all committed state reaches the data file; the WAL is
-	// truncated to its header.
+	for _, f := range files {
+		if _, err := os.Stat(filepath.Join(dstDir, f)); err == nil {
+			return fmt.Errorf("ode: backup target %s already exists", filepath.Join(dstDir, f))
+		}
+	}
+	// Checkpoint: all committed state reaches the data files; the WALs
+	// are truncated to their headers.
 	if err := db.Checkpoint(); err != nil {
 		return err
 	}
-	// Copy under the writer mutex: writers (and further checkpoints) are
-	// excluded, so the file cannot change underneath the copy.
-	return db.mgr.Exclusive(func() error {
+	// Copy under the writer mutexes: writers (and further checkpoints)
+	// are excluded, so the files cannot change underneath the copy.
+	return db.coord.Exclusive(func() error {
 		src := db.dir()
-		in, err := os.Open(filepath.Join(src, txn.DataFileName))
-		if err != nil {
-			return fmt.Errorf("ode: backup open: %w", err)
+		for _, f := range files {
+			if err := copyFileSync(filepath.Join(src, f), filepath.Join(dstDir, f)); err != nil {
+				return err
+			}
 		}
-		defer in.Close()
-		out, err := os.Create(dst)
-		if err != nil {
-			return fmt.Errorf("ode: backup create: %w", err)
-		}
-		if _, err := io.Copy(out, in); err != nil {
-			out.Close()
-			return fmt.Errorf("ode: backup copy: %w", err)
-		}
-		if err := out.Sync(); err != nil {
-			out.Close()
-			return err
-		}
-		return out.Close()
+		return nil
 	})
+}
+
+// copyFileSync copies src to dst and fsyncs the result.
+func copyFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("ode: backup open: %w", err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("ode: backup create: %w", err)
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return fmt.Errorf("ode: backup copy: %w", err)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

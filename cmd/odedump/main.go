@@ -13,15 +13,58 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"ode"
 	"ode/internal/storage"
+	"ode/internal/txn"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "odedump: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// describeLayout classifies dir without opening it. For a sharded
+// directory it prints the shard metadata and enumerates every shard's
+// data and WAL file with sizes; a directory carrying both layouts is an
+// error (same ErrMixedLayout the open would raise, surfaced early and
+// loudly).
+func describeLayout(w io.Writer, dir string) (string, error) {
+	_, legacyErr := os.Stat(filepath.Join(dir, txn.DataFileName))
+	_, shardErr := os.Stat(filepath.Join(dir, txn.ShardsFileName))
+	legacy, sharded := legacyErr == nil, shardErr == nil
+	switch {
+	case legacy && sharded:
+		return "", fmt.Errorf("%w: refusing to dump %s", txn.ErrMixedLayout, dir)
+	case sharded:
+		n, err := txn.ReadShardsMeta(nil, dir)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(w, "shard files:  %s (%d shards)\n", txn.ShardsFileName, n)
+		size := func(name string) string {
+			fi, err := os.Stat(filepath.Join(dir, name))
+			if err != nil {
+				return "MISSING"
+			}
+			return fmt.Sprintf("%d bytes", fi.Size())
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "  %s %s, %s %s\n",
+				txn.ShardDataFileName(i), size(txn.ShardDataFileName(i)),
+				txn.ShardWALFileName(i), size(txn.ShardWALFileName(i)))
+		}
+		fmt.Fprintf(w, "  %s %s\n", txn.CoordWALFileName, size(txn.CoordWALFileName))
+		return fmt.Sprintf("sharded (%d)", n), nil
+	case legacy:
+		return "legacy (single shard)", nil
+	default:
+		// Neither layout: the open below creates a fresh database (the
+		// historical dump-an-empty-dir behavior).
+		return "fresh (created on open)", nil
 	}
 }
 
@@ -40,6 +83,15 @@ func run(args []string, w io.Writer) error {
 	}
 	dir := fs.Arg(0)
 
+	// Classify the on-disk layout before opening: a sharded directory
+	// gets its files enumerated, and a directory carrying both layouts
+	// is refused here with the underlying error (opening it would fail
+	// with the same ErrMixedLayout).
+	layout, err := describeLayout(w, dir)
+	if err != nil {
+		return err
+	}
+
 	db, err := ode.Open(dir, nil)
 	if err != nil {
 		return err
@@ -48,20 +100,27 @@ func run(args []string, w io.Writer) error {
 
 	st := db.Stats()
 	fmt.Fprintf(w, "database:     %s\n", dir)
+	fmt.Fprintf(w, "layout:       %s\n", layout)
 	fmt.Fprintf(w, "objects:      %d\n", st.Objects)
 	fmt.Fprintf(w, "versions:     %d\n", st.Versions)
 	fmt.Fprintf(w, "wal bytes:    %d\n", st.WALBytes)
-	_ = db.Engine().Manager().Read(func(v *storage.TxView) error {
-		census, err := v.Census()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "pages:        %d slotted, %d btree, %d overflow, %d free\n",
-			census.Slotted, census.BTree, census.Overflow, census.Free)
-		fmt.Fprintf(w, "records:      %d (%d live bytes, %d reusable)\n",
-			census.Records, census.SlottedLiveBytes, census.SlottedFreeBytes)
-		return nil
-	})
+	// Per-shard summaries: durable epoch, WAL size, page census.
+	for i, m := range db.Engine().Coordinator().Shards() {
+		ss := m.Stats()
+		_ = m.Read(func(v *storage.TxView) error {
+			census, err := v.Census()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "shard %03d:    epoch %d, wal %d bytes, %d commits recovered\n",
+				i, v.Epoch(), ss.WALBytes, ss.RecoveredTxns)
+			fmt.Fprintf(w, "  pages:      %d slotted, %d btree, %d overflow, %d free\n",
+				census.Slotted, census.BTree, census.Overflow, census.Free)
+			fmt.Fprintf(w, "  records:    %d (%d live bytes, %d reusable)\n",
+				census.Records, census.SlottedLiveBytes, census.SlottedFreeBytes)
+			return nil
+		})
+	}
 	fmt.Fprintln(w)
 
 	eng := db.Engine()

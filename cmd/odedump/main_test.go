@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -102,5 +104,63 @@ func TestDumpMissingDB(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "objects:      0") {
 		t.Fatalf("empty dump wrong:\n%s", sb.String())
+	}
+}
+
+func TestDumpShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	db, err := ode.Open(dir, &ode.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	widgets, err := ode.Register[widget](db, "widget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := db.Update(func(tx *ode.Tx) error {
+			_, err := widgets.Create(tx, &widget{Name: "s"})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-check", dir}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"layout:       sharded (3)",
+		"data.000", "wal.002", "coord.ode",
+		"shard 000:", "shard 002:",
+		"objects:      6",
+		"integrity check... ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpMixedLayoutFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	db, err := ode.Open(dir, &ode.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a legacy data file next to the sharded layout.
+	if err := os.WriteFile(filepath.Join(dir, "data.ode"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{dir}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "both legacy") {
+		t.Fatalf("mixed layout not refused: %v", err)
 	}
 }

@@ -9,7 +9,10 @@ import (
 
 func testShell(t *testing.T) (*shell, *strings.Builder) {
 	t.Helper()
-	db, err := ode.Open(t.TempDir(), nil)
+	// Shards: 1 — the scripts below address objects by literal id (o1,
+	// v2, ...), which requires the single-shard layout's sequential ids
+	// regardless of the host's core count.
+	db, err := ode.Open(t.TempDir(), &ode.Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,8 @@ package ode_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"ode"
@@ -18,6 +20,15 @@ import (
 type Widget struct {
 	Name string
 	Rev  int
+}
+
+// envShardCount mirrors the internal test helper: the matrix Makefile
+// target re-runs this suite with ODE_SHARDS=4 so every injection point
+// is also exercised against the sharded layout (shard WALs plus the
+// coordinator log). Zero (unset) keeps the layout default.
+func envShardCount() int {
+	n, _ := strconv.Atoi(os.Getenv("ODE_SHARDS"))
+	return n
 }
 
 // ackedState records what the workload was promised: per object, the
@@ -38,7 +49,7 @@ func runVersionWorkload(fsys faultfs.FS) (ackedState, error) {
 // installed) reuse the same op space.
 func runVersionWorkloadOpts(fsys faultfs.FS, mutate func(*ode.Options)) (ackedState, error) {
 	acked := ackedState{ptrs: map[string]ode.Ptr[Widget]{}, rev: map[string]int{}}
-	opts := &ode.Options{PageSize: 512, CheckpointBytes: -1, FS: fsys}
+	opts := &ode.Options{PageSize: 512, CheckpointBytes: -1, FS: fsys, Shards: envShardCount()}
 	if mutate != nil {
 		mutate(opts)
 	}

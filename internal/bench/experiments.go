@@ -969,5 +969,6 @@ func All() []Experiment {
 		{"E11", "concurrent snapshot reads", E11},
 		{"E12", "group commit throughput", E12},
 		{"E13", "observability overhead", E13},
+		{"E14", "shard scaling", E14},
 	}
 }

@@ -69,7 +69,7 @@ func decodeAnnotations(raw []byte) (map[string]string, error) {
 }
 
 // Annotate sets (or with value=="" clears) one annotation on a version.
-func (tx *Tx) Annotate(o oid.OID, v oid.VID, key, value string) error {
+func (tx *shardTx) Annotate(o oid.OID, v oid.VID, key, value string) error {
 	if key == "" {
 		return fmt.Errorf("ode: empty annotation key")
 	}
@@ -102,7 +102,7 @@ func (tx *Tx) Annotate(o oid.OID, v oid.VID, key, value string) error {
 
 // Annotations returns a version's annotation map (nil, false when the
 // version has none).
-func (tx *Tx) Annotations(o oid.OID, v oid.VID) (map[string]string, bool, error) {
+func (tx *shardTx) Annotations(o oid.OID, v oid.VID) (map[string]string, bool, error) {
 	raw, ok, err := tx.getConfigValue(annKey(o, v))
 	if err != nil || !ok {
 		return nil, false, err
@@ -112,7 +112,7 @@ func (tx *Tx) Annotations(o oid.OID, v oid.VID) (map[string]string, bool, error)
 }
 
 // Annotation returns one annotation value (ok=false when unset).
-func (tx *Tx) Annotation(o oid.OID, v oid.VID, key string) (string, bool, error) {
+func (tx *shardTx) Annotation(o oid.OID, v oid.VID, key string) (string, bool, error) {
 	m, ok, err := tx.Annotations(o, v)
 	if err != nil || !ok {
 		return "", false, err
@@ -124,7 +124,7 @@ func (tx *Tx) Annotation(o oid.OID, v oid.VID, key string) (string, bool, error)
 // VersionsWhere returns the object's versions whose annotation key has
 // the given value, in temporal order — the partitioning query the
 // Klahold model builds its version environments from.
-func (tx *Tx) VersionsWhere(o oid.OID, key, value string) ([]oid.VID, error) {
+func (tx *shardTx) VersionsWhere(o oid.OID, key, value string) ([]oid.VID, error) {
 	vs, err := tx.Versions(o)
 	if err != nil {
 		return nil, err
@@ -144,13 +144,13 @@ func (tx *Tx) VersionsWhere(o oid.OID, key, value string) ([]oid.VID, error) {
 
 // dropAnnotations removes all annotations of one version (on version
 // deletion).
-func (tx *Tx) dropAnnotations(o oid.OID, v oid.VID) error {
+func (tx *shardTx) dropAnnotations(o oid.OID, v oid.VID) error {
 	return tx.deleteConfigValue(annKey(o, v))
 }
 
 // dropAllAnnotations removes every annotation of an object (on object
 // deletion).
-func (tx *Tx) dropAllAnnotations(o oid.OID) error {
+func (tx *shardTx) dropAllAnnotations(o oid.OID) error {
 	var keys [][]byte
 	err := tx.config.AscendPrefix(annObjPrefix(o), func(k, _ []byte) (bool, error) {
 		keys = append(keys, append([]byte(nil), k...))

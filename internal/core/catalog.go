@@ -29,7 +29,7 @@ func catIDKey(t oid.TypeID) []byte {
 // RegisterType returns the TypeID for name, creating it on first use.
 // Registration is idempotent: the same name always maps to the same id
 // for the lifetime of the database.
-func (tx *Tx) RegisterType(name string) (oid.TypeID, error) {
+func (tx *shardTx) RegisterType(name string) (oid.TypeID, error) {
 	if name == "" {
 		return oid.NilType, fmt.Errorf("ode: empty type name")
 	}
@@ -74,7 +74,7 @@ func (e *Engine) RegisterType(name string) (t oid.TypeID, err error) {
 }
 
 // LookupType returns the TypeID for a registered name.
-func (tx *Tx) LookupType(name string) (oid.TypeID, bool, error) {
+func (tx *shardTx) LookupType(name string) (oid.TypeID, bool, error) {
 	raw, ok, err := tx.catalog.Get(catNameKey(name))
 	if err != nil || !ok {
 		return oid.NilType, false, err
@@ -83,7 +83,7 @@ func (tx *Tx) LookupType(name string) (oid.TypeID, bool, error) {
 }
 
 // TypeName returns the registered name of t.
-func (tx *Tx) TypeName(t oid.TypeID) (string, bool, error) {
+func (tx *shardTx) TypeName(t oid.TypeID) (string, bool, error) {
 	raw, ok, err := tx.catalog.Get(catIDKey(t))
 	if err != nil || !ok {
 		return "", false, err
@@ -92,13 +92,13 @@ func (tx *Tx) TypeName(t oid.TypeID) (string, bool, error) {
 }
 
 // typeExists reports whether t is a registered type id.
-func (tx *Tx) typeExists(t oid.TypeID) (bool, error) {
+func (tx *shardTx) typeExists(t oid.TypeID) (bool, error) {
 	_, ok, err := tx.catalog.Get(catIDKey(t))
 	return ok, err
 }
 
 // Types lists all registered type names in name order.
-func (tx *Tx) Types() ([]string, error) {
+func (tx *shardTx) Types() ([]string, error) {
 	var out []string
 	err := tx.catalog.AscendPrefix([]byte(catByName), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(catByName):]))
@@ -110,7 +110,7 @@ func (tx *Tx) Types() ([]string, error) {
 // Extent calls fn for every object of type t in oid order — O++'s
 // "for x in Extent" iteration over a persistent set. Iteration stops
 // early when fn returns false.
-func (tx *Tx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
+func (tx *shardTx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
 	var prefix [4]byte
 	binary.BigEndian.PutUint32(prefix[:], uint32(t))
 	return tx.extent.AscendPrefix(prefix[:], func(k, _ []byte) (bool, error) {
@@ -119,7 +119,7 @@ func (tx *Tx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
 }
 
 // ExtentCount returns the number of objects of type t.
-func (tx *Tx) ExtentCount(t oid.TypeID) (int, error) {
+func (tx *shardTx) ExtentCount(t oid.TypeID) (int, error) {
 	n := 0
 	err := tx.Extent(t, func(oid.OID) (bool, error) { n++; return true, nil })
 	return n, err

@@ -20,7 +20,7 @@ import (
 //  5. delta/shared payloads have a live parent and consistent depth.
 //
 // It is used by property tests, figure tests, and odedump --check.
-func (tx *Tx) CheckObject(o oid.OID) error {
+func (tx *shardTx) CheckObject(o oid.OID) error {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
@@ -155,7 +155,7 @@ func (tx *Tx) CheckObject(o oid.OID) error {
 
 // CheckAll validates every object in the database plus the structural
 // health of each index tree.
-func (tx *Tx) CheckAll() error {
+func (tx *shardTx) CheckAll() error {
 	for _, t := range []interface{ Check() error }{
 		tx.objTable, tx.verIdx, tx.tempIdx, tx.catalog, tx.extent, tx.config, tx.vidIdx,
 	} {

@@ -52,7 +52,7 @@ const (
 // putConfigValue stores raw under key, spilling to the heap when it
 // exceeds the tree's value budget, and frees any heap record the key's
 // previous value used.
-func (tx *Tx) putConfigValue(key, raw []byte) error {
+func (tx *shardTx) putConfigValue(key, raw []byte) error {
 	if err := tx.dropConfigIndirect(key); err != nil {
 		return err
 	}
@@ -68,7 +68,7 @@ func (tx *Tx) putConfigValue(key, raw []byte) error {
 }
 
 // getConfigValue loads a value stored by putConfigValue.
-func (tx *Tx) getConfigValue(key []byte) ([]byte, bool, error) {
+func (tx *shardTx) getConfigValue(key []byte) ([]byte, bool, error) {
 	v, ok, err := tx.config.Get(key)
 	if err != nil || !ok {
 		return nil, false, err
@@ -92,7 +92,7 @@ func (tx *Tx) getConfigValue(key []byte) ([]byte, bool, error) {
 
 // dropConfigIndirect frees the heap record behind key's current value,
 // if it has one.
-func (tx *Tx) dropConfigIndirect(key []byte) error {
+func (tx *shardTx) dropConfigIndirect(key []byte) error {
 	v, ok, err := tx.config.Get(key)
 	if err != nil || !ok {
 		return err
@@ -104,7 +104,7 @@ func (tx *Tx) dropConfigIndirect(key []byte) error {
 }
 
 // deleteConfigValue removes key and any heap spill.
-func (tx *Tx) deleteConfigValue(key []byte) error {
+func (tx *shardTx) deleteConfigValue(key []byte) error {
 	if err := tx.dropConfigIndirect(key); err != nil {
 		return err
 	}
@@ -144,7 +144,7 @@ func decodeBindings(raw []byte) ([]Binding, error) {
 // SaveConfig stores (or replaces) a named configuration. Bindings are
 // normalised to slot order. Static bindings are validated against live
 // versions; dynamic bindings against live objects.
-func (tx *Tx) SaveConfig(name string, bindings []Binding) error {
+func (tx *shardTx) SaveConfig(name string, bindings []Binding) error {
 	if name == "" {
 		return fmt.Errorf("ode: empty configuration name")
 	}
@@ -152,14 +152,14 @@ func (tx *Tx) SaveConfig(name string, bindings []Binding) error {
 	sort.Slice(bs, func(i, j int) bool { return bs[i].Slot < bs[j].Slot })
 	for _, b := range bs {
 		if b.VID.IsNil() {
-			if ok, err := tx.Exists(b.Obj); err != nil {
+			if ok, err := tx.rt.Exists(b.Obj); err != nil {
 				return err
 			} else if !ok {
 				return fmt.Errorf("%w: %v in configuration %q", ErrNoObject, b.Obj, name)
 			}
 			continue
 		}
-		if _, err := tx.loadVer(b.Obj, b.VID); err != nil {
+		if _, err := tx.rt.loadVerOf(b.Obj, b.VID); err != nil {
 			return fmt.Errorf("configuration %q slot %q: %w", name, b.Slot, err)
 		}
 	}
@@ -171,7 +171,7 @@ func (tx *Tx) SaveConfig(name string, bindings []Binding) error {
 }
 
 // GetConfig returns a configuration's raw bindings.
-func (tx *Tx) GetConfig(name string) ([]Binding, bool, error) {
+func (tx *shardTx) GetConfig(name string) ([]Binding, bool, error) {
 	raw, ok, err := tx.getConfigValue(cfgKey(name))
 	if err != nil || !ok {
 		return nil, false, err
@@ -183,7 +183,7 @@ func (tx *Tx) GetConfig(name string) ([]Binding, bool, error) {
 // ResolveConfig resolves a configuration to concrete versions: static
 // bindings keep their pinned vid; dynamic bindings bind to the latest
 // version at call time (late binding).
-func (tx *Tx) ResolveConfig(name string) ([]Resolved, error) {
+func (tx *shardTx) ResolveConfig(name string) ([]Resolved, error) {
 	bs, ok, err := tx.GetConfig(name)
 	if err != nil {
 		return nil, err
@@ -195,7 +195,7 @@ func (tx *Tx) ResolveConfig(name string) ([]Resolved, error) {
 	for _, b := range bs {
 		v := b.VID
 		if v.IsNil() {
-			v, err = tx.Latest(b.Obj)
+			v, err = tx.rt.Latest(b.Obj)
 			if err != nil {
 				return nil, fmt.Errorf("configuration %q slot %q: %w", name, b.Slot, err)
 			}
@@ -206,7 +206,7 @@ func (tx *Tx) ResolveConfig(name string) ([]Resolved, error) {
 }
 
 // DeleteConfig removes a configuration; unknown names are not an error.
-func (tx *Tx) DeleteConfig(name string) error {
+func (tx *shardTx) DeleteConfig(name string) error {
 	if err := tx.deleteConfigValue(cfgKey(name)); err != nil {
 		return err
 	}
@@ -215,7 +215,7 @@ func (tx *Tx) DeleteConfig(name string) error {
 }
 
 // Configs lists configuration names in order.
-func (tx *Tx) Configs() ([]string, error) {
+func (tx *shardTx) Configs() ([]string, error) {
 	var out []string
 	err := tx.config.AscendPrefix([]byte(cfgPrefix), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(cfgPrefix):]))
@@ -229,7 +229,7 @@ func (tx *Tx) Configs() ([]string, error) {
 // SetContext stores a context: a set of default versions, one per
 // object. Dereferencing an object id "in" a context yields the context's
 // pinned version when present, the latest otherwise.
-func (tx *Tx) SetContext(name string, defaults map[oid.OID]oid.VID) error {
+func (tx *shardTx) SetContext(name string, defaults map[oid.OID]oid.VID) error {
 	if name == "" {
 		return fmt.Errorf("ode: empty context name")
 	}
@@ -242,7 +242,7 @@ func (tx *Tx) SetContext(name string, defaults map[oid.OID]oid.VID) error {
 	w.UVarint(uint64(len(objs)))
 	for _, o := range objs {
 		v := defaults[o]
-		if _, err := tx.loadVer(o, v); err != nil {
+		if _, err := tx.rt.loadVerOf(o, v); err != nil {
 			return fmt.Errorf("context %q: %w", name, err)
 		}
 		w.UVarint(uint64(o))
@@ -256,7 +256,7 @@ func (tx *Tx) SetContext(name string, defaults map[oid.OID]oid.VID) error {
 }
 
 // GetContext returns a context's default-version map.
-func (tx *Tx) GetContext(name string) (map[oid.OID]oid.VID, bool, error) {
+func (tx *shardTx) GetContext(name string) (map[oid.OID]oid.VID, bool, error) {
 	raw, ok, err := tx.getConfigValue(ctxKey(name))
 	if err != nil || !ok {
 		return nil, false, err
@@ -278,7 +278,7 @@ func (tx *Tx) GetContext(name string) (map[oid.OID]oid.VID, bool, error) {
 // ResolveInContext dereferences an object id under a context: the
 // context's default version when the context pins one, the latest
 // otherwise. An empty context name resolves to the latest directly.
-func (tx *Tx) ResolveInContext(ctx string, o oid.OID) (oid.VID, error) {
+func (tx *shardTx) ResolveInContext(ctx string, o oid.OID) (oid.VID, error) {
 	if ctx != "" {
 		m, ok, err := tx.GetContext(ctx)
 		if err != nil {
@@ -291,11 +291,11 @@ func (tx *Tx) ResolveInContext(ctx string, o oid.OID) (oid.VID, error) {
 			return v, nil
 		}
 	}
-	return tx.Latest(o)
+	return tx.rt.Latest(o)
 }
 
 // DeleteContext removes a context; unknown names are not an error.
-func (tx *Tx) DeleteContext(name string) error {
+func (tx *shardTx) DeleteContext(name string) error {
 	if err := tx.deleteConfigValue(ctxKey(name)); err != nil {
 		return err
 	}
@@ -304,7 +304,7 @@ func (tx *Tx) DeleteContext(name string) error {
 }
 
 // Contexts lists context names in order.
-func (tx *Tx) Contexts() ([]string, error) {
+func (tx *shardTx) Contexts() ([]string, error) {
 	var out []string
 	err := tx.config.AscendPrefix([]byte(ctxPrefix), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(ctxPrefix):]))

@@ -19,11 +19,14 @@
 //   - trigger events so notification/percolation policies can be built
 //     outside the kernel (§1, §7).
 //
-// Every engine operation runs on a Tx — a per-transaction handle binding
-// the storage view, heap and tree handles of exactly one transaction.
-// Engine.Write and Engine.Read mint the Tx and scope its lifetime to the
-// callback; read transactions run against an epoch-pinned snapshot and
-// never block behind writers.
+// Every engine operation runs on a Tx — a per-transaction handle that
+// routes each object to the shard its oid lives on (oid % N). Under a
+// single shard the Tx binds exactly one storage view, heap and tree set,
+// as it always did; under N shards it lazily joins the shards the
+// transaction touches and the transaction layer commits across them with
+// two-phase commit. Engine.Write and Engine.Read mint the Tx and scope
+// its lifetime to the callback; read transactions run against
+// epoch-pinned snapshots and never block behind writers.
 package core
 
 import (
@@ -31,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ode/internal/btree"
 	"ode/internal/codec"
@@ -45,7 +49,10 @@ import (
 // ended (re-exported by the ode package).
 var ErrTxDone = storage.ErrTxDone
 
-// Superblock counter slots (on-disk format).
+// Superblock counter slots (on-disk format). Each shard has its own
+// counter set; oids and vids are composed as raw*N + shard so an id
+// names its shard forever (storage.Router). The stamp counter holds the
+// per-shard high-water mark of the engine's global stamp clock.
 const (
 	ctrOID     = 0
 	ctrVID     = 1
@@ -54,7 +61,11 @@ const (
 	ctrVersion = 4
 )
 
-// Superblock root slots (on-disk format).
+// Superblock root slots (on-disk format). Every shard carries the full
+// root set; the catalog, config (named configurations/contexts) and
+// named-index trees are authoritative on shard 0 only, while annotation
+// records live in the config tree of the shard that owns the annotated
+// object.
 const (
 	rootObjTable = 0
 	rootVerIdx   = 1
@@ -101,27 +112,51 @@ const DefaultMaxChain = 16
 // Engine is the versioned-object store. It holds only cross-transaction
 // state; everything a single transaction needs lives on its Tx.
 type Engine struct {
-	mgr  *txn.Manager
+	c    *txn.Coordinator
+	rt   storage.Router
+	n    int
 	bus  *trigger.Bus
 	opts Options
 
-	// m is the manager's observability registry (nil under NoMetrics);
-	// the engine records version-chain walk lengths into it.
+	// m is the coordinator's observability registry (nil under
+	// NoMetrics); the engine records version-chain walk lengths into it.
 	m *obs.Metrics
 
-	// heapSpace is the heap's advisory free-space cache, shared across
-	// write transactions (writers are serialised; hsMu orders the
-	// reset-after-abort against the next writer's pickup).
+	// heapSpace holds each shard's heap free-space cache, shared across
+	// write transactions (writers on one shard are serialised by its
+	// writer mutex; hsMu orders the reset-after-abort against the next
+	// writer's pickup).
 	hsMu      sync.Mutex
-	heapSpace *storage.HeapState
+	heapSpace []*storage.HeapState
+
+	// stamp is the global version-creation clock under N > 1: stamps
+	// must be comparable across shards (AsOf, CurrentStamp), so they
+	// cannot be composed per shard the way oids are. Each allocation
+	// mirrors the clock into the allocating shard's ctrStamp counter, so
+	// reopening seeds the clock from the per-shard maxima. With one
+	// shard the counter itself is the clock, exactly as before sharding.
+	stamp atomic.Uint64
+
+	// cursor round-robins fresh transactions across shards for object
+	// allocation; a transaction's later allocations stay on its first
+	// shard so the common transaction commits without 2PC.
+	cursor atomic.Uint64
+
+	// idxExist notes that at least one named secondary index exists, in
+	// which case write transactions join shard 0 up front: trigger-driven
+	// index maintenance writes shard 0, and joining it first keeps the
+	// ascending join order cheap.
+	idxExist atomic.Bool
 }
 
-// Tx is one transaction's engine handle: the storage view plus tree and
-// heap handles bound to that view. All engine operations are Tx methods;
-// a Tx is created by Engine.Write/Engine.Read and is invalid once the
-// callback returns (the underlying view returns ErrTxDone).
-type Tx struct {
+// shardTx binds one transaction's presence on one shard: the storage
+// view plus tree and heap handles for that shard. All shard-local engine
+// logic is shardTx methods; the routing Tx (route.go) picks the shardTx
+// an operation belongs to and delegates.
+type shardTx struct {
 	e    *Engine
+	rt   *Tx // the routing transaction this bundle belongs to
+	s    int // shard slot
 	st   *storage.TxView
 	heap *storage.Heap
 	bus  *trigger.Bus
@@ -130,50 +165,70 @@ type Tx struct {
 	objTable *btree.Tree // oid → object header
 	verIdx   *btree.Tree // oid+vid → version record
 	tempIdx  *btree.Tree // oid+stamp → vid
-	catalog  *btree.Tree // type names ↔ ids
+	catalog  *btree.Tree // type names ↔ ids (authoritative on shard 0)
 	extent   *btree.Tree // typeid+oid → ()
-	config   *btree.Tree // configurations and contexts
+	config   *btree.Tree // configurations, contexts, annotations
 	vidIdx   *btree.Tree // vid → oid
 
 	// indexes caches named secondary-index trees opened by this
-	// transaction (roots live in the catalog tree).
+	// transaction (roots live in shard 0's catalog tree).
 	indexes map[string]*btree.Tree
 
 	writable bool
 }
 
-// New wires an engine over mgr, creating the persistent structures on
-// first use.
+// New wires an engine over a single standalone manager, creating the
+// persistent structures on first use. It is the single-shard form used
+// by tests and tools that build a Manager directly; Open-level callers
+// go through NewSharded.
 func New(mgr *txn.Manager, opts Options) (*Engine, error) {
+	return NewSharded(txn.WrapManager(mgr), opts)
+}
+
+// NewSharded wires an engine over a shard coordinator, creating the
+// persistent structures on every shard on first use.
+func NewSharded(c *txn.Coordinator, opts Options) (*Engine, error) {
 	if opts.MaxChain == 0 {
 		opts.MaxChain = DefaultMaxChain
 	}
 	e := &Engine{
-		mgr:       mgr,
+		c:         c,
+		rt:        c.Router(),
+		n:         c.N(),
 		bus:       trigger.NewBus(),
 		opts:      opts,
-		m:         mgr.Metrics(),
-		heapSpace: storage.NewHeapState(),
+		m:         c.Metrics(),
+		heapSpace: make([]*storage.HeapState, c.N()),
+	}
+	for i := range e.heapSpace {
+		e.heapSpace[i] = storage.NewHeapState()
 	}
 	fresh := false
-	if err := mgr.Read(func(v *storage.TxView) error {
-		fresh = v.Root(rootObjTable) == oid.NilPage
+	if err := c.Read(func(r *txn.ReadTx) error {
+		fresh = r.View(0).Root(rootObjTable) == oid.NilPage
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	if fresh {
-		// Fresh database: create every structure in one transaction.
-		err := mgr.Write(func(v *storage.TxView) error {
-			for _, slot := range []int{
-				rootObjTable, rootVerIdx, rootTempIdx, rootCatalog,
-				rootExtent, rootConfig, rootVidIdx,
-			} {
-				t, err := btree.Create(v)
+		// Fresh database: create every structure on every shard in one
+		// transaction (ascending joins; 2PC when N > 1).
+		err := c.Write(func(w *txn.WriteTx) error {
+			for s := 0; s < e.n; s++ {
+				v, err := w.Join(s)
 				if err != nil {
 					return err
 				}
-				v.SetRoot(slot, t.Root())
+				for _, slot := range []int{
+					rootObjTable, rootVerIdx, rootTempIdx, rootCatalog,
+					rootExtent, rootConfig, rootVidIdx,
+				} {
+					t, err := btree.Create(v)
+					if err != nil {
+						return err
+					}
+					v.SetRoot(slot, t.Root())
+				}
 			}
 			return nil
 		})
@@ -181,14 +236,38 @@ func New(mgr *txn.Manager, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("core: init structures: %w", err)
 		}
 	}
+	// Seed the stamp clock from the per-shard high-water marks and note
+	// whether any named index exists (write transactions then join shard
+	// 0 eagerly; see idxExist).
+	if err := c.Read(func(r *txn.ReadTx) error {
+		var max uint64
+		for s := 0; s < e.n; s++ {
+			if v := r.View(s).Counter(ctrStamp); v > max {
+				max = v
+			}
+		}
+		e.stamp.Store(max)
+		cat := btree.Open(r.View(0), r.View(0).Root(rootCatalog))
+		found := false
+		err := cat.AscendPrefix([]byte(idxRootPrefix), func(_, _ []byte) (bool, error) {
+			found = true
+			return false, nil
+		})
+		e.idxExist.Store(found)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
-// newTx binds a transaction handle to v, opening every tree at the root
+// newShardTx binds a shard bundle to v, opening every tree at the root
 // the view's superblock snapshot records.
-func (e *Engine) newTx(v *storage.TxView, hs *storage.HeapState, writable bool) *Tx {
-	return &Tx{
+func (e *Engine) newShardTx(v *storage.TxView, hs *storage.HeapState, rt *Tx, s int, writable bool) *shardTx {
+	return &shardTx{
 		e:        e,
+		rt:       rt,
+		s:        s,
 		st:       v,
 		heap:     storage.NewHeap(v, hs),
 		bus:      e.bus,
@@ -205,8 +284,60 @@ func (e *Engine) newTx(v *storage.TxView, hs *storage.HeapState, writable bool) 
 	}
 }
 
+// takeHeapSpace hands out shard s's heap free-space cache. The caller
+// holds s's writer mutex (it joined the shard), which serialises use.
+func (e *Engine) takeHeapSpace(s int) *storage.HeapState {
+	e.hsMu.Lock()
+	defer e.hsMu.Unlock()
+	hs := e.heapSpace[s]
+	if hs == nil {
+		hs = storage.NewHeapState()
+		e.heapSpace[s] = hs
+	}
+	return hs
+}
+
+// resetHeapSpaces starts every shard's next writer with a fresh heap
+// cache. Called after an abort: the rollback reverted pages underneath
+// the shared caches; their entries self-heal, but the sweep position may
+// hide reverted pages.
+func (e *Engine) resetHeapSpaces() {
+	e.hsMu.Lock()
+	for i := range e.heapSpace {
+		e.heapSpace[i] = storage.NewHeapState()
+	}
+	e.hsMu.Unlock()
+}
+
+// newOID allocates an oid on this shard: the shard-local counter
+// composed with the shard slot (identity under one shard).
+func (tx *shardTx) newOID() oid.OID {
+	return oid.OID(tx.e.rt.Compose(tx.st.NextCounter(ctrOID), tx.s))
+}
+
+// newVID allocates a vid on this shard, composed like newOID so a vid
+// routes to its object's shard.
+func (tx *shardTx) newVID() oid.VID {
+	return oid.VID(tx.e.rt.Compose(tx.st.NextCounter(ctrVID), tx.s))
+}
+
+// newStamp allocates a creation stamp. With one shard the shard counter
+// is the clock (bit-for-bit the pre-shard behavior, including counter
+// rollback on abort); with N shards the engine's global clock supplies
+// the value and the shard counter keeps the high-water mark for reopen.
+func (tx *shardTx) newStamp() oid.Stamp {
+	if tx.e.n == 1 {
+		return oid.Stamp(tx.st.NextCounter(ctrStamp))
+	}
+	s := tx.e.stamp.Add(1)
+	if tx.st.Counter(ctrStamp) < s {
+		tx.st.SetCounter(ctrStamp, s)
+	}
+	return oid.Stamp(s)
+}
+
 // saveRoots persists any root page movements after a mutating operation.
-func (tx *Tx) saveRoots() {
+func (tx *shardTx) saveRoots() {
 	set := func(slot int, t *btree.Tree) {
 		if tx.st.Root(slot) != t.Root() {
 			tx.st.SetRoot(slot, t.Root())
@@ -224,8 +355,12 @@ func (tx *Tx) saveRoots() {
 // Bus exposes the trigger bus.
 func (e *Engine) Bus() *trigger.Bus { return e.bus }
 
-// Manager exposes the transaction manager.
-func (e *Engine) Manager() *txn.Manager { return e.mgr }
+// Manager exposes shard 0's transaction manager (the only shard when
+// N = 1). Tools that need the whole shard set use Coordinator.
+func (e *Engine) Manager() *txn.Manager { return e.c.Shards()[0] }
+
+// Coordinator exposes the transaction coordinator.
+func (e *Engine) Coordinator() *txn.Coordinator { return e.c }
 
 // Policy returns the configured payload policy.
 func (e *Engine) Policy() PayloadPolicy { return e.opts.Policy }
@@ -233,19 +368,27 @@ func (e *Engine) Policy() PayloadPolicy { return e.opts.Policy }
 // Write runs fn as a write transaction. The Tx is valid only until fn
 // returns; on error or panic every effect is rolled back.
 func (e *Engine) Write(fn func(tx *Tx) error) error {
-	e.hsMu.Lock()
-	hs := e.heapSpace
-	e.hsMu.Unlock()
-	err := e.mgr.Write(func(v *storage.TxView) error {
-		return fn(e.newTx(v, hs, true))
+	err := e.c.Write(func(w *txn.WriteTx) error {
+		if w.Restarted() {
+			// The first attempt was rolled back under the heap caches.
+			e.resetHeapSpaces()
+		}
+		tx := &Tx{
+			e:         e,
+			w:         w,
+			writable:  true,
+			shards:    make([]*shardTx, e.n),
+			lastAlloc: -1,
+		}
+		if e.n > 1 && e.idxExist.Load() {
+			if _, err := tx.shardW(0); err != nil {
+				return err
+			}
+		}
+		return fn(tx)
 	})
 	if err != nil {
-		// Abort rolled pages back underneath the shared heap space
-		// cache; its entries self-heal, but the sweep position may hide
-		// reverted pages, so start the next writer fresh.
-		e.hsMu.Lock()
-		e.heapSpace = storage.NewHeapState()
-		e.hsMu.Unlock()
+		e.resetHeapSpaces()
 	}
 	return err
 }
@@ -253,16 +396,15 @@ func (e *Engine) Write(fn func(tx *Tx) error) error {
 // Read runs fn against a snapshot of the most recently committed state;
 // it neither blocks nor is blocked by concurrent writers.
 func (e *Engine) Read(fn func(tx *Tx) error) error {
-	return e.mgr.Read(func(v *storage.TxView) error {
-		return fn(e.newTx(v, nil, false))
+	return e.c.Read(func(r *txn.ReadTx) error {
+		return fn(&Tx{
+			e:         e,
+			r:         r,
+			shards:    make([]*shardTx, e.n),
+			lastAlloc: -1,
+		})
 	})
 }
-
-// Writable reports whether this transaction may mutate.
-func (tx *Tx) Writable() bool { return tx.writable }
-
-// Epoch returns the snapshot epoch this transaction reads at.
-func (tx *Tx) Epoch() uint64 { return tx.st.Epoch() }
 
 // --- keys ---
 
@@ -338,7 +480,7 @@ func decodeObjHeader(b []byte) (objHeader, error) {
 	return h, nil
 }
 
-func (tx *Tx) loadHeader(o oid.OID) (objHeader, error) {
+func (tx *shardTx) loadHeader(o oid.OID) (objHeader, error) {
 	raw, ok, err := tx.objTable.Get(objKey(o))
 	if err != nil {
 		return objHeader{}, err
@@ -349,18 +491,18 @@ func (tx *Tx) loadHeader(o oid.OID) (objHeader, error) {
 	return decodeObjHeader(raw)
 }
 
-func (tx *Tx) storeHeader(o oid.OID, h objHeader) error {
+func (tx *shardTx) storeHeader(o oid.OID, h objHeader) error {
 	return tx.objTable.Put(objKey(o), h.encode())
 }
 
 // Exists reports whether an object is present.
-func (tx *Tx) Exists(o oid.OID) (bool, error) {
+func (tx *shardTx) Exists(o oid.OID) (bool, error) {
 	_, ok, err := tx.objTable.Get(objKey(o))
 	return ok, err
 }
 
 // TypeOf returns the catalog type of an object.
-func (tx *Tx) TypeOf(o oid.OID) (oid.TypeID, error) {
+func (tx *shardTx) TypeOf(o oid.OID) (oid.TypeID, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilType, err
@@ -371,7 +513,7 @@ func (tx *Tx) TypeOf(o oid.OID) (oid.TypeID, error) {
 // Latest returns the vid the object id currently binds to — the paper's
 // generic-reference resolution ("an object id ... logically refers to
 // the latest version of the object").
-func (tx *Tx) Latest(o oid.OID) (oid.VID, error) {
+func (tx *shardTx) Latest(o oid.OID) (oid.VID, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
@@ -380,7 +522,7 @@ func (tx *Tx) Latest(o oid.OID) (oid.VID, error) {
 }
 
 // VersionCount returns the number of live versions of the object.
-func (tx *Tx) VersionCount(o oid.OID) (uint64, error) {
+func (tx *shardTx) VersionCount(o oid.OID) (uint64, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return 0, err
@@ -389,7 +531,7 @@ func (tx *Tx) VersionCount(o oid.OID) (uint64, error) {
 }
 
 // Owner resolves a vid to its object (reverse index).
-func (tx *Tx) Owner(v oid.VID) (oid.OID, error) {
+func (tx *shardTx) Owner(v oid.VID) (oid.OID, error) {
 	raw, ok, err := tx.vidIdx.Get(vidKey(v))
 	if err != nil {
 		return oid.NilOID, err
@@ -409,8 +551,8 @@ type Stats struct {
 	Stamp    uint64
 }
 
-// Stats returns engine totals from this transaction's snapshot.
-func (tx *Tx) Stats() Stats {
+// Stats returns this shard's contribution to the engine totals.
+func (tx *shardTx) Stats() Stats {
 	return Stats{
 		Objects:  tx.st.Counter(ctrObjects),
 		Versions: tx.st.Counter(ctrVersion),

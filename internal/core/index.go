@@ -23,7 +23,7 @@ func idxRootKey(name string) []byte { return append([]byte(idxRootPrefix), name.
 // create=false a missing index yields (nil, nil) and the caller treats
 // it as empty — read transactions must never mutate, and historically
 // a read-path lookup of an unknown index silently created its tree.
-func (tx *Tx) indexTree(name string, create bool) (*btree.Tree, error) {
+func (tx *shardTx) indexTree(name string, create bool) (*btree.Tree, error) {
 	if t, ok := tx.indexes[name]; ok {
 		return t, nil
 	}
@@ -50,18 +50,19 @@ func (tx *Tx) indexTree(name string, create bool) (*btree.Tree, error) {
 	return t, nil
 }
 
-func (tx *Tx) putIndexRoot(name string, root oid.PageID) error {
+func (tx *shardTx) putIndexRoot(name string, root oid.PageID) error {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], uint32(root))
 	if err := tx.catalog.Put(idxRootKey(name), b[:]); err != nil {
 		return err
 	}
 	tx.saveRoots()
+	tx.e.idxExist.Store(true)
 	return nil
 }
 
 // saveIndexRoot persists a root movement after a mutation.
-func (tx *Tx) saveIndexRoot(name string, t *btree.Tree) error {
+func (tx *shardTx) saveIndexRoot(name string, t *btree.Tree) error {
 	raw, ok, err := tx.catalog.Get(idxRootKey(name))
 	if err != nil {
 		return err
@@ -74,7 +75,7 @@ func (tx *Tx) saveIndexRoot(name string, t *btree.Tree) error {
 
 // IndexPut inserts or replaces an entry in a named index, creating the
 // index on first use.
-func (tx *Tx) IndexPut(name string, key, val []byte) error {
+func (tx *shardTx) IndexPut(name string, key, val []byte) error {
 	t, err := tx.indexTree(name, true)
 	if err != nil {
 		return err
@@ -87,7 +88,7 @@ func (tx *Tx) IndexPut(name string, key, val []byte) error {
 
 // IndexGet reads one entry from a named index. A missing index reads as
 // empty.
-func (tx *Tx) IndexGet(name string, key []byte) ([]byte, bool, error) {
+func (tx *shardTx) IndexGet(name string, key []byte) ([]byte, bool, error) {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return nil, false, err
@@ -96,7 +97,7 @@ func (tx *Tx) IndexGet(name string, key []byte) ([]byte, bool, error) {
 }
 
 // IndexDelete removes an entry, reporting whether it was present.
-func (tx *Tx) IndexDelete(name string, key []byte) (bool, error) {
+func (tx *shardTx) IndexDelete(name string, key []byte) (bool, error) {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return false, err
@@ -110,7 +111,7 @@ func (tx *Tx) IndexDelete(name string, key []byte) (bool, error) {
 
 // IndexAscend iterates entries in [from, to) order (nil bounds are
 // open). A missing index iterates nothing.
-func (tx *Tx) IndexAscend(name string, from, to []byte, fn func(k, v []byte) (bool, error)) error {
+func (tx *shardTx) IndexAscend(name string, from, to []byte, fn func(k, v []byte) (bool, error)) error {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return err
@@ -119,7 +120,7 @@ func (tx *Tx) IndexAscend(name string, from, to []byte, fn func(k, v []byte) (bo
 }
 
 // IndexAscendPrefix iterates all entries whose key has the prefix.
-func (tx *Tx) IndexAscendPrefix(name string, prefix []byte, fn func(k, v []byte) (bool, error)) error {
+func (tx *shardTx) IndexAscendPrefix(name string, prefix []byte, fn func(k, v []byte) (bool, error)) error {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return err
@@ -129,7 +130,7 @@ func (tx *Tx) IndexAscendPrefix(name string, prefix []byte, fn func(k, v []byte)
 
 // IndexDrop deletes a named index entirely, freeing its pages. Dropping
 // an index that does not exist is a no-op.
-func (tx *Tx) IndexDrop(name string) error {
+func (tx *shardTx) IndexDrop(name string) error {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return err
@@ -160,7 +161,7 @@ func (tx *Tx) IndexDrop(name string) error {
 }
 
 // IndexNames lists the named indexes in order.
-func (tx *Tx) IndexNames() ([]string, error) {
+func (tx *shardTx) IndexNames() ([]string, error) {
 	var out []string
 	err := tx.catalog.AscendPrefix([]byte(idxRootPrefix), func(k, _ []byte) (bool, error) {
 		out = append(out, string(k[len(idxRootPrefix):]))
@@ -171,7 +172,7 @@ func (tx *Tx) IndexNames() ([]string, error) {
 
 // IndexLen counts the entries of a named index (O(n)); a missing index
 // has length 0.
-func (tx *Tx) IndexLen(name string) (int, error) {
+func (tx *shardTx) IndexLen(name string) (int, error) {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return 0, err
@@ -180,7 +181,7 @@ func (tx *Tx) IndexLen(name string) (int, error) {
 }
 
 // IndexCheck validates the named index tree's structural invariants.
-func (tx *Tx) IndexCheck(name string) error {
+func (tx *shardTx) IndexCheck(name string) error {
 	t, err := tx.indexTree(name, false)
 	if err != nil || t == nil {
 		return err

@@ -14,12 +14,12 @@ import (
 // chain. The figure golden tests (figures_test.go) compare these
 // renderings against the states in the paper's §4 walkthrough, and
 // odedump prints them.
-func (tx *Tx) Render(o oid.OID) (string, error) {
+func (tx *shardTx) Render(o oid.OID) (string, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return "", err
 	}
-	name, _, err := tx.TypeName(h.typ)
+	name, _, err := tx.rt.TypeName(h.typ)
 	if err != nil {
 		return "", err
 	}

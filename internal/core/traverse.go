@@ -22,7 +22,7 @@ type VersionInfo struct {
 }
 
 // Info returns a version's metadata.
-func (tx *Tx) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
+func (tx *shardTx) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return VersionInfo{}, err
@@ -43,7 +43,7 @@ func (tx *Tx) Info(o oid.OID, v oid.VID) (VersionInfo, error) {
 
 // Dprev returns the version this version was derived from — the paper's
 // Dprevious traversal. Nil for a root version.
-func (tx *Tx) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
+func (tx *shardTx) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return oid.NilVID, err
@@ -53,7 +53,7 @@ func (tx *Tx) Dprev(o oid.OID, v oid.VID) (oid.VID, error) {
 
 // Tprev returns the version temporally preceding v — the paper's
 // Tprevious traversal. Nil for the object's oldest version.
-func (tx *Tx) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
+func (tx *shardTx) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return oid.NilVID, err
@@ -62,7 +62,7 @@ func (tx *Tx) Tprev(o oid.OID, v oid.VID) (oid.VID, error) {
 }
 
 // Tnext returns the version temporally following v, nil for the latest.
-func (tx *Tx) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
+func (tx *shardTx) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return oid.NilVID, err
@@ -73,7 +73,7 @@ func (tx *Tx) Tnext(o oid.OID, v oid.VID) (oid.VID, error) {
 // DChildren returns the versions directly derived from v, in vid
 // (creation) order. Multiple children are the paper's alternatives
 // (§4.3): parallel versions derived from the same ancestor.
-func (tx *Tx) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
+func (tx *shardTx) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
 	var out []oid.VID
 	err := tx.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
 		rec, err := decodeVerRec(val)
@@ -91,7 +91,7 @@ func (tx *Tx) DChildren(o oid.OID, v oid.VID) ([]oid.VID, error) {
 // History returns the version history of v: the derivation chain from v
 // back to the root version, in that order — §4.4's "v3, v1, and v0
 // constitute a version history".
-func (tx *Tx) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
+func (tx *shardTx) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
 	var out []oid.VID
 	cur := v
 	for !cur.IsNil() {
@@ -113,7 +113,7 @@ func (tx *Tx) History(o oid.OID, v oid.VID) ([]oid.VID, error) {
 // Leaves returns the leaves of the derived-from tree in vid order. Each
 // leaf is "the most up-to-date version of an alternative design" (§4.5);
 // each root→leaf path is the evolution of one alternative.
-func (tx *Tx) Leaves(o oid.OID) ([]oid.VID, error) {
+func (tx *shardTx) Leaves(o oid.OID) ([]oid.VID, error) {
 	hasChild := map[oid.VID]bool{}
 	var all []oid.VID
 	err := tx.verIdx.AscendPrefix(objKey(o), func(k, val []byte) (bool, error) {
@@ -141,7 +141,7 @@ func (tx *Tx) Leaves(o oid.OID) ([]oid.VID, error) {
 
 // Versions returns all live versions of the object in temporal
 // (creation) order, oldest first.
-func (tx *Tx) Versions(o oid.OID) ([]oid.VID, error) {
+func (tx *shardTx) Versions(o oid.OID) ([]oid.VID, error) {
 	var out []oid.VID
 	err := tx.tempIdx.AscendPrefix(objKey(o), func(_, val []byte) (bool, error) {
 		out = append(out, oid.VID(binary.BigEndian.Uint64(val)))
@@ -154,7 +154,7 @@ func (tx *Tx) Versions(o oid.OID) ([]oid.VID, error) {
 // version with the largest creation stamp ≤ s. ok=false when the object
 // had no version yet at s. This is the historical-database access the
 // paper motivates with accounting/legal/financial applications (§2).
-func (tx *Tx) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
+func (tx *shardTx) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 	k, val, ok, err := tx.tempIdx.SeekLE(tempKey(o, s))
 	if err != nil || !ok {
 		return oid.NilVID, false, err
@@ -169,7 +169,7 @@ func (tx *Tx) AsOf(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 // AsOfWalk answers the same question as AsOf by walking the temporal
 // chain backwards from the latest version — the baseline E8 benchmarks
 // against the indexed SeekLE.
-func (tx *Tx) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
+func (tx *shardTx) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, false, err
@@ -197,6 +197,6 @@ func (tx *Tx) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 
 // CurrentStamp returns the engine's logical clock value (the stamp of
 // the most recent version-creating operation).
-func (tx *Tx) CurrentStamp() oid.Stamp {
+func (tx *shardTx) CurrentStamp() oid.Stamp {
 	return oid.Stamp(tx.st.Counter(ctrStamp))
 }

@@ -65,7 +65,7 @@ func decodeVerRec(b []byte) (verRec, error) {
 	return v, nil
 }
 
-func (tx *Tx) loadVer(o oid.OID, v oid.VID) (verRec, error) {
+func (tx *shardTx) loadVer(o oid.OID, v oid.VID) (verRec, error) {
 	raw, ok, err := tx.verIdx.Get(verKey(o, v))
 	if err != nil {
 		return verRec{}, err
@@ -76,7 +76,7 @@ func (tx *Tx) loadVer(o oid.OID, v oid.VID) (verRec, error) {
 	return decodeVerRec(raw)
 }
 
-func (tx *Tx) storeVer(o oid.OID, v oid.VID, rec verRec) error {
+func (tx *shardTx) storeVer(o oid.OID, v oid.VID, rec verRec) error {
 	return tx.verIdx.Put(verKey(o, v), rec.encode())
 }
 
@@ -86,15 +86,15 @@ func (tx *Tx) storeVer(o oid.OID, v oid.VID, rec verRec) error {
 // content — the paper's pnew. The object starts with a single root
 // version (it is "unversioned" in the paper's sense: versioning costs
 // nothing until the first newversion). Returns the oid and the root vid.
-func (tx *Tx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
-	if ok, err := tx.typeExists(t); err != nil {
+func (tx *shardTx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
+	if ok, err := tx.rt.typeExists(t); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	} else if !ok {
 		return oid.NilOID, oid.NilVID, fmt.Errorf("%w: %v", ErrNoType, t)
 	}
-	o := oid.OID(tx.st.NextCounter(ctrOID))
-	v := oid.VID(tx.st.NextCounter(ctrVID))
-	stamp := oid.Stamp(tx.st.NextCounter(ctrStamp))
+	o := tx.newOID()
+	v := tx.newVID()
+	stamp := tx.newStamp()
 
 	rid, err := tx.heap.Insert(content)
 	if err != nil {
@@ -120,7 +120,7 @@ func (tx *Tx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
 	tx.st.SetCounter(ctrObjects, tx.st.Counter(ctrObjects)+1)
 	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)+1)
 	tx.saveRoots()
-	tx.bus.Fire(trigger.Event{Kind: trigger.KindCreate, Obj: o, VID: v, Type: t, Stamp: stamp, Tx: tx})
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindCreate, Obj: o, VID: v, Type: t, Stamp: stamp, Tx: tx.rt})
 	return o, v, nil
 }
 
@@ -130,7 +130,7 @@ func (tx *Tx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error) {
 // chain down to the nearest full payload and applying the deltas back up.
 // Iterative so that long chains cannot exhaust the stack; the chain
 // length is bounded by Options.MaxChain via depth accounting anyway.
-func (tx *Tx) readContent(o oid.OID, rec verRec) ([]byte, error) {
+func (tx *shardTx) readContent(o oid.OID, rec verRec) ([]byte, error) {
 	var chain [][]byte // deltas from rec down toward the keyframe
 	cur := rec
 	for {
@@ -172,7 +172,7 @@ func (tx *Tx) readContent(o oid.OID, rec verRec) ([]byte, error) {
 
 // ReadVersion returns the content of a specific version — the paper's
 // specific-reference dereference (*vp on a version id).
-func (tx *Tx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
+func (tx *shardTx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return nil, err
@@ -183,7 +183,7 @@ func (tx *Tx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
 // ReadLatest returns the latest version's content and its vid — the
 // paper's generic-reference dereference (*p on an object id binds to the
 // latest version at access time).
-func (tx *Tx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
+func (tx *shardTx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return nil, oid.NilVID, err
@@ -202,7 +202,7 @@ func (tx *Tx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
 // dprev, choosing full or delta representation per policy. It updates
 // rec's payload/kind/depth/size fields in place; rec.payload must be
 // NilRID or an existing record to overwrite.
-func (tx *Tx) writePayload(o oid.OID, rec *verRec, content []byte) error {
+func (tx *shardTx) writePayload(o oid.OID, rec *verRec, content []byte) error {
 	kind := uint8(payFull)
 	var encoded []byte
 	var depth uint16
@@ -253,7 +253,7 @@ func (tx *Tx) writePayload(o oid.OID, rec *verRec, content []byte) error {
 // through a specific reference). Children stored as deltas against this
 // version are first converted to stand-alone payloads so their content
 // is unaffected.
-func (tx *Tx) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
+func (tx *shardTx) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return err
@@ -281,13 +281,13 @@ func (tx *Tx) UpdateVersion(o oid.OID, v oid.VID, content []byte) error {
 		return err
 	}
 	tx.saveRoots()
-	tx.bus.Fire(trigger.Event{Kind: trigger.KindUpdate, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx})
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindUpdate, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx.rt})
 	return nil
 }
 
 // UpdateLatest overwrites the latest version's content (generic-
 // reference assignment).
-func (tx *Tx) UpdateLatest(o oid.OID, content []byte) (oid.VID, error) {
+func (tx *shardTx) UpdateLatest(o oid.OID, content []byte) (oid.VID, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
@@ -299,7 +299,7 @@ func (tx *Tx) UpdateLatest(o oid.OID, content []byte) (oid.VID, error) {
 // descendants after v's own depth changed. A child stored as a delta or
 // shared payload has depth parent.depth+1; subtrees whose depth is
 // already correct are pruned.
-func (tx *Tx) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
+func (tx *shardTx) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
 	children, err := tx.DChildren(o, v)
 	if err != nil {
 		return err
@@ -329,7 +329,7 @@ func (tx *Tx) fixDepths(o oid.OID, v oid.VID, vDepth uint16) error {
 
 // detachDependents rewrites every child version whose payload depends on
 // v's content (paySame or payDelta with dprev == v) as a full payload.
-func (tx *Tx) detachDependents(o oid.OID, v oid.VID) error {
+func (tx *shardTx) detachDependents(o oid.OID, v oid.VID) error {
 	children, err := tx.DChildren(o, v)
 	if err != nil {
 		return err
@@ -374,7 +374,7 @@ func (tx *Tx) detachDependents(o oid.OID, v oid.VID) error {
 
 // NewVersion creates a new version derived from the object's latest
 // version — the paper's newversion(oid). Returns the new vid.
-func (tx *Tx) NewVersion(o oid.OID) (oid.VID, error) {
+func (tx *shardTx) NewVersion(o oid.OID) (oid.VID, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
@@ -385,7 +385,7 @@ func (tx *Tx) NewVersion(o oid.OID) (oid.VID, error) {
 // NewVersionFrom creates a new version derived from a specific base
 // version — the paper's newversion(vid); parallel calls on different
 // bases create the alternatives of §4.3.
-func (tx *Tx) NewVersionFrom(o oid.OID, base oid.VID) (oid.VID, error) {
+func (tx *shardTx) NewVersionFrom(o oid.OID, base oid.VID) (oid.VID, error) {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return oid.NilVID, err
@@ -396,13 +396,13 @@ func (tx *Tx) NewVersionFrom(o oid.OID, base oid.VID) (oid.VID, error) {
 	return tx.newVersionFrom(o, h, base)
 }
 
-func (tx *Tx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, error) {
+func (tx *shardTx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, error) {
 	baseRec, err := tx.loadVer(o, base)
 	if err != nil {
 		return oid.NilVID, err
 	}
-	v := oid.VID(tx.st.NextCounter(ctrVID))
-	stamp := oid.Stamp(tx.st.NextCounter(ctrStamp))
+	v := tx.newVID()
+	stamp := tx.newStamp()
 
 	// The new version starts with content identical to its base. Under
 	// DeltaChain (and within depth budget) that is represented without
@@ -456,7 +456,7 @@ func (tx *Tx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, err
 	tx.saveRoots()
 	tx.bus.Fire(trigger.Event{
 		Kind: trigger.KindNewVersion, Obj: o, VID: v, Prev: base,
-		Type: h.typ, Stamp: stamp, Tx: tx,
+		Type: h.typ, Stamp: stamp, Tx: tx.rt,
 	})
 	return v, nil
 }
@@ -469,7 +469,7 @@ func (tx *Tx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID, err
 // likewise spliced. If the deleted version was the latest, the object id
 // re-binds to the temporally preceding version. Deleting the only
 // version deletes the object.
-func (tx *Tx) DeleteVersion(o oid.OID, v oid.VID) error {
+func (tx *shardTx) DeleteVersion(o oid.OID, v oid.VID) error {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
@@ -550,13 +550,13 @@ func (tx *Tx) DeleteVersion(o oid.OID, v oid.VID) error {
 	}
 	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)-1)
 	tx.saveRoots()
-	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteVersion, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx})
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteVersion, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx.rt})
 	return nil
 }
 
 // DeleteObject removes an object and all its versions — the paper's
 // pdelete(oid).
-func (tx *Tx) DeleteObject(o oid.OID) error {
+func (tx *shardTx) DeleteObject(o oid.OID) error {
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return err
@@ -606,6 +606,6 @@ func (tx *Tx) DeleteObject(o oid.OID) error {
 	tx.st.SetCounter(ctrObjects, tx.st.Counter(ctrObjects)-1)
 	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)-uint64(len(versions)))
 	tx.saveRoots()
-	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteObject, Obj: o, Type: h.typ, Tx: tx})
+	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteObject, Obj: o, Type: h.typ, Tx: tx.rt})
 	return nil
 }

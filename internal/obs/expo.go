@@ -49,6 +49,77 @@ func WriteHistogram(w io.Writer, name, help string, s HistSnapshot) error {
 	return err
 }
 
+// LabeledUint is one series of a labeled counter/gauge family.
+type LabeledUint struct {
+	Label string
+	V     uint64
+}
+
+// LabeledHist is one series of a labeled histogram family.
+type LabeledHist struct {
+	Label string
+	S     HistSnapshot
+}
+
+// WriteCounterVec renders one counter family with a series per label
+// value: name{label="v"} count.
+func WriteCounterVec(w io.Writer, name, help, label string, series []LabeledUint) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, s.Label, s.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGaugeVec renders one gauge family with a series per label value.
+func WriteGaugeVec(w io.Writer, name, help, label string, series []LabeledUint) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, s.Label, s.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHistogramVec renders one histogram family with a full bucket
+// ladder per label value; every series line carries the label before
+// its le bucket bound.
+func WriteHistogramVec(w io.Writer, name, help, label string, series []LabeledHist) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	for _, ls := range series {
+		s := ls.S
+		last := -1
+		for i, n := range s.Counts {
+			if n > 0 {
+				last = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= last && i < NumBuckets-1; i++ {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%d\"} %d\n", name, label, ls.Label, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, ls.Label, s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %d\n%s_count{%s=%q} %d\n", name, label, ls.Label, s.Sum, name, label, ls.Label, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteFloatGauge renders a gauge with a float value (ratios, means).
 func WriteFloatGauge(w io.Writer, name, help string, v float64) error {
 	if math.IsNaN(v) || math.IsInf(v, 0) {

@@ -1,0 +1,45 @@
+package storage
+
+// Shard pairs a Store (file + buffer pool + superblock) with its slot
+// in a sharded engine. Every shard is a fully independent storage unit:
+// its own page file, pool, epoch pair, and root/counter set. The
+// transaction layer owns one WAL and one commit pipeline per shard; the
+// router below decides which shard a given object id lives on.
+//
+// A single-shard engine (N=1) is exactly the pre-shard engine: the
+// router degenerates to the identity and the on-disk layout keeps the
+// legacy file names.
+
+// Shard is a Store plus its shard slot.
+type Shard struct {
+	*Store
+	ID int
+}
+
+// Router maps object/version/stamp ids onto shards. Ids are composed at
+// allocation time as raw*N + shard, so an id's shard is recoverable as
+// id % N forever after, and an object's entire version chain (vids,
+// stamps, payloads, headers) lives wholly in the shard that allocated
+// its oid.
+type Router struct{ n int }
+
+// NewRouter returns a router over n shards (n >= 1).
+func NewRouter(n int) Router {
+	if n < 1 {
+		n = 1
+	}
+	return Router{n: n}
+}
+
+// N returns the shard count.
+func (r Router) N() int { return r.n }
+
+// ShardOf returns the shard an id routes to.
+func (r Router) ShardOf(id uint64) int { return int(id % uint64(r.n)) }
+
+// Compose builds the globally unique id for the raw-th allocation on
+// shard s. With one shard this is the identity on raw, so a single-
+// shard engine allocates the same ids the pre-shard engine did.
+func (r Router) Compose(raw uint64, s int) uint64 {
+	return raw*uint64(r.n) + uint64(s)
+}

@@ -1,0 +1,1048 @@
+// Coordinator: the engine seam over N independent shards, each a full
+// Manager (heap + pool + WAL + commit pipeline). Object ids are routed
+// to shards by value (id % N, see storage.Router), so a transaction
+// touches exactly the shards its objects live on:
+//
+//   - a transaction that mutates one shard commits through that shard's
+//     own pipeline — group-commit fsync, epoch publication, counters —
+//     exactly as a standalone manager would;
+//   - a transaction that mutates several shards runs presumed-abort
+//     two-phase commit: every dirty shard logs a prepare record
+//     (fsynced, epoch advanced but NOT published), then one decision
+//     record in the coordinator log (coord.ode) is the commit point,
+//     then each shard logs its local commit record and publishes.
+//
+// The shard mutex discipline makes recovery simple: a transaction joins
+// shards in ascending id order only (out-of-order joins restart the
+// transaction with every shard pre-locked), and each dirty shard's
+// mutex is held from prepare until the shard-local decide. An in-doubt
+// prepare is therefore always the newest transaction in its shard log,
+// and recovery commits it iff the coordinator log decided its global
+// id — otherwise it is presumed aborted.
+//
+// With one shard the coordinator is a thin veneer: the directory keeps
+// the legacy layout (data.ode/wal.ode, no shard metadata, no
+// coordinator log) and every operation delegates to the single Manager,
+// so a Shards=1 database is the pre-shard engine bit for bit.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode/internal/faultfs"
+	"ode/internal/obs"
+	"ode/internal/oid"
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+// Sharded-layout file names. A single-shard database keeps the legacy
+// DataFileName/WALFileName pair and none of these.
+const (
+	// ShardsFileName is the shard-count metadata file; its presence
+	// marks a sharded directory.
+	ShardsFileName = "shards.ode"
+	// CoordWALFileName is the coordinator decision log for cross-shard
+	// transactions.
+	CoordWALFileName = "coord.ode"
+)
+
+const (
+	shardsMagic   uint32 = 0x4F444553 // "ODES"
+	shardsVersion uint32 = 1
+	shardsMetaLen        = 12
+	maxShards            = 1 << 10
+)
+
+// ShardDataFileName returns shard i's page file name.
+func ShardDataFileName(i int) string { return fmt.Sprintf("data.%03d", i) }
+
+// ShardWALFileName returns shard i's WAL file name.
+func ShardWALFileName(i int) string { return fmt.Sprintf("wal.%03d", i) }
+
+// ErrMixedLayout reports a directory holding both legacy single-shard
+// files and sharded metadata — two generations of the same database.
+// Nothing is guessed: the operator must remove the stale generation.
+var ErrMixedLayout = errors.New("txn: directory has both legacy (data.ode) and sharded (shards.ode) layouts")
+
+// ErrShardMismatch reports an explicit Options.Shards that contradicts
+// what the directory was created with.
+var ErrShardMismatch = errors.New("txn: Options.Shards does not match the directory's shard count")
+
+// Coordinator owns a database directory as a set of shards plus (for
+// N >= 2) the cross-shard decision log. It is the engine's only entry
+// point for transactions; individual Managers are reachable through
+// Shards() for stats, backup and tests.
+type Coordinator struct {
+	shards   []*Manager
+	rt       storage.Router
+	opts     Options
+	dir      string
+	grouped  bool
+	readOnly bool
+
+	// cmu guards the decision log, its health and the 2PC decide phase.
+	// Lock order: shard writer mutexes (ascending) before cmu; a cmu
+	// holder never takes a shard mutex it does not already hold.
+	cmu     sync.Mutex
+	clog    *wal.Log // nil when N == 1 (no cross-shard transactions)
+	cioErr  error    // coordinator log poisoned: no more 2PC decisions
+	noReset bool     // a shard decide failed; recovery needs the clog
+
+	// cm is the coordinator-level registry (whole-transaction latency,
+	// cross-shard batch sizes, decision-log fsyncs); with one shard it
+	// aliases the Manager's registry. sink is the tracer sink shared by
+	// every shard; the coordinator owns it unless it wrapped a
+	// standalone Manager that already did.
+	cm        *obs.Metrics
+	sink      *obs.Sink
+	closeSink bool
+
+	gtidSeq atomic.Uint64 // global txn ids; unique within one clog lifetime
+	ctxSeq  atomic.Uint64 // span ids for coordinator-level trace events
+
+	// Coordinator-level activity: empty and cross-shard transactions
+	// (single-shard ones count on their shard). Same seqlock discipline
+	// as Manager so Stats sums stay torn-free pair-wise.
+	commits     atomic.Uint64
+	batches     atomic.Uint64
+	aborts      atomic.Uint64
+	checkpoints atomic.Uint64
+	statsMu     sync.Mutex
+	statsSeq    atomic.Uint64
+	clogBytes   atomic.Int64
+
+	closed atomic.Bool
+}
+
+// WrapManager lifts a standalone Manager into a single-shard
+// Coordinator sharing its registry and sink. It exists for callers (and
+// the many tests) that build a Manager directly and hand it to the
+// engine; OpenCoordinator is the normal entry point.
+func WrapManager(m *Manager) *Coordinator {
+	return &Coordinator{
+		shards:   []*Manager{m},
+		rt:       storage.NewRouter(1),
+		opts:     m.opts,
+		grouped:  m.opts.grouped(),
+		readOnly: m.opts.Storage.ReadOnly,
+		cm:       m.m,
+		sink:     m.sink,
+	}
+}
+
+// OpenCoordinator opens (or creates) a database directory with the
+// layout it finds there. Options.Shards: 0 adopts an existing layout
+// (GOMAXPROCS for a fresh directory); an explicit value must match an
+// existing directory's count. Shards=1 uses the legacy single-file
+// layout, so such a database is indistinguishable from a pre-shard one.
+func OpenCoordinator(dir string, opts Options) (*Coordinator, error) {
+	fsys := opts.fsys()
+	n, layout, err := detectLayout(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	switch layout {
+	case layoutFresh:
+		n = opts.Shards
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > maxShards {
+			return nil, fmt.Errorf("txn: Shards=%d exceeds the maximum of %d", n, maxShards)
+		}
+		if n == 1 {
+			m, err := Create(dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return WrapManager(m), nil
+		}
+		return createSharded(fsys, dir, opts, n)
+	case layoutLegacy:
+		if opts.Shards > 1 {
+			return nil, fmt.Errorf("%w: directory is legacy single-shard, Shards=%d requested", ErrShardMismatch, opts.Shards)
+		}
+		m, err := Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		return WrapManager(m), nil
+	default: // layoutSharded
+		if opts.Shards != 0 && opts.Shards != n {
+			return nil, fmt.Errorf("%w: directory has %d shards, Shards=%d requested", ErrShardMismatch, n, opts.Shards)
+		}
+		return openSharded(fsys, dir, opts, n)
+	}
+}
+
+type layoutKind int
+
+const (
+	layoutFresh layoutKind = iota
+	layoutLegacy
+	layoutSharded
+)
+
+// detectLayout classifies the directory; for a sharded one it also
+// returns the shard count from the metadata file.
+func detectLayout(fsys faultfs.FS, dir string) (int, layoutKind, error) {
+	statOK := func(name string) (bool, error) {
+		_, err := fsys.Stat(filepath.Join(dir, name))
+		if err == nil {
+			return true, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	hasShards, err := statOK(ShardsFileName)
+	if err != nil {
+		return 0, layoutFresh, err
+	}
+	hasLegacy, err := statOK(DataFileName)
+	if err != nil {
+		return 0, layoutFresh, err
+	}
+	switch {
+	case hasShards && hasLegacy:
+		return 0, layoutFresh, fmt.Errorf("%w (%s)", ErrMixedLayout, dir)
+	case hasShards:
+		n, err := readShardsMeta(fsys, dir)
+		if err != nil {
+			return 0, layoutFresh, err
+		}
+		return n, layoutSharded, nil
+	case hasLegacy:
+		return 1, layoutLegacy, nil
+	default:
+		return 0, layoutFresh, nil
+	}
+}
+
+// ReadShardsMeta reads and validates the shard-count metadata file.
+// Exported for odedump.
+func ReadShardsMeta(fsys faultfs.FS, dir string) (int, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	return readShardsMeta(fsys, dir)
+}
+
+func readShardsMeta(fsys faultfs.FS, dir string) (int, error) {
+	path := filepath.Join(dir, ShardsFileName)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, fmt.Errorf("txn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var buf [shardsMetaLen]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return 0, fmt.Errorf("txn: %s: %w", path, err)
+	}
+	if m := binary.BigEndian.Uint32(buf[0:4]); m != shardsMagic {
+		return 0, fmt.Errorf("txn: %s: bad magic %#x", path, m)
+	}
+	if v := binary.BigEndian.Uint32(buf[4:8]); v != shardsVersion {
+		return 0, fmt.Errorf("txn: %s: unsupported version %d", path, v)
+	}
+	n := int(binary.BigEndian.Uint32(buf[8:12]))
+	if n < 2 || n > maxShards {
+		return 0, fmt.Errorf("txn: %s: implausible shard count %d", path, n)
+	}
+	return n, nil
+}
+
+func writeShardsMeta(fsys faultfs.FS, dir string, n int) error {
+	path := filepath.Join(dir, ShardsFileName)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("txn: create %s: %w", path, err)
+	}
+	var buf [shardsMetaLen]byte
+	binary.BigEndian.PutUint32(buf[0:4], shardsMagic)
+	binary.BigEndian.PutUint32(buf[4:8], shardsVersion)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(n))
+	if _, err := f.WriteAt(buf[:], 0); err != nil {
+		f.Close()
+		return fmt.Errorf("txn: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("txn: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// shardOpts derives shard i's Options: per-shard file names, the shared
+// sink, and the coordinator-log decision set for recovery.
+func shardOpts(opts Options, i int, decided map[uint64]bool, sink *obs.Sink) Options {
+	so := opts
+	so.dataFile = ShardDataFileName(i)
+	so.walFile = ShardWALFileName(i)
+	so.decided = decided
+	so.sink = sink
+	so.coordinated = true
+	so.shardID = i
+	return so
+}
+
+// newShardedCoordinator assembles the coordinator shell (registry,
+// sink) shards are then attached to.
+func newShardedCoordinator(dir string, opts Options, n int) *Coordinator {
+	c := &Coordinator{
+		rt:       storage.NewRouter(n),
+		opts:     opts,
+		dir:      dir,
+		grouped:  opts.grouped(),
+		readOnly: opts.Storage.ReadOnly,
+	}
+	if !opts.NoMetrics {
+		c.cm = obs.New()
+	}
+	var dropped *obs.Counter
+	if c.cm != nil {
+		dropped = &c.cm.TracerDropped
+	}
+	c.sink = obs.NewSink(opts.Tracer, opts.TracerBuffer, dropped)
+	c.closeSink = true
+	return c
+}
+
+func createSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinator, error) {
+	opts.Storage.FS = fsys
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("txn: mkdir %s: %w", dir, err)
+	}
+	// The metadata file goes first and is fsynced before any shard file
+	// exists: a directory is either recognisably sharded or recognisably
+	// empty, never ambiguous.
+	if err := writeShardsMeta(fsys, dir, n); err != nil {
+		return nil, err
+	}
+	c := newShardedCoordinator(dir, opts, n)
+	for i := 0; i < n; i++ {
+		m, err := Create(dir, shardOpts(opts, i, nil, c.sink))
+		if err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("txn: create shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, m)
+	}
+	clog, err := wal.OpenFS(fsys, filepath.Join(dir, CoordWALFileName))
+	if err != nil {
+		c.teardown()
+		return nil, err
+	}
+	c.attachClog(clog)
+	return c, nil
+}
+
+func openSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinator, error) {
+	opts.Storage.FS = fsys
+	// The decision log is read first: shard recovery consults it for
+	// in-doubt prepared transactions.
+	clog, err := wal.OpenFS(fsys, filepath.Join(dir, CoordWALFileName))
+	if err != nil {
+		return nil, err
+	}
+	decided := map[uint64]bool{}
+	if err := clog.Scan(func(rec wal.Record) error {
+		if rec.Type == wal.RecCommit {
+			decided[uint64(rec.Tx)] = true
+		}
+		return nil
+	}); err != nil {
+		clog.Close()
+		return nil, fmt.Errorf("txn: coordinator log: %w", err)
+	}
+	c := newShardedCoordinator(dir, opts, n)
+	// Shard recovery is independent (disjoint files, the shared decided
+	// map is read-only here), so the WALs replay in parallel.
+	c.shards = make([]*Manager, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.shards[i], errs[i] = Open(dir, shardOpts(opts, i, decided, c.sink))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			clog.Close()
+			c.teardown()
+			return nil, fmt.Errorf("txn: open shard %d: %w", i, err)
+		}
+	}
+	// Every shard's recovery ran and reset its log; no prepare records
+	// remain, so the decisions are no longer needed.
+	if !opts.Storage.ReadOnly {
+		if err := clog.Reset(); err != nil {
+			clog.Close()
+			c.teardown()
+			return nil, fmt.Errorf("txn: coordinator log reset: %w", err)
+		}
+	}
+	c.attachClog(clog)
+	return c, nil
+}
+
+func (c *Coordinator) attachClog(clog *wal.Log) {
+	if c.cm != nil {
+		clog.SetMetrics(c.cm)
+	}
+	c.clog = clog
+	c.clogBytes.Store(clog.Size())
+}
+
+// teardown closes whatever shards were assembled before an open/create
+// failure (nil slots from a failed parallel open are skipped).
+func (c *Coordinator) teardown() {
+	for _, m := range c.shards {
+		if m != nil {
+			m.Close()
+		}
+	}
+	if c.closeSink {
+		c.sink.Close()
+	}
+}
+
+// Router returns the id router. N is the shard count.
+func (c *Coordinator) Router() storage.Router { return c.rt }
+
+// N returns the shard count.
+func (c *Coordinator) N() int { return len(c.shards) }
+
+// Shards exposes the per-shard managers (stats, backup, tests). The
+// slice must not be mutated.
+func (c *Coordinator) Shards() []*Manager { return c.shards }
+
+// Metrics returns the coordinator-level registry; nil under NoMetrics.
+// With one shard it is the Manager's own registry.
+func (c *Coordinator) Metrics() *obs.Metrics { return c.cm }
+
+func (c *Coordinator) timed() bool { return c.cm != nil || c.sink != nil }
+
+func (c *Coordinator) addCommitsBatches(commits, batches uint64) {
+	c.statsMu.Lock()
+	c.statsSeq.Add(1)
+	c.batches.Add(batches)
+	c.commits.Add(commits)
+	c.statsSeq.Add(1)
+	c.statsMu.Unlock()
+}
+
+func (c *Coordinator) observeCommit(span uint64, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	if c.cm != nil {
+		c.cm.CommitLatencyNS.ObserveDuration(d)
+	}
+	c.sink.Emit(obs.SpanEvent{Kind: obs.SpanPublish, Tx: span, Dur: d})
+}
+
+func (c *Coordinator) poisonCoord(err error) {
+	if c.cioErr == nil {
+		c.cioErr = err
+	}
+	c.noReset = true
+}
+
+// Stats sums coordinator-level activity (empty and cross-shard
+// transactions, coordinator checkpoints) with every shard's. WALBytes
+// counts one file header once plus each log's payload, so a freshly
+// checkpointed database reports the same figure regardless of N.
+func (c *Coordinator) Stats() Stats {
+	if len(c.shards) == 1 && c.clog == nil {
+		return c.shards[0].Stats()
+	}
+	var commits, batches uint64
+	for {
+		s1 := c.statsSeq.Load()
+		if s1&1 == 0 {
+			commits = c.commits.Load()
+			batches = c.batches.Load()
+			if c.statsSeq.Load() == s1 {
+				break
+			}
+		}
+		runtime.Gosched()
+	}
+	out := Stats{
+		Commits:     commits,
+		Batches:     batches,
+		Aborts:      c.aborts.Load(),
+		Checkpoints: c.checkpoints.Load(),
+		WALBytes:    wal.HeaderSize,
+	}
+	for _, m := range c.shards {
+		s := m.Stats()
+		out.Commits += s.Commits
+		out.Aborts += s.Aborts
+		out.Batches += s.Batches
+		out.Checkpoints += s.Checkpoints
+		out.RecoveredTxns += s.RecoveredTxns
+		out.WALBytes += s.WALBytes - wal.HeaderSize
+	}
+	out.WALBytes += c.clogBytes.Load() - wal.HeaderSize
+	return out
+}
+
+// crossOrderRestart is the internal panic a descending Join raises; the
+// write loop catches it and reruns fn with every shard pre-locked.
+type crossOrderRestart struct{ shard int }
+
+// errCrossOrder is the in-band signal from runFn to the write loop.
+var errCrossOrder = errors.New("txn: cross-shard join order restart")
+
+// WriteTx is a coordinated write transaction's handle: one live view
+// per joined shard, lazily pinned snapshots for shards it only reads.
+// It is only valid inside the fn passed to Write.
+type WriteTx struct {
+	c         *Coordinator
+	views     []*storage.TxView
+	trs       []*tracker
+	txids     []oid.TxID
+	epochs    []uint64
+	snaps     []*storage.TxView
+	joined    []bool
+	joinOrder []int
+	maxJoined int
+	all       bool
+	restarted bool
+	delegated bool // single-shard delegation: commit is the Manager's job
+}
+
+// N returns the shard count; Router the id router.
+func (w *WriteTx) N() int                 { return w.c.N() }
+func (w *WriteTx) Router() storage.Router { return w.c.rt }
+
+// Restarted reports whether this is the all-shards rerun after a
+// descending join; triggers that must not re-fire consult it.
+func (w *WriteTx) Restarted() bool { return w.restarted }
+
+// Joined reports whether shard s is joined (its View is live).
+func (w *WriteTx) Joined(s int) bool { return w.joined[s] }
+
+// View returns a view of shard s: the live writer view when the shard
+// is joined, otherwise a read snapshot pinned at the shard's durable
+// epoch. Mutating intent must go through Join.
+func (w *WriteTx) View(s int) (*storage.TxView, error) {
+	if w.joined[s] {
+		return w.views[s], nil
+	}
+	if w.snaps[s] == nil {
+		v, err := w.c.shards[s].BeginRead()
+		if err != nil {
+			return nil, err
+		}
+		w.snaps[s] = v
+	}
+	return w.snaps[s], nil
+}
+
+// Join locks shard s for writing and returns its live view. Joins must
+// be ascending; a descending join panics with crossOrderRestart, which
+// the write loop turns into a restart with every shard pre-locked.
+// A snapshot previously handed out for s is released: callers must
+// re-derive any state (tree handles) from the returned live view.
+func (w *WriteTx) Join(s int) (*storage.TxView, error) {
+	if w.joined[s] {
+		return w.views[s], nil
+	}
+	if s < w.maxJoined {
+		panic(crossOrderRestart{shard: s})
+	}
+	if w.snaps[s] != nil {
+		w.c.shards[s].EndRead(w.snaps[s])
+		w.snaps[s] = nil
+	}
+	m := w.c.shards[s]
+	if err := m.lockWriter(); err != nil {
+		return nil, err
+	}
+	txid, v, tr := m.beginJoined()
+	w.views[s] = v
+	w.trs[s] = tr
+	w.txids[s] = txid
+	w.joined[s] = true
+	w.joinOrder = append(w.joinOrder, s)
+	if s > w.maxJoined {
+		w.maxJoined = s
+	}
+	return v, nil
+}
+
+// endSnaps releases every read snapshot.
+func (w *WriteTx) endSnaps() {
+	for s, v := range w.snaps {
+		if v != nil {
+			w.c.shards[s].EndRead(v)
+			w.snaps[s] = nil
+		}
+	}
+}
+
+// release closes every joined view and unlocks the shards without
+// rolling anything back (the commit paths).
+func (w *WriteTx) release() {
+	for i := len(w.joinOrder) - 1; i >= 0; i-- {
+		s := w.joinOrder[i]
+		w.views[s].Close()
+		w.c.shards[s].unlockWriter()
+	}
+	w.joinOrder = nil
+	w.endSnaps()
+}
+
+// rollbackRelease rolls every joined shard back (newest join first —
+// within a shard there is only this transaction, across shards the
+// order is for symmetry with failSuffix) and unlocks them.
+func (w *WriteTx) rollbackRelease() {
+	for i := len(w.joinOrder) - 1; i >= 0; i-- {
+		s := w.joinOrder[i]
+		w.views[s].Close()
+		w.c.shards[s].rollbackQuiet(w.trs[s])
+		w.c.shards[s].unlockWriter()
+	}
+	w.joinOrder = nil
+	w.endSnaps()
+}
+
+// Write runs fn as one transaction across however many shards it
+// touches. See Manager.Write for the single-manager contract; the
+// coordinated additions are the ascending-join restart and two-phase
+// commit for transactions that dirtied more than one shard.
+func (c *Coordinator) Write(fn func(*WriteTx) error) error {
+	if len(c.shards) == 1 {
+		return c.shards[0].Write(func(v *storage.TxView) error {
+			return fn(&WriteTx{
+				c:         c,
+				views:     []*storage.TxView{v},
+				trs:       []*tracker{nil},
+				txids:     []oid.TxID{0},
+				epochs:    []uint64{0},
+				snaps:     []*storage.TxView{nil},
+				joined:    []bool{true},
+				maxJoined: 0,
+				delegated: true,
+			})
+		})
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if c.readOnly {
+		return ErrReadOnly
+	}
+	var start time.Time
+	if c.timed() {
+		start = time.Now()
+	}
+	span := c.ctxSeq.Add(1)
+	c.sink.Emit(obs.SpanEvent{Kind: obs.SpanBegin, Tx: span})
+	err, restart := c.writeAttempt(fn, span, start, false)
+	if restart {
+		err, _ = c.writeAttempt(fn, span, start, true)
+	}
+	return err
+}
+
+func (c *Coordinator) newWriteTx(all bool) *WriteTx {
+	n := len(c.shards)
+	return &WriteTx{
+		c:         c,
+		views:     make([]*storage.TxView, n),
+		trs:       make([]*tracker, n),
+		txids:     make([]oid.TxID, n),
+		epochs:    make([]uint64, n),
+		snaps:     make([]*storage.TxView, n),
+		joined:    make([]bool, n),
+		maxJoined: -1,
+		all:       all,
+		restarted: all,
+	}
+}
+
+// writeAttempt runs fn once. restart reports a descending join on a
+// lazy attempt; the caller reruns with all=true (every shard joined
+// ascending up front, so no further restart is possible).
+func (c *Coordinator) writeAttempt(fn func(*WriteTx) error, span uint64, start time.Time, all bool) (err error, restart bool) {
+	wtx := c.newWriteTx(all)
+	if all {
+		for s := range c.shards {
+			if _, err := wtx.Join(s); err != nil {
+				wtx.rollbackRelease()
+				return err, false
+			}
+		}
+	}
+	err = c.runFn(wtx, fn)
+	if err == errCrossOrder {
+		return nil, true
+	}
+	if err != nil {
+		wtx.rollbackRelease()
+		c.aborts.Add(1)
+		if c.sink != nil {
+			c.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: span, Dur: time.Since(start), Err: err.Error()})
+		}
+		return err, false
+	}
+	return c.commitTx(wtx, span, start), false
+}
+
+// runFn invokes fn, converting a cross-order panic into errCrossOrder
+// (after a quiet rollback) and rolling back before re-raising any other
+// panic.
+func (c *Coordinator) runFn(wtx *WriteTx, fn func(*WriteTx) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			wtx.rollbackRelease()
+			if _, ok := r.(crossOrderRestart); ok && !wtx.all {
+				// Not an abort: the same fn reruns immediately.
+				err = errCrossOrder
+				return
+			}
+			c.aborts.Add(1)
+			panic(r)
+		}
+	}()
+	return fn(wtx)
+}
+
+// commitTx commits a transaction whose fn returned nil: nothing dirty,
+// one dirty shard (that shard's own pipeline), or several (2PC).
+func (c *Coordinator) commitTx(wtx *WriteTx, span uint64, start time.Time) error {
+	var dirty []int
+	for _, s := range wtx.joinOrder { // ascending by the join protocol
+		if len(wtx.trs[s].touchedPages()) > 0 {
+			dirty = append(dirty, s)
+		}
+	}
+	switch len(dirty) {
+	case 0:
+		wtx.release()
+		c.addCommitsBatches(1, 0)
+		c.observeCommit(span, start)
+		return nil
+	case 1:
+		return c.commitSingle(wtx, dirty[0], span, start)
+	default:
+		return c.commit2PC(wtx, dirty, span, start)
+	}
+}
+
+func (c *Coordinator) abortObserve(span uint64, start time.Time, err error) {
+	c.aborts.Add(1)
+	if c.sink != nil {
+		c.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: span, Dur: time.Since(start), Err: err.Error()})
+	}
+}
+
+// commitSingle routes a transaction that dirtied exactly one shard
+// through that shard's own commit pipeline; counters and batch/fsync
+// accounting land on the shard, exactly as a standalone commit would.
+func (c *Coordinator) commitSingle(wtx *WriteTx, s int, span uint64, start time.Time) error {
+	m := c.shards[s]
+	txid, tr := wtx.txids[s], wtx.trs[s]
+	if m.gc != nil {
+		fr, err := m.stageJoined(txid, tr, 0, false)
+		if err != nil {
+			wtx.rollbackRelease()
+			c.abortObserve(span, start, err)
+			return fmt.Errorf("txn: commit: %w", err)
+		}
+		req := m.enqueueJoined(txid, tr, fr, false)
+		if c.sink != nil {
+			c.sink.Emit(obs.SpanEvent{Kind: obs.SpanPrepare, Tx: span, Dur: time.Since(start)})
+		}
+		wtx.release()
+		if err := <-req.done; err != nil {
+			// The shard's committer rolled the whole suffix back
+			// (failSuffix) and accounted for the abort before this ack.
+			return fmt.Errorf("txn: commit: %w", err)
+		}
+		c.observeCommit(span, start)
+		return nil
+	}
+	durable, err := m.commitJoinedSync(txid, tr)
+	if err != nil {
+		if !durable {
+			// commitJoinedSync rolled the shard back quietly; the other
+			// joined shards are clean.
+			wtx.release()
+			c.abortObserve(span, start, err)
+			return fmt.Errorf("txn: commit: %w", err)
+		}
+		wtx.release()
+		return fmt.Errorf("txn: post-commit checkpoint (commit IS durable): %w", err)
+	}
+	wtx.release()
+	c.observeCommit(span, start)
+	return nil
+}
+
+// commit2PC is presumed-abort two-phase commit over the dirty shards
+// (ascending). Phase 1 makes each shard's prepare record durable; the
+// decision record in the coordinator log is the commit point; phase 3
+// writes each shard's local commit record and publishes its epoch. The
+// shard mutexes are held throughout, so an in-doubt prepare is always
+// the newest transaction in its shard log.
+func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start time.Time) error {
+	gtid := c.gtidSeq.Add(1)
+	var perr error
+	for _, s := range dirty {
+		m := c.shards[s]
+		if m.gc != nil {
+			fr, err := m.stageJoined(wtx.txids[s], wtx.trs[s], gtid, true)
+			if err != nil {
+				perr = err
+				break
+			}
+			req := m.enqueueJoined(wtx.txids[s], wtx.trs[s], fr, true)
+			// Wait while still holding the shard mutex: on batch failure
+			// the committer acks us first and only then takes the mutex
+			// to roll the batch back, so the rollback below (ours before
+			// the batch's) keeps newest-first order shard-wide.
+			if err := <-req.done; err != nil {
+				perr = err
+				break
+			}
+			wtx.epochs[s] = req.epoch
+		} else {
+			ep, err := m.prepareJoinedSync(wtx.txids[s], wtx.trs[s], gtid)
+			if err != nil {
+				perr = err
+				break
+			}
+			wtx.epochs[s] = ep
+		}
+	}
+	if perr != nil {
+		// Presumed abort: no decision record exists, so the durable
+		// prepare records on the shards that got one are dead weight a
+		// future recovery ignores.
+		wtx.rollbackRelease()
+		c.abortObserve(span, start, perr)
+		return fmt.Errorf("txn: commit: %w", perr)
+	}
+	if c.sink != nil && c.grouped {
+		c.sink.Emit(obs.SpanEvent{Kind: obs.SpanPrepare, Tx: span, Batch: len(dirty), Dur: time.Since(start)})
+	}
+
+	// Phase 2: the decision record is the commit point.
+	c.cmu.Lock()
+	derr := c.cioErr
+	if derr != nil {
+		derr = fmt.Errorf("%w (cause: %v)", ErrPoisoned, derr)
+	} else {
+		startLSN := c.clog.End()
+		if _, derr = c.clog.AppendCommit(oid.TxID(gtid)); derr == nil && !c.opts.NoSync {
+			derr = c.clog.Sync()
+		}
+		if derr != nil {
+			// The decision must not survive: once we report this commit
+			// failed, recovery finding the record would resurrect it.
+			if terr := c.clog.TruncateTo(startLSN); terr != nil {
+				c.poisonCoord(fmt.Errorf("cannot erase failed decision from coordinator log: %w", terr))
+			}
+		}
+		c.clogBytes.Store(c.clog.Size())
+	}
+	if derr != nil {
+		c.cmu.Unlock()
+		wtx.rollbackRelease()
+		c.abortObserve(span, start, derr)
+		return fmt.Errorf("txn: commit: %w", derr)
+	}
+
+	// Phase 3: shard-local decides, still under cmu so a concurrent
+	// checkpoint cannot reset the decision log while any shard still
+	// needs its record. A decide failure poisons that shard but the
+	// commit IS durable (prepare record + decision); the remaining
+	// shards still publish.
+	var decErr error
+	for _, s := range dirty {
+		if err := c.shards[s].decideJoined(wtx.txids[s], wtx.epochs[s]); err != nil && decErr == nil {
+			decErr = err
+		}
+	}
+	if decErr != nil {
+		// Recovery of the poisoned shard needs the decision record.
+		c.noReset = true
+	}
+	c.cmu.Unlock()
+	wtx.release()
+	var batches uint64
+	if c.grouped {
+		batches = 1
+		if c.cm != nil {
+			c.cm.BatchSize.Observe(1)
+		}
+	}
+	c.addCommitsBatches(1, batches)
+	if decErr != nil {
+		return fmt.Errorf("txn: %w", decErr)
+	}
+	c.observeCommit(span, start)
+	return nil
+}
+
+// ReadTx is a coordinated read transaction: one snapshot view per
+// shard, each pinned at that shard's durable epoch at begin time. The
+// pins are taken in shard order, not atomically, so a cross-shard read
+// can observe shard k's state from a slightly later wall-clock moment
+// than shard j's — each shard's view is individually consistent, and a
+// single-shard read (the common case) is exactly a Manager.Read.
+type ReadTx struct {
+	c     *Coordinator
+	views []*storage.TxView
+}
+
+// View returns the pinned snapshot of shard s.
+func (r *ReadTx) View(s int) *storage.TxView { return r.views[s] }
+
+// N returns the shard count; Router the id router.
+func (r *ReadTx) N() int                 { return len(r.views) }
+func (r *ReadTx) Router() storage.Router { return r.c.rt }
+
+// BeginReadTx pins a snapshot on every shard. Pair with EndReadTx.
+func (c *Coordinator) BeginReadTx() (*ReadTx, error) {
+	views := make([]*storage.TxView, len(c.shards))
+	for i, m := range c.shards {
+		v, err := m.BeginRead()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				c.shards[j].EndRead(views[j])
+			}
+			return nil, err
+		}
+		views[i] = v
+	}
+	return &ReadTx{c: c, views: views}, nil
+}
+
+// EndReadTx releases every shard pin.
+func (c *Coordinator) EndReadTx(r *ReadTx) {
+	for i, v := range r.views {
+		c.shards[i].EndRead(v)
+	}
+}
+
+// Read runs fn against a snapshot of every shard.
+func (c *Coordinator) Read(fn func(*ReadTx) error) error {
+	r, err := c.BeginReadTx()
+	if err != nil {
+		return err
+	}
+	defer c.EndReadTx(r)
+	return fn(r)
+}
+
+// Checkpoint checkpoints every shard (draining each shard's pipeline)
+// and then resets the decision log: once every shard WAL is empty no
+// prepare record can reference a decision. The reset is skipped if a
+// poisoned shard still needs the log for its recovery.
+func (c *Coordinator) Checkpoint() error {
+	if len(c.shards) == 1 && c.clog == nil {
+		return c.shards[0].Checkpoint()
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	var start time.Time
+	if c.timed() {
+		start = time.Now()
+	}
+	for i, m := range c.shards {
+		if err := m.checkpointQuiet(); err != nil {
+			return fmt.Errorf("txn: checkpoint shard %d: %w", i, err)
+		}
+	}
+	c.cmu.Lock()
+	if c.cioErr == nil && !c.noReset {
+		if err := c.clog.Reset(); err != nil {
+			c.poisonCoord(err)
+			c.cmu.Unlock()
+			return fmt.Errorf("txn: coordinator log reset: %w", err)
+		}
+		c.clogBytes.Store(c.clog.Size())
+	}
+	c.cmu.Unlock()
+	c.checkpoints.Add(1)
+	if !start.IsZero() {
+		d := time.Since(start)
+		if c.cm != nil {
+			c.cm.CheckpointNS.ObserveDuration(d)
+		}
+		c.sink.Emit(obs.SpanEvent{Kind: obs.SpanCheckpoint, Dur: d})
+	}
+	return nil
+}
+
+// Exclusive runs fn with every shard's writer mutex held (ascending):
+// no transaction, checkpoint or 2PC decision is in flight anywhere
+// while fn runs. Backup uses it to copy the directory's files.
+func (c *Coordinator) Exclusive(fn func() error) error {
+	var run func(i int) error
+	run = func(i int) error {
+		if i == len(c.shards) {
+			return fn()
+		}
+		return c.shards[i].Exclusive(func() error { return run(i + 1) })
+	}
+	return run(0)
+}
+
+// Close closes every shard in order, then resets (if healthy) and
+// closes the decision log, then the shared tracer sink.
+func (c *Coordinator) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if len(c.shards) == 1 && c.clog == nil {
+		return c.shards[0].Close()
+	}
+	var firstErr error
+	for _, m := range c.shards {
+		if err := m.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.cmu.Lock()
+	if c.clog != nil {
+		if firstErr == nil && c.cioErr == nil && !c.noReset && !c.readOnly {
+			if err := c.clog.Reset(); err != nil {
+				firstErr = err
+			}
+		}
+		if err := c.clog.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.cmu.Unlock()
+	if c.closeSink {
+		c.sink.Close()
+	}
+	return firstErr
+}

@@ -1,0 +1,393 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ode/internal/oid"
+	"ode/internal/storage"
+)
+
+// cwriteH inserts into shard s through a coordinated write transaction.
+func cwriteH(c *Coordinator, s int, fn func(h *storage.Heap) error) error {
+	return c.Write(func(w *WriteTx) error {
+		v, err := w.Join(s)
+		if err != nil {
+			return err
+		}
+		return fn(storage.NewHeap(v, nil))
+	})
+}
+
+// creadH reads shard s through a coordinated read transaction.
+func creadH(c *Coordinator, s int, fn func(h *storage.Heap) error) error {
+	return c.Read(func(r *ReadTx) error {
+		return fn(storage.NewHeap(r.View(s), nil))
+	})
+}
+
+func TestCoordinatorSingleShardUsesLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 1, Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rid oid.RID
+	if err := cwriteH(c, 0, func(h *storage.Heap) error {
+		var err error
+		rid, err = h.Insert([]byte("legacy"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shards=1 must be indistinguishable from a pre-shard database: the
+	// legacy file pair, no shard metadata, no coordinator log.
+	if _, err := os.Stat(filepath.Join(dir, DataFileName)); err != nil {
+		t.Fatalf("legacy data file: %v", err)
+	}
+	for _, f := range []string{ShardsFileName, CoordWALFileName, ShardDataFileName(0)} {
+		if _, err := os.Stat(filepath.Join(dir, f)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("unexpected %s in single-shard layout", f)
+		}
+	}
+	// A plain (pre-shard) Open must read it, proving backward
+	// compatibility of the on-disk format...
+	m, err := Open(dir, Options{Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := readH(m, func(h *storage.Heap) error {
+		got, err := h.Read(rid)
+		if err == nil && string(got) != "legacy" {
+			err = fmt.Errorf("payload %q", got)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a layout-adopting reopen (Shards=0) must stay single-shard.
+	c2, err := OpenCoordinator(dir, Options{Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.N() != 1 {
+		t.Fatalf("adopted %d shards, want 1", c2.N())
+	}
+}
+
+func TestCoordinatorShardedLayoutAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 4, Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := map[int]oid.RID{}
+	for s := 0; s < 4; s++ {
+		s := s
+		if err := cwriteH(c, s, func(h *storage.Heap) error {
+			var err error
+			rids[s], err = h.Insert([]byte(fmt.Sprintf("shard-%d", s)))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Commits != 4 {
+		t.Fatalf("commits = %d, want 4", st.Commits)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadShardsMeta(nil, dir)
+	if err != nil || n != 4 {
+		t.Fatalf("shards meta: %d, %v", n, err)
+	}
+	for s := 0; s < 4; s++ {
+		for _, f := range []string{ShardDataFileName(s), ShardWALFileName(s)} {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Fatalf("missing %s: %v", f, err)
+			}
+		}
+	}
+	// Reopen adopting the layout; data must be on its shard.
+	c2, err := OpenCoordinator(dir, Options{Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.N() != 4 {
+		t.Fatalf("adopted %d shards, want 4", c2.N())
+	}
+	for s := 0; s < 4; s++ {
+		if err := creadH(c2, s, func(h *storage.Heap) error {
+			got, err := h.Read(rids[s])
+			if err == nil && string(got) != fmt.Sprintf("shard-%d", s) {
+				err = fmt.Errorf("payload %q", got)
+			}
+			return err
+		}); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+}
+
+func TestCoordinatorLayoutErrors(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 4, Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A shard-count mismatch must be rejected, not silently re-sharded.
+	if _, err := OpenCoordinator(dir, Options{Shards: 2, Storage: storage.Options{PageSize: 512}}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("mismatched count: %v", err)
+	}
+	// A directory claiming both layouts is corrupt: fail loudly.
+	if err := os.WriteFile(filepath.Join(dir, DataFileName), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCoordinator(dir, Options{Storage: storage.Options{PageSize: 512}}); !errors.Is(err, ErrMixedLayout) {
+		t.Fatalf("mixed layout: %v", err)
+	}
+
+	// And the converse mismatch: a legacy directory with Shards>1.
+	dir2 := t.TempDir()
+	m, err := Create(dir2, Options{Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCoordinator(dir2, Options{Shards: 4, Storage: storage.Options{PageSize: 512}}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("legacy dir with Shards=4: %v", err)
+	}
+}
+
+func TestCoordinatorCrossShardCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 3, Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r0, r2 oid.RID
+	// One transaction spanning shards 0 and 2 (ascending joins).
+	if err := c.Write(func(w *WriteTx) error {
+		v0, err := w.Join(0)
+		if err != nil {
+			return err
+		}
+		if r0, err = storage.NewHeap(v0, nil).Insert([]byte("cross-0")); err != nil {
+			return err
+		}
+		v2, err := w.Join(2)
+		if err != nil {
+			return err
+		}
+		r2, err = storage.NewHeap(v2, nil).Insert([]byte("cross-2"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An aborted cross-shard transaction must leave no trace on any
+	// shard.
+	boom := errors.New("boom")
+	var a1 oid.RID
+	err = c.Write(func(w *WriteTx) error {
+		v1, err := w.Join(1)
+		if err != nil {
+			return err
+		}
+		if a1, err = storage.NewHeap(v1, nil).Insert([]byte("aborted-1")); err != nil {
+			return err
+		}
+		v2, err := w.Join(2)
+		if err != nil {
+			return err
+		}
+		if _, err := storage.NewHeap(v2, nil).Insert([]byte("aborted-2")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("abort: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCoordinator(dir, Options{Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	check := func(s int, rid oid.RID, want string) {
+		t.Helper()
+		if err := creadH(c2, s, func(h *storage.Heap) error {
+			got, err := h.Read(rid)
+			if err == nil && string(got) != want {
+				err = fmt.Errorf("payload %q", got)
+			}
+			return err
+		}); err != nil {
+			t.Fatalf("shard %d %s: %v", s, want, err)
+		}
+	}
+	check(0, r0, "cross-0")
+	check(2, r2, "cross-2")
+	if err := creadH(c2, 1, func(h *storage.Heap) error {
+		if got, err := h.Read(a1); err == nil {
+			return fmt.Errorf("aborted insert resurrected: %q", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorCrossOrderRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 3, Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	runs := 0
+	var rHigh, rLow oid.RID
+	if err := c.Write(func(w *WriteTx) error {
+		runs++
+		if runs == 1 && w.Restarted() {
+			return errors.New("first run must not be flagged restarted")
+		}
+		v2, err := w.Join(2)
+		if err != nil {
+			return err
+		}
+		if rHigh, err = storage.NewHeap(v2, nil).Insert([]byte("high")); err != nil {
+			return err
+		}
+		// Descending join: the first run panics internally and is rerun
+		// with every shard pre-locked; the rerun must see Restarted().
+		v0, err := w.Join(0)
+		if err != nil {
+			return err
+		}
+		if !w.Restarted() {
+			return errors.New("descending join did not restart")
+		}
+		rLow, err = storage.NewHeap(v0, nil).Insert([]byte("low"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("fn ran %d times, want 2 (initial + restart)", runs)
+	}
+	// The first run's insert on shard 2 was rolled back with the
+	// restart; only the rerun's effects exist.
+	check := func(s int, rid oid.RID, want string) {
+		t.Helper()
+		if err := creadH(c, s, func(h *storage.Heap) error {
+			got, err := h.Read(rid)
+			if err == nil && string(got) != want {
+				err = fmt.Errorf("payload %q", got)
+			}
+			return err
+		}); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	check(2, rHigh, "high")
+	check(0, rLow, "low")
+}
+
+func TestCoordinatorWriteViewSnapshotIsolation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 2, Storage: storage.Options{PageSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var r1 oid.RID
+	if err := cwriteH(c, 1, func(h *storage.Heap) error {
+		var err error
+		r1, err = h.Insert([]byte("committed"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A write transaction on shard 0 can peek shard 1's committed state
+	// without joining it — and the peek stays a snapshot.
+	if err := c.Write(func(w *WriteTx) error {
+		if _, err := w.Join(0); err != nil {
+			return err
+		}
+		v1, err := w.View(1)
+		if err != nil {
+			return err
+		}
+		if w.Joined(1) {
+			return errors.New("View must not join")
+		}
+		got, err := storage.NewHeap(v1, nil).Read(r1)
+		if err != nil {
+			return err
+		}
+		if string(got) != "committed" {
+			return fmt.Errorf("peek read %q", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorCheckpointResetsWALs(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(dir, Options{Shards: 2, Storage: storage.Options{PageSize: 512}, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 6; i++ {
+		if err := c.Write(func(w *WriteTx) error {
+			for s := 0; s < 2; s++ {
+				v, err := w.Join(s)
+				if err != nil {
+					return err
+				}
+				if _, err := storage.NewHeap(v, nil).Insert([]byte(fmt.Sprintf("ckpt-%d-%d", i, s))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := c.Stats().WALBytes
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.WALBytes >= grown {
+		t.Fatalf("checkpoint did not shrink WALs: %d -> %d", grown, st.WALBytes)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("checkpoint not counted")
+	}
+}

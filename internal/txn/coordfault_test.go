@@ -1,0 +1,218 @@
+package txn
+
+// 2PC crash-consistency fault matrix. The single-shard matrix
+// (faultmatrix_test.go) proves each shard's WAL pipeline; this one
+// proves the coordinator: a deterministic workload mixing single-shard
+// and cross-shard transactions runs against the fault-injecting VFS,
+// with every fsync failure, torn write, and power cut enumerated —
+// which, because the coordinator's decision-log append sits between the
+// shards' prepare fsyncs and their commit records in the op stream,
+// includes every fault point between a 2PC prepare and the coordinator
+// record. After each crash the directory is reopened and must satisfy:
+//
+//   - every acked transaction is fully present (all its shards),
+//   - the one in-flight transaction is atomic: all shards or none —
+//     a prepared-but-undecided transaction is presumed aborted, and a
+//     decided one is completed by recovery,
+//   - the database accepts new writes on every shard.
+
+import (
+	"fmt"
+	"testing"
+
+	"ode/internal/faultfs"
+	"ode/internal/oid"
+	"ode/internal/storage"
+)
+
+const (
+	coordMatrixDir   = "/db"
+	coordMatrixTxns  = 8
+	coordMatrixShard = 2
+)
+
+func coordPayload(i, s int) []byte {
+	return []byte(fmt.Sprintf("ctxn-%04d-shard-%d-abcdefghijklmnopqrstuvwxyz", i, s))
+}
+
+// coordTxnShards returns the shards txn i writes: every third
+// transaction is cross-shard, the rest alternate single shards.
+func coordTxnShards(i int) []int {
+	if i%3 == 2 {
+		return []int{0, 1}
+	}
+	return []int{i % coordMatrixShard}
+}
+
+type coordMatrixResult struct {
+	acked    []int
+	rids     map[int]map[int]oid.RID // txn -> shard -> rid
+	pending  int                     // txn in flight when the fault hit (-1 none)
+	buildErr error
+}
+
+func runCoordMatrixWorkload(fsys faultfs.FS) coordMatrixResult {
+	res := coordMatrixResult{rids: map[int]map[int]oid.RID{}, pending: -1}
+	c, err := OpenCoordinator(coordMatrixDir, Options{
+		Shards:          coordMatrixShard,
+		Storage:         storage.Options{PageSize: 512, FS: fsys},
+		CheckpointBytes: -1,
+		FS:              fsys,
+	})
+	if err != nil {
+		res.buildErr = err
+		return res
+	}
+	for i := 0; i < coordMatrixTxns; i++ {
+		rids := map[int]oid.RID{}
+		err := c.Write(func(w *WriteTx) error {
+			for _, s := range coordTxnShards(i) {
+				v, err := w.Join(s)
+				if err != nil {
+					return err
+				}
+				rid, err := storage.NewHeap(v, nil).Insert(coordPayload(i, s))
+				if err != nil {
+					return err
+				}
+				rids[s] = rid
+			}
+			return nil
+		})
+		res.rids[i] = rids
+		if err != nil {
+			res.pending = i
+			res.buildErr = err
+			return res
+		}
+		res.acked = append(res.acked, i)
+		if i == coordMatrixTxns/2 {
+			if err := c.Checkpoint(); err != nil {
+				res.buildErr = err
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// verifyCoordCrashImage reopens the crashed directory and checks the
+// 2PC durability contract.
+func verifyCoordCrashImage(crashed faultfs.FS, res coordMatrixResult) error {
+	c, err := OpenCoordinator(coordMatrixDir, Options{
+		Shards:  coordMatrixShard,
+		Storage: storage.Options{PageSize: 512, FS: crashed},
+		FS:      crashed,
+	})
+	if err != nil {
+		if len(res.acked) == 0 {
+			return nil // nothing promised; the db may never have existed
+		}
+		return fmt.Errorf("reopen failed with %d acked commits: %w", len(res.acked), err)
+	}
+	defer c.Close()
+	read := func(s int, rid oid.RID) ([]byte, error) {
+		var got []byte
+		err := c.Read(func(r *ReadTx) error {
+			var err error
+			got, err = storage.NewHeap(r.View(s), nil).Read(rid)
+			return err
+		})
+		return got, err
+	}
+	// Acked transactions: fully present on every shard they touched.
+	for _, i := range res.acked {
+		for _, s := range coordTxnShards(i) {
+			got, err := read(s, res.rids[i][s])
+			if err != nil {
+				return fmt.Errorf("acked txn %d shard %d lost: %w", i, s, err)
+			}
+			if string(got) != string(coordPayload(i, s)) {
+				return fmt.Errorf("acked txn %d shard %d corrupt: %q", i, s, got)
+			}
+		}
+	}
+	// The in-flight transaction: atomic across shards. An unacked
+	// transaction may legitimately have survived (the fault hit after
+	// the commit point but before the ack) or vanished — never half.
+	if i := res.pending; i >= 0 {
+		shards := coordTxnShards(i)
+		present := 0
+		for _, s := range shards {
+			rid, ok := res.rids[i][s]
+			if !ok {
+				continue // fault hit before this shard's insert staged
+			}
+			if got, err := read(s, rid); err == nil && string(got) == string(coordPayload(i, s)) {
+				present++
+			}
+		}
+		if present != 0 && present != len(shards) {
+			return fmt.Errorf("in-flight txn %d torn across shards: %d/%d present", i, present, len(shards))
+		}
+	}
+	// The recovered database accepts new work on every shard, in one
+	// cross-shard transaction.
+	if err := c.Write(func(w *WriteTx) error {
+		for s := 0; s < coordMatrixShard; s++ {
+			v, err := w.Join(s)
+			if err != nil {
+				return err
+			}
+			if _, err := storage.NewHeap(v, nil).Insert([]byte("post-recovery")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("recovered database rejects writes: %w", err)
+	}
+	return nil
+}
+
+// TestCoordFaultMatrix enumerates every injection point the sharded
+// workload generates: every fsync fails once (both crash outcomes),
+// every write tears (three ways), and the power dies after every
+// mutating op — covering coordinator-record-torn, coordinator-record-
+// missing, and shard-fsync-fails-mid-prepare among the rest.
+func TestCoordFaultMatrix(t *testing.T) {
+	dryCounter := faultfs.NewInjector(faultfs.NewMem(), faultfs.Plan{})
+	dry := runCoordMatrixWorkload(dryCounter)
+	if dry.buildErr != nil {
+		t.Fatalf("dry run failed: %v", dry.buildErr)
+	}
+	if len(dry.acked) != coordMatrixTxns {
+		t.Fatalf("dry run acked %d/%d", len(dry.acked), coordMatrixTxns)
+	}
+	cnt := dryCounter.Counts()
+	t.Logf("op space: %d writes, %d syncs, %d mutating ops", cnt.Writes, cnt.Syncs, cnt.Ops)
+
+	points := 0
+	trial := func(plan faultfs.Plan, keepUnsynced bool) {
+		t.Helper()
+		points++
+		mem := faultfs.NewMem()
+		res := runCoordMatrixWorkload(faultfs.NewInjector(mem, plan))
+		if err := verifyCoordCrashImage(mem.Crash(keepUnsynced), res); err != nil {
+			t.Errorf("%v keepUnsynced=%v (%d acked, pending=%d, buildErr=%v): %v",
+				plan, keepUnsynced, len(res.acked), res.pending, res.buildErr, err)
+		}
+	}
+
+	for n := uint64(1); n <= cnt.Syncs; n++ {
+		trial(faultfs.Plan{FailSyncN: n}, false)
+		trial(faultfs.Plan{FailSyncN: n}, true)
+	}
+	for n := uint64(1); n <= cnt.Writes; n++ {
+		trial(faultfs.Plan{TearWriteN: n, TearBytes: 0}, false)
+		trial(faultfs.Plan{TearWriteN: n, TearBytes: 7}, true)
+		trial(faultfs.Plan{TearWriteN: n, TearBytes: 256}, true)
+	}
+	for n := uint64(1); n <= cnt.Ops; n++ {
+		trial(faultfs.Plan{PowerCutAfterOps: n}, false)
+	}
+	t.Logf("2PC fault matrix: %d injection points", points)
+	if points < 30 {
+		t.Fatalf("matrix too small: %d points, want >= 30", points)
+	}
+}

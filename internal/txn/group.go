@@ -56,6 +56,15 @@ type commitReq struct {
 	fr    *wal.Frames // staged Begin/PageImage/Commit run
 	epoch uint64      // prepared epoch assigned at the commit point
 	done  chan error  // buffered(1); nil = durable
+	// prepare marks a 2PC participant: its frames end in a prepare
+	// record, not a commit. The coordinator holds the shard's writer
+	// mutex from enqueue until after the ack, so a prepare request is
+	// always the LAST member of its batch: nothing can be enqueued
+	// behind it. It is not a commit — the batch's counters, durable
+	// epoch and BatchSize skip it — and on batch failure it is acked
+	// (with the cause) before failSuffix takes the writer mutex, because
+	// its owner holds that mutex and rolls the transaction back itself.
+	prepare bool
 }
 
 // groupCommitter owns the commit queue and the goroutine that publishes
@@ -208,6 +217,14 @@ func (m *Manager) publishBatch(batch []*commitReq) {
 	if m.timed() {
 		flushStart = time.Now()
 	}
+	// A 2PC prepare request can only be the last member (its owner holds
+	// the writer mutex until it is acked, so nothing enqueues behind it).
+	var prep *commitReq
+	normals := batch
+	if batch[len(batch)-1].prepare {
+		prep = batch[len(batch)-1]
+		normals = batch[:len(batch)-1]
+	}
 	m.logMu.Lock()
 	startLSN := m.log.End()
 	var err error
@@ -224,24 +241,36 @@ func (m *Manager) publishBatch(batch []*commitReq) {
 		if m.sink != nil {
 			m.sink.Emit(obs.SpanEvent{Kind: obs.SpanFsync, Batch: len(batch), Dur: time.Since(flushStart), Err: err.Error()})
 		}
-		m.failSuffix(batch, startLSN, err)
+		// Ack the prepare request BEFORE failSuffix takes the writer
+		// mutex: its owner — the coordinator — holds that mutex while
+		// waiting for this ack and rolls the 2PC transaction back itself
+		// (newest-first order is preserved: that rollback happens before
+		// the mutex is released, so before failSuffix can run).
+		if prep != nil {
+			prep.done <- err
+		}
+		m.failSuffix(normals, startLSN, err)
 		return
 	}
 	size := m.log.Size()
 	m.walBytes.Store(size)
 	m.logMu.Unlock()
 
-	if m.m != nil {
-		m.m.BatchSize.Observe(uint64(len(batch)))
+	if m.m != nil && len(normals) > 0 {
+		m.m.BatchSize.Observe(uint64(len(normals)))
 	}
-	if m.sink != nil {
-		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanFsync, Batch: len(batch), Dur: time.Since(flushStart)})
+	if m.sink != nil && len(normals) > 0 {
+		m.sink.Emit(obs.SpanEvent{Kind: obs.SpanFsync, Batch: len(normals), Dur: time.Since(flushStart)})
 	}
-	// Durable. Advance the readers' epoch to the newest member before
-	// acking anyone: a writer whose Write returned nil is entitled to
-	// have the next reader see its transaction.
-	m.st.Pool().AdvanceDurableTo(batch[len(batch)-1].epoch)
-	m.addCommitsBatches(uint64(len(batch)), 1)
+	// Durable. Advance the readers' epoch to the newest committed member
+	// before acking anyone: a writer whose Write returned nil is
+	// entitled to have the next reader see its transaction. A prepare is
+	// durable but not committed — its epoch only becomes visible when
+	// the coordinator decides.
+	if len(normals) > 0 {
+		m.st.Pool().AdvanceDurableTo(normals[len(normals)-1].epoch)
+		m.addCommitsBatches(uint64(len(normals)), 1)
+	}
 	for _, r := range batch {
 		r.done <- nil
 	}

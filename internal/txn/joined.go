@@ -1,0 +1,166 @@
+// Joined-transaction entry points: the per-shard half of the
+// coordinator protocol (coord.go). A coordinated transaction "joins" a
+// shard by taking its writer mutex and beginning a shard-local
+// transaction on it; the coordinator then drives commit, prepare,
+// decide or rollback through these methods while it holds that mutex.
+// They are the same steps Manager.Write performs for a standalone
+// manager, minus span emission and latency accounting — the coordinator
+// accounts for the whole cross-shard transaction once at its level.
+package txn
+
+import (
+	"fmt"
+
+	"ode/internal/oid"
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+// lockWriter takes the shard's writer mutex and validates that the
+// shard can accept a write. On error the mutex is NOT held.
+func (m *Manager) lockWriter() error {
+	m.mu.Lock()
+	if m.isClosed() {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.opts.Storage.ReadOnly {
+		m.mu.Unlock()
+		return ErrReadOnly
+	}
+	if m.ioErr != nil {
+		err := fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
+		m.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// unlockWriter releases the shard's writer mutex.
+func (m *Manager) unlockWriter() { m.mu.Unlock() }
+
+// beginJoined starts a shard-local transaction. Caller holds the writer
+// mutex (lockWriter) and keeps it until release.
+func (m *Manager) beginJoined() (oid.TxID, *storage.TxView, *tracker) {
+	tr := newTracker()
+	v := m.st.OpenWriter(tr)
+	m.nextTx++
+	return oid.TxID(m.nextTx), v, tr
+}
+
+// stageJoined builds the transaction's staged WAL frames: Begin, the
+// page after-images, and either a commit record or — for a 2PC
+// participant — a prepare record carrying gtid. Caller holds the writer
+// mutex; the images are copied while they are the transaction's final
+// state.
+func (m *Manager) stageJoined(txid oid.TxID, tr *tracker, gtid uint64, prepare bool) (*wal.Frames, error) {
+	fr := &wal.Frames{}
+	fr.Begin(txid)
+	for _, id := range tr.touchedPages() {
+		p, err := m.st.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		fr.PageImage(txid, id, p.Data)
+	}
+	if prepare {
+		fr.Prepare(txid, gtid)
+	} else {
+		fr.Commit(txid)
+	}
+	return fr, nil
+}
+
+// enqueueJoined advances the shard's prepared epoch (the in-memory
+// commit point) and hands the staged frames to the group committer.
+// Caller holds the writer mutex. Grouped managers only.
+func (m *Manager) enqueueJoined(txid oid.TxID, tr *tracker, fr *wal.Frames, prepare bool) *commitReq {
+	epoch := m.st.Pool().AdvanceEpoch()
+	req := &commitReq{txid: txid, tr: tr, fr: fr, epoch: epoch, prepare: prepare, done: make(chan error, 1)}
+	m.gc.enqueue(req)
+	return req
+}
+
+// commitJoinedSync is the non-grouped (NoSync / NoGroupCommit) commit
+// for a joined single-shard transaction: append, fsync and maybe
+// checkpoint inline under the writer mutex, exactly like writeSync.
+// durable reports whether the commit record reached stable storage;
+// when false the transaction has already been rolled back (quietly).
+func (m *Manager) commitJoinedSync(txid oid.TxID, tr *tracker) (durable bool, err error) {
+	defer func() { m.walBytes.Store(m.log.Size()) }()
+	durable, err = m.commit(txid, tr)
+	if err != nil && !durable {
+		m.rollbackQuiet(tr)
+	}
+	return durable, err
+}
+
+// prepareJoinedSync is the non-grouped 2PC prepare: append the
+// transaction's images and prepare record inline and make them durable.
+// On success it advances the prepared epoch (returned for the decide
+// step) — the durable epoch does not move until the coordinator
+// decides. On error the WAL is healed and the transaction has NOT been
+// rolled back (the coordinator owns that).
+func (m *Manager) prepareJoinedSync(txid oid.TxID, tr *tracker, gtid uint64) (epoch uint64, err error) {
+	defer func() { m.walBytes.Store(m.log.Size()) }()
+	startLSN := m.log.End()
+	if _, err := m.log.AppendBegin(txid); err != nil {
+		m.undoWAL(startLSN)
+		return 0, err
+	}
+	for _, id := range tr.touchedPages() {
+		p, err := m.st.Get(id)
+		if err != nil {
+			m.undoWAL(startLSN)
+			return 0, err
+		}
+		if _, err := m.log.AppendPageImage(txid, id, p.Data); err != nil {
+			m.undoWAL(startLSN)
+			return 0, err
+		}
+	}
+	if _, err := m.log.AppendPrepare(txid, gtid); err != nil {
+		m.undoWAL(startLSN)
+		return 0, err
+	}
+	if !m.opts.NoSync {
+		if err := m.log.Sync(); err != nil {
+			m.undoWAL(startLSN)
+			return 0, err
+		}
+	}
+	return m.st.Pool().AdvanceEpoch(), nil
+}
+
+// decideJoined writes the shard-local commit record for a prepared 2PC
+// participant and makes the transaction visible to readers. The
+// coordinator's decision record is already durable, so a failure here
+// does not un-commit anything: the shard is poisoned (recovery will
+// finish the job from the prepare record plus the coordinator log) and
+// the in-memory effects are still published — the commit IS durable.
+// Caller holds the writer mutex; the shard's committer is idle for this
+// shard (the prepare ack was the last pipeline activity and the mutex
+// blocks new entrants), so touching the log under logMu is safe.
+func (m *Manager) decideJoined(txid oid.TxID, epoch uint64) error {
+	m.logMu.Lock()
+	var err error
+	if _, err = m.log.AppendCommit(txid); err == nil && !m.opts.NoSync {
+		err = m.log.Sync()
+	}
+	size := m.log.Size()
+	m.walBytes.Store(size)
+	m.logMu.Unlock()
+	if err != nil {
+		m.poison(fmt.Errorf("2pc decide (decision is durable in the coordinator log): %w", err))
+	}
+	m.st.Pool().AdvanceDurableTo(epoch)
+	if err == nil && m.gc != nil {
+		m.maybeKickCheckpoint(size)
+	}
+	return err
+}
+
+// Shard returns the manager's store tagged with its shard slot.
+func (m *Manager) Shard() *storage.Shard {
+	return &storage.Shard{Store: m.st, ID: m.opts.shardID}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +103,41 @@ type Options struct {
 	// obs.DefaultTracerBuffer. Events past the bound are dropped (and
 	// counted) rather than ever blocking a commit.
 	TracerBuffer int
+	// Shards is consumed by OpenCoordinator: the number of independent
+	// storage shards (heap + pool + WAL + commit pipeline each) a new
+	// database is created with. 0 means GOMAXPROCS for a fresh directory
+	// and "adopt whatever the directory already has" for an existing
+	// one; 1 is the pre-shard engine bit-for-bit (legacy file names, no
+	// shard metadata). Individual Managers ignore it.
+	Shards int
+
+	// Coordinator-internal plumbing (same package only). dataFile and
+	// walFile override the legacy file names for shard slots; decided is
+	// the coordinator-log decision set recovery consults for in-doubt
+	// prepared transactions; sink is the shared tracer sink a
+	// coordinated shard must use (and must not close).
+	dataFile    string
+	walFile     string
+	decided     map[uint64]bool
+	sink        *obs.Sink
+	coordinated bool
+	shardID     int
+}
+
+// dataFileName and walFileName resolve the shard's file names, falling
+// back to the legacy single-shard names.
+func (o *Options) dataFileName() string {
+	if o.dataFile != "" {
+		return o.dataFile
+	}
+	return DataFileName
+}
+
+func (o *Options) walFileName() string {
+	if o.walFile != "" {
+		return o.walFile
+	}
+	return WALFileName
 }
 
 // grouped reports whether the manager should commit via the group
@@ -191,9 +227,12 @@ type Manager struct {
 
 	// m is the observability registry shared with the pool, the WAL
 	// and the engine; nil when Options.NoMetrics (the benchmark
-	// baseline). sink delivers tracer spans; nil without a tracer.
-	m    *obs.Metrics
-	sink *obs.Sink
+	// baseline). sink delivers tracer spans; nil without a tracer. A
+	// coordinated shard shares the coordinator's sink and must not
+	// close it (ownSink).
+	m       *obs.Metrics
+	sink    *obs.Sink
+	ownSink bool
 
 	// ioErr, once set, permanently disables writes: an I/O failure left
 	// the in-memory state and the on-disk state possibly divergent in a
@@ -270,11 +309,11 @@ func Create(dir string, opts Options) (*Manager, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("txn: mkdir %s: %w", dir, err)
 	}
-	st, err := storage.Create(filepath.Join(dir, DataFileName), opts.Storage)
+	st, err := storage.Create(filepath.Join(dir, opts.dataFileName()), opts.Storage)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.OpenFS(fsys, filepath.Join(dir, WALFileName))
+	log, err := wal.OpenFS(fsys, filepath.Join(dir, opts.walFileName()))
 	if err != nil {
 		st.Close()
 		return nil, err
@@ -295,11 +334,18 @@ func (m *Manager) initObs() {
 		m.st.Pool().SetMetrics(m.m)
 		m.log.SetMetrics(m.m)
 	}
+	if m.opts.coordinated {
+		// Coordinated shard: spans flow through the coordinator's shared
+		// sink (which also owns the dropped counter); never close it here.
+		m.sink = m.opts.sink
+		return
+	}
 	var dropped *obs.Counter
 	if m.m != nil {
 		dropped = &m.m.TracerDropped
 	}
 	m.sink = obs.NewSink(m.opts.Tracer, m.opts.TracerBuffer, dropped)
+	m.ownSink = true
 }
 
 // Metrics returns the observability registry; nil under NoMetrics.
@@ -341,15 +387,15 @@ func (m *Manager) startPipeline() {
 func Open(dir string, opts Options) (*Manager, error) {
 	fsys := opts.fsys()
 	opts.Storage.FS = fsys
-	dataPath := filepath.Join(dir, DataFileName)
-	walPath := filepath.Join(dir, WALFileName)
+	dataPath := filepath.Join(dir, opts.dataFileName())
+	walPath := filepath.Join(dir, opts.walFileName())
 	log, err := wal.OpenFS(fsys, walPath)
 	if err != nil {
 		return nil, err
 	}
 	var recovered uint64
 	if opts.Storage.ReadOnly {
-		pending, err := committedInLog(log)
+		pending, err := committedInLog(log, opts.decided)
 		if err != nil {
 			log.Close()
 			return nil, err
@@ -359,7 +405,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 			return nil, ErrNeedsRecovery
 		}
 	} else {
-		recovered, err = recover2(fsys, log, dataPath)
+		recovered, err = recover2(fsys, log, dataPath, opts.decided)
 		if err != nil {
 			log.Close()
 			return nil, fmt.Errorf("txn: recovery: %w", err)
@@ -378,12 +424,19 @@ func Open(dir string, opts Options) (*Manager, error) {
 	return m, nil
 }
 
-// committedInLog counts committed transactions present in the log.
-func committedInLog(log *wal.Log) (uint64, error) {
+// committedInLog counts committed transactions present in the log: ones
+// with a local commit record, plus prepared ones whose global id the
+// coordinator log decided.
+func committedInLog(log *wal.Log, decided map[uint64]bool) (uint64, error) {
 	var n uint64
 	err := log.Scan(func(rec wal.Record) error {
-		if rec.Type == wal.RecCommit {
+		switch rec.Type {
+		case wal.RecCommit:
 			n++
+		case wal.RecPrepare:
+			if decided[rec.GTID] {
+				n++
+			}
 		}
 		return nil
 	})
@@ -395,41 +448,63 @@ func committedInLog(log *wal.Log) (uint64, error) {
 // It is idempotent: a crash at any point during recovery leaves the WAL
 // intact (it is only reset after the page file is synced), so rerunning
 // it converges to the same state.
-func recover2(fsys faultfs.FS, log *wal.Log, dataPath string) (uint64, error) {
+//
+// decided is the coordinator log's decision set (nil for a standalone
+// manager): a prepared transaction without a local commit record — the
+// crash landed between 2PC prepare and the shard-local decide — commits
+// iff its global id is in the set, and is presumed aborted otherwise.
+// Such a transaction is always the newest in its log (the shard's
+// writer mutex is held from prepare to decide), so applying it after
+// every locally committed transaction preserves redo order.
+func recover2(fsys faultfs.FS, log *wal.Log, dataPath string, decided map[uint64]bool) (uint64, error) {
 	type txImages struct {
-		order []oid.PageID
-		imgs  map[oid.PageID][]byte
+		order    []oid.PageID
+		imgs     map[oid.PageID][]byte
+		prepared bool
+		gtid     uint64
+		seq      int // begin order, to apply in-doubt commits deterministically
 	}
 	pending := map[oid.TxID]*txImages{}
 	redo := map[oid.PageID][]byte{}
 	var redoOrder []oid.PageID
 	var committed uint64
+	var seq int
+	apply := func(t *txImages) {
+		committed++
+		for _, pid := range t.order {
+			if _, seen := redo[pid]; !seen {
+				redoOrder = append(redoOrder, pid)
+			}
+			redo[pid] = t.imgs[pid]
+		}
+	}
 	err := log.Scan(func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecBegin:
-			pending[rec.Tx] = &txImages{imgs: map[oid.PageID][]byte{}}
+			seq++
+			pending[rec.Tx] = &txImages{imgs: map[oid.PageID][]byte{}, seq: seq}
 		case wal.RecPageImage:
 			t := pending[rec.Tx]
 			if t == nil {
-				t = &txImages{imgs: map[oid.PageID][]byte{}}
+				seq++
+				t = &txImages{imgs: map[oid.PageID][]byte{}, seq: seq}
 				pending[rec.Tx] = t
 			}
 			if _, seen := t.imgs[rec.Page]; !seen {
 				t.order = append(t.order, rec.Page)
 			}
 			t.imgs[rec.Page] = append([]byte(nil), rec.Data...)
+		case wal.RecPrepare:
+			if t := pending[rec.Tx]; t != nil {
+				t.prepared = true
+				t.gtid = rec.GTID
+			}
 		case wal.RecCommit:
 			t := pending[rec.Tx]
 			if t == nil {
 				return nil
 			}
-			committed++
-			for _, pid := range t.order {
-				if _, seen := redo[pid]; !seen {
-					redoOrder = append(redoOrder, pid)
-				}
-				redo[pid] = t.imgs[pid]
-			}
+			apply(t)
 			delete(pending, rec.Tx)
 		case wal.RecAbort:
 			delete(pending, rec.Tx)
@@ -441,6 +516,18 @@ func recover2(fsys faultfs.FS, log *wal.Log, dataPath string) (uint64, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	// Resolve in-doubt prepared transactions by coordinator decision, in
+	// begin order (deterministic; in practice at most one can exist).
+	var doubt []*txImages
+	for _, t := range pending {
+		if t.prepared && decided[t.gtid] {
+			doubt = append(doubt, t)
+		}
+	}
+	sort.Slice(doubt, func(i, j int) bool { return doubt[i].seq < doubt[j].seq })
+	for _, t := range doubt {
+		apply(t)
 	}
 	if len(redo) > 0 {
 		// Page size is the image length (all images are full pages).
@@ -857,6 +944,15 @@ func (m *Manager) poison(err error) {
 // byte-identical to what this restores), so it is invisible to
 // concurrent readers. The epoch does not advance.
 func (m *Manager) rollback(tr *tracker) {
+	m.rollbackQuiet(tr)
+	m.aborts.Add(1)
+}
+
+// rollbackQuiet is rollback without the abort count: the coordinator
+// uses it for shard-local rollbacks of a transaction it accounts for
+// once at its own level (and for internal cross-order restarts, which
+// are not aborts at all).
+func (m *Manager) rollbackQuiet(tr *tracker) {
 	for id, bi := range tr.before {
 		p, err := m.st.Get(id)
 		if err != nil {
@@ -879,7 +975,6 @@ func (m *Manager) rollback(tr *tracker) {
 		// superblock unless memory was corrupted.
 		panic(fmt.Sprintf("txn: rollback broke superblock: %v", err))
 	}
-	m.aborts.Add(1)
 }
 
 func (m *Manager) maybeCheckpoint() error {
@@ -916,7 +1011,31 @@ func (m *Manager) Checkpoint() error {
 	return m.checkpointLocked()
 }
 
+// checkpointQuiet is Checkpoint without the count and span: the
+// coordinator checkpoints every shard and accounts for the whole
+// operation once at its own level.
+func (m *Manager) checkpointQuiet() error {
+	for {
+		m.mu.Lock()
+		if m.isClosed() {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		if m.gc == nil || m.gc.pipelineIdle() {
+			break
+		}
+		m.mu.Unlock()
+		m.gc.waitIdle()
+	}
+	defer m.mu.Unlock()
+	return m.checkpointLockedOpts(true)
+}
+
 func (m *Manager) checkpointLocked() error {
+	return m.checkpointLockedOpts(false)
+}
+
+func (m *Manager) checkpointLockedOpts(quiet bool) error {
 	if m.opts.Storage.ReadOnly {
 		return ErrReadOnly
 	}
@@ -924,7 +1043,7 @@ func (m *Manager) checkpointLocked() error {
 		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, m.ioErr)
 	}
 	var start time.Time
-	if m.timed() {
+	if m.timed() && !quiet {
 		start = time.Now()
 	}
 	// Order matters: the WAL may only be reset after every page it
@@ -952,7 +1071,9 @@ func (m *Manager) checkpointLocked() error {
 		m.poison(err)
 		return err
 	}
-	m.checkpoints.Add(1)
+	if !quiet {
+		m.checkpoints.Add(1)
+	}
 	if !start.IsZero() {
 		d := time.Since(start)
 		if m.m != nil {
@@ -980,7 +1101,11 @@ func (m *Manager) Close() error {
 	// released): every span source — writers, the committer, the
 	// checkpointer — is gone by then. A tracer stuck inside TraceSpan
 	// forfeits the queue after a grace period rather than hanging Close.
-	defer m.sink.Close()
+	// A coordinated shard shares the coordinator's sink and leaves it
+	// alone (the coordinator closes it after every shard is down).
+	if m.ownSink {
+		defer m.sink.Close()
+	}
 	// New readers are now refused; drain the in-flight ones so no
 	// snapshot view outlives the store.
 	m.readers.Wait()

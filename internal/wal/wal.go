@@ -35,10 +35,16 @@ const (
 	RecCommit     uint8 = 3 // transaction durable
 	RecAbort      uint8 = 4 // informational; aborted txns are ignored anyway
 	RecCheckpoint uint8 = 5 // page file reflects everything before this LSN
+	RecPrepare    uint8 = 6 // 2PC: shard-local prepare, carries the global txn id
 )
 
 // headerSize is the fixed file header before the first record.
 const headerSize = 8
+
+// HeaderSize is the fixed file header size, exported so the sharded
+// transaction layer can aggregate WAL sizes without double-counting
+// per-file headers.
+const HeaderSize = headerSize
 
 const magic uint32 = 0x4F44454C // "ODEL"
 const version uint32 = 1
@@ -56,6 +62,7 @@ type Record struct {
 	Tx   oid.TxID
 	Page oid.PageID // RecPageImage only
 	Data []byte     // RecPageImage only: the page image
+	GTID uint64     // RecPrepare only: global (cross-shard) transaction id
 }
 
 // seqWriter adapts a positional faultfs.File to the io.Writer the
@@ -271,6 +278,14 @@ func (fr *Frames) Commit(tx oid.TxID) {
 	fr.frame(w.Bytes())
 }
 
+// Prepare stages tx's 2PC prepare record, carrying the global txn id
+// that ties this shard-local participant to its coordinator decision.
+func (fr *Frames) Prepare(tx oid.TxID, gtid uint64) {
+	w := codec.NewWriter(24)
+	w.U8(RecPrepare).UVarint(uint64(tx)).UVarint(gtid)
+	fr.frame(w.Bytes())
+}
+
 // Len returns the staged size in bytes.
 func (fr *Frames) Len() int { return len(fr.buf) }
 
@@ -315,6 +330,13 @@ func (l *Log) AppendCommit(tx oid.TxID) (oid.LSN, error) {
 func (l *Log) AppendAbort(tx oid.TxID) (oid.LSN, error) {
 	w := codec.NewWriter(16)
 	w.U8(RecAbort).UVarint(uint64(tx))
+	return l.append(w.Bytes())
+}
+
+// AppendPrepare logs tx's 2PC prepare record with its global txn id.
+func (l *Log) AppendPrepare(tx oid.TxID, gtid uint64) (oid.LSN, error) {
+	w := codec.NewWriter(24)
+	w.U8(RecPrepare).UVarint(uint64(tx)).UVarint(gtid)
 	return l.append(w.Bytes())
 }
 
@@ -431,11 +453,14 @@ func decode(lsn oid.LSN, payload []byte) (Record, error) {
 		rec.Page = oid.PageID(r.U32())
 		rec.Data = payload[r.Offset():]
 	}
+	if rec.Type == RecPrepare {
+		rec.GTID = r.UVarint()
+	}
 	if r.Err() != nil {
 		return Record{}, fmt.Errorf("wal: corrupt record at %v: %w", lsn, r.Err())
 	}
 	switch rec.Type {
-	case RecBegin, RecPageImage, RecCommit, RecAbort, RecCheckpoint:
+	case RecBegin, RecPageImage, RecCommit, RecAbort, RecCheckpoint, RecPrepare:
 		return rec, nil
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d at %v", rec.Type, lsn)

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"ode/internal/obs"
@@ -87,10 +88,13 @@ type Metrics struct {
 func (db *DB) Metrics() Metrics {
 	var ms Metrics
 	ms.Stats = db.Stats()
-	m := db.mgr.Metrics()
+	m := db.coord.Metrics()
 	if m == nil {
 		return ms // NoMetrics: counters only
 	}
+	// The coordinator registry: whole-transaction latency, decision-log
+	// fsyncs, traversal walks. With one shard it aliases the shard's
+	// registry, so this is the complete picture.
 	ms.PoolHits = m.PoolHits.Load()
 	ms.PoolMisses = m.PoolMisses.Load()
 	ms.PoolEvictions = m.PoolEvictions.Load()
@@ -104,6 +108,29 @@ func (db *DB) Metrics() Metrics {
 	ms.BatchSize = m.BatchSize.Snapshot()
 	ms.DprevWalkLen = m.DprevWalk.Snapshot()
 	ms.TprevWalkLen = m.TprevWalk.Snapshot()
+	if db.coord.N() > 1 {
+		// Roll the per-shard registries up: counters and gauges sum,
+		// histograms merge bucket-wise.
+		for _, sm := range db.coord.Shards() {
+			r := sm.Metrics()
+			if r == nil {
+				continue
+			}
+			ms.PoolHits += r.PoolHits.Load()
+			ms.PoolMisses += r.PoolMisses.Load()
+			ms.PoolEvictions += r.PoolEvictions.Load()
+			ms.ReaderPins += r.ReaderPins.Load()
+			ms.ActiveReaders += r.ActiveReaders.Load()
+			ms.SnapshotPages += r.SnapshotPages.Load()
+			ms.TracerDropped += r.TracerDropped.Load()
+			ms.CommitLatency.Merge(r.CommitLatencyNS.Snapshot())
+			ms.WALFsyncLatency.Merge(r.FsyncLatencyNS.Snapshot())
+			ms.CheckpointDuration.Merge(r.CheckpointNS.Snapshot())
+			ms.BatchSize.Merge(r.BatchSize.Snapshot())
+			ms.DprevWalkLen.Merge(r.DprevWalk.Snapshot())
+			ms.TprevWalkLen.Merge(r.TprevWalk.Snapshot())
+		}
+	}
 	return ms
 }
 
@@ -158,7 +185,59 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+	if db.coord.N() > 1 {
+		return db.writeShardMetrics(w)
+	}
 	return nil
+}
+
+// writeShardMetrics renders the per-shard breakdown of the shard-local
+// families, labeled shard="<i>". The unlabeled families above stay the
+// cross-shard aggregates, so dashboards built against a single-shard
+// database keep working.
+func (db *DB) writeShardMetrics(w io.Writer) error {
+	shards := db.coord.Shards()
+	label := func(i int) string { return strconv.Itoa(i) }
+	var (
+		commits, aborts, walBytes []obs.LabeledUint
+		hits, misses, pins        []obs.LabeledUint
+		fsync, batch              []obs.LabeledHist
+	)
+	for i, sm := range shards {
+		ss := sm.Stats()
+		commits = append(commits, obs.LabeledUint{Label: label(i), V: ss.Commits})
+		aborts = append(aborts, obs.LabeledUint{Label: label(i), V: ss.Aborts})
+		walBytes = append(walBytes, obs.LabeledUint{Label: label(i), V: uint64(ss.WALBytes)})
+		if r := sm.Metrics(); r != nil {
+			hits = append(hits, obs.LabeledUint{Label: label(i), V: r.PoolHits.Load()})
+			misses = append(misses, obs.LabeledUint{Label: label(i), V: r.PoolMisses.Load()})
+			pins = append(pins, obs.LabeledUint{Label: label(i), V: r.ReaderPins.Load()})
+			fsync = append(fsync, obs.LabeledHist{Label: label(i), S: r.FsyncLatencyNS.Snapshot()})
+			batch = append(batch, obs.LabeledHist{Label: label(i), S: r.BatchSize.Snapshot()})
+		}
+	}
+	counterVecs := []struct {
+		name, help string
+		s          []obs.LabeledUint
+	}{
+		{"ode_shard_commits_total", "Committed write transactions per shard (cross-shard transactions count on every shard they touched).", commits},
+		{"ode_shard_aborts_total", "Rolled-back write transactions per shard.", aborts},
+		{"ode_shard_pool_hits_total", "Buffer-pool page hits per shard.", hits},
+		{"ode_shard_pool_misses_total", "Buffer-pool page misses per shard.", misses},
+		{"ode_shard_reader_pins_total", "Reader snapshot-epoch pins per shard.", pins},
+	}
+	for _, c := range counterVecs {
+		if err := obs.WriteCounterVec(w, c.name, c.help, "shard", c.s); err != nil {
+			return err
+		}
+	}
+	if err := obs.WriteGaugeVec(w, "ode_shard_wal_bytes", "Current WAL size in bytes per shard.", "shard", walBytes); err != nil {
+		return err
+	}
+	if err := obs.WriteHistogramVec(w, "ode_shard_wal_fsync_latency_ns", "WAL fsync latency per shard.", "shard", fsync); err != nil {
+		return err
+	}
+	return obs.WriteHistogramVec(w, "ode_shard_commit_batch_size", "Transactions covered by one group-commit fsync per shard.", "shard", batch)
 }
 
 // DebugAddr returns the bound address of the debug HTTP listener, or

@@ -67,6 +67,12 @@ var (
 	// database opened with Options.ReadOnly.
 	ErrReadOnly = txn.ErrReadOnly
 	ErrClosed   = txn.ErrClosed
+	// ErrShardMismatch reports Options.Shards disagreeing with the
+	// shard count of an existing database directory.
+	ErrShardMismatch = txn.ErrShardMismatch
+	// ErrMixedLayout reports a directory containing both the legacy
+	// single-file layout and the sharded layout.
+	ErrMixedLayout = txn.ErrMixedLayout
 )
 
 // (ErrTxDone is declared alongside Tx in tx.go.)
@@ -91,6 +97,16 @@ const (
 // Options configures Open. The zero value (or nil) gives a 4 KiB page
 // size, synchronous commits, and full-copy version storage.
 type Options struct {
+	// Shards is the number of independent storage shards (heap + WAL +
+	// buffer pool + commit pipeline). Objects are routed to shards by
+	// id, so unrelated commits proceed in parallel on distinct shards;
+	// a transaction touching one shard commits exactly as before, one
+	// touching several uses two-phase commit through a coordinator log.
+	// 0 adopts an existing directory's layout (GOMAXPROCS for a fresh
+	// one); an explicit value must match an existing directory. 1 keeps
+	// the legacy single-file layout, byte-compatible with databases
+	// created before sharding existed.
+	Shards int
 	// Policy selects FullCopy (default) or DeltaChain version storage.
 	Policy StoragePolicy
 	// MaxChain bounds delta chains (keyframe interval) under DeltaChain;
@@ -153,9 +169,9 @@ type Options struct {
 
 // DB is an open Ode database.
 type DB struct {
-	mgr  *txn.Manager
-	eng  *core.Engine
-	path string
+	coord *txn.Coordinator
+	eng   *core.Engine
+	path  string
 
 	// debug HTTP listener state (metrics.go); nil without DebugAddr.
 	debugLis net.Listener
@@ -175,6 +191,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		o = *opts
 	}
 	topts := txn.Options{
+		Shards:           o.Shards,
 		NoSync:           o.NoSync,
 		NoGroupCommit:    o.NoGroupCommit,
 		CommitBatchSize:  o.CommitBatchSize,
@@ -193,44 +210,41 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if fsys == nil {
 		fsys = faultfs.OS
 	}
-	dataPath := filepath.Join(dir, txn.DataFileName)
-	var mgr *txn.Manager
-	if _, err := fsys.Stat(dataPath); errors.Is(err, os.ErrNotExist) {
-		if o.ReadOnly {
+	if o.ReadOnly {
+		// A read-only open must never create files; require one of the
+		// two layouts to already exist.
+		_, legacyErr := fsys.Stat(filepath.Join(dir, txn.DataFileName))
+		_, shardErr := fsys.Stat(filepath.Join(dir, txn.ShardsFileName))
+		if errors.Is(legacyErr, os.ErrNotExist) && errors.Is(shardErr, os.ErrNotExist) {
 			return nil, fmt.Errorf("ode: no database at %s", dir)
 		}
-		mgr, err = txn.Create(dir, topts)
-		if err != nil {
-			return nil, err
-		}
-	} else if err != nil {
-		return nil, fmt.Errorf("ode: stat %s: %w", dataPath, err)
-	} else {
-		var err error
-		mgr, err = txn.Open(dir, topts)
-		if err != nil {
-			return nil, err
-		}
 	}
-	eng, err := core.New(mgr, core.Options{Policy: o.Policy, MaxChain: o.MaxChain})
+	coord, err := txn.OpenCoordinator(dir, topts)
 	if err != nil {
-		mgr.Close()
 		return nil, err
 	}
-	db := &DB{mgr: mgr, eng: eng, path: dir}
+	eng, err := core.NewSharded(coord, core.Options{Policy: o.Policy, MaxChain: o.MaxChain})
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	db := &DB{coord: coord, eng: eng, path: dir}
 	if o.DebugAddr != "" {
 		if err := db.startDebugServer(o.DebugAddr); err != nil {
-			mgr.Close()
+			coord.Close()
 			return nil, fmt.Errorf("ode: debug listener: %w", err)
 		}
 	}
 	return db, nil
 }
 
+// Shards returns the number of storage shards backing this database.
+func (db *DB) Shards() int { return db.coord.N() }
+
 // Close checkpoints and closes the database.
 func (db *DB) Close() error {
 	db.stopDebugServer()
-	return db.mgr.Close()
+	return db.coord.Close()
 }
 
 // Update runs fn in a read-write transaction. If fn returns nil the
@@ -258,8 +272,9 @@ func (db *DB) View(fn func(tx *Tx) error) error {
 	})
 }
 
-// Checkpoint flushes the page file and truncates the write-ahead log.
-func (db *DB) Checkpoint() error { return db.mgr.Checkpoint() }
+// Checkpoint flushes the page files and truncates the write-ahead logs
+// (every shard's, and the coordinator's decision log).
+func (db *DB) Checkpoint() error { return db.coord.Checkpoint() }
 
 // Stats aggregates engine and transaction-manager counters.
 type Stats struct {
@@ -281,7 +296,7 @@ type Stats struct {
 // Stats returns current database statistics.
 func (db *DB) Stats() Stats {
 	es := db.eng.Stats()
-	ms := db.mgr.Stats()
+	ms := db.coord.Stats()
 	return Stats{
 		Objects:       es.Objects,
 		Versions:      es.Versions,

@@ -3,6 +3,8 @@ package ode
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -14,8 +16,22 @@ type Part struct {
 	Data []byte
 }
 
+// envShards returns the shard count forced by ODE_SHARDS, or 0 (layout
+// default) when unset. The matrix and soak Makefile targets run their
+// suites at both Shards=1 and Shards=4 through this hook.
+func envShards() int {
+	n, _ := strconv.Atoi(os.Getenv("ODE_SHARDS"))
+	return n
+}
+
 func openDB(t testing.TB, opts *Options) *DB {
 	t.Helper()
+	if opts == nil {
+		opts = &Options{}
+	}
+	if opts.Shards == 0 {
+		opts.Shards = envShards()
+	}
 	db, err := Open(t.TempDir(), opts)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,506 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ode/internal/txn"
+)
+
+// openShardedDB opens a database with an explicit shard count in a
+// fresh temp dir and returns it with its directory (for reopen tests).
+func openShardedDB(t testing.TB, shards int, opts *Options) (*DB, string) {
+	t.Helper()
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Shards = shards
+	dir := t.TempDir()
+	db, err := Open(dir, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func TestShardedBasicAndReopen(t *testing.T) {
+	db, dir := openShardedDB(t, 4, nil)
+	if db.Shards() != 4 {
+		t.Fatalf("Shards() = %d", db.Shards())
+	}
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Objects created in separate transactions round-robin across
+	// shards; each then grows a version.
+	const n = 24
+	ptrs := make([]Ptr[Part], n)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := db.Update(func(tx *Tx) error {
+			var err error
+			ptrs[i], err = parts.Create(tx, &Part{Name: fmt.Sprintf("p%d", i), Rev: 0})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shardsHit := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		shardsHit[uint64(ptrs[i].OID())%4] = true
+		i := i
+		if err := db.Update(func(tx *Tx) error {
+			v, err := ptrs[i].NewVersion(tx)
+			if err != nil {
+				return err
+			}
+			return v.Set(tx, &Part{Name: fmt.Sprintf("p%d", i), Rev: 1})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(shardsHit) != 4 {
+		t.Fatalf("allocation hit %d/4 shards", len(shardsHit))
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Objects != n || st.Versions != 2*n {
+		t.Fatalf("stats: %d objects, %d versions", st.Objects, st.Versions)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen adopting the layout (Shards=0): everything must be there.
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Shards() != 4 {
+		t.Fatalf("adopted %d shards", db2.Shards())
+	}
+	parts2, err := Register[Part](db2, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.View(func(tx *Tx) error {
+		for i := 0; i < n; i++ {
+			p, err := ptrs[i].Deref(tx)
+			if err != nil {
+				return fmt.Errorf("p%d: %w", i, err)
+			}
+			if p.Rev != 1 {
+				return fmt.Errorf("p%d rev %d", i, p.Rev)
+			}
+		}
+		cnt, err := parts2.Count(tx)
+		if err != nil {
+			return err
+		}
+		if cnt != n {
+			return fmt.Errorf("extent %d", cnt)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedCrossShardUpdate(t *testing.T) {
+	db, _ := openShardedDB(t, 4, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two objects on (very likely) different shards, created in
+	// separate transactions.
+	var a, b Ptr[Part]
+	if err := db.Update(func(tx *Tx) error {
+		var err error
+		a, err = parts.Create(tx, &Part{Name: "a"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := db.Update(func(tx *Tx) error {
+			var err error
+			b, err = parts.Create(tx, &Part{Name: "b"})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if uint64(b.OID())%4 != uint64(a.OID())%4 {
+			break
+		}
+	}
+	// One transaction versioning both: a cross-shard (2PC) commit.
+	if err := db.Update(func(tx *Tx) error {
+		va, err := a.NewVersion(tx)
+		if err != nil {
+			return err
+		}
+		if err := va.Set(tx, &Part{Name: "a", Rev: 1}); err != nil {
+			return err
+		}
+		vb, err := b.NewVersion(tx)
+		if err != nil {
+			return err
+		}
+		return vb.Set(tx, &Part{Name: "b", Rev: 1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An aborting cross-shard transaction must leave both untouched.
+	boom := errors.New("boom")
+	err = db.Update(func(tx *Tx) error {
+		if _, err := a.NewVersion(tx); err != nil {
+			return err
+		}
+		if _, err := b.NewVersion(tx); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *Tx) error {
+		for _, p := range []Ptr[Part]{a, b} {
+			vs, err := tx.ctx.Versions(p.OID())
+			if err != nil {
+				return err
+			}
+			if len(vs) != 2 {
+				return fmt.Errorf("%v has %d versions, want 2", p.OID(), len(vs))
+			}
+			cur, err := p.Deref(tx)
+			if err != nil {
+				return err
+			}
+			if cur.Rev != 1 {
+				return fmt.Errorf("%v rev %d", p.OID(), cur.Rev)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyLayoutUpgrade proves a database laid down by the pre-shard
+// code path (txn.Create + core over a bare Manager — exactly what
+// earlier releases wrote) opens through the sharded Open, keeps its
+// data, accepts writes, and stays in the legacy layout.
+func TestLegacyLayoutUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	// Write the fixture with the legacy entry points only.
+	func() {
+		db, err := Open(dir, &Options{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		parts, err := Register[Part](db, "Part")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Update(func(tx *Tx) error {
+			p, err := parts.Create(tx, &Part{Name: "fixture", Rev: 0})
+			if err != nil {
+				return err
+			}
+			v, err := p.NewVersion(tx)
+			if err != nil {
+				return err
+			}
+			return v.Set(tx, &Part{Name: "fixture", Rev: 1})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// The directory must be the legacy pair — nothing shard-flavored.
+	if _, err := os.Stat(filepath.Join(dir, txn.DataFileName)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{txn.ShardsFileName, txn.CoordWALFileName} {
+		if _, err := os.Stat(filepath.Join(dir, f)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("legacy database grew %s", f)
+		}
+	}
+	// Default open adopts it as one shard.
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Shards() != 1 {
+		t.Fatalf("legacy adopted as %d shards", db.Shards())
+	}
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(func(tx *Tx) error {
+		var oids []Ptr[Part]
+		if err := parts.Extent(tx, func(p Ptr[Part]) (bool, error) {
+			oids = append(oids, p)
+			return true, nil
+		}); err != nil {
+			return err
+		}
+		if len(oids) != 1 {
+			return fmt.Errorf("extent %d", len(oids))
+		}
+		cur, err := oids[0].Deref(tx)
+		if err != nil {
+			return err
+		}
+		if cur.Name != "fixture" || cur.Rev != 1 {
+			return fmt.Errorf("got %+v", cur)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Asking for a re-shard of an existing directory is refused.
+	db.Close()
+	if _, err := Open(dir, &Options{Shards: 4}); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("legacy dir with Shards=4: %v", err)
+	}
+}
+
+func TestShardedBackup(t *testing.T) {
+	db, _ := openShardedDB(t, 3, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrs := make([]Ptr[Part], 9)
+	for i := range ptrs {
+		i := i
+		if err := db.Update(func(tx *Tx) error {
+			var err error
+			ptrs[i], err = parts.Create(tx, &Part{Name: fmt.Sprintf("b%d", i)})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := t.TempDir()
+	if err := db.Backup(dst); err != nil {
+		t.Fatal(err)
+	}
+	bdb, err := Open(dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bdb.Close()
+	if bdb.Shards() != 3 {
+		t.Fatalf("backup has %d shards", bdb.Shards())
+	}
+	if err := bdb.View(func(tx *Tx) error {
+		for i := range ptrs {
+			if _, err := ptrs[i].Deref(tx); err != nil {
+				return fmt.Errorf("b%d: %w", i, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedMetricsExposition(t *testing.T) {
+	db, _ := openShardedDB(t, 2, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			_, err := parts.Create(tx, &Part{Name: "m"})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := db.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	for _, want := range []string{
+		`ode_commits_total`,
+		`ode_shard_commits_total{shard="0"}`,
+		`ode_shard_commits_total{shard="1"}`,
+		`ode_shard_wal_bytes{shard="0"}`,
+		`ode_shard_wal_fsync_latency_ns_bucket{shard="1",le=`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+	ms := db.Metrics()
+	if ms.Commits == 0 || ms.CommitLatency.Count == 0 {
+		t.Fatalf("aggregated metrics empty: %+v", ms.Stats)
+	}
+}
+
+// TestSoakShardedWriters is the sharded concurrency soak: 16 writers on
+// 4 shards, each owning some objects and growing versions, with
+// occasional cross-shard transactions. Afterwards every object's
+// temporal and derived-from chains must be strictly linear (this
+// workload never branches), which the full integrity check asserts —
+// run it under -race via `make soak`.
+func TestSoakShardedWriters(t *testing.T) {
+	db, dir := openShardedDB(t, 4, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers  = 16
+		perTxn   = 6
+		versions = 12
+	)
+	ptrs := make([]Ptr[Part], writers)
+	for i := range ptrs {
+		i := i
+		if err := db.Update(func(tx *Tx) error {
+			var err error
+			ptrs[i], err = parts.Create(tx, &Part{Name: fmt.Sprintf("w%d", i)})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rev := 1; rev <= versions; rev++ {
+				err := db.Update(func(tx *Tx) error {
+					v, err := ptrs[w].NewVersion(tx)
+					if err != nil {
+						return err
+					}
+					if err := v.Set(tx, &Part{Name: fmt.Sprintf("w%d", w), Rev: rev}); err != nil {
+						return err
+					}
+					// Every few revisions, also touch a neighbour's
+					// object: a cross-shard commit whenever the two
+					// OIDs land on different shards.
+					if rev%perTxn == 0 {
+						other := ptrs[(w+1)%writers]
+						u, err := other.Deref(tx)
+						if err != nil {
+							return err
+						}
+						return other.Set(tx, u)
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = fmt.Errorf("writer %d rev %d: %w", w, rev, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Linear chains: each object's temporal order walks back through
+	// every version with no branches in the derivation tree beyond the
+	// in-place updates (which create no versions).
+	if err := db.View(func(tx *Tx) error {
+		for w := range ptrs {
+			o := ptrs[w].OID()
+			vs, err := tx.ctx.Versions(o)
+			if err != nil {
+				return err
+			}
+			if len(vs) != versions+1 {
+				return fmt.Errorf("writer %d: %d versions, want %d", w, len(vs), versions+1)
+			}
+			leaves, err := tx.ctx.Leaves(o)
+			if err != nil {
+				return err
+			}
+			if len(leaves) != 1 {
+				return fmt.Errorf("writer %d: %d leaves, chain branched", w, len(leaves))
+			}
+			hist, err := tx.ctx.History(o, leaves[0])
+			if err != nil {
+				return err
+			}
+			if len(hist) != versions+1 {
+				return fmt.Errorf("writer %d: history %d, want %d", w, len(hist), versions+1)
+			}
+			// Temporal chain: stamps strictly increase along Versions.
+			var last Stamp
+			for _, v := range vs {
+				info, err := tx.ctx.Info(o, v)
+				if err != nil {
+					return err
+				}
+				if info.Stamp <= last && last != 0 {
+					return fmt.Errorf("writer %d: stamps not increasing", w)
+				}
+				last = info.Stamp
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Survives a reopen with everything intact.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	st := db2.Stats()
+	if st.Objects != writers || st.Versions != uint64(writers*(versions+1)) {
+		t.Fatalf("after reopen: %d objects, %d versions", st.Objects, st.Versions)
+	}
+}

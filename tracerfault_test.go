@@ -85,7 +85,7 @@ func tracerWorkload(t *testing.T, db *ode.DB, commits int) {
 func TestTracerReceivesLifecycleEvents(t *testing.T) {
 	rec := &recordingTracer{}
 	dir := t.TempDir()
-	db, err := ode.Open(dir, &ode.Options{Tracer: rec, CheckpointBytes: -1})
+	db, err := ode.Open(dir, &ode.Options{Tracer: rec, CheckpointBytes: -1, Shards: envShardCount()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestTracerReceivesLifecycleEvents(t *testing.T) {
 // and the panicked events are counted as dropped.
 func TestTracerPanicDoesNotCorruptCommits(t *testing.T) {
 	dir := t.TempDir()
-	db, err := ode.Open(dir, &ode.Options{Tracer: panicTracer{}, CheckpointBytes: -1})
+	db, err := ode.Open(dir, &ode.Options{Tracer: panicTracer{}, CheckpointBytes: -1, Shards: envShardCount()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,6 +196,7 @@ func TestTracerBlockedQueueDropsNotStalls(t *testing.T) {
 		Tracer:          blockingTracer{block: block},
 		TracerBuffer:    4,
 		CheckpointBytes: -1,
+		Shards:          envShardCount(),
 	})
 	if err != nil {
 		t.Fatal(err)
