@@ -10,14 +10,17 @@ import (
 )
 
 // Backup writes a consistent snapshot of the database into dstDir
-// (which must not already contain a database). It checkpoints first, so
-// the snapshot is the data file(s) with empty logs, then copies them
-// while holding every shard's writer mutex exclusively — writers (and
+// (which must not already contain a database). It checkpoints every
+// shard and copies the data file(s) under ONE acquisition of every
+// shard's writer mutex (txn.Coordinator.CheckpointExclusive): no commit
+// — and in particular no cross-shard 2PC commit — can land between the
+// per-shard flushes or between the flushes and the copy, so the backup
+// is one atomic cut of the whole database with empty logs. Writers (and
 // further checkpoints) are blocked for the duration; snapshot readers
 // keep running, since they never touch the data files' mutable tails.
 // A sharded database copies the shard-count metadata file and every
 // shard's data file; the WALs and the coordinator decision log are
-// empty after the checkpoint and are recreated on open.
+// empty at the copy point and are recreated on open.
 func (db *DB) Backup(dstDir string) error {
 	if err := os.MkdirAll(dstDir, 0o755); err != nil {
 		return fmt.Errorf("ode: backup mkdir: %w", err)
@@ -36,14 +39,13 @@ func (db *DB) Backup(dstDir string) error {
 			return fmt.Errorf("ode: backup target %s already exists", filepath.Join(dstDir, f))
 		}
 	}
-	// Checkpoint: all committed state reaches the data files; the WALs
-	// are truncated to their headers.
+	// Pre-checkpoint outside the exclusive section so the bulk of the
+	// flushing happens without writers blocked; the exclusive checkpoint
+	// below then only handles the delta committed since.
 	if err := db.Checkpoint(); err != nil {
 		return err
 	}
-	// Copy under the writer mutexes: writers (and further checkpoints)
-	// are excluded, so the files cannot change underneath the copy.
-	return db.coord.Exclusive(func() error {
+	return db.coord.CheckpointExclusive(func() error {
 		src := db.dir()
 		for _, f := range files {
 			if err := copyFileSync(filepath.Join(src, f), filepath.Join(dstDir, f)); err != nil {

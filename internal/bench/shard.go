@@ -37,6 +37,12 @@ func (s slowFS) OpenFile(path string, flag int, perm os.FileMode) (faultfs.File,
 }
 func (s slowFS) Stat(path string) (int64, error)              { return s.inner.Stat(path) }
 func (s slowFS) MkdirAll(path string, perm os.FileMode) error { return s.inner.MkdirAll(path, perm) }
+func (s slowFS) ReadDir(dir string) ([]string, error)         { return s.inner.ReadDir(dir) }
+
+func (s slowFS) SyncDir(dir string) error {
+	time.Sleep(e14FsyncLatency)
+	return s.inner.SyncDir(dir)
+}
 
 type slowFile struct{ faultfs.File }
 

@@ -125,6 +125,35 @@ func (tx *shardTx) ExtentCount(t oid.TypeID) (int, error) {
 	return n, err
 }
 
+// extentNext returns the smallest oid of type t strictly greater than
+// after (or the smallest overall when first is true), reading a single
+// key from the extent tree. It is the per-shard cursor the router's
+// k-way Extent merge advances: one O(log n) descent per step, so a
+// cross-shard extent scan streams in oid order with O(shards)
+// buffering and keeps early termination.
+func (tx *shardTx) extentNext(t oid.TypeID, after oid.OID, first bool) (o oid.OID, ok bool, err error) {
+	var from [12]byte
+	binary.BigEndian.PutUint32(from[0:4], uint32(t))
+	if !first {
+		if uint64(after) == ^uint64(0) {
+			return 0, false, nil // no greater oid exists
+		}
+		binary.BigEndian.PutUint64(from[4:12], uint64(after)+1)
+	}
+	var to []byte
+	if uint32(t) != ^uint32(0) {
+		var end [4]byte
+		binary.BigEndian.PutUint32(end[:], uint32(t)+1)
+		to = end[:]
+	}
+	err = tx.extent.Ascend(from[:], to, func(k, _ []byte) (bool, error) {
+		o = oid.OID(binary.BigEndian.Uint64(k[4:12]))
+		ok = true
+		return false, nil
+	})
+	return o, ok, err
+}
+
 // Self-transacting convenience forms for callers outside a transaction
 // (shell, dump tools); each runs one read snapshot.
 

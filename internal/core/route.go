@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"ode/internal/oid"
 	"ode/internal/txn"
 )
@@ -455,7 +453,11 @@ func (tx *Tx) Types() ([]string, error) {
 }
 
 // Extent calls fn for every object of type t in oid order, across every
-// shard's extent tree.
+// shard's extent tree. With N > 1 it runs a k-way merge over per-shard
+// extent cursors: one oid buffered per shard, each refilled with a
+// single-key tree descent after it wins the merge. Early termination
+// (fn returning false) and O(shards) memory are preserved — no shard's
+// extent is ever materialized.
 func (tx *Tx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
 	if tx.e.n == 1 {
 		b, err := tx.shardR(0)
@@ -464,27 +466,41 @@ func (tx *Tx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
 		}
 		return b.Extent(t, fn)
 	}
-	var all []oid.OID
+	// Shard ids never tie across shards (oid % N routing), so picking
+	// the minimum head is unambiguous.
+	bundles := make([]*shardTx, tx.e.n)
+	heads := make([]oid.OID, tx.e.n)
+	has := make([]bool, tx.e.n)
 	for s := 0; s < tx.e.n; s++ {
 		b, err := tx.shardR(s)
 		if err != nil {
 			return err
 		}
-		if err := b.Extent(t, func(o oid.OID) (bool, error) {
-			all = append(all, o)
-			return true, nil
-		}); err != nil {
+		bundles[s] = b
+		heads[s], has[s], err = b.extentNext(t, 0, true)
+		if err != nil {
 			return err
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	for _, o := range all {
-		ok, err := fn(o)
+	for {
+		min := -1
+		for s := range heads {
+			if has[s] && (min < 0 || heads[s] < heads[min]) {
+				min = s
+			}
+		}
+		if min < 0 {
+			return nil
+		}
+		ok, err := fn(heads[min])
 		if err != nil || !ok {
 			return err
 		}
+		heads[min], has[min], err = bundles[min].extentNext(t, heads[min], false)
+		if err != nil {
+			return err
+		}
 	}
-	return nil
 }
 
 // ExtentCount returns the number of objects of type t.

@@ -45,6 +45,14 @@ type FS interface {
 	// MkdirAll ensures the directory exists (a no-op for filesystems
 	// without real directories).
 	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir makes dir's entries durable: files created (or removed)
+	// before a successful SyncDir survive a power cut. A no-op for
+	// filesystems whose crash model keeps directory entries implicitly.
+	SyncDir(dir string) error
+	// ReadDir lists the names (not paths) of the entries in dir. A
+	// missing directory may return an error wrapping fs.ErrNotExist;
+	// filesystems without real directories return an empty list.
+	ReadDir(dir string) ([]string, error)
 }
 
 // OS is the real operating-system filesystem.
@@ -70,6 +78,30 @@ func (osFS) Stat(path string) (int64, error) {
 
 func (osFS) MkdirAll(path string, perm os.FileMode) error {
 	return os.MkdirAll(path, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
 }
 
 type osFile struct{ f *os.File }

@@ -129,6 +129,38 @@ func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
 	return in.inner.MkdirAll(path, perm)
 }
 
+// SyncDir is a mutating flush like File.Sync: it advances the op clock
+// and is subject to FailSyncN/SyncLiesFrom, so the crash matrix
+// enumerates faults on directory-entry durability too.
+func (in *Injector) SyncDir(dir string) error {
+	in.mu.Lock()
+	if err := in.beginMutation(); err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	in.c.Syncs++
+	fail := in.plan.FailSyncN > 0 && in.c.Syncs == in.plan.FailSyncN
+	lie := in.plan.SyncLiesFrom > 0 && in.c.Syncs >= in.plan.SyncLiesFrom
+	in.mu.Unlock()
+	if fail {
+		return fmt.Errorf("syncdir: %w", ErrInjected)
+	}
+	if lie {
+		return nil // ack without syncing
+	}
+	return in.inner.SyncDir(dir)
+}
+
+func (in *Injector) ReadDir(dir string) ([]string, error) {
+	in.mu.Lock()
+	dead := in.cut
+	in.mu.Unlock()
+	if dead {
+		return nil, ErrPowerCut
+	}
+	return in.inner.ReadDir(dir)
+}
+
 // beginMutation advances the op clock and reports whether the machine
 // is still alive afterwards.
 func (in *Injector) beginMutation() error {

@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"os"
 	"path"
+	"sort"
 	"sync"
 )
 
@@ -59,6 +60,26 @@ func (m *Mem) Stat(p string) (int64, error) {
 }
 
 func (m *Mem) MkdirAll(string, os.FileMode) error { return nil }
+
+// SyncDir is a no-op: Mem's crash model keeps every created file's
+// directory entry (Crash copies the whole file map), so entries are
+// implicitly durable at creation.
+func (m *Mem) SyncDir(string) error { return nil }
+
+// ReadDir lists the base names of the files directly inside dir.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	dir = path.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for p := range m.files {
+		if path.Dir(p) == dir {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
 
 // ReadFile returns a copy of the current (page-cache) contents of path,
 // for byte-level comparisons in tests.

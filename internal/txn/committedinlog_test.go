@@ -1,0 +1,63 @@
+package txn
+
+import (
+	"testing"
+
+	"ode/internal/faultfs"
+	"ode/internal/oid"
+	"ode/internal/wal"
+)
+
+// TestCommittedInLogCountsDecidedPrepareOnce: a transaction whose shard
+// log holds both a decided prepare and a local commit record (the
+// normal 2PC fast path) must count once, not twice, when sizing the
+// post-recovery checkpoint threshold.
+func TestCommittedInLogCountsDecidedPrepareOnce(t *testing.T) {
+	log, err := wal.OpenFS(faultfs.NewMem(), "wal.000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	page := []byte{0xab}
+	append2 := func(tx oid.TxID) {
+		t.Helper()
+		if _, err := log.AppendBegin(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.AppendPageImage(tx, 1, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// tx1: plain local commit.
+	append2(1)
+	if _, err := log.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	// tx2: decided prepare followed by the shard-local commit record —
+	// must count once.
+	append2(2)
+	if _, err := log.AppendPrepare(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.AppendCommit(2); err != nil {
+		t.Fatal(err)
+	}
+	// tx3: decided prepare with no local commit (crash before the
+	// shard-local decide landed) — still counts.
+	append2(3)
+	if _, err := log.AppendPrepare(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	// tx4: undecided prepare — does not count.
+	append2(4)
+	if _, err := log.AppendPrepare(4, 9); err != nil {
+		t.Fatal(err)
+	}
+	n, err := committedInLog(log, map[uint64]bool{7: true, 8: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("committedInLog = %d, want 3", n)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,13 @@ var ErrMixedLayout = errors.New("txn: directory has both legacy (data.ode) and s
 // what the directory was created with.
 var ErrShardMismatch = errors.New("txn: Options.Shards does not match the directory's shard count")
 
+// ErrPartialLayout reports a directory holding shard files (data.NNN,
+// wal.NNN, coord.ode) but no shards.ode metadata — an interrupted
+// create whose metadata never became durable, or a deleted metadata
+// file. Re-creating shards over the leftovers could silently mix two
+// generations; the operator must remove the stale files.
+var ErrPartialLayout = errors.New("txn: directory has shard files but no shards.ode metadata")
+
 // Coordinator owns a database directory as a set of shards plus (for
 // N >= 2) the cross-shard decision log. It is the engine's only entry
 // point for transactions; individual Managers are reachable through
@@ -97,6 +105,16 @@ type Coordinator struct {
 	clog    *wal.Log // nil when N == 1 (no cross-shard transactions)
 	cioErr  error    // coordinator log poisoned: no more 2PC decisions
 	noReset bool     // a shard decide failed; recovery needs the clog
+
+	// pmu makes cross-shard snapshots atomic with respect to cross-shard
+	// commits: commit2PC publishes a decided transaction's epoch on every
+	// dirty shard under pmu (write side), and BeginReadTx pins its
+	// per-shard snapshots under pmu (read side). Without it a reader
+	// pinning shards sequentially could observe a 2PC transaction on one
+	// shard but not another. Single-shard publications (each individually
+	// atomic) do not take it. Lock order: cmu before pmu; BeginReadTx
+	// takes pmu alone.
+	pmu sync.RWMutex
 
 	// cm is the coordinator-level registry (whole-transaction latency,
 	// cross-shard batch sizes, decision-log fsyncs); with one shard it
@@ -229,8 +247,60 @@ func detectLayout(fsys faultfs.FS, dir string) (int, layoutKind, error) {
 	case hasLegacy:
 		return 1, layoutLegacy, nil
 	default:
+		// Neither marker file: the directory must be recognisably empty,
+		// not an interrupted sharded create (possible when a crash landed
+		// before shards.ode's directory entry was durable) or a directory
+		// whose metadata file was deleted. Re-creating over either would
+		// mix generations, so fail loudly instead.
+		if name, found, err := findShardFile(fsys, dir); err != nil {
+			return 0, layoutFresh, err
+		} else if found {
+			return 0, layoutFresh, fmt.Errorf("%w (%s holds %s)", ErrPartialLayout, dir, name)
+		}
 		return 0, layoutFresh, nil
 	}
+}
+
+// findShardFile reports the first sharded-layout file (data.NNN,
+// wal.NNN or coord.ode) in dir. A missing directory is simply empty.
+func findShardFile(fsys faultfs.FS, dir string) (string, bool, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", false, nil
+		}
+		return "", false, err
+	}
+	for _, name := range names {
+		if name == CoordWALFileName || isShardFileName(name) {
+			return name, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// isShardFileName reports whether name matches the per-shard file
+// pattern data.NNN / wal.NNN (three decimal digits).
+func isShardFileName(name string) bool {
+	var prefix string
+	switch {
+	case strings.HasPrefix(name, "data."):
+		prefix = "data."
+	case strings.HasPrefix(name, "wal."):
+		prefix = "wal."
+	default:
+		return false
+	}
+	suffix := name[len(prefix):]
+	if len(suffix) != 3 {
+		return false
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // ReadShardsMeta reads and validates the shard-count metadata file.
@@ -327,11 +397,19 @@ func createSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinat
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("txn: mkdir %s: %w", dir, err)
 	}
-	// The metadata file goes first and is fsynced before any shard file
-	// exists: a directory is either recognisably sharded or recognisably
-	// empty, never ambiguous.
+	// The metadata file goes first and — contents AND directory entry —
+	// is durable before any shard file exists: a directory is either
+	// recognisably sharded or recognisably empty, never ambiguous. The
+	// content fsync alone is not enough: without the directory fsync a
+	// crash could durably hold shard data files whose metadata file has
+	// no directory entry (detectLayout then refuses the directory rather
+	// than re-creating over it, but the invariant is that this state
+	// cannot arise in the first place).
 	if err := writeShardsMeta(fsys, dir, n); err != nil {
 		return nil, err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, fmt.Errorf("txn: sync %s: %w", dir, err)
 	}
 	c := newShardedCoordinator(dir, opts, n)
 	for i := 0; i < n; i++ {
@@ -346,6 +424,14 @@ func createSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinat
 	if err != nil {
 		c.teardown()
 		return nil, err
+	}
+	// Make the shard files' and decision log's directory entries durable
+	// before create returns: a commit fsyncs WAL contents, which proves
+	// nothing if the WAL's directory entry can vanish in a power cut.
+	if err := fsys.SyncDir(dir); err != nil {
+		clog.Close()
+		c.teardown()
+		return nil, fmt.Errorf("txn: sync %s: %w", dir, err)
 	}
 	c.attachClog(clog)
 	return c, nil
@@ -878,15 +964,24 @@ func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start ti
 
 	// Phase 3: shard-local decides, still under cmu so a concurrent
 	// checkpoint cannot reset the decision log while any shard still
-	// needs its record. A decide failure poisons that shard but the
-	// commit IS durable (prepare record + decision); the remaining
-	// shards still publish.
+	// needs its record. The decide records (with their fsyncs) are
+	// written first, outside pmu; then every dirty shard's epoch is
+	// published under pmu as one atomic step, so a cross-shard reader
+	// (BeginReadTx pins all its shards under pmu) sees this transaction
+	// on all of its shards or on none. A decide failure poisons that
+	// shard but the commit IS durable (prepare record + decision); the
+	// remaining shards — and the poisoned one — still publish.
 	var decErr error
 	for _, s := range dirty {
-		if err := c.shards[s].decideJoined(wtx.txids[s], wtx.epochs[s]); err != nil && decErr == nil {
+		if err := c.shards[s].decideJoinedLog(wtx.txids[s]); err != nil && decErr == nil {
 			decErr = err
 		}
 	}
+	c.pmu.Lock()
+	for _, s := range dirty {
+		c.shards[s].publishJoined(wtx.epochs[s])
+	}
+	c.pmu.Unlock()
 	if decErr != nil {
 		// Recovery of the poisoned shard needs the decision record.
 		c.noReset = true
@@ -910,10 +1005,13 @@ func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start ti
 
 // ReadTx is a coordinated read transaction: one snapshot view per
 // shard, each pinned at that shard's durable epoch at begin time. The
-// pins are taken in shard order, not atomically, so a cross-shard read
-// can observe shard k's state from a slightly later wall-clock moment
-// than shard j's — each shard's view is individually consistent, and a
-// single-shard read (the common case) is exactly a Manager.Read.
+// pins are taken under pmu, which excludes 2PC epoch publication: a
+// cross-shard transaction is therefore visible on either all of its
+// shards or none of them. Single-shard commits publishing concurrently
+// can still land between two pins — but each is confined to one shard,
+// so every shard's view remains individually consistent and no
+// transaction is ever seen torn. A single-shard read (the common case)
+// is exactly a Manager.Read.
 type ReadTx struct {
 	c     *Coordinator
 	views []*storage.TxView
@@ -926,8 +1024,16 @@ func (r *ReadTx) View(s int) *storage.TxView { return r.views[s] }
 func (r *ReadTx) N() int                 { return len(r.views) }
 func (r *ReadTx) Router() storage.Router { return r.c.rt }
 
-// BeginReadTx pins a snapshot on every shard. Pair with EndReadTx.
+// BeginReadTx pins a snapshot on every shard, atomically with respect
+// to cross-shard commits (see ReadTx). Pair with EndReadTx.
 func (c *Coordinator) BeginReadTx() (*ReadTx, error) {
+	if len(c.shards) > 1 {
+		// Readers share pmu among themselves; only a 2PC decide (the
+		// write side) excludes them, and only for the duration of the
+		// shard-local decide records — not the decision fsync.
+		c.pmu.RLock()
+		defer c.pmu.RUnlock()
+	}
 	views := make([]*storage.TxView, len(c.shards))
 	for i, m := range c.shards {
 		v, err := m.BeginRead()
@@ -998,6 +1104,81 @@ func (c *Coordinator) Checkpoint() error {
 		c.sink.Emit(obs.SpanEvent{Kind: obs.SpanCheckpoint, Dur: d})
 	}
 	return nil
+}
+
+// CheckpointExclusive checkpoints every shard and runs fn while STILL
+// holding every shard's writer mutex (acquired ascending, pipelines
+// drained). Because a cross-shard transaction holds its dirty shards'
+// mutexes from prepare through the shard-local decide, holding all of
+// them guarantees no 2PC transaction is partially applied anywhere; the
+// flushes and fn then see one atomic cut of the whole database. When fn
+// runs, the data files hold exactly the committed state and the shard
+// WALs and decision log are empty. Backup uses this to copy a
+// consistent snapshot — checkpointing and copying under separate
+// acquisitions (the old Checkpoint-then-Exclusive sequence) left a
+// window where a 2PC commit reached only the later-checkpointed shards'
+// data files, giving the copy half a transaction with no log to repair
+// it.
+func (c *Coordinator) CheckpointExclusive(fn func() error) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	locked := 0
+	var lockErr error
+	for _, m := range c.shards {
+		if lockErr = m.lockWriterDrained(); lockErr != nil {
+			break
+		}
+		locked++
+	}
+	if lockErr != nil {
+		for i := locked - 1; i >= 0; i-- {
+			c.shards[i].unlockWriter()
+		}
+		return lockErr
+	}
+	defer func() {
+		for i := len(c.shards) - 1; i >= 0; i-- {
+			c.shards[i].unlockWriter()
+		}
+	}()
+	single := len(c.shards) == 1 && c.clog == nil
+	var start time.Time
+	if !single && c.timed() {
+		start = time.Now()
+	}
+	for i, m := range c.shards {
+		// The wrapped single manager accounts for its own checkpoint
+		// (count + latency), exactly like Manager.Checkpoint; a sharded
+		// coordinator checkpoints quietly and counts once at its level.
+		if err := m.checkpointLockedOpts(!single); err != nil {
+			if single {
+				return err
+			}
+			return fmt.Errorf("txn: checkpoint shard %d: %w", i, err)
+		}
+	}
+	if !single {
+		c.cmu.Lock()
+		if c.cioErr == nil && !c.noReset {
+			if err := c.clog.Reset(); err != nil {
+				c.poisonCoord(err)
+				c.cmu.Unlock()
+				return fmt.Errorf("txn: coordinator log reset: %w", err)
+			}
+			c.clogBytes.Store(c.clog.Size())
+		}
+		c.cmu.Unlock()
+		c.checkpoints.Add(1)
+		if !start.IsZero() {
+			d := time.Since(start)
+			if c.cm != nil {
+				c.cm.CheckpointNS.ObserveDuration(d)
+			}
+			c.sink.Emit(obs.SpanEvent{Kind: obs.SpanCheckpoint, Dur: d})
+		}
+	}
+	return fn()
 }
 
 // Exclusive runs fn with every shard's writer mutex held (ascending):

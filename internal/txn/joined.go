@@ -39,6 +39,27 @@ func (m *Manager) lockWriter() error {
 // unlockWriter releases the shard's writer mutex.
 func (m *Manager) unlockWriter() { m.mu.Unlock() }
 
+// lockWriterDrained takes the shard's writer mutex with the commit
+// pipeline idle: no batch queued or in flight. Holding the mutex keeps
+// it that way (enqueueing requires the mutex). On error the mutex is
+// NOT held. Unlike lockWriter it tolerates a poisoned shard: callers
+// (checkpoint under Coordinator.CheckpointExclusive) surface the poison
+// themselves and must not deadlock on it.
+func (m *Manager) lockWriterDrained() error {
+	for {
+		m.mu.Lock()
+		if m.isClosed() {
+			m.mu.Unlock()
+			return ErrClosed
+		}
+		if m.gc == nil || m.gc.pipelineIdle() {
+			return nil
+		}
+		m.mu.Unlock()
+		m.gc.waitIdle() // off-lock: the committer may need mu to fail a batch
+	}
+}
+
 // beginJoined starts a shard-local transaction. Caller holds the writer
 // mutex (lockWriter) and keeps it until release.
 func (m *Manager) beginJoined() (oid.TxID, *storage.TxView, *tracker) {
@@ -132,16 +153,18 @@ func (m *Manager) prepareJoinedSync(txid oid.TxID, tr *tracker, gtid uint64) (ep
 	return m.st.Pool().AdvanceEpoch(), nil
 }
 
-// decideJoined writes the shard-local commit record for a prepared 2PC
-// participant and makes the transaction visible to readers. The
-// coordinator's decision record is already durable, so a failure here
-// does not un-commit anything: the shard is poisoned (recovery will
-// finish the job from the prepare record plus the coordinator log) and
-// the in-memory effects are still published — the commit IS durable.
-// Caller holds the writer mutex; the shard's committer is idle for this
-// shard (the prepare ack was the last pipeline activity and the mutex
-// blocks new entrants), so touching the log under logMu is safe.
-func (m *Manager) decideJoined(txid oid.TxID, epoch uint64) error {
+// decideJoinedLog writes (and fsyncs) the shard-local commit record for
+// a prepared 2PC participant. The coordinator's decision record is
+// already durable, so a failure here does not un-commit anything: the
+// shard is poisoned (recovery will finish the job from the prepare
+// record plus the coordinator log) and the caller still publishes — the
+// commit IS durable. Caller holds the writer mutex; the shard's
+// committer is idle for this shard (the prepare ack was the last
+// pipeline activity and the mutex blocks new entrants), so touching the
+// log under logMu is safe. Visibility is the caller's job
+// (publishJoined): the record-write with its fsync is kept out of the
+// coordinator's publication lock so readers never wait on it.
+func (m *Manager) decideJoinedLog(txid oid.TxID) error {
 	m.logMu.Lock()
 	var err error
 	if _, err = m.log.AppendCommit(txid); err == nil && !m.opts.NoSync {
@@ -152,12 +175,23 @@ func (m *Manager) decideJoined(txid oid.TxID, epoch uint64) error {
 	m.logMu.Unlock()
 	if err != nil {
 		m.poison(fmt.Errorf("2pc decide (decision is durable in the coordinator log): %w", err))
+		return err
 	}
-	m.st.Pool().AdvanceDurableTo(epoch)
-	if err == nil && m.gc != nil {
+	if m.gc != nil {
+		// The kick is just a non-blocking channel send; the checkpointer
+		// cannot run until the coordinator releases this shard's mutex,
+		// by which point the epoch is published.
 		m.maybeKickCheckpoint(size)
 	}
-	return err
+	return nil
+}
+
+// publishJoined makes a decided 2PC participant visible to this shard's
+// readers. Split from decideJoinedLog so the coordinator can publish
+// every dirty shard's epoch as one atomic step under its publication
+// lock — a handful of atomic stores, no I/O.
+func (m *Manager) publishJoined(epoch uint64) {
+	m.st.Pool().AdvanceDurableTo(epoch)
 }
 
 // Shard returns the manager's store tagged with its shard slot.

@@ -426,21 +426,32 @@ func Open(dir string, opts Options) (*Manager, error) {
 
 // committedInLog counts committed transactions present in the log: ones
 // with a local commit record, plus prepared ones whose global id the
-// coordinator log decided.
+// coordinator log decided but whose shard-local commit record never
+// landed. A transaction that completed 2PC normally has both its
+// prepare and its commit record in the log; it must count once, not
+// twice.
 func committedInLog(log *wal.Log, decided map[uint64]bool) (uint64, error) {
-	var n uint64
+	committed := map[oid.TxID]bool{}
+	prepared := map[oid.TxID]uint64{}
 	err := log.Scan(func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecCommit:
-			n++
+			committed[rec.Tx] = true
 		case wal.RecPrepare:
-			if decided[rec.GTID] {
-				n++
-			}
+			prepared[rec.Tx] = rec.GTID
 		}
 		return nil
 	})
-	return n, err
+	if err != nil {
+		return 0, err
+	}
+	n := uint64(len(committed))
+	for tx, gtid := range prepared {
+		if decided[gtid] && !committed[tx] {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // recover2 replays committed transactions' page images into the data

@@ -73,6 +73,11 @@ var (
 	// ErrMixedLayout reports a directory containing both the legacy
 	// single-file layout and the sharded layout.
 	ErrMixedLayout = txn.ErrMixedLayout
+	// ErrPartialLayout reports a directory containing shard files but no
+	// shard-count metadata (an interrupted create or a deleted
+	// shards.ode); Open refuses it rather than re-create over the
+	// leftovers.
+	ErrPartialLayout = txn.ErrPartialLayout
 )
 
 // (ErrTxDone is declared alongside Tx in tx.go.)
@@ -262,8 +267,13 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 // View runs fn in a read-only transaction against a snapshot of the
 // most recently committed state. Views run fully concurrently with each
 // other and with Updates: a View neither blocks nor is blocked by a
-// writer (including its commit fsync). The Tx is invalid once fn
-// returns (ErrTxDone on later use).
+// writer (including its commit fsync). On a sharded database the
+// snapshot is taken atomically with respect to cross-shard commits: an
+// Update that touched several shards is visible on all of them or none
+// of them, never torn (single-shard Updates committing while the
+// snapshot is taken may land shard by shard, but each is confined to
+// one shard, so no transaction is ever seen partially). The Tx is
+// invalid once fn returns (ErrTxDone on later use).
 func (db *DB) View(fn func(tx *Tx) error) error {
 	return db.eng.Read(func(ctx *core.Tx) error {
 		tx := &Tx{db: db, ctx: ctx}

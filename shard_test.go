@@ -334,6 +334,255 @@ func TestShardedBackup(t *testing.T) {
 	}
 }
 
+// crossShardPair creates two objects on different shards of db (the
+// engine round-robins fresh objects across shards, so a few tries
+// suffice) and returns them.
+func crossShardPair(t *testing.T, db *DB, parts *Type[Part]) (a, b Ptr[Part]) {
+	t.Helper()
+	n := uint64(db.Shards())
+	if err := db.Update(func(tx *Tx) error {
+		var err error
+		a, err = parts.Create(tx, &Part{Name: "a"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := db.Update(func(tx *Tx) error {
+			var err error
+			b, err = parts.Create(tx, &Part{Name: "b"})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if uint64(b.OID())%n != uint64(a.OID())%n {
+			return a, b
+		}
+	}
+}
+
+// TestShardedBackupAtomicCrossShard races Backup against a writer that
+// keeps two objects on different shards at the same revision with
+// cross-shard (2PC) commits. Every backup must hold one atomic cut:
+// equal revisions. Before CheckpointExclusive, the per-shard
+// checkpoints ran under separate mutex acquisitions, so a 2PC commit
+// landing between them reached only the later-checkpointed shard's
+// data file — and the copied snapshot held half a transaction.
+func TestShardedBackupAtomicCrossShard(t *testing.T) {
+	db, _ := openShardedDB(t, 2, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := crossShardPair(t, db, parts)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			for rev := 1; ; rev++ {
+				select {
+				case <-stop:
+					return nil
+				default:
+				}
+				if err := db.Update(func(tx *Tx) error {
+					if err := a.Set(tx, &Part{Name: "a", Rev: rev}); err != nil {
+						return err
+					}
+					return b.Set(tx, &Part{Name: "b", Rev: rev})
+				}); err != nil {
+					return err
+				}
+			}
+		}()
+	}()
+	for i := 0; i < 4; i++ {
+		dst := t.TempDir()
+		if err := db.Backup(dst); err != nil {
+			t.Fatal(err)
+		}
+		bdb, err := Open(dst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = bdb.View(func(tx *Tx) error {
+			pa, err := a.Deref(tx)
+			if err != nil {
+				return err
+			}
+			pb, err := b.Deref(tx)
+			if err != nil {
+				return err
+			}
+			if pa.Rev != pb.Rev {
+				return fmt.Errorf("backup %d tore a cross-shard transaction: a.Rev=%d b.Rev=%d", i, pa.Rev, pb.Rev)
+			}
+			return nil
+		})
+		if err == nil {
+			err = bdb.CheckIntegrity()
+		}
+		bdb.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedViewAtomicCrossShard asserts a View pins one atomic
+// cross-shard snapshot: a 2PC transaction keeping two objects on
+// different shards at the same revision must never be seen half-applied
+// by a concurrent reader.
+func TestShardedViewAtomicCrossShard(t *testing.T) {
+	db, _ := openShardedDB(t, 2, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := crossShardPair(t, db, parts)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			for rev := 1; ; rev++ {
+				select {
+				case <-stop:
+					return nil
+				default:
+				}
+				if err := db.Update(func(tx *Tx) error {
+					if err := a.Set(tx, &Part{Name: "a", Rev: rev}); err != nil {
+						return err
+					}
+					return b.Set(tx, &Part{Name: "b", Rev: rev})
+				}); err != nil {
+					return err
+				}
+			}
+		}()
+	}()
+	for i := 0; i < 500; i++ {
+		if err := db.View(func(tx *Tx) error {
+			pa, err := a.Deref(tx)
+			if err != nil {
+				return err
+			}
+			pb, err := b.Deref(tx)
+			if err != nil {
+				return err
+			}
+			if pa.Rev != pb.Rev {
+				return fmt.Errorf("view %d saw a torn cross-shard transaction: a.Rev=%d b.Rev=%d", i, pa.Rev, pb.Rev)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialShardedLayoutRefused: shard files without shards.ode — an
+// interrupted create or a deleted superblock — must fail loudly rather
+// than be silently re-created over.
+func TestPartialShardedLayoutRefused(t *testing.T) {
+	db, dir := openShardedDB(t, 2, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		_, err := parts.Create(tx, &Part{Name: "orphan"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, txn.ShardsFileName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); !errors.Is(err, ErrPartialLayout) {
+		t.Fatalf("open of partial layout: %v", err)
+	}
+	// An explicit shard count does not bypass the check either.
+	if _, err := Open(dir, &Options{Shards: 2}); !errors.Is(err, ErrPartialLayout) {
+		t.Fatalf("open of partial layout with Shards=2: %v", err)
+	}
+}
+
+// TestShardedExtentOrderAndEarlyStop: the cross-shard extent merge must
+// stream in global oid order and honour early termination.
+func TestShardedExtentOrderAndEarlyStop(t *testing.T) {
+	db, _ := openShardedDB(t, 4, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			_, err := parts.Create(tx, &Part{Name: fmt.Sprintf("e%d", i)})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.View(func(tx *Tx) error {
+		var seen []uint64
+		if err := parts.Extent(tx, func(p Ptr[Part]) (bool, error) {
+			seen = append(seen, uint64(p.OID()))
+			return true, nil
+		}); err != nil {
+			return err
+		}
+		if len(seen) != n {
+			return fmt.Errorf("extent yielded %d oids, want %d", len(seen), n)
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] <= seen[i-1] {
+				return fmt.Errorf("extent out of order at %d: %d after %d", i, seen[i], seen[i-1])
+			}
+		}
+		// Early stop: fn must be called exactly k times, and the prefix
+		// must match the full scan's.
+		const k = 7
+		var head []uint64
+		if err := parts.Extent(tx, func(p Ptr[Part]) (bool, error) {
+			head = append(head, uint64(p.OID()))
+			return len(head) < k, nil
+		}); err != nil {
+			return err
+		}
+		if len(head) != k {
+			return fmt.Errorf("early stop yielded %d oids, want %d", len(head), k)
+		}
+		for i := range head {
+			if head[i] != seen[i] {
+				return fmt.Errorf("early-stop prefix diverges at %d", i)
+			}
+		}
+		cnt, err := parts.Count(tx)
+		if err != nil {
+			return err
+		}
+		if cnt != n {
+			return fmt.Errorf("count %d, want %d", cnt, n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestShardedMetricsExposition(t *testing.T) {
 	db, _ := openShardedDB(t, 2, nil)
 	parts, err := Register[Part](db, "Part")
