@@ -1,5 +1,27 @@
 GO ?= go
 FUZZTIME ?= 30s
+# Comma-separated soak seeds, e.g. `make soak ODE_SOAK_SEEDS=1,2,3,17`.
+# Empty means the suite's default three (1,2,3).
+ODE_SOAK_SEEDS ?=
+
+# Bare `make` keeps building, as before the help target existed.
+.DEFAULT_GOAL := build
+
+help:
+	@echo "Targets:"
+	@echo "  build    go build ./..."
+	@echo "  test     go test ./..."
+	@echo "  vet      go vet ./..."
+	@echo "  race     full test suite under -race"
+	@echo "  matrix   crash-consistency fault matrix at 1 and 4 shards (-race)"
+	@echo "  soak     metrics-reconciling soak suite at 1 and 4 shards (-race);"
+	@echo "           seeds default to 1,2,3 — override with a comma-separated"
+	@echo "           list, e.g. make soak ODE_SOAK_SEEDS=1,2,3,17,99"
+	@echo "  ycsb     odebench E15 smoke: oracle-checked YCSB workload, all four"
+	@echo "           version shapes at 1 and 4 shards, under -race"
+	@echo "  fuzz     continuous fuzz over every native target, FUZZTIME=$(FUZZTIME) each"
+	@echo "  cover    line coverage, with 85% floors on internal/obs and internal/workload"
+	@echo "  check    build + vet + race + matrix + soak + ycsb"
 
 build:
 	$(GO) build ./...
@@ -31,6 +53,7 @@ matrix:
 fuzz:
 	$(GO) test -fuzz FuzzScanEnd -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -fuzz FuzzBatchTail -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -fuzz FuzzCoordDecisionScan -fuzztime $(FUZZTIME) ./internal/txn
 	$(GO) test -fuzz FuzzReaderOps -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
 
@@ -38,13 +61,22 @@ fuzz:
 # detector: randomized concurrent workloads whose Stats/Metrics
 # counters must reconcile exactly with an in-memory model, plus the
 # tracer fault-isolation tests — at Shards=1 and again at Shards=4
-# (per-shard pipelines, cross-shard 2PC, rolled-up metrics).
+# (per-shard pipelines, cross-shard 2PC, rolled-up metrics). Seeds are
+# configurable: ODE_SOAK_SEEDS=1,2,3,17 runs four seeds per dimension.
 soak:
-	ODE_SHARDS=1 $(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
-	ODE_SHARDS=4 $(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
+	ODE_SHARDS=1 ODE_SOAK_SEEDS=$(ODE_SOAK_SEEDS) $(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
+	ODE_SHARDS=4 ODE_SOAK_SEEDS=$(ODE_SOAK_SEEDS) $(GO) test -race -count=1 -run 'TestSoak|TestStats|TestTracer' .
 
-# Line coverage, with a hard floor on internal/obs: the observability
-# layer is pure bookkeeping, so uncovered lines are untested claims.
+# The E15 oracle-checked workload smoke (EXPERIMENTS.md E15): every
+# version shape at 1 and 4 shards, zipfian + uniform, under -race.
+# Every read in every window is validated against the in-memory
+# reference model; any divergence fails with a seed+trace repro.
+ycsb:
+	$(GO) run -race ./cmd/odebench -scale ci -only E15 -ycsbjson ""
+
+# Line coverage, with hard floors on internal/obs and internal/workload:
+# the observability layer is pure bookkeeping and the workload harness
+# is the correctness oracle — uncovered lines there are untested claims.
 cover:
 	$(GO) test -cover ./...
 	$(GO) test -coverprofile=/tmp/obs.cover ./internal/obs
@@ -52,7 +84,12 @@ cover:
 	  pct = $$3 + 0; \
 	  printf "internal/obs coverage: %s (floor 85%%)\n", $$3; \
 	  if (pct < 85) { print "FAIL: internal/obs below 85% coverage"; exit 1 } }'
+	$(GO) test -coverprofile=/tmp/workload.cover ./internal/workload
+	@$(GO) tool cover -func=/tmp/workload.cover | awk '/^total:/ { \
+	  pct = $$3 + 0; \
+	  printf "internal/workload coverage: %s (floor 85%%)\n", $$3; \
+	  if (pct < 85) { print "FAIL: internal/workload below 85% coverage"; exit 1 } }'
 
-check: build vet race matrix soak
+check: build vet race matrix soak ycsb
 
-.PHONY: build test vet race matrix fuzz soak cover check
+.PHONY: help build test vet race matrix fuzz soak ycsb cover check

@@ -62,10 +62,48 @@ func describeLayout(w io.Writer, dir string) (string, error) {
 	case legacy:
 		return "legacy (single shard)", nil
 	default:
+		// No metadata file of either layout. Shard files without their
+		// shards.ode are a damaged directory, not a fresh one: opening
+		// would quietly create a new database next to the orphaned data,
+		// so refuse with the same error the txn layer raises.
+		if names, err := os.ReadDir(dir); err == nil {
+			for _, e := range names {
+				if isOrphanShardFile(e.Name()) {
+					return "", fmt.Errorf("%w: refusing to dump %s (found %s)", txn.ErrPartialLayout, dir, e.Name())
+				}
+			}
+		}
 		// Neither layout: the open below creates a fresh database (the
 		// historical dump-an-empty-dir behavior).
 		return "fresh (created on open)", nil
 	}
+}
+
+// isOrphanShardFile reports whether name is a per-shard data/WAL file
+// or the coordinator log — the files whose presence without shards.ode
+// marks a partial sharded layout.
+func isOrphanShardFile(name string) bool {
+	if name == txn.CoordWALFileName {
+		return true
+	}
+	var rest string
+	switch {
+	case len(name) > 5 && name[:5] == "data.":
+		rest = name[5:]
+	case len(name) > 4 && name[:4] == "wal.":
+		rest = name[4:]
+	default:
+		return false
+	}
+	if len(rest) != 3 {
+		return false
+	}
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // run parses args and dumps the database to w (separated from main for

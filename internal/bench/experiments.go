@@ -16,12 +16,18 @@ import (
 type Scale struct {
 	// Factor divides iteration counts; 1 = full size.
 	Factor int
+	// Smoke further trims matrix dimensions (shard counts, ABBA
+	// windows) in experiments that have them; `odebench -scale ci`
+	// sets it for the in-CI correctness pass.
+	Smoke bool
 }
 
-// Full is the EXPERIMENTS.md scale; Quick keeps CI fast.
+// Full is the EXPERIMENTS.md scale; Quick keeps CI fast; CI is the
+// smoke mode `make check` runs under -race.
 var (
 	Full  = Scale{Factor: 1}
 	Quick = Scale{Factor: 10}
+	CI    = Scale{Factor: 20, Smoke: true}
 )
 
 func (s Scale) n(full int) int {
@@ -970,5 +976,6 @@ func All() []Experiment {
 		{"E12", "group commit throughput", E12},
 		{"E13", "observability overhead", E13},
 		{"E14", "shard scaling", E14},
+		{"E15", "ycsb versioned workload", E15},
 	}
 }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ode"
+	"ode/internal/workload"
+)
+
+// YCSBJSONPath, when non-empty, is where E15 writes its
+// machine-readable results. cmd/odebench points it at BENCH_ycsb.json
+// in the invocation directory; tests leave it empty.
+var YCSBJSONPath = ""
+
+// YCSBResult is one aggregated E15 cell: a (shape, shards,
+// distribution) triple summed over its measurement windows.
+type YCSBResult struct {
+	Shape       string  `json:"shape"`
+	Shards      int     `json:"shards"`
+	Dist        string  `json:"dist"`
+	Workers     int     `json:"workers"`
+	Objects     int     `json:"objects"`
+	Windows     int     `json:"windows"`
+	Ops         int64   `json:"ops"`
+	Mutations   int64   `json:"mutations"`
+	Reads       int64   `json:"reads"`
+	ExtentScans int64   `json:"extent_scans"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	CommitP50US float64 `json:"commit_p50_us"`
+	CommitP95US float64 `json:"commit_p95_us"`
+	CommitP99US float64 `json:"commit_p99_us"`
+	ReadP50US   float64 `json:"read_p50_us"`
+	ReadP95US   float64 `json:"read_p95_us"`
+	ReadP99US   float64 `json:"read_p99_us"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+}
+
+// ycsbAgg accumulates one (shape, shards, dist) cell across windows.
+type ycsbAgg struct {
+	r          YCSBResult
+	elapsedSec float64
+	commit     ode.HistSnapshot
+	read       ode.HistSnapshot
+}
+
+func (a *ycsbAgg) add(res *workload.Result) {
+	a.r.Windows++
+	a.r.Ops += res.Ops
+	a.r.Mutations += res.Mutations
+	a.r.Reads += res.Reads
+	a.r.ExtentScans += res.ExtentScans
+	a.r.ElapsedMS += res.Elapsed.Milliseconds()
+	a.elapsedSec += res.Elapsed.Seconds()
+	a.commit.Merge(res.CommitLatency)
+	a.read.Merge(res.ReadLatency)
+}
+
+func (a *ycsbAgg) finish() YCSBResult {
+	if a.elapsedSec > 0 {
+		a.r.OpsPerSec = float64(a.r.Ops) / a.elapsedSec
+	}
+	a.r.CommitP50US = usFromNS(a.commit.P50())
+	a.r.CommitP95US = usFromNS(a.commit.P95())
+	a.r.CommitP99US = usFromNS(a.commit.P99())
+	a.r.ReadP50US = usFromNS(a.read.P50())
+	a.r.ReadP95US = usFromNS(a.read.P95())
+	a.r.ReadP99US = usFromNS(a.read.P99())
+	return a.r
+}
+
+// E15 — YCSB-style versioned workload: the internal/workload harness
+// (zipfian key skew, four version shapes, model-based oracle on every
+// read) run as a benchmark across shard counts, ABBA-paired against a
+// uniform-key control. Every window is also a correctness run: any
+// oracle violation fails the experiment with its seed+trace repro.
+func E15(root string, s Scale) (*Table, error) {
+	workers := 8
+	shardCounts := []int{1, 4, 8}
+	// windowDists is the ABBA pairing: skewed/control/control/skewed,
+	// each window on a fresh store with its own seed, so slow drift in
+	// the host cancels out of the skew comparison.
+	windowDists := []workload.KeyDist{workload.KeyZipfian, workload.KeyUniform, workload.KeyUniform, workload.KeyZipfian}
+	if s.Smoke || s.Factor > 1 {
+		// Smoke/quick keep the full shape matrix but shrink everything
+		// else: fewer shards, one window per distribution.
+		workers = 4
+		shardCounts = []int{1, 4}
+		windowDists = []workload.KeyDist{workload.KeyZipfian, workload.KeyUniform}
+	}
+	objects := s.n(2048)
+	opsPerWorker := s.n(1600)
+
+	t := &Table{
+		Title: "E15 — YCSB-style versioned workload (oracle-checked)",
+		Note: fmt.Sprintf("%d workers, %d objects, %d ops/worker per window; every read is validated against the in-memory reference model (internal/workload), so each cell doubles as a correctness run. zipfian windows are ABBA-paired with uniform-key controls on fresh stores; the skew ratio is zipfian/uniform throughput. commit = engine-side Update latency, read = harness-side validated View latency.",
+			workers, objects, opsPerWorker),
+		Headers: []string{"shape", "shards", "dist", "ops/s", "skew ratio", "commit p50/p95/p99 (µs)", "read p50/p95/p99 (µs)"},
+	}
+
+	var results []YCSBResult
+	seed := int64(1500)
+	cell := 0
+	for _, shape := range workload.Shapes() {
+		for _, shards := range shardCounts {
+			aggs := map[workload.KeyDist]*ycsbAgg{}
+			for _, dist := range windowDists {
+				cell++
+				seed++
+				dir := filepath.Join(root, fmt.Sprintf("e15-%03d", cell))
+				res, err := workload.Run(workload.Config{
+					Seed: seed, Dir: dir, Shards: shards, Workers: workers,
+					Objects: objects, OpsPerWorker: opsPerWorker,
+					Shape: shape, Dist: dist,
+					Options: &ode.Options{NoSync: true, CheckpointBytes: -1},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("E15 %s/%d shards/%s: %w", shape, shards, dist, err)
+				}
+				a := aggs[dist]
+				if a == nil {
+					a = &ycsbAgg{r: YCSBResult{
+						Shape: string(shape), Shards: shards, Dist: string(dist),
+						Workers: workers, Objects: objects,
+					}}
+					aggs[dist] = a
+				}
+				a.add(res)
+			}
+			zipf := aggs[workload.KeyZipfian].finish()
+			uni := aggs[workload.KeyUniform].finish()
+			skew := 0.0
+			if uni.OpsPerSec > 0 {
+				skew = zipf.OpsPerSec / uni.OpsPerSec
+			}
+			for _, r := range []YCSBResult{zipf, uni} {
+				results = append(results, r)
+				ratio := "—"
+				if r.Dist == string(workload.KeyZipfian) {
+					ratio = fmt.Sprintf("%.2fx", skew)
+				}
+				t.AddRow(r.Shape, fmt.Sprintf("%d", r.Shards), r.Dist,
+					fmt.Sprintf("%.0f", r.OpsPerSec), ratio,
+					fmt.Sprintf("%.0f/%.0f/%.0f", r.CommitP50US, r.CommitP95US, r.CommitP99US),
+					fmt.Sprintf("%.0f/%.0f/%.0f", r.ReadP50US, r.ReadP95US, r.ReadP99US))
+			}
+		}
+	}
+
+	if YCSBJSONPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string       `json:"experiment"`
+			Results    []YCSBResult `json:"results"`
+		}{"E15-ycsb-versioned-workload", results}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(YCSBJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

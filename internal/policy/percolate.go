@@ -21,8 +21,15 @@ type Percolator struct {
 	mu sync.Mutex
 	// parents maps a component to the composites that contain it.
 	parents map[ode.OID][]ode.OID
-	// inFlight breaks cycles: objects currently being percolated.
-	inFlight map[ode.OID]bool
+	// inFlight breaks cycles per firing transaction: the composites a
+	// cascade is currently percolating, keyed by the firing engine
+	// transaction (ode.Event.Tx, stable for one transaction attempt).
+	// Keying per transaction keeps concurrent transactions from
+	// suppressing each other's percolations, and entries are cleared by
+	// defer so a cross-shard join-order restart — which unwinds the
+	// handler by panic and reruns the whole closure — cannot leave a
+	// stale entry that would silently skip percolation on the rerun.
+	inFlight map[any]map[ode.OID]bool
 	// created counts percolated versions (for the experiment harness).
 	created uint64
 	err     error
@@ -36,7 +43,7 @@ func NewPercolator(db *ode.DB) *Percolator {
 	return &Percolator{
 		db:       db,
 		parents:  make(map[ode.OID][]ode.OID),
-		inFlight: make(map[ode.OID]bool),
+		inFlight: make(map[any]map[ode.OID]bool),
 	}
 }
 
@@ -94,29 +101,59 @@ func (p *Percolator) onNewVersion(e ode.Event) {
 	composites := append([]ode.OID(nil), p.parents[e.Obj]...)
 	p.mu.Unlock()
 	for _, comp := range composites {
-		p.mu.Lock()
-		skip := p.inFlight[comp]
-		if !skip {
-			p.inFlight[comp] = true
-		}
-		p.mu.Unlock()
-		if skip {
-			continue
+		if !p.enter(e.Tx, comp) {
+			continue // already percolating comp in this cascade: a cycle
 		}
 		// We are inside the firing Update transaction and mutate through
 		// its handle, so the percolated versions are atomic with the
 		// triggering change. A failure here is recorded and surfaces via
 		// Err (the kernel treats triggers as notifications and does not
-		// let them veto operations).
-		_, err := tx.NewVersion(comp)
+		// let them veto operations). NewVersion may also panic to restart
+		// the closure when the composite lives on a lower shard than the
+		// triggering object (cross-shard join order); the deferred leave
+		// keeps the in-flight set clean through that unwind.
+		err := func() error {
+			defer p.leave(e.Tx, comp)
+			_, err := tx.NewVersion(comp)
+			return err
+		}()
 		p.mu.Lock()
-		delete(p.inFlight, comp)
 		if err == nil {
 			p.created++
 		} else if p.err == nil {
 			p.err = err
 		}
 		p.mu.Unlock()
+	}
+}
+
+// enter marks comp as being percolated by txKey's cascade; false means
+// the cascade is already percolating it (a Declare cycle) and the
+// caller must skip it.
+func (p *Percolator) enter(txKey any, comp ode.OID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fl := p.inFlight[txKey]
+	if fl[comp] {
+		return false
+	}
+	if fl == nil {
+		fl = make(map[ode.OID]bool)
+		p.inFlight[txKey] = fl
+	}
+	fl[comp] = true
+	return true
+}
+
+// leave clears comp from txKey's cascade, dropping the per-transaction
+// set when it empties so finished transactions leave nothing behind.
+func (p *Percolator) leave(txKey any, comp ode.OID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fl := p.inFlight[txKey]
+	delete(fl, comp)
+	if len(fl) == 0 {
+		delete(p.inFlight, txKey)
 	}
 }
 

@@ -458,3 +458,84 @@ func TestRetentionWatchAll(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPercolationSurvivesCrossOrderRestart is the regression for a bug
+// the E15 workload oracle caught at scale: when the composite lives on
+// a LOWER shard than the triggering component, the percolator's
+// tx.NewVersion(composite) forces a descending shard join, which the
+// coordinator handles by panicking out of the closure and rerunning it
+// with every shard pre-locked. The old percolator kept its
+// cycle-breaking in-flight set in plain (non-deferred) code keyed
+// globally, so the panic left the composite permanently marked
+// in-flight and every subsequent percolation of it — including the
+// rerun's — was silently skipped.
+func TestPercolationSurvivesCrossOrderRestart(t *testing.T) {
+	db, err := ode.Open(t.TempDir(), &ode.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tid, err := db.Engine().RegisterType("Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One object per transaction spreads allocations round-robin across
+	// the shards; collect one composite on shard 0 and one component on
+	// shard 1 (shard = oid mod N, so the id names its shard).
+	var composite, component ode.OID
+	for composite == 0 || component == 0 {
+		var o ode.OID
+		if err := db.Update(func(tx *ode.Tx) error {
+			var err error
+			o, _, err = tx.CreateRaw(tid, []byte("seed"))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		switch uint64(o) % 2 {
+		case 0:
+			if composite == 0 {
+				composite = o
+			}
+		default:
+			if component == 0 {
+				component = o
+			}
+		}
+	}
+	p := NewPercolator(db)
+	p.Declare(composite, component)
+	p.Enable()
+	defer p.Disable()
+
+	// New version of the shard-1 component: the transaction joins shard
+	// 1 first, the in-transaction percolation then joins shard 0 —
+	// descending, so the closure must run exactly twice (the lazy
+	// attempt and the pre-locked rerun).
+	runs := 0
+	if err := db.Update(func(tx *ode.Tx) error {
+		runs++
+		_, err := tx.NewVersion(component)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("closure ran %d times, want 2 (descending join must restart)", runs)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("percolation error: %v", err)
+	}
+	if err := db.View(func(tx *ode.Tx) error {
+		n, err := tx.VersionCount(composite)
+		if err != nil {
+			return err
+		}
+		if n != 2 {
+			t.Fatalf("composite has %d versions, want 2 (percolation lost across restart)", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -437,6 +437,24 @@ func createSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinat
 	return c, nil
 }
 
+// scanDecisions reads the coordinator log's decision records into the
+// set of globally-committed transaction ids. Only commit decisions are
+// recorded (presumed abort); any other record type in the log is
+// ignored, and a torn or corrupt tail ends the scan at the last valid
+// record exactly like WAL recovery does.
+func scanDecisions(clog *wal.Log) (map[uint64]bool, error) {
+	decided := map[uint64]bool{}
+	if err := clog.Scan(func(rec wal.Record) error {
+		if rec.Type == wal.RecCommit {
+			decided[uint64(rec.Tx)] = true
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("txn: coordinator log: %w", err)
+	}
+	return decided, nil
+}
+
 func openSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinator, error) {
 	opts.Storage.FS = fsys
 	// The decision log is read first: shard recovery consults it for
@@ -445,15 +463,10 @@ func openSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinator
 	if err != nil {
 		return nil, err
 	}
-	decided := map[uint64]bool{}
-	if err := clog.Scan(func(rec wal.Record) error {
-		if rec.Type == wal.RecCommit {
-			decided[uint64(rec.Tx)] = true
-		}
-		return nil
-	}); err != nil {
+	decided, err := scanDecisions(clog)
+	if err != nil {
 		clog.Close()
-		return nil, fmt.Errorf("txn: coordinator log: %w", err)
+		return nil, err
 	}
 	c := newShardedCoordinator(dir, opts, n)
 	// Shard recovery is independent (disjoint files, the shared decided

@@ -1,0 +1,568 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"time"
+
+	"ode"
+	"ode/internal/policy"
+)
+
+// --- mutation ops (caller holds ob.mu) ---
+
+// opNewVersion derives a new version from base, gives it fresh content,
+// and mirrors it. The new version's links are validated against the
+// model before the mirror: Dprev must be base, Tprev the old latest.
+func (h *harness) opNewVersion(w, op int, rng *rand.Rand, ob *object, base ode.VID) error {
+	p := h.payload(rng)
+	var nv ode.VID
+	var inf ode.VersionInfo
+	err := h.mutOp(func(tx *ode.Tx) error {
+		var err error
+		if nv, err = tx.NewVersionFrom(ob.oid, base); err != nil {
+			return err
+		}
+		if err = tx.UpdateVersionRaw(ob.oid, nv, p); err != nil {
+			return err
+		}
+		inf, err = tx.Info(ob.oid, nv)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	oldLatest := ob.latest()
+	if inf.Dprev != base {
+		return h.viof(ob, w, op, "newversion(%v): engine Dprev %v, want base %v", base, inf.Dprev, base)
+	}
+	if inf.Tprev != oldLatest {
+		return h.viof(ob, w, op, "newversion(%v): engine Tprev %v, want old latest %v", base, inf.Tprev, oldLatest)
+	}
+	ob.applyNewVersion(base, nv, inf.Stamp)
+	ob.applyUpdate(nv, p)
+	ob.tracef("w%d#%d newversion base=%v -> %v stamp=%d", w, op, base, nv, inf.Stamp)
+	return nil
+}
+
+// opUpdateLatest overwrites the latest version's content in place. The
+// vid the engine reports as latest must match the model's.
+func (h *harness) opUpdateLatest(w, op int, rng *rand.Rand, ob *object) error {
+	p := h.payload(rng)
+	var got ode.VID
+	err := h.mutOp(func(tx *ode.Tx) error {
+		var err error
+		got, err = tx.UpdateLatestRaw(ob.oid, p)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if want := ob.latest(); got != want {
+		return h.viof(ob, w, op, "update-latest: engine latest %v, model %v", got, want)
+	}
+	ob.applyUpdate(got, p)
+	ob.tracef("w%d#%d update-latest %v", w, op, got)
+	return nil
+}
+
+// opUpdateVersion overwrites a random live version in place.
+func (h *harness) opUpdateVersion(w, op int, rng *rand.Rand, ob *object) error {
+	v := ob.randLive(rng)
+	p := h.payload(rng)
+	err := h.mutOp(func(tx *ode.Tx) error {
+		return tx.UpdateVersionRaw(ob.oid, v, p)
+	})
+	if err != nil {
+		return err
+	}
+	ob.applyUpdate(v, p)
+	ob.tracef("w%d#%d update-version %v", w, op, v)
+	return nil
+}
+
+// opDeleteVersion pdeletes a random live version (never the last two —
+// the harness keeps objects alive so the extent stays fixed).
+func (h *harness) opDeleteVersion(w, op int, rng *rand.Rand, ob *object) error {
+	v := ob.randLive(rng)
+	err := h.mutOp(func(tx *ode.Tx) error {
+		return tx.DeleteVersion(ob.oid, v)
+	})
+	if err != nil {
+		return err
+	}
+	ob.applyDelete(v)
+	ob.tracef("w%d#%d pdelete %v", w, op, v)
+	return nil
+}
+
+// --- read checks (caller holds ob.mu; run inside one db.View) ---
+
+// checkLatest validates the generic-ref surface: ReadLatestRaw content
+// and vid, Latest, and the live version count.
+func (h *harness) checkLatest(tx *ode.Tx, w, op int, ob *object) error {
+	want := ob.latest()
+	content, v, err := tx.ReadLatestRaw(ob.oid)
+	if err != nil {
+		return err
+	}
+	if v != want {
+		return h.viof(ob, w, op, "latest: engine vid %v, model %v", v, want)
+	}
+	if !bytes.Equal(content, ob.content[want]) {
+		return h.viof(ob, w, op, "latest %v: engine content %d bytes, model %d bytes", want, len(content), len(ob.content[want]))
+	}
+	lv, err := tx.Latest(ob.oid)
+	if err != nil {
+		return err
+	}
+	if lv != want {
+		return h.viof(ob, w, op, "Latest(): engine %v, model %v", lv, want)
+	}
+	n, err := tx.VersionCount(ob.oid)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(ob.order) {
+		return h.viof(ob, w, op, "version count: engine %d, model %d", n, len(ob.order))
+	}
+	return nil
+}
+
+// checkVersions validates the temporal enumeration and spot-checks one
+// version's stamp.
+func (h *harness) checkVersions(tx *ode.Tx, w, op int, rng *rand.Rand, ob *object) error {
+	vs, err := tx.Versions(ob.oid)
+	if err != nil {
+		return err
+	}
+	if !eqVIDs(vs, ob.order) {
+		return h.viof(ob, w, op, "versions: engine %v, model %v", vs, ob.order)
+	}
+	v := ob.randLive(rng)
+	inf, err := tx.Info(ob.oid, v)
+	if err != nil {
+		return err
+	}
+	if inf.Stamp != ob.stamp[v] {
+		return h.viof(ob, w, op, "stamp of %v: engine %d, model %d", v, inf.Stamp, ob.stamp[v])
+	}
+	if inf.Dprev != ob.dprev[v] {
+		return h.viof(ob, w, op, "Dprev of %v: engine %v, model %v", v, inf.Dprev, ob.dprev[v])
+	}
+	return nil
+}
+
+// checkReadVersion validates a specific-ref deref of a random live
+// version.
+func (h *harness) checkReadVersion(tx *ode.Tx, w, op int, rng *rand.Rand, ob *object) error {
+	v := ob.randLive(rng)
+	content, err := tx.ReadVersionRaw(ob.oid, v)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(content, ob.content[v]) {
+		return h.viof(ob, w, op, "deref %v: engine content %d bytes, model %d bytes", v, len(content), len(ob.content[v]))
+	}
+	return nil
+}
+
+// checkHistory validates the derived-from chain of v back to the root.
+func (h *harness) checkHistory(tx *ode.Tx, w, op int, ob *object, v ode.VID) error {
+	hs, err := tx.History(ob.oid, v)
+	if err != nil {
+		return err
+	}
+	if want := ob.expectHistory(v); !eqVIDs(hs, want) {
+		return h.viof(ob, w, op, "history of %v: engine %v, model %v", v, hs, want)
+	}
+	return nil
+}
+
+// checkTemporal walks the Tprevious chain from latest back to the first
+// version and Tnext forward again, comparing both directions to the
+// model's temporal order.
+func (h *harness) checkTemporal(tx *ode.Tx, w, op int, ob *object) error {
+	var back []ode.VID
+	cur := ob.latest()
+	for cur != 0 {
+		back = append(back, cur)
+		if len(back) > len(ob.order) {
+			return h.viof(ob, w, op, "tprev walk: chain longer than model order (%d live)", len(ob.order))
+		}
+		prev, err := tx.Tprev(ob.oid, cur)
+		if err != nil {
+			return err
+		}
+		cur = prev
+	}
+	if len(back) != len(ob.order) {
+		return h.viof(ob, w, op, "tprev walk: engine chain %d long, model %d", len(back), len(ob.order))
+	}
+	for i, v := range back {
+		if want := ob.order[len(ob.order)-1-i]; v != want {
+			return h.viof(ob, w, op, "tprev walk at %d: engine %v, model %v", i, v, want)
+		}
+	}
+	cur = ob.order[0]
+	for i := 0; cur != 0; i++ {
+		if i >= len(ob.order) || cur != ob.order[i] {
+			return h.viof(ob, w, op, "tnext walk at %d: engine %v, model order %v", i, cur, ob.order)
+		}
+		next, err := tx.Tnext(ob.oid, cur)
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// checkAsOf probes a random stamp straddling the object's stamp range
+// through both the temporal index (AsOf) and the Tprevious walk
+// (AsOfWalk) and compares each against the model.
+func (h *harness) checkAsOf(tx *ode.Tx, w, op int, rng *rand.Rand, ob *object) error {
+	s := randStamp(rng, ob)
+	wantV, wantOK := ob.expectAsOf(s)
+	v, ok, err := tx.AsOf(ob.oid, s)
+	if err != nil {
+		return err
+	}
+	if ok != wantOK || (ok && v != wantV) {
+		return h.viof(ob, w, op, "as-of(%d): engine (%v,%t), model (%v,%t)", s, v, ok, wantV, wantOK)
+	}
+	v, ok, err = tx.AsOfWalk(ob.oid, s)
+	if err != nil {
+		return err
+	}
+	if ok != wantOK || (ok && v != wantV) {
+		return h.viof(ob, w, op, "as-of-walk(%d): engine (%v,%t), model (%v,%t)", s, v, ok, wantV, wantOK)
+	}
+	return nil
+}
+
+// checkGraph validates the alternative-tree surfaces: leaves, one
+// random version's D-children, and its Dprev link.
+func (h *harness) checkGraph(tx *ode.Tx, w, op int, rng *rand.Rand, ob *object) error {
+	leaves, err := tx.Leaves(ob.oid)
+	if err != nil {
+		return err
+	}
+	if want := ob.expectLeaves(); !eqVIDs(leaves, want) {
+		return h.viof(ob, w, op, "leaves: engine %v, model %v", leaves, want)
+	}
+	v := ob.randLive(rng)
+	kids, err := tx.DChildren(ob.oid, v)
+	if err != nil {
+		return err
+	}
+	if want := ob.expectDChildren(v); !eqVIDs(kids, want) {
+		return h.viof(ob, w, op, "dchildren of %v: engine %v, model %v", v, kids, want)
+	}
+	dp, err := tx.Dprev(ob.oid, v)
+	if err != nil {
+		return err
+	}
+	if dp != ob.dprev[v] {
+		return h.viof(ob, w, op, "dprev of %v: engine %v, model %v", v, dp, ob.dprev[v])
+	}
+	return nil
+}
+
+// --- churn (caller holds comp.mu then ob.mu) ---
+
+// churnStep drives the workspace checkout/checkin/abandon cycle on a
+// component with the percolation policy cascading composite versions.
+// pins mirrors the workspace's own pin context for this worker.
+func (h *harness) churnStep(w, op int, rng *rand.Rand, ws *policy.Workspace, pins map[int]ode.VID, ob, comp *object) error {
+	working, pinned := pins[ob.idx]
+	if !pinned {
+		switch roll := rng.Intn(100); {
+		case roll < 55:
+			return h.opCheckout(w, op, ws, pins, ob, comp)
+		case roll < 80:
+			return h.readOp(func(tx *ode.Tx) error { return h.checkWsRead(tx, w, op, ws, pins, ob) })
+		default:
+			return h.readOp(func(tx *ode.Tx) error { return h.checkLatest(tx, w, op, comp) })
+		}
+	}
+	switch roll := rng.Intn(100); {
+	case roll < 35:
+		return h.opWsWrite(w, op, rng, ws, ob, working)
+	case roll < 55:
+		return h.opCheckin(w, op, ws, pins, ob, comp)
+	case roll < 70:
+		return h.opAbandon(w, op, ws, pins, ob, working)
+	case roll < 85:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkWsRead(tx, w, op, ws, pins, ob) })
+	default:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkHistory(tx, w, op, ob, working) })
+	}
+}
+
+// validatePercolation checks that the firing transaction grew the
+// composite by exactly one version derived from its old latest, then
+// mirrors it.
+func (h *harness) validatePercolation(w, op int, comp *object, pv ode.VID, pinf ode.VersionInfo, kind string) error {
+	compBase := comp.latest()
+	if pv == compBase {
+		return h.viof(comp, w, op, "%s: percolation did not version composite %v (latest still %v)", kind, comp.oid, compBase)
+	}
+	if pinf.Dprev != compBase || pinf.Tprev != compBase {
+		return h.viof(comp, w, op, "%s: percolated %v links Dprev=%v Tprev=%v, want both %v", kind, pv, pinf.Dprev, pinf.Tprev, compBase)
+	}
+	comp.applyNewVersion(compBase, pv, pinf.Stamp)
+	comp.tracef("w%d#%d percolate(%s) -> %v stamp=%d", w, op, kind, pv, pinf.Stamp)
+	return nil
+}
+
+// opCheckout derives a working version from the component's latest and
+// pins it in the worker's workspace; percolation must version the
+// composite inside the same firing transaction.
+func (h *harness) opCheckout(w, op int, ws *policy.Workspace, pins map[int]ode.VID, ob, comp *object) error {
+	obBase := ob.latest()
+	var working, pv ode.VID
+	var winf, pinf ode.VersionInfo
+	err := h.mutOp(func(tx *ode.Tx) error {
+		var err error
+		if working, err = ws.Checkout(tx, ob.oid); err != nil {
+			return err
+		}
+		if winf, err = tx.Info(ob.oid, working); err != nil {
+			return err
+		}
+		if pv, err = tx.Latest(comp.oid); err != nil {
+			return err
+		}
+		pinf, err = tx.Info(comp.oid, pv)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if winf.Dprev != obBase {
+		return h.viof(ob, w, op, "checkout: working %v Dprev %v, want latest %v", working, winf.Dprev, obBase)
+	}
+	ob.applyNewVersion(obBase, working, winf.Stamp)
+	ob.tracef("w%d#%d checkout -> %v stamp=%d", w, op, working, winf.Stamp)
+	if err := h.validatePercolation(w, op, comp, pv, pinf, "checkout"); err != nil {
+		return err
+	}
+	pins[ob.idx] = working
+	return nil
+}
+
+// opWsWrite overwrites the pinned working version through the
+// workspace.
+func (h *harness) opWsWrite(w, op int, rng *rand.Rand, ws *policy.Workspace, ob *object, working ode.VID) error {
+	p := h.payload(rng)
+	err := h.mutOp(func(tx *ode.Tx) error {
+		return ws.Write(tx, ob.oid, p)
+	})
+	if err != nil {
+		return err
+	}
+	ob.applyUpdate(working, p)
+	ob.tracef("w%d#%d ws-write %v", w, op, working)
+	return nil
+}
+
+// opCheckin promotes the working version (a new version derived from
+// it) and drops the pin; percolation versions the composite again.
+func (h *harness) opCheckin(w, op int, ws *policy.Workspace, pins map[int]ode.VID, ob, comp *object) error {
+	working := pins[ob.idx]
+	obLatest := ob.latest()
+	var promoted, pv ode.VID
+	var winf, pinf ode.VersionInfo
+	err := h.mutOp(func(tx *ode.Tx) error {
+		var err error
+		if promoted, err = ws.Checkin(tx, ob.oid); err != nil {
+			return err
+		}
+		if winf, err = tx.Info(ob.oid, promoted); err != nil {
+			return err
+		}
+		if pv, err = tx.Latest(comp.oid); err != nil {
+			return err
+		}
+		pinf, err = tx.Info(comp.oid, pv)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if winf.Dprev != working {
+		return h.viof(ob, w, op, "checkin: promoted %v Dprev %v, want working %v", promoted, winf.Dprev, working)
+	}
+	if winf.Tprev != obLatest {
+		return h.viof(ob, w, op, "checkin: promoted %v Tprev %v, want old latest %v", promoted, winf.Tprev, obLatest)
+	}
+	ob.applyNewVersion(working, promoted, winf.Stamp)
+	ob.tracef("w%d#%d checkin %v -> %v stamp=%d", w, op, working, promoted, winf.Stamp)
+	if err := h.validatePercolation(w, op, comp, pv, pinf, "checkin"); err != nil {
+		return err
+	}
+	delete(pins, ob.idx)
+	return nil
+}
+
+// opAbandon pdeletes the working version and drops the pin. Abandon is
+// a plain DeleteVersion, so the percolation trigger does not fire.
+func (h *harness) opAbandon(w, op int, ws *policy.Workspace, pins map[int]ode.VID, ob *object, working ode.VID) error {
+	err := h.mutOp(func(tx *ode.Tx) error {
+		return ws.Abandon(tx, ob.oid)
+	})
+	if err != nil {
+		return err
+	}
+	ob.applyDelete(working)
+	ob.tracef("w%d#%d abandon %v", w, op, working)
+	delete(pins, ob.idx)
+	return nil
+}
+
+// checkWsRead validates the workspace's view of the component: the
+// pinned working version when checked out, the latest otherwise.
+func (h *harness) checkWsRead(tx *ode.Tx, w, op int, ws *policy.Workspace, pins map[int]ode.VID, ob *object) error {
+	content, v, err := ws.Read(tx, ob.oid)
+	if err != nil {
+		return err
+	}
+	want, pinned := pins[ob.idx]
+	if !pinned {
+		want = ob.latest()
+	}
+	if v != want {
+		return h.viof(ob, w, op, "ws-read: engine vid %v, model %v (pinned=%t)", v, want, pinned)
+	}
+	if !bytes.Equal(content, ob.content[want]) {
+		return h.viof(ob, w, op, "ws-read %v: engine content %d bytes, model %d bytes", want, len(content), len(ob.content[want]))
+	}
+	return nil
+}
+
+// --- whole-store checks ---
+
+// checkExtent validates the (possibly cross-shard streaming) extent
+// against the fixed object population: exact sorted equality implies
+// globally ordered and duplicate-free. A second early-stopped scan in
+// the same View checks the prefix contract.
+func (h *harness) checkExtent(w, op int) error {
+	t0 := time.Now()
+	var vio error
+	err := h.db.View(func(tx *ode.Tx) error {
+		seen := make([]ode.OID, 0, len(h.all))
+		if err := tx.Extent(h.tid, func(o ode.OID) (bool, error) {
+			seen = append(seen, o)
+			return true, nil
+		}); err != nil {
+			return err
+		}
+		if len(seen) != len(h.all) {
+			vio = h.viof(nil, w, op, "extent: engine %d objects, model %d", len(seen), len(h.all))
+			return nil
+		}
+		for i := range seen {
+			if seen[i] != h.all[i] {
+				vio = h.viof(nil, w, op, "extent at %d: engine %v, model %v (order/dup violation)", i, seen[i], h.all[i])
+				return nil
+			}
+		}
+		n, err := tx.ExtentCount(h.tid)
+		if err != nil {
+			return err
+		}
+		if n != len(h.all) {
+			vio = h.viof(nil, w, op, "extent count: engine %d, model %d", n, len(h.all))
+			return nil
+		}
+		// Early-stop: the first k results of a stopped scan must be the
+		// same prefix.
+		k := len(h.all)/2 + 1
+		prefix := make([]ode.OID, 0, k)
+		if err := tx.Extent(h.tid, func(o ode.OID) (bool, error) {
+			prefix = append(prefix, o)
+			return len(prefix) < k, nil
+		}); err != nil {
+			return err
+		}
+		if len(prefix) != k {
+			vio = h.viof(nil, w, op, "extent early-stop: got %d results, want %d", len(prefix), k)
+			return nil
+		}
+		for i := range prefix {
+			if prefix[i] != h.all[i] {
+				vio = h.viof(nil, w, op, "extent early-stop at %d: engine %v, model %v", i, prefix[i], h.all[i])
+				return nil
+			}
+		}
+		return nil
+	})
+	h.readHist.ObserveDuration(time.Since(t0))
+	if err != nil {
+		return err
+	}
+	if vio != nil {
+		return vio
+	}
+	h.extentScans.Add(1)
+	return nil
+}
+
+// finalSweep revalidates every object's entire observable state in one
+// snapshot after the workers drain: latest, temporal enumeration and
+// stamps, every live version's content and links, leaves, the latest's
+// history, plus a final extent check.
+func (h *harness) finalSweep() error {
+	err := h.db.View(func(tx *ode.Tx) error {
+		for _, ob := range h.objs {
+			if err := h.checkLatest(tx, -1, -1, ob); err != nil {
+				return err
+			}
+			vs, err := tx.Versions(ob.oid)
+			if err != nil {
+				return err
+			}
+			if !eqVIDs(vs, ob.order) {
+				return h.viof(ob, -1, -1, "final: versions engine %v, model %v", vs, ob.order)
+			}
+			for _, v := range ob.order {
+				inf, err := tx.Info(ob.oid, v)
+				if err != nil {
+					return err
+				}
+				if inf.Stamp != ob.stamp[v] {
+					return h.viof(ob, -1, -1, "final: stamp of %v engine %d, model %d", v, inf.Stamp, ob.stamp[v])
+				}
+				if inf.Dprev != ob.dprev[v] {
+					return h.viof(ob, -1, -1, "final: Dprev of %v engine %v, model %v", v, inf.Dprev, ob.dprev[v])
+				}
+				content, err := tx.ReadVersionRaw(ob.oid, v)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(content, ob.content[v]) {
+					return h.viof(ob, -1, -1, "final: content of %v engine %d bytes, model %d bytes", v, len(content), len(ob.content[v]))
+				}
+			}
+			if err := h.checkTemporal(tx, -1, -1, ob); err != nil {
+				return err
+			}
+			leaves, err := tx.Leaves(ob.oid)
+			if err != nil {
+				return err
+			}
+			if want := ob.expectLeaves(); !eqVIDs(leaves, want) {
+				return h.viof(ob, -1, -1, "final: leaves engine %v, model %v", leaves, want)
+			}
+			if err := h.checkHistory(tx, -1, -1, ob, ob.latest()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return h.checkExtent(-1, -1)
+}

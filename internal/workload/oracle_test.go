@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ode"
+	"ode/internal/policy"
+)
+
+// buildOracle opens a real single-shard store, creates a small
+// population, and grows object 0 into a fork (root with two children,
+// one grandchild) so every traversal surface has structure to disagree
+// about.
+func buildOracle(t *testing.T) *harness {
+	t.Helper()
+	cfg := Config{
+		Seed: 5, Dir: t.TempDir(), Objects: 4, OpsPerWorker: 1,
+		Shape: ShapeTree, Options: &ode.Options{NoSync: true},
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatalf("withDefaults: %v", err)
+	}
+	db, err := ode.Open(cfg.Dir, &ode.Options{NoSync: true, Shards: 1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	tid, err := db.Engine().RegisterType("WorkloadBlob")
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	h := &harness{cfg: cfg, db: db, tid: tid}
+	if err := h.setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	ob := h.objs[0]
+	root := ob.latest()
+	if err := h.opNewVersion(0, 0, rng, ob, root); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := h.opNewVersion(0, 1, rng, ob, root); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := h.opNewVersion(0, 2, rng, ob, ob.latest()); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := h.opUpdateLatest(0, 3, rng, ob); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	return h
+}
+
+// cloneObject deep-copies a model object so a subtest can corrupt it
+// without poisoning the shared harness.
+func cloneObject(ob *object) *object {
+	cp := newObject(ob.idx, ob.oid)
+	cp.order = append([]ode.VID(nil), ob.order...)
+	for k, v := range ob.stamp {
+		cp.stamp[k] = v
+	}
+	for k, v := range ob.content {
+		cp.content[k] = append([]byte(nil), v...)
+	}
+	for k, v := range ob.dprev {
+		cp.dprev[k] = v
+	}
+	cp.minStamp, cp.maxStamp = ob.minStamp, ob.maxStamp
+	cp.trace = append([]string(nil), ob.trace...)
+	return cp
+}
+
+const bogusVID = ode.VID(1 << 40)
+
+// TestOracleRejectsEachSurface corrupts one model fact at a time and
+// asserts the corresponding read check reports a Violation against the
+// real (uncorrupted) store.
+func TestOracleRejectsEachSurface(t *testing.T) {
+	h := buildOracle(t)
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		name    string
+		corrupt func(ob *object)
+		check   func(tx *ode.Tx, ob *object) error
+	}{
+		{"latest vid", func(ob *object) { ob.order = append(ob.order, bogusVID) },
+			func(tx *ode.Tx, ob *object) error { return h.checkLatest(tx, 0, 0, ob) }},
+		{"latest content", func(ob *object) { ob.content[ob.latest()] = []byte("drift") },
+			func(tx *ode.Tx, ob *object) error { return h.checkLatest(tx, 0, 0, ob) }},
+		{"version count", func(ob *object) { ob.order = append([]ode.VID{bogusVID}, ob.order...) },
+			func(tx *ode.Tx, ob *object) error { return h.checkLatest(tx, 0, 0, ob) }},
+		{"versions order", func(ob *object) { ob.order[0], ob.order[1] = ob.order[1], ob.order[0] },
+			func(tx *ode.Tx, ob *object) error { return h.checkVersions(tx, 0, 0, rng, ob) }},
+		{"stamps", func(ob *object) {
+			for v := range ob.stamp {
+				ob.stamp[v] += 1 << 20
+			}
+		}, func(tx *ode.Tx, ob *object) error { return h.checkVersions(tx, 0, 0, rng, ob) }},
+		{"contents", func(ob *object) {
+			for v := range ob.content {
+				ob.content[v] = []byte("drift")
+			}
+		}, func(tx *ode.Tx, ob *object) error { return h.checkReadVersion(tx, 0, 0, rng, ob) }},
+		{"history", func(ob *object) { ob.dprev[ob.latest()] = bogusVID },
+			func(tx *ode.Tx, ob *object) error { return h.checkHistory(tx, 0, 0, ob, ob.latest()) }},
+		{"temporal chain", func(ob *object) { ob.order = ob.order[1:] },
+			func(tx *ode.Tx, ob *object) error { return h.checkTemporal(tx, 0, 0, ob) }},
+		{"temporal order", func(ob *object) { ob.order[0], ob.order[1] = ob.order[1], ob.order[0] },
+			func(tx *ode.Tx, ob *object) error { return h.checkTemporal(tx, 0, 0, ob) }},
+		{"as-of", func(ob *object) {
+			// A model claiming a single ancient bogus version disagrees
+			// with the store at every probe stamp: below the real range
+			// the store misses while the model answers, at or above it
+			// the store answers a real vid.
+			ob.order = []ode.VID{bogusVID}
+			ob.stamp = map[ode.VID]ode.Stamp{bogusVID: 0}
+		}, func(tx *ode.Tx, ob *object) error { return h.checkAsOf(tx, 0, 0, rng, ob) }},
+		{"leaves", func(ob *object) { ob.dprev[bogusVID] = ob.latest() },
+			func(tx *ode.Tx, ob *object) error { return h.checkGraph(tx, 0, 0, rng, ob) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ob := cloneObject(h.objs[0])
+			tc.corrupt(ob)
+			err := h.db.View(func(tx *ode.Tx) error { return tc.check(tx, ob) })
+			var vio *Violation
+			if !errors.As(err, &vio) {
+				t.Fatalf("corrupted model not rejected: %v", err)
+			}
+			if vio.OID != ob.oid {
+				t.Fatalf("violation names %v, want %v", vio.OID, ob.oid)
+			}
+		})
+	}
+}
+
+// TestOracleRejectsMutationDrift corrupts the model's notion of the
+// latest version and asserts the mutation-side link validations fire.
+func TestOracleRejectsMutationDrift(t *testing.T) {
+	h := buildOracle(t)
+	rng := rand.New(rand.NewSource(100))
+
+	t.Run("newversion tprev", func(t *testing.T) {
+		ob := cloneObject(h.objs[1])
+		base := ob.latest()
+		ob.order = append(ob.order, bogusVID) // model now believes a phantom latest
+		err := h.opNewVersion(0, 0, rng, ob, base)
+		var vio *Violation
+		if !errors.As(err, &vio) {
+			t.Fatalf("tprev drift not rejected: %v", err)
+		}
+	})
+	t.Run("update latest vid", func(t *testing.T) {
+		ob := cloneObject(h.objs[2])
+		ob.order = append(ob.order, bogusVID)
+		err := h.opUpdateLatest(0, 0, rng, ob)
+		var vio *Violation
+		if !errors.As(err, &vio) {
+			t.Fatalf("latest drift not rejected: %v", err)
+		}
+	})
+}
+
+// TestOracleRejectsExtentDrift corrupts the expected population and
+// asserts the extent check fires on count and on order.
+func TestOracleRejectsExtentDrift(t *testing.T) {
+	h := buildOracle(t)
+	real := h.all
+
+	h.all = append(append([]ode.OID(nil), real...), ode.OID(1<<50))
+	var vio *Violation
+	if err := h.checkExtent(0, 0); !errors.As(err, &vio) {
+		t.Fatalf("extent count drift not rejected: %v", err)
+	}
+	h.all = append([]ode.OID(nil), real...)
+	h.all[0], h.all[1] = h.all[1], h.all[0]
+	if err := h.checkExtent(0, 0); !errors.As(err, &vio) {
+		t.Fatalf("extent order drift not rejected: %v", err)
+	}
+	h.all = real
+	if err := h.checkExtent(0, 0); err != nil {
+		t.Fatalf("clean extent rejected: %v", err)
+	}
+}
+
+// TestOracleRejectsFinalSweepDrift corrupts per-version facts only the
+// full end-of-run sweep examines.
+func TestOracleRejectsFinalSweepDrift(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(ob *object)
+	}{
+		{"root content", func(ob *object) { ob.content[ob.order[0]] = []byte("drift") }},
+		{"leaves", func(ob *object) { ob.dprev[bogusVID] = ob.latest() }},
+		{"versions", func(ob *object) { ob.order[0], ob.order[1] = ob.order[1], ob.order[0] }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := buildOracle(t)
+			tc.corrupt(h.objs[0])
+			var vio *Violation
+			if err := h.finalSweep(); !errors.As(err, &vio) {
+				t.Fatalf("sweep accepted corrupted model: %v", err)
+			}
+		})
+	}
+}
+
+// TestOracleRejectsWorkspaceDrift checks the churn-side read check
+// against a corrupted pin expectation.
+func TestOracleRejectsWorkspaceDrift(t *testing.T) {
+	h := buildOracle(t)
+	ws := policy.NewWorkspace(h.db, "unit")
+	ob := cloneObject(h.objs[3])
+	pins := map[int]ode.VID{ob.idx: bogusVID} // model believes a phantom checkout
+	err := h.db.View(func(tx *ode.Tx) error { return h.checkWsRead(tx, 0, 0, ws, pins, ob) })
+	var vio *Violation
+	if !errors.As(err, &vio) {
+		t.Fatalf("phantom pin not rejected: %v", err)
+	}
+	// And the clean path: no pin means the workspace reads the latest.
+	err = h.db.View(func(tx *ode.Tx) error { return h.checkWsRead(tx, 0, 0, ws, map[int]ode.VID{}, ob) })
+	if err != nil {
+		t.Fatalf("clean ws read rejected: %v", err)
+	}
+}
+
+// TestRandStampClampsAtZero covers the probe's low-edge clamp.
+func TestRandStampClampsAtZero(t *testing.T) {
+	ob := newObject(0, ode.OID(1))
+	ob.maxStamp = 3 // minStamp left at 0: lo would underflow without the clamp
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 32; i++ {
+		if s := randStamp(rng, ob); s > 4 {
+			t.Fatalf("stamp %d out of range", s)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode"
+	"ode/internal/obs"
+	"ode/internal/policy"
+)
+
+// harness is one run's shared state: the store, the model, and the
+// failure latch.
+type harness struct {
+	cfg  Config
+	db   *ode.DB
+	tid  ode.TypeID
+	objs []*object
+	// all is the sorted oid population; the object set is fixed after
+	// setup (no whole-object deletes), so a concurrent extent scan has
+	// an exact expected answer.
+	all []ode.OID
+	// nComposite partitions the churn population: model indices
+	// [0, nComposite) are composites, the rest components; a component's
+	// composite always has the smaller index, which fixes the lock
+	// order.
+	nComposite int
+	perc       *policy.Percolator
+
+	failed   atomic.Bool
+	failOnce sync.Once
+	firstErr error
+
+	mutations   atomic.Int64
+	reads       atomic.Int64
+	extentScans atomic.Int64
+	mutHist     obs.Histogram
+	readHist    obs.Histogram
+}
+
+func (h *harness) fail(err error) {
+	h.failOnce.Do(func() { h.firstErr = err })
+	h.failed.Store(true)
+}
+
+// viof builds a Violation for ob (nil for store-global checks like the
+// extent scan) at worker w's op index.
+func (h *harness) viof(ob *object, w, op int, format string, args ...any) error {
+	v := &Violation{
+		Seed: h.cfg.Seed, Shape: h.cfg.Shape, Dist: h.cfg.Dist,
+		Shards: h.cfg.Shards, Workers: h.cfg.Workers, Objects: h.cfg.Objects,
+		Worker: w, Op: op, Detail: fmt.Sprintf(format, args...),
+	}
+	if ob != nil {
+		v.OID = ob.oid
+		v.Trace = append([]string(nil), ob.trace...)
+	}
+	return v
+}
+
+func (h *harness) payload(rng *rand.Rand) []byte {
+	p := make([]byte, 8+rng.Intn(h.cfg.PayloadBytes-7))
+	rng.Read(p)
+	return p
+}
+
+// randStamp draws an as-of probe stamp straddling the object's whole
+// stamp range (one below the first ever stamp, one past the newest).
+func randStamp(rng *rand.Rand, ob *object) ode.Stamp {
+	lo := int64(ob.minStamp) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int64(ob.maxStamp) + 1
+	return ode.Stamp(lo + rng.Int63n(hi-lo+1))
+}
+
+// Run executes one workload: open, populate, fan out the worker pool,
+// validate every read against the model, and sweep the final state.
+// The first oracle divergence is returned as a *Violation error.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	opts := &ode.Options{}
+	if cfg.Options != nil {
+		o := *cfg.Options
+		opts = &o
+	}
+	opts.Shards = cfg.Shards
+	db, err := ode.Open(cfg.Dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	tid, err := db.Engine().RegisterType("WorkloadBlob")
+	if err != nil {
+		return nil, err
+	}
+
+	h := &harness{cfg: cfg, db: db, tid: tid}
+	if cfg.Shape == ShapeChurn {
+		if cfg.Objects < 4 {
+			return nil, fmt.Errorf("workload: churn needs at least 4 objects, have %d", cfg.Objects)
+		}
+		h.nComposite = cfg.Objects / 8
+		if h.nComposite < 1 {
+			h.nComposite = 1
+		}
+	}
+	if err := h.setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
+		return nil, err
+	}
+	if cfg.Shape == ShapeChurn {
+		h.perc = policy.NewPercolator(db)
+		for i := h.nComposite; i < cfg.Objects; i++ {
+			h.perc.Declare(h.objs[h.compositeOf(i)].oid, h.objs[i].oid)
+		}
+		h.perc.Enable()
+		defer h.perc.Disable()
+	}
+	if cfg.corrupt != nil {
+		cfg.corrupt(h.objs)
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go h.worker(w, &wg, deadline)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if h.firstErr != nil {
+		return nil, h.firstErr
+	}
+	if h.perc != nil {
+		if err := h.perc.Err(); err != nil {
+			return nil, fmt.Errorf("workload: percolation: %w", err)
+		}
+	}
+	if err := h.finalSweep(); err != nil {
+		return nil, err
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		return nil, fmt.Errorf("workload: integrity check after run: %w", err)
+	}
+
+	res := &Result{
+		Shape: cfg.Shape, Dist: cfg.Dist,
+		Shards: cfg.Shards, Workers: cfg.Workers, Objects: cfg.Objects,
+		Seed:        cfg.Seed,
+		Mutations:   h.mutations.Load(),
+		Reads:       h.reads.Load(),
+		ExtentScans: h.extentScans.Load(),
+		Elapsed:     elapsed,
+	}
+	res.Ops = res.Mutations + res.Reads
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	res.CommitLatency = db.Metrics().CommitLatency
+	res.MutLatency = h.mutHist.Snapshot()
+	res.ReadLatency = h.readHist.Snapshot()
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// setup creates the object population in batches (each batch is one
+// transaction whose creates round-robin across the shards) and seeds
+// the model from the acked vids and stamps. Payloads are drawn before
+// the closure so a cross-shard join restart cannot advance the rng.
+func (h *harness) setup(rng *rand.Rand) error {
+	const batch = 128
+	h.objs = make([]*object, 0, h.cfg.Objects)
+	for len(h.objs) < h.cfg.Objects {
+		n := h.cfg.Objects - len(h.objs)
+		if n > batch {
+			n = batch
+		}
+		pays := make([][]byte, n)
+		for k := range pays {
+			pays[k] = h.payload(rng)
+		}
+		oids := make([]ode.OID, 0, n)
+		vids := make([]ode.VID, 0, n)
+		stamps := make([]ode.Stamp, 0, n)
+		err := h.db.Update(func(tx *ode.Tx) error {
+			oids, vids, stamps = oids[:0], vids[:0], stamps[:0]
+			for k := range pays {
+				o, v, err := tx.CreateRaw(h.tid, pays[k])
+				if err != nil {
+					return err
+				}
+				inf, err := tx.Info(o, v)
+				if err != nil {
+					return err
+				}
+				oids = append(oids, o)
+				vids = append(vids, v)
+				stamps = append(stamps, inf.Stamp)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for k := range oids {
+			ob := newObject(len(h.objs), oids[k])
+			ob.applyCreate(vids[k], stamps[k], pays[k])
+			ob.tracef("setup create %v root=%v stamp=%d", oids[k], vids[k], stamps[k])
+			h.objs = append(h.objs, ob)
+			h.all = append(h.all, oids[k])
+		}
+	}
+	sort.Slice(h.all, func(i, j int) bool { return h.all[i] < h.all[j] })
+	return nil
+}
+
+func (h *harness) compositeOf(i int) int { return (i - h.nComposite) % h.nComposite }
+
+// pickableN is the population the key distribution draws from: churn
+// picks components only (composites change via percolation).
+func (h *harness) pickableN() int {
+	if h.cfg.Shape == ShapeChurn {
+		return h.cfg.Objects - h.nComposite
+	}
+	return h.cfg.Objects
+}
+
+func (h *harness) pick(rng *rand.Rand, zipf *rand.Zipf) int {
+	var d int
+	if zipf != nil {
+		d = int(zipf.Uint64())
+	} else {
+		d = rng.Intn(h.pickableN())
+	}
+	if h.cfg.Shape == ShapeChurn {
+		return h.nComposite + d
+	}
+	return d
+}
+
+// worker runs one goroutine's op stream. Each worker has its own rng
+// (seeded from Config.Seed and the worker index), and for churn its own
+// workspace plus a local pin map mirroring the workspace's context.
+func (h *harness) worker(w int, wg *sync.WaitGroup, deadline time.Time) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(h.cfg.Seed*1_000_003 + int64(w) + 1))
+	var zipf *rand.Zipf
+	if h.cfg.Dist == KeyZipfian {
+		zipf = rand.NewZipf(rng, h.cfg.ZipfS, 1, uint64(h.pickableN()-1))
+	}
+	var ws *policy.Workspace
+	var pins map[int]ode.VID
+	if h.cfg.Shape == ShapeChurn {
+		ws = policy.NewWorkspace(h.db, fmt.Sprintf("w%d", w))
+		pins = map[int]ode.VID{}
+	}
+	for op := 0; ; op++ {
+		if h.failed.Load() {
+			return
+		}
+		if h.cfg.Duration > 0 {
+			if !time.Now().Before(deadline) {
+				return
+			}
+		} else if op >= h.cfg.OpsPerWorker {
+			return
+		}
+		if err := h.step(w, op, rng, zipf, ws, pins); err != nil {
+			h.fail(err)
+			return
+		}
+		if (op+1)%h.cfg.ExtentEvery == 0 {
+			if err := h.checkExtent(w, op); err != nil {
+				h.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// step locks the picked object (and, for churn, its composite first —
+// the composite's smaller model index fixes a global lock order) and
+// runs one generator op against it.
+func (h *harness) step(w, op int, rng *rand.Rand, zipf *rand.Zipf, ws *policy.Workspace, pins map[int]ode.VID) error {
+	i := h.pick(rng, zipf)
+	ob := h.objs[i]
+	if h.cfg.Shape == ShapeChurn {
+		comp := h.objs[h.compositeOf(i)]
+		comp.mu.Lock()
+		defer comp.mu.Unlock()
+		ob.mu.Lock()
+		defer ob.mu.Unlock()
+		return h.churnStep(w, op, rng, ws, pins, ob, comp)
+	}
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	switch h.cfg.Shape {
+	case ShapeLinear:
+		return h.linearStep(w, op, rng, ob)
+	case ShapeTree:
+		return h.treeStep(w, op, rng, ob)
+	default: // ShapeTemporal
+		return h.temporalStep(w, op, rng, ob)
+	}
+}
+
+// mutOp wraps one db.Update in the mutation histogram.
+func (h *harness) mutOp(fn func(tx *ode.Tx) error) error {
+	t0 := time.Now()
+	err := h.db.Update(fn)
+	h.mutHist.ObserveDuration(time.Since(t0))
+	if err == nil {
+		h.mutations.Add(1)
+	}
+	return err
+}
+
+// readOp wraps one validating db.View in the read histogram.
+func (h *harness) readOp(fn func(tx *ode.Tx) error) error {
+	t0 := time.Now()
+	err := h.db.View(fn)
+	h.readHist.ObserveDuration(time.Since(t0))
+	if err == nil {
+		h.reads.Add(1)
+	}
+	return err
+}
+
+// --- shape generators ---
+
+// linearStep grows a linear revision chain: newversion-on-latest and
+// in-place latest updates, read back through the latest/history/
+// temporal surfaces.
+func (h *harness) linearStep(w, op int, rng *rand.Rand, ob *object) error {
+	switch roll := rng.Intn(100); {
+	case roll < 25:
+		return h.opNewVersion(w, op, rng, ob, ob.latest())
+	case roll < 40:
+		return h.opUpdateLatest(w, op, rng, ob)
+	case roll < 55:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkLatest(tx, w, op, ob) })
+	case roll < 65:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkVersions(tx, w, op, rng, ob) })
+	case roll < 75:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkHistory(tx, w, op, ob, ob.latest()) })
+	case roll < 85:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkTemporal(tx, w, op, ob) })
+	case roll < 95:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkAsOf(tx, w, op, rng, ob) })
+	default:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkReadVersion(tx, w, op, rng, ob) })
+	}
+}
+
+// treeStep grows a wide alternative tree: derivation from random live
+// bases, in-place version edits, pdelete splicing; validated through
+// leaves/D-children/history.
+func (h *harness) treeStep(w, op int, rng *rand.Rand, ob *object) error {
+	switch roll := rng.Intn(100); {
+	case roll < 15:
+		return h.opNewVersion(w, op, rng, ob, ob.latest())
+	case roll < 30:
+		return h.opNewVersion(w, op, rng, ob, ob.randLive(rng))
+	case roll < 40:
+		return h.opUpdateVersion(w, op, rng, ob)
+	case roll < 50:
+		if len(ob.order) < 3 {
+			return h.opNewVersion(w, op, rng, ob, ob.randLive(rng))
+		}
+		return h.opDeleteVersion(w, op, rng, ob)
+	case roll < 62:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkGraph(tx, w, op, rng, ob) })
+	case roll < 74:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkHistory(tx, w, op, ob, ob.randLive(rng)) })
+	case roll < 84:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkVersions(tx, w, op, rng, ob) })
+	case roll < 94:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkLatest(tx, w, op, ob) })
+	default:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkAsOf(tx, w, op, rng, ob) })
+	}
+}
+
+// temporalStep grows chains and reads them back as of random pinned
+// stamps, cross-checking the temporal index against the Tprevious walk.
+func (h *harness) temporalStep(w, op int, rng *rand.Rand, ob *object) error {
+	switch roll := rng.Intn(100); {
+	case roll < 30:
+		return h.opNewVersion(w, op, rng, ob, ob.latest())
+	case roll < 40:
+		return h.opUpdateLatest(w, op, rng, ob)
+	case roll < 65:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkAsOf(tx, w, op, rng, ob) })
+	case roll < 80:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkTemporal(tx, w, op, ob) })
+	case roll < 90:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkVersions(tx, w, op, rng, ob) })
+	default:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkLatest(tx, w, op, ob) })
+	}
+}

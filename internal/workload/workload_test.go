@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ode"
+)
+
+func tinyCfg(t *testing.T, shape Shape, shards int, seed int64) Config {
+	t.Helper()
+	return Config{
+		Seed:         seed,
+		Dir:          t.TempDir(),
+		Shards:       shards,
+		Workers:      4,
+		Objects:      24,
+		OpsPerWorker: 150,
+		Shape:        shape,
+		ExtentEvery:  40,
+		Options:      &ode.Options{NoSync: true},
+	}
+}
+
+// TestShapesAcrossShards is the package's core claim: every shape runs
+// with zero oracle violations at 1 and 4 shards.
+func TestShapesAcrossShards(t *testing.T) {
+	for _, shape := range Shapes() {
+		for _, shards := range []int{1, 4} {
+			shape, shards := shape, shards
+			t.Run(string(shape)+"/shards="+itoa(shards), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(tinyCfg(t, shape, shards, 42))
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if res.Ops != res.Mutations+res.Reads {
+					t.Fatalf("ops %d != mutations %d + reads %d", res.Ops, res.Mutations, res.Reads)
+				}
+				if res.Mutations == 0 || res.Reads == 0 {
+					t.Fatalf("degenerate run: mutations=%d reads=%d", res.Mutations, res.Reads)
+				}
+				if res.ExtentScans == 0 {
+					t.Fatalf("no extent scans ran")
+				}
+				if res.OpsPerSec <= 0 {
+					t.Fatalf("ops/sec not computed: %v", res.OpsPerSec)
+				}
+				if res.MutLatency.Count == 0 || res.ReadLatency.Count == 0 {
+					t.Fatalf("latency histograms empty: mut=%d read=%d", res.MutLatency.Count, res.ReadLatency.Count)
+				}
+				if res.CommitLatency.Count == 0 {
+					t.Fatalf("engine commit histogram empty")
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// TestUniformControl runs the unskewed control distribution.
+func TestUniformControl(t *testing.T) {
+	cfg := tinyCfg(t, ShapeLinear, 1, 7)
+	cfg.Dist = KeyUniform
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Dist != KeyUniform {
+		t.Fatalf("result dist = %q", res.Dist)
+	}
+}
+
+// TestDurationBound runs in wall-clock mode.
+func TestDurationBound(t *testing.T) {
+	cfg := tinyCfg(t, ShapeTemporal, 1, 9)
+	cfg.OpsPerWorker = 0
+	cfg.Duration = 150 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Elapsed < cfg.Duration {
+		t.Fatalf("elapsed %v < duration bound %v", res.Elapsed, cfg.Duration)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("no ops in %v", res.Elapsed)
+	}
+}
+
+// TestOracleCatchesGraphDrift corrupts the model's derived-from link of
+// one root version; nothing the generator does can mask it, so the run
+// must fail with a Violation carrying the repro recipe.
+func TestOracleCatchesGraphDrift(t *testing.T) {
+	cfg := tinyCfg(t, ShapeLinear, 4, 11)
+	cfg.corrupt = func(objs []*object) {
+		ob := objs[0]
+		ob.dprev[ob.order[0]] = ode.VID(1 << 40)
+	}
+	_, err := Run(cfg)
+	var vio *Violation
+	if !errors.As(err, &vio) {
+		t.Fatalf("want *Violation, got %v", err)
+	}
+	if vio.Seed != cfg.Seed || vio.Shape != cfg.Shape || vio.Shards != cfg.Shards {
+		t.Fatalf("violation repro fields wrong: %+v", vio)
+	}
+	msg := err.Error()
+	for _, want := range []string{"oracle violation", "repro: seed=11", "shape=linear", "shards=4"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("violation message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestOracleCatchesStampDrift corrupts a root version's recorded stamp;
+// the final sweep (at the latest) must reject it and include the
+// object's op trace.
+func TestOracleCatchesStampDrift(t *testing.T) {
+	cfg := tinyCfg(t, ShapeTemporal, 1, 13)
+	cfg.corrupt = func(objs []*object) {
+		ob := objs[0]
+		ob.stamp[ob.order[0]] += 1 << 30
+	}
+	_, err := Run(cfg)
+	var vio *Violation
+	if !errors.As(err, &vio) {
+		t.Fatalf("want *Violation, got %v", err)
+	}
+	if len(vio.Trace) == 0 {
+		t.Fatalf("violation carries no op trace")
+	}
+	if !strings.Contains(err.Error(), "object op trace") {
+		t.Fatalf("violation message missing trace section:\n%s", err.Error())
+	}
+}
+
+// TestDeterministicOpStreams: same seed, same generator decisions — a
+// single-worker run (no interleaving feeding back into the generator)
+// produces identical op counts on replay.
+func TestDeterministicOpStreams(t *testing.T) {
+	cfg := tinyCfg(t, ShapeTree, 1, 21)
+	cfg.Workers = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	cfg.Dir = t.TempDir()
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	if a.Mutations != b.Mutations || a.Reads != b.Reads {
+		t.Fatalf("same seed diverged: a=(%d,%d) b=(%d,%d)", a.Mutations, a.Reads, b.Mutations, b.Reads)
+	}
+}
+
+// TestConfigValidation exercises withDefaults' rejection paths.
+func TestConfigValidation(t *testing.T) {
+	base := func() Config { return tinyCfg(t, ShapeLinear, 1, 1) }
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no dir", func(c *Config) { c.Dir = "" }, "Dir is required"},
+		{"too few objects", func(c *Config) { c.Objects = 1 }, "at least 2 objects"},
+		{"no bound", func(c *Config) { c.OpsPerWorker = 0; c.Duration = 0 }, "OpsPerWorker or Duration"},
+		{"bad shape", func(c *Config) { c.Shape = "spiral" }, "unknown shape"},
+		{"bad dist", func(c *Config) { c.Dist = "gaussian" }, "unknown key distribution"},
+		{"churn too small", func(c *Config) { c.Shape = ShapeChurn; c.Objects = 3 }, "churn needs at least 4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			_, err := Run(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestConfigDefaults checks the fill-in side of withDefaults.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Dir: "x", Objects: 2, OpsPerWorker: 1, Shape: ShapeLinear}
+	got, err := c.withDefaults()
+	if err != nil {
+		t.Fatalf("withDefaults: %v", err)
+	}
+	if got.Shards != 1 || got.Workers != 4 || got.Dist != KeyZipfian ||
+		got.ZipfS <= 1 || got.PayloadBytes < 8 || got.ExtentEvery < 1 {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+}
+
+// TestModelDeleteSplice unit-tests the model's pdelete semantics:
+// children re-parent, the temporal order closes, leaves and as-of
+// answers follow.
+func TestModelDeleteSplice(t *testing.T) {
+	ob := newObject(0, ode.OID(1))
+	v1, v2, v3, v4 := ode.VID(1), ode.VID(2), ode.VID(3), ode.VID(4)
+	ob.applyCreate(v1, 10, []byte("a"))
+	ob.applyNewVersion(v1, v2, 20) // linear successor
+	ob.applyNewVersion(v1, v3, 30) // alternative off the root
+	ob.applyNewVersion(v2, v4, 40)
+
+	if got := ob.expectHistory(v4); !eqVIDs(got, []ode.VID{v4, v2, v1}) {
+		t.Fatalf("history(v4) = %v", got)
+	}
+	if got := ob.expectDChildren(v1); !eqVIDs(got, []ode.VID{v2, v3}) {
+		t.Fatalf("dchildren(v1) = %v", got)
+	}
+	if got := ob.expectLeaves(); !eqVIDs(got, []ode.VID{v3, v4}) {
+		t.Fatalf("leaves = %v", got)
+	}
+	if v, ok := ob.expectAsOf(25); !ok || v != v2 {
+		t.Fatalf("asof(25) = (%v,%t)", v, ok)
+	}
+	if _, ok := ob.expectAsOf(5); ok {
+		t.Fatalf("asof(5) before the first stamp should miss")
+	}
+
+	ob.applyDelete(v2)
+	if !eqVIDs(ob.order, []ode.VID{v1, v3, v4}) {
+		t.Fatalf("order after delete = %v", ob.order)
+	}
+	if ob.dprev[v4] != v1 {
+		t.Fatalf("v4 did not re-parent to v1: %v", ob.dprev[v4])
+	}
+	if got := ob.expectHistory(v4); !eqVIDs(got, []ode.VID{v4, v1}) {
+		t.Fatalf("history(v4) after splice = %v", got)
+	}
+	if v, ok := ob.expectAsOf(25); !ok || v != v1 {
+		t.Fatalf("asof(25) after delete = (%v,%t)", v, ok)
+	}
+	if ob.minStamp != 10 || ob.maxStamp != 40 {
+		t.Fatalf("stamp range = [%d,%d]", ob.minStamp, ob.maxStamp)
+	}
+}
+
+// TestTraceRing checks the bounded repro trace keeps only the newest
+// traceCap lines.
+func TestTraceRing(t *testing.T) {
+	ob := newObject(0, ode.OID(1))
+	for i := 0; i < traceCap+10; i++ {
+		ob.tracef("line %d", i)
+	}
+	if len(ob.trace) != traceCap {
+		t.Fatalf("trace len = %d, want %d", len(ob.trace), traceCap)
+	}
+	if ob.trace[0] != "line 10" || ob.trace[traceCap-1] != "line 57" {
+		t.Fatalf("trace window = [%s .. %s]", ob.trace[0], ob.trace[len(ob.trace)-1])
+	}
+	if ob.traceN != traceCap+10 {
+		t.Fatalf("traceN = %d", ob.traceN)
+	}
+}

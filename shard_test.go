@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -751,5 +752,183 @@ func TestSoakShardedWriters(t *testing.T) {
 	st := db2.Stats()
 	if st.Objects != writers || st.Versions != uint64(writers*(versions+1)) {
 		t.Fatalf("after reopen: %d objects, %d versions", st.Objects, st.Versions)
+	}
+}
+
+// TestShardedExtentMergeDuringCrossShard2PC is the regression net over
+// the PR 5 fix that made the cross-shard streaming Extent merge read
+// one torn-free published epoch: while writers land cross-shard 2PC
+// commits that create new objects and touch two shards per
+// transaction, every concurrent extent scan must be globally ordered,
+// duplicate-free, and include every object whose commit completed
+// before the scan's View began.
+func TestShardedExtentMergeDuringCrossShard2PC(t *testing.T) {
+	db, _ := openShardedDB(t, 4, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers   = 4
+		perWriter = 30
+	)
+	// Each writer gets an anchor pair pinned to different shards so
+	// every iteration's Update is a genuine 2PC commit.
+	anchorsA := make([]Ptr[Part], writers)
+	anchorsB := make([]Ptr[Part], writers)
+	var (
+		mu        sync.Mutex
+		committed []OID
+	)
+	for w := range anchorsA {
+		anchorsA[w], anchorsB[w] = crossShardPair(t, db, parts)
+		committed = append(committed, anchorsA[w].OID(), anchorsB[w].OID())
+	}
+
+	snapshot := func() []OID {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]OID(nil), committed...)
+	}
+
+	var wg sync.WaitGroup
+	writerErrs := make([]error, writers)
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, b := anchorsA[w], anchorsB[w]
+			for i := 0; i < perWriter; i++ {
+				var created Ptr[Part]
+				err := db.Update(func(tx *Tx) error {
+					var err error
+					// Create + two updates on distinct shards: the
+					// commit prepares several shards and decides
+					// through the coordinator log.
+					if created, err = parts.Create(tx, &Part{Name: fmt.Sprintf("c%d-%d", w, i)}); err != nil {
+						return err
+					}
+					if err := a.Modify(tx, func(p *Part) { p.Rev++ }); err != nil {
+						return err
+					}
+					return b.Modify(tx, func(p *Part) { p.Rev++ })
+				})
+				if err != nil {
+					writerErrs[w] = fmt.Errorf("writer %d iter %d: %w", w, i, err)
+					return
+				}
+				// Only after Update returns is the commit's epoch
+				// published; from here on every scan must see it.
+				mu.Lock()
+				committed = append(committed, created.OID())
+				mu.Unlock()
+			}
+		}()
+	}
+
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(scanErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mustSee := snapshot()
+			var seen []OID
+			err := db.View(func(tx *Tx) error {
+				if err := parts.Extent(tx, func(p Ptr[Part]) (bool, error) {
+					seen = append(seen, p.OID())
+					return true, nil
+				}); err != nil {
+					return err
+				}
+				// Early-stop inside the same View pins the same merge
+				// sources: the prefix must match the full scan.
+				k := len(seen)/2 + 1
+				var head []OID
+				if err := parts.Extent(tx, func(p Ptr[Part]) (bool, error) {
+					head = append(head, p.OID())
+					return len(head) < k, nil
+				}); err != nil {
+					return err
+				}
+				if len(head) != k {
+					return fmt.Errorf("early stop yielded %d oids, want %d", len(head), k)
+				}
+				for i := range head {
+					if head[i] != seen[i] {
+						return fmt.Errorf("early-stop prefix diverges at %d: %v vs %v", i, head[i], seen[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				scanErr <- err
+				return
+			}
+			for i := 1; i < len(seen); i++ {
+				if seen[i] <= seen[i-1] {
+					scanErr <- fmt.Errorf("extent not globally ordered/duplicate-free at %d: %v after %v", i, seen[i], seen[i-1])
+					return
+				}
+			}
+			have := make(map[OID]bool, len(seen))
+			for _, o := range seen {
+				have[o] = true
+			}
+			for _, o := range mustSee {
+				if !have[o] {
+					scanErr <- fmt.Errorf("extent scan missing %v, committed before the View began", o)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err, ok := <-scanErr; ok && err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range writerErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiescent: the final scan is exactly the committed set.
+	final := snapshot()
+	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	if err := db.View(func(tx *Tx) error {
+		var seen []OID
+		if err := parts.Extent(tx, func(p Ptr[Part]) (bool, error) {
+			seen = append(seen, p.OID())
+			return true, nil
+		}); err != nil {
+			return err
+		}
+		if len(seen) != len(final) {
+			return fmt.Errorf("final extent has %d oids, want %d", len(seen), len(final))
+		}
+		for i := range seen {
+			if seen[i] != final[i] {
+				return fmt.Errorf("final extent diverges at %d: %v vs %v", i, seen[i], final[i])
+			}
+		}
+		n, err := parts.Count(tx)
+		if err != nil {
+			return err
+		}
+		if n != len(final) {
+			return fmt.Errorf("final count %d, want %d", n, len(final))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -16,6 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -334,8 +337,35 @@ func runSoak(t *testing.T, seed int64) {
 	}
 }
 
+// soakSeeds returns the seeds to soak: the ODE_SOAK_SEEDS environment
+// variable as a comma-separated list (e.g. ODE_SOAK_SEEDS=1,2,3,17 for
+// a longer hunt; see `make help`), defaulting to the standard three.
+func soakSeeds(t *testing.T) []int64 {
+	t.Helper()
+	env := os.Getenv("ODE_SOAK_SEEDS")
+	if env == "" {
+		return []int64{1, 2, 3}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(env, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			t.Fatalf("ODE_SOAK_SEEDS: bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		t.Fatalf("ODE_SOAK_SEEDS set but empty: %q", env)
+	}
+	return seeds
+}
+
 func TestSoakMetricsReconciliation(t *testing.T) {
-	for _, seed := range []int64{1, 2, 3} {
+	for _, seed := range soakSeeds(t) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runSoak(t, seed) })
 	}
 }
