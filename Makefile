@@ -20,6 +20,7 @@ help:
 	@echo "  ycsb     odebench E15 smoke: oracle-checked YCSB workload, all four"
 	@echo "           version shapes at 1 and 4 shards, under -race"
 	@echo "  fuzz     continuous fuzz over every native target, FUZZTIME=$(FUZZTIME) each"
+	@echo "  fuzz-smoke  same targets at 10s each — the CI tier"
 	@echo "  cover    line coverage, with 85% floors on internal/obs and internal/workload"
 	@echo "  check    build + vet + race + matrix + soak + ycsb"
 
@@ -57,6 +58,11 @@ fuzz:
 	$(GO) test -fuzz FuzzReaderOps -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
 
+# The 10-second-per-target tier CI runs on every push: long enough to
+# explore past the seed corpora, short enough for a PR gate.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
+
 # Metrics-reconciling soak suite (soak_test.go) under the race
 # detector: randomized concurrent workloads whose Stats/Metrics
 # counters must reconcile exactly with an in-memory model, plus the
@@ -92,4 +98,4 @@ cover:
 
 check: build vet race matrix soak ycsb
 
-.PHONY: help build test vet race matrix fuzz soak ycsb cover check
+.PHONY: help build test vet race matrix fuzz fuzz-smoke soak ycsb cover check

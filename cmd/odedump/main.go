@@ -40,11 +40,13 @@ func describeLayout(w io.Writer, dir string) (string, error) {
 	case legacy && sharded:
 		return "", fmt.Errorf("%w: refusing to dump %s", txn.ErrMixedLayout, dir)
 	case sharded:
-		n, err := txn.ReadShardsMeta(nil, dir)
+		st, err := txn.ReadShardsState(nil, dir)
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(w, "shard files:  %s (%d shards)\n", txn.ShardsFileName, n)
+		n := st.Map.N()
+		fmt.Fprintf(w, "shard files:  %s (%d logical, %d physical, created %d)\n",
+			txn.ShardsFileName, n, st.Phys, st.Created)
 		size := func(name string) string {
 			fi, err := os.Stat(filepath.Join(dir, name))
 			if err != nil {
@@ -52,12 +54,24 @@ func describeLayout(w io.Writer, dir string) (string, error) {
 			}
 			return fmt.Sprintf("%d bytes", fi.Size())
 		}
-		for i := 0; i < n; i++ {
+		for i := 0; i < st.Phys; i++ {
 			fmt.Fprintf(w, "  %s %s, %s %s\n",
 				txn.ShardDataFileName(i), size(txn.ShardDataFileName(i)),
 				txn.ShardWALFileName(i), size(txn.ShardWALFileName(i)))
 		}
 		fmt.Fprintf(w, "  %s %s\n", txn.CoordWALFileName, size(txn.CoordWALFileName))
+		// The persisted routing map: one line per contiguous id range.
+		// Undecided flips in the coordinator log may supersede it at
+		// open; an epoch above 0 marks a database that has resharded.
+		fmt.Fprintf(w, "shard map:    epoch %d, %d ranges\n", st.Map.Epoch(), len(st.Map.Ranges()))
+		ranges := st.Map.Ranges()
+		for i, r := range ranges {
+			hi := "end"
+			if i+1 < len(ranges) {
+				hi = fmt.Sprintf("%#x", ranges[i+1].Start)
+			}
+			fmt.Fprintf(w, "  [%#x, %s) -> shard %d\n", r.Start, hi, r.Shard)
+		}
 		return fmt.Sprintf("sharded (%d)", n), nil
 	case legacy:
 		return "legacy (single shard)", nil
@@ -158,6 +172,12 @@ func run(args []string, w io.Writer) error {
 				census.Records, census.SlottedLiveBytes, census.SlottedFreeBytes)
 			return nil
 		})
+	}
+	// Live routing state (may be newer than the persisted frame when an
+	// undecided flip was recovered from the coordinator log).
+	if m := db.Engine().Coordinator().Map(); m.Epoch() > 0 {
+		fmt.Fprintf(w, "routing:      epoch %d, %d logical shards, %d ranges\n",
+			m.Epoch(), m.N(), len(m.Ranges()))
 	}
 	fmt.Fprintln(w)
 

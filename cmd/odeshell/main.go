@@ -17,6 +17,8 @@
 //	asof <oid> <stamp>            historical lookup
 //	ls <type>                     extent listing
 //	stats                         database statistics
+//	shards                        per-shard breakdown and the shard map
+//	reshard <n>                   live split/merge to n logical shards
 //	check                         integrity check
 //	quit
 package main
@@ -74,7 +76,7 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Fprintln(s.out, "types | new <type> <text> | show <oid> | read <oid> [vid] | set <oid> <vid> <text>")
 		fmt.Fprintln(s.out, "nv <oid> [vid] | del <oid> [vid] | hist <oid> <vid> | leaves <oid> | asof <oid> <stamp>")
-		fmt.Fprintln(s.out, "ls <type> | stats | metrics | check | quit")
+		fmt.Fprintln(s.out, "ls <type> | stats | shards | reshard <n> | metrics | check | quit")
 		return nil
 	case "types":
 		return s.db.View(func(tx *ode.Tx) error {
@@ -279,6 +281,46 @@ func (s *shell) exec(line string) error {
 	case "stats":
 		st := s.db.Stats()
 		fmt.Fprintf(s.out, "%+v\n", st)
+		return nil
+	case "shards":
+		c := s.db.Engine().Coordinator()
+		m := c.Map()
+		fmt.Fprintf(s.out, "%d logical / %d physical shards, map epoch %d\n",
+			c.N(), c.NumShards(), m.Epoch())
+		per := s.db.Engine().ShardStats()
+		for i, sm := range c.Shards() {
+			ms := sm.Stats()
+			var objs, vers uint64
+			if i < len(per) {
+				objs, vers = per[i].Objects, per[i].Versions
+			}
+			fmt.Fprintf(s.out, "  shard %d: %d objects, %d versions, %d commits, %d aborts, %d WAL bytes\n",
+				i, objs, vers, ms.Commits, ms.Aborts, ms.WALBytes)
+		}
+		ranges := m.Ranges()
+		fmt.Fprintf(s.out, "map (%d ranges):\n", len(ranges))
+		for i, r := range ranges {
+			hi := "end"
+			if i+1 < len(ranges) {
+				hi = fmt.Sprintf("%#x", ranges[i+1].Start)
+			}
+			fmt.Fprintf(s.out, "  [%#x, %s) -> shard %d\n", r.Start, hi, r.Shard)
+		}
+		return nil
+	case "reshard":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: reshard <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("bad shard count %q", args[0])
+		}
+		if err := s.db.Reshard(n); err != nil {
+			return err
+		}
+		rp := s.db.ReshardProgress()
+		fmt.Fprintf(s.out, "resharded to %d logical shards: %d chunks, %d objects, %d versions moved\n",
+			s.db.Shards(), rp.Chunks, rp.Objects, rp.Versions)
 		return nil
 	case "metrics", ".metrics":
 		// Prometheus text exposition: counters, gauges and latency

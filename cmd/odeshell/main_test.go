@@ -68,6 +68,42 @@ func TestShellSession(t *testing.T) {
 	}
 }
 
+func TestShellShardsAndReshard(t *testing.T) {
+	db, err := ode.Open(t.TempDir(), &ode.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	var sb strings.Builder
+	sh := &shell{db: db, out: &sb}
+	for i := 0; i < 8; i++ {
+		mustExec(t, sh, "new part some content")
+	}
+	mustExec(t, sh, "shards")
+	mustExec(t, sh, "reshard 4")
+	mustExec(t, sh, "shards")
+	mustExec(t, sh, "check")
+	got := sb.String()
+	for _, want := range []string{
+		"2 logical / 2 physical shards",
+		"resharded to 4 logical shards",
+		"4 logical / 4 physical shards",
+		"shard 3:",
+		"-> shard 0",
+		"ok",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if err := sh.exec("reshard x"); err == nil {
+		t.Fatal("reshard x: expected error")
+	}
+	if err := sh.exec("reshard"); err == nil {
+		t.Fatal("bare reshard: expected error")
+	}
+}
+
 func TestShellDelete(t *testing.T) {
 	sh, _ := testShell(t)
 	mustExec(t, sh, "new doc hello")

@@ -977,5 +977,6 @@ func All() []Experiment {
 		{"E13", "observability overhead", E13},
 		{"E14", "shard scaling", E14},
 		{"E15", "ycsb versioned workload", E15},
+		{"E16", "online rebalance impact", E16},
 	}
 }

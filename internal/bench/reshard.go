@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ode"
+	"ode/internal/workload"
+)
+
+// ReshardJSONPath, when non-empty, is where E16 writes its
+// machine-readable results. cmd/odebench points it at
+// BENCH_reshard.json in the invocation directory; tests leave it empty.
+var ReshardJSONPath = ""
+
+// ReshardBenchResult is one E16 row: a (shape, phase) window, where
+// phase is "steady" (no rebalance) or "rebalance" (live split/merge
+// cycles running concurrently with the workload).
+type ReshardBenchResult struct {
+	Shape       string  `json:"shape"`
+	Phase       string  `json:"phase"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Objects     int     `json:"objects"`
+	Ops         int64   `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	CommitP50US float64 `json:"commit_p50_us"`
+	CommitP95US float64 `json:"commit_p95_us"`
+	CommitP99US float64 `json:"commit_p99_us"`
+	ReadP50US   float64 `json:"read_p50_us"`
+	ReadP95US   float64 `json:"read_p95_us"`
+	ReadP99US   float64 `json:"read_p99_us"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+	// Rebalance-phase extras: split/merge cycles completed and totals
+	// moved by the migration transactions. Zero on steady rows.
+	Cycles        int    `json:"cycles,omitempty"`
+	MovedChunks   uint64 `json:"moved_chunks,omitempty"`
+	MovedObjects  uint64 `json:"moved_objects,omitempty"`
+	MovedVersions uint64 `json:"moved_versions,omitempty"`
+	MergedBack    bool   `json:"merged_back,omitempty"`
+}
+
+// E16 — rebalance impact: the oracle-checked workload harness run in
+// paired windows per shape, one steady-state and one with live
+// Reshard split/merge cycles (4→8→4) racing the workers on the same
+// store size. Every read in both windows is validated against the
+// reference model, so the rebalance window doubles as a correctness
+// run; the table contrasts tail latency during vs outside rebalance.
+func E16(root string, s Scale) (*Table, error) {
+	workers := 8
+	cycles := 2
+	shapes := []workload.Shape{workload.ShapeLinear, workload.ShapeChurn}
+	if s.Smoke || s.Factor > 1 {
+		workers = 4
+		cycles = 1
+		shapes = []workload.Shape{workload.ShapeLinear}
+	}
+	const shards = 4
+	objects := s.n(1024)
+	opsPerWorker := s.n(2000)
+
+	t := &Table{
+		Title: "E16 — online rebalance impact (oracle-checked)",
+		Note: fmt.Sprintf("%d workers, %d objects, %d ops/worker per window on a %d-shard store; the rebalance window runs %d live 4→8→4 split/merge cycle(s) concurrently with the workload, every read validated against the reference model. commit = engine-side Update latency, read = harness-side validated View latency.",
+			workers, objects, opsPerWorker, shards, cycles),
+		Headers: []string{"shape", "phase", "ops/s", "commit p50/p95/p99 (µs)", "read p50/p95/p99 (µs)", "moved (chunks/objs/vers)"},
+	}
+
+	var results []ReshardBenchResult
+	seed := int64(1600)
+	cell := 0
+	for _, shape := range shapes {
+		for _, phase := range []string{"steady", "rebalance"} {
+			cell++
+			seed++
+			cfg := workload.Config{
+				Seed: seed, Dir: filepath.Join(root, fmt.Sprintf("e16-%03d", cell)),
+				Shards: shards, Workers: workers,
+				Objects: objects, OpsPerWorker: opsPerWorker,
+				Shape: shape, Dist: workload.KeyZipfian,
+				Options: &ode.Options{NoSync: true, CheckpointBytes: -1},
+			}
+			var moved ReshardBenchResult // accumulates Mid-side counters
+			if phase == "rebalance" {
+				cfg.Mid = func(db *ode.DB) error {
+					for i := 0; i < cycles; i++ {
+						if err := db.Reshard(2 * shards); err != nil {
+							return fmt.Errorf("split: %w", err)
+						}
+						rp := db.ReshardProgress()
+						moved.MovedChunks += rp.Chunks
+						moved.MovedObjects += rp.Objects
+						moved.MovedVersions += rp.Versions
+						if err := db.Reshard(shards); err != nil {
+							return fmt.Errorf("merge: %w", err)
+						}
+						rp = db.ReshardProgress()
+						moved.MovedChunks += rp.Chunks
+						moved.MovedObjects += rp.Objects
+						moved.MovedVersions += rp.Versions
+						moved.Cycles++
+					}
+					moved.MergedBack = true
+					return nil
+				}
+			}
+			res, err := workload.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E16 %s/%s: %w", shape, phase, err)
+			}
+			r := ReshardBenchResult{
+				Shape: string(shape), Phase: phase, Shards: shards,
+				Workers: workers, Objects: objects,
+				Ops:           res.Ops,
+				OpsPerSec:     res.OpsPerSec,
+				CommitP50US:   usFromNS(res.CommitLatency.P50()),
+				CommitP95US:   usFromNS(res.CommitLatency.P95()),
+				CommitP99US:   usFromNS(res.CommitLatency.P99()),
+				ReadP50US:     usFromNS(res.ReadLatency.P50()),
+				ReadP95US:     usFromNS(res.ReadLatency.P95()),
+				ReadP99US:     usFromNS(res.ReadLatency.P99()),
+				ElapsedMS:     res.Elapsed.Milliseconds(),
+				Cycles:        moved.Cycles,
+				MovedChunks:   moved.MovedChunks,
+				MovedObjects:  moved.MovedObjects,
+				MovedVersions: moved.MovedVersions,
+				MergedBack:    moved.MergedBack,
+			}
+			results = append(results, r)
+			movedCell := "—"
+			if phase == "rebalance" {
+				movedCell = fmt.Sprintf("%d/%d/%d", r.MovedChunks, r.MovedObjects, r.MovedVersions)
+			}
+			t.AddRow(r.Shape, r.Phase,
+				fmt.Sprintf("%.0f", r.OpsPerSec),
+				fmt.Sprintf("%.0f/%.0f/%.0f", r.CommitP50US, r.CommitP95US, r.CommitP99US),
+				fmt.Sprintf("%.0f/%.0f/%.0f", r.ReadP50US, r.ReadP95US, r.ReadP99US),
+				movedCell)
+		}
+	}
+
+	if ReshardJSONPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string               `json:"experiment"`
+			Results    []ReshardBenchResult `json:"results"`
+		}{"E16-online-rebalance-impact", results}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(ReshardJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

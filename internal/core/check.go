@@ -104,7 +104,9 @@ func (tx *shardTx) CheckObject(o oid.OID) error {
 		if !ok || oid.VID(binary.BigEndian.Uint64(raw)) != v {
 			return fmt.Errorf("%v: temporal index missing/wrong for %v", o, v)
 		}
-		owner, err := tx.Owner(v)
+		// The vid→oid entry lives on the shard the vid's VALUE routes to,
+		// which after a migration need not be this object's shard.
+		owner, err := tx.rt.Owner(v)
 		if err != nil || owner != o {
 			return fmt.Errorf("%v: vid index wrong for %v: %v %v", o, v, owner, err)
 		}
@@ -177,4 +179,24 @@ func (tx *shardTx) CheckAll() error {
 		}
 	}
 	return nil
+}
+
+// checkVidIdxEntries validates this shard's vid→oid entries against the
+// routed object state: every entry's object must exist (on whichever
+// shard the map places it) and carry that version. CheckObject proves
+// every live version HAS an entry; this sweep proves no entry outlives
+// its version — the direction a mis-migrated reverse index fails in.
+func (tx *shardTx) checkVidIdxEntries() error {
+	return tx.vidIdx.Ascend(nil, nil, func(k, val []byte) (bool, error) {
+		v := oid.VID(binary.BigEndian.Uint64(k))
+		o := oid.OID(binary.BigEndian.Uint64(val))
+		ob, err := tx.rt.shardR(tx.rt.byO(o))
+		if err != nil {
+			return false, err
+		}
+		if _, err := ob.loadVer(o, v); err != nil {
+			return false, fmt.Errorf("shard %d vid index: %v → %v: %w", tx.s, v, o, err)
+		}
+		return true, nil
+	})
 }

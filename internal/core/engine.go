@@ -20,7 +20,8 @@
 //     outside the kernel (§1, §7).
 //
 // Every engine operation runs on a Tx — a per-transaction handle that
-// routes each object to the shard its oid lives on (oid % N). Under a
+// routes each object to the shard its oid lives on through the
+// epoch-versioned shard map snapshot pinned at begin. Under a
 // single shard the Tx binds exactly one storage view, heap and tree set,
 // as it always did; under N shards it lazily joins the shards the
 // transaction touches and the transaction layer commits across them with
@@ -50,9 +51,11 @@ import (
 var ErrTxDone = storage.ErrTxDone
 
 // Superblock counter slots (on-disk format). Each shard has its own
-// counter set; oids and vids are composed as raw*N + shard so an id
-// names its shard forever (storage.Router). The stamp counter holds the
-// per-shard high-water mark of the engine's global stamp clock.
+// counter set; oids and vids are composed as SlotBase(shard)|raw so an
+// id names its BIRTH shard forever, while its current placement is a
+// range lookup in the shard map (storage.ShardMap) and can move. The
+// stamp counter holds the per-shard high-water mark of the engine's
+// global stamp clock.
 const (
 	ctrOID     = 0
 	ctrVID     = 1
@@ -112,11 +115,13 @@ const DefaultMaxChain = 16
 // Engine is the versioned-object store. It holds only cross-transaction
 // state; everything a single transaction needs lives on its Tx.
 type Engine struct {
-	c    *txn.Coordinator
-	rt   storage.Router
-	n    int
-	bus  *trigger.Bus
-	opts Options
+	c *txn.Coordinator
+	// single marks a wrapped legacy (Shards=1 layout) database: no
+	// coordinator log, no shard map changes, bit-for-bit pre-shard
+	// behavior (notably the stamp clock living in the shard counter).
+	single bool
+	bus    *trigger.Bus
+	opts   Options
 
 	// m is the coordinator's observability registry (nil under
 	// NoMetrics); the engine records version-chain walk lengths into it.
@@ -125,7 +130,8 @@ type Engine struct {
 	// heapSpace holds each shard's heap free-space cache, shared across
 	// write transactions (writers on one shard are serialised by its
 	// writer mutex; hsMu orders the reset-after-abort against the next
-	// writer's pickup).
+	// writer's pickup). The slice grows under hsMu when a reshard adds
+	// physical shards.
 	hsMu      sync.Mutex
 	heapSpace []*storage.HeapState
 
@@ -191,30 +197,37 @@ func NewSharded(c *txn.Coordinator, opts Options) (*Engine, error) {
 	if opts.MaxChain == 0 {
 		opts.MaxChain = DefaultMaxChain
 	}
+	phys := c.NumShards()
 	e := &Engine{
 		c:         c,
-		rt:        c.Router(),
-		n:         c.N(),
+		single:    phys == 1,
 		bus:       trigger.NewBus(),
 		opts:      opts,
 		m:         c.Metrics(),
-		heapSpace: make([]*storage.HeapState, c.N()),
+		heapSpace: make([]*storage.HeapState, phys),
 	}
 	for i := range e.heapSpace {
 		e.heapSpace[i] = storage.NewHeapState()
 	}
-	fresh := false
+	// Initialize any physical shard still lacking the engine trees: all
+	// of them on a fresh database, and — after a crash between a
+	// reshard's grow step and its provisioning transaction — just the
+	// newly created ones. One transaction, ascending joins, 2PC when it
+	// spans shards.
+	var missing []int
 	if err := c.Read(func(r *txn.ReadTx) error {
-		fresh = r.View(0).Root(rootObjTable) == oid.NilPage
+		for s := 0; s < r.N(); s++ {
+			if r.View(s).Root(rootObjTable) == oid.NilPage {
+				missing = append(missing, s)
+			}
+		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	if fresh {
-		// Fresh database: create every structure on every shard in one
-		// transaction (ascending joins; 2PC when N > 1).
+	if len(missing) > 0 && !c.ReadOnly() {
 		err := c.Write(func(w *txn.WriteTx) error {
-			for s := 0; s < e.n; s++ {
+			for _, s := range missing {
 				v, err := w.Join(s)
 				if err != nil {
 					return err
@@ -241,7 +254,7 @@ func NewSharded(c *txn.Coordinator, opts Options) (*Engine, error) {
 	// 0 eagerly; see idxExist).
 	if err := c.Read(func(r *txn.ReadTx) error {
 		var max uint64
-		for s := 0; s < e.n; s++ {
+		for s := 0; s < r.N(); s++ {
 			if v := r.View(s).Counter(ctrStamp); v > max {
 				max = v
 			}
@@ -284,11 +297,15 @@ func (e *Engine) newShardTx(v *storage.TxView, hs *storage.HeapState, rt *Tx, s 
 	}
 }
 
-// takeHeapSpace hands out shard s's heap free-space cache. The caller
-// holds s's writer mutex (it joined the shard), which serialises use.
+// takeHeapSpace hands out shard s's heap free-space cache, growing the
+// slice when a reshard has added physical shards. The caller holds s's
+// writer mutex (it joined the shard), which serialises use.
 func (e *Engine) takeHeapSpace(s int) *storage.HeapState {
 	e.hsMu.Lock()
 	defer e.hsMu.Unlock()
+	for len(e.heapSpace) <= s {
+		e.heapSpace = append(e.heapSpace, storage.NewHeapState())
+	}
 	hs := e.heapSpace[s]
 	if hs == nil {
 		hs = storage.NewHeapState()
@@ -310,15 +327,19 @@ func (e *Engine) resetHeapSpaces() {
 }
 
 // newOID allocates an oid on this shard: the shard-local counter
-// composed with the shard slot (identity under one shard).
+// composed with the shard slot (identity under one shard). The routing
+// Tx only allocates on shards whose home-range tail is still their own
+// (ShardMap.Allocatable), so a fresh id routes to its birth shard.
 func (tx *shardTx) newOID() oid.OID {
-	return oid.OID(tx.e.rt.Compose(tx.st.NextCounter(ctrOID), tx.s))
+	return oid.OID(storage.Compose(tx.st.NextCounter(ctrOID), tx.s))
 }
 
-// newVID allocates a vid on this shard, composed like newOID so a vid
-// routes to its object's shard.
+// newVID allocates a vid on this shard, composed like newOID. Unlike a
+// fresh oid, the value can fall in a range migrated elsewhere (vids are
+// minted on the OBJECT's current shard, wherever it moved), so the
+// vid→oid index entry routes by vid value (Tx.putVidIdx), not by tx.s.
 func (tx *shardTx) newVID() oid.VID {
-	return oid.VID(tx.e.rt.Compose(tx.st.NextCounter(ctrVID), tx.s))
+	return oid.VID(storage.Compose(tx.st.NextCounter(ctrVID), tx.s))
 }
 
 // newStamp allocates a creation stamp. With one shard the shard counter
@@ -326,7 +347,7 @@ func (tx *shardTx) newVID() oid.VID {
 // rollback on abort); with N shards the engine's global clock supplies
 // the value and the shard counter keeps the high-water mark for reopen.
 func (tx *shardTx) newStamp() oid.Stamp {
-	if tx.e.n == 1 {
+	if tx.e.single {
 		return oid.Stamp(tx.st.NextCounter(ctrStamp))
 	}
 	s := tx.e.stamp.Add(1)
@@ -377,10 +398,12 @@ func (e *Engine) Write(fn func(tx *Tx) error) error {
 			e:         e,
 			w:         w,
 			writable:  true,
-			shards:    make([]*shardTx, e.n),
+			n:         w.NumShards(),
+			rmap:      w.Map(),
+			shards:    make([]*shardTx, w.NumShards()),
 			lastAlloc: -1,
 		}
-		if e.n > 1 && e.idxExist.Load() {
+		if !e.single && e.idxExist.Load() {
 			if _, err := tx.shardW(0); err != nil {
 				return err
 			}
@@ -400,7 +423,9 @@ func (e *Engine) Read(fn func(tx *Tx) error) error {
 		return fn(&Tx{
 			e:         e,
 			r:         r,
-			shards:    make([]*shardTx, e.n),
+			n:         r.N(),
+			rmap:      r.Map(),
+			shards:    make([]*shardTx, r.N()),
 			lastAlloc: -1,
 		})
 	})
@@ -570,4 +595,23 @@ func (e *Engine) Stats() Stats {
 		return nil
 	})
 	return s
+}
+
+// ShardStats returns each physical shard's contribution to the engine
+// totals, indexed by shard. A merged-away or not-yet-provisioned shard
+// reports zeros.
+func (e *Engine) ShardStats() []Stats {
+	var out []Stats
+	_ = e.Read(func(tx *Tx) error {
+		out = make([]Stats, tx.n)
+		for s := 0; s < tx.n; s++ {
+			b, err := tx.shardR(s)
+			if err != nil {
+				return err
+			}
+			out[s] = b.Stats()
+		}
+		return nil
+	})
+	return out
 }

@@ -2,12 +2,13 @@ package core
 
 import (
 	"ode/internal/oid"
+	"ode/internal/storage"
 	"ode/internal/txn"
 )
 
 // Tx is one transaction's engine handle. It routes every operation to
-// the shard the addressed object lives on (oid % N, vid % N — ids are
-// composed at allocation so the mapping is stable), joining shards
+// the shard the addressed object lives on — a range lookup in the
+// shard map snapshot pinned at begin — joining shards
 // lazily as the transaction touches them. Catalog, named-configuration,
 // context and named-index state is authoritative on shard 0; annotation
 // records live with their object. With one shard the Tx degenerates to
@@ -27,6 +28,14 @@ type Tx struct {
 	w        *txn.WriteTx
 	r        *txn.ReadTx
 	writable bool
+
+	// n is the physical shard count and rmap the shard map snapshot,
+	// both pinned at begin from the transaction's routing bundle. A
+	// reshard committing mid-transaction restarts the whole closure
+	// (ErrRoutingEpochChanged), so routing through the pinned map is
+	// always consistent with the data the transaction can see.
+	n    int
+	rmap *storage.ShardMap
 
 	// shards holds the bundle for every shard this transaction is live
 	// on: joined (mutable) shards of a write transaction, or pinned
@@ -116,23 +125,61 @@ func (tx *Tx) shardPeek0() (*shardTx, error) {
 	return b, nil
 }
 
-// byO / byV route an id to its shard.
-func (tx *Tx) byO(o oid.OID) int { return tx.e.rt.ShardOf(uint64(o)) }
-func (tx *Tx) byV(v oid.VID) int { return tx.e.rt.ShardOf(uint64(v)) }
+// byO / byV route an id to its shard through the pinned map snapshot.
+func (tx *Tx) byO(o oid.OID) int { return tx.rmap.ShardOf(uint64(o)) }
+func (tx *Tx) byV(v oid.VID) int { return tx.rmap.ShardOf(uint64(v)) }
 
 // allocShard picks the shard for a new object: the transaction's first
 // allocation shard when it has one, otherwise the engine's round-robin
-// cursor.
+// cursor over the LOGICAL shards. Shards whose home-range tail has been
+// assigned away (possible transiently while a reshard is growing, see
+// ShardMap.Allocatable) are skipped — a fresh id must route to the
+// shard that minted it.
 func (tx *Tx) allocShard() int {
 	if tx.lastAlloc >= 0 {
 		return tx.lastAlloc
 	}
 	s := 0
-	if tx.e.n > 1 {
-		s = int((tx.e.cursor.Add(1) - 1) % uint64(tx.e.n))
+	if n := tx.rmap.N(); n > 1 {
+		for i := 0; i < n; i++ {
+			cand := int((tx.e.cursor.Add(1) - 1) % uint64(n))
+			if tx.rmap.Allocatable(cand) {
+				s = cand
+				break
+			}
+		}
 	}
 	tx.lastAlloc = s
 	return s
+}
+
+// putVidIdx records v → o in the vid→oid reverse index. The entry
+// routes by the VID's value: versions are minted on their object's
+// current shard, which after a migration need not own the slot range
+// the new vid's value falls in.
+func (tx *Tx) putVidIdx(v oid.VID, o oid.OID) error {
+	b, err := tx.shardW(tx.byV(v))
+	if err != nil {
+		return err
+	}
+	if err := b.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+		return err
+	}
+	b.saveRoots()
+	return nil
+}
+
+// delVidIdx drops v's reverse-index entry (see putVidIdx for routing).
+func (tx *Tx) delVidIdx(v oid.VID) error {
+	b, err := tx.shardW(tx.byV(v))
+	if err != nil {
+		return err
+	}
+	if _, err := b.vidIdx.Delete(vidKey(v)); err != nil {
+		return err
+	}
+	b.saveRoots()
+	return nil
 }
 
 // loadVerOf loads a version record from its object's shard (used by
@@ -382,7 +429,7 @@ func (tx *Tx) AsOfWalk(o oid.OID, s oid.Stamp) (oid.VID, bool, error) {
 // CurrentStamp returns the engine's logical clock value (the stamp of
 // the most recent version-creating operation).
 func (tx *Tx) CurrentStamp() oid.Stamp {
-	if tx.e.n == 1 {
+	if tx.e.single {
 		b, err := tx.shardR(0)
 		if err != nil {
 			return 0
@@ -393,7 +440,7 @@ func (tx *Tx) CurrentStamp() oid.Stamp {
 		return oid.Stamp(tx.e.stamp.Load())
 	}
 	var max uint64
-	for s := 0; s < tx.e.n; s++ {
+	for s := 0; s < tx.n; s++ {
 		b, err := tx.shardR(s)
 		if err != nil {
 			continue
@@ -459,22 +506,30 @@ func (tx *Tx) Types() ([]string, error) {
 // (fn returning false) and O(shards) memory are preserved — no shard's
 // extent is ever materialized.
 func (tx *Tx) Extent(t oid.TypeID, fn func(o oid.OID) (bool, error)) error {
-	if tx.e.n == 1 {
+	if tx.n == 1 {
 		b, err := tx.shardR(0)
 		if err != nil {
 			return err
 		}
 		return b.Extent(t, fn)
 	}
-	// Shard ids never tie across shards (oid % N routing), so picking
-	// the minimum head is unambiguous.
-	bundles := make([]*shardTx, tx.e.n)
-	heads := make([]oid.OID, tx.e.n)
-	has := make([]bool, tx.e.n)
-	for s := 0; s < tx.e.n; s++ {
+	// Every object lives in exactly one shard's extent tree (its current
+	// placement), so heads never tie and picking the minimum head is
+	// unambiguous. The merge runs over the PHYSICAL shards: a merged-away
+	// shard may still hold ranges the map assigns to it.
+	bundles := make([]*shardTx, tx.n)
+	heads := make([]oid.OID, tx.n)
+	has := make([]bool, tx.n)
+	for s := 0; s < tx.n; s++ {
 		b, err := tx.shardR(s)
 		if err != nil {
 			return err
+		}
+		if b.st.Root(rootObjTable) == oid.NilPage {
+			// A shard created by a reshard grow step the crash interrupted
+			// before provisioning (possible on a read-only open); it holds
+			// no data.
+			continue
 		}
 		bundles[s] = b
 		heads[s], has[s], err = b.extentNext(t, 0, true)
@@ -735,14 +790,33 @@ func (tx *Tx) CheckObject(o oid.OID) error {
 	return b.CheckObject(o)
 }
 
-// CheckAll validates every object and tree on every shard.
+// CheckAll validates every object and tree on every shard, then sweeps
+// every shard's vid→oid index cross-shard: each entry must name an
+// object (wherever the map placed it) that actually carries that
+// version — the invariant a botched migration of vidIdx entries would
+// break first.
 func (tx *Tx) CheckAll() error {
-	for s := 0; s < tx.e.n; s++ {
+	for s := 0; s < tx.n; s++ {
 		b, err := tx.shardR(s)
 		if err != nil {
 			return err
 		}
+		if b.st.Root(rootObjTable) == oid.NilPage {
+			continue // unprovisioned shard (read-only open mid-grow)
+		}
 		if err := b.CheckAll(); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < tx.n; s++ {
+		b, err := tx.shardR(s)
+		if err != nil {
+			return err
+		}
+		if b.st.Root(rootObjTable) == oid.NilPage {
+			continue
+		}
+		if err := b.checkVidIdxEntries(); err != nil {
 			return err
 		}
 	}
@@ -763,7 +837,7 @@ func (tx *Tx) Render(o oid.OID) (string, error) {
 // across shards (the stamp is the per-shard maximum: the global clock).
 func (tx *Tx) Stats() Stats {
 	var out Stats
-	for s := 0; s < tx.e.n; s++ {
+	for s := 0; s < tx.n; s++ {
 		b, err := tx.shardR(s)
 		if err != nil {
 			continue

@@ -108,7 +108,7 @@ func (tx *shardTx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error
 	if err := tx.storeHeader(o, h); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
-	if err := tx.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+	if err := tx.rt.putVidIdx(v, o); err != nil {
 		return oid.NilOID, oid.NilVID, err
 	}
 	if err := tx.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
@@ -446,7 +446,7 @@ func (tx *shardTx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID
 	if err := tx.storeHeader(o, h); err != nil {
 		return oid.NilVID, err
 	}
-	if err := tx.vidIdx.Put(vidKey(v), objKey(o)); err != nil {
+	if err := tx.rt.putVidIdx(v, o); err != nil {
 		return oid.NilVID, err
 	}
 	if err := tx.tempIdx.Put(tempKey(o, stamp), vidKey(v)); err != nil {
@@ -542,7 +542,7 @@ func (tx *shardTx) DeleteVersion(o oid.OID, v oid.VID) error {
 	if _, err := tx.verIdx.Delete(verKey(o, v)); err != nil {
 		return err
 	}
-	if _, err := tx.vidIdx.Delete(vidKey(v)); err != nil {
+	if err := tx.rt.delVidIdx(v); err != nil {
 		return err
 	}
 	if _, err := tx.tempIdx.Delete(tempKey(o, rec.stamp)); err != nil {
@@ -587,7 +587,7 @@ func (tx *shardTx) DeleteObject(o oid.OID) error {
 		if _, err := tx.verIdx.Delete(verKey(o, en.v)); err != nil {
 			return err
 		}
-		if _, err := tx.vidIdx.Delete(vidKey(en.v)); err != nil {
+		if err := tx.rt.delVidIdx(en.v); err != nil {
 			return err
 		}
 		if _, err := tx.tempIdx.Delete(tempKey(o, en.rec.stamp)); err != nil {

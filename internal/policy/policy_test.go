@@ -481,7 +481,7 @@ func TestPercolationSurvivesCrossOrderRestart(t *testing.T) {
 	}
 	// One object per transaction spreads allocations round-robin across
 	// the shards; collect one composite on shard 0 and one component on
-	// shard 1 (shard = oid mod N, so the id names its shard).
+	// shard 1 (an id's top bits name its birth shard — storage.SlotOf).
 	var composite, component ode.OID
 	for composite == 0 || component == 0 {
 		var o ode.OID
@@ -492,7 +492,7 @@ func TestPercolationSurvivesCrossOrderRestart(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		switch uint64(o) % 2 {
+		switch uint64(o) >> 54 {
 		case 0:
 			if composite == 0 {
 				composite = o

@@ -1,7 +1,9 @@
 // Coordinator: the engine seam over N independent shards, each a full
 // Manager (heap + pool + WAL + commit pipeline). Object ids are routed
-// to shards by value (id % N, see storage.Router), so a transaction
-// touches exactly the shards its objects live on:
+// to shards through an epoch-versioned shard map (storage.ShardMap):
+// contiguous id ranges assigned to shards, persisted in shards.ode and
+// re-assignable at runtime (Reshard), so a transaction touches exactly
+// the shards its objects live on:
 //
 //   - a transaction that mutates one shard commits through that shard's
 //     own pipeline — group-commit fsync, epoch publication, counters —
@@ -30,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -86,25 +89,61 @@ var ErrShardMismatch = errors.New("txn: Options.Shards does not match the direct
 // generations; the operator must remove the stale files.
 var ErrPartialLayout = errors.New("txn: directory has shard files but no shards.ode metadata")
 
+// ErrRoutingEpochChanged reports that the shard map moved underneath an
+// in-flight write transaction (a reshard chunk committed between the
+// transaction's begin and one of its joins). The transaction's effects
+// are rolled back and the whole closure is retried against the new map;
+// callers inside the closure just propagate it.
+var ErrRoutingEpochChanged = errors.New("txn: shard routing epoch changed; transaction restarted")
+
+// routing is the coordinator's immutable routing bundle: the open
+// physical shards and the shard map assigning id ranges to them. Every
+// transaction captures one bundle pointer at begin; a pointer compare
+// at join time detects concurrent map changes. The bundle is replaced
+// as a whole (never mutated) under pmu, in the same critical section
+// that publishes the map-flipping transaction's epochs.
+type routing struct {
+	ms   []*Manager
+	rmap *storage.ShardMap
+}
+
 // Coordinator owns a database directory as a set of shards plus (for
 // N >= 2) the cross-shard decision log. It is the engine's only entry
 // point for transactions; individual Managers are reachable through
 // Shards() for stats, backup and tests.
 type Coordinator struct {
-	shards   []*Manager
-	rt       storage.Router
+	// routing is the current bundle: physical shards + shard map. It is
+	// swapped atomically (under pmu) when a map-changing transaction
+	// commits or a reshard grows the physical shard set; readers load it
+	// once and work against the snapshot.
+	routing  atomic.Pointer[routing]
 	opts     Options
 	dir      string
 	grouped  bool
 	readOnly bool
 
-	// cmu guards the decision log, its health and the 2PC decide phase.
-	// Lock order: shard writer mutexes (ascending) before cmu; a cmu
-	// holder never takes a shard mutex it does not already hold.
-	cmu     sync.Mutex
-	clog    *wal.Log // nil when N == 1 (no cross-shard transactions)
-	cioErr  error    // coordinator log poisoned: no more 2PC decisions
-	noReset bool     // a shard decide failed; recovery needs the clog
+	// reshardMu serialises resharding against itself and against
+	// exclusive checkpoints (backup). Lock order: reshardMu before any
+	// shard writer mutex.
+	reshardMu sync.Mutex
+
+	// Reshard progress counters (read by ReshardProgress / metrics).
+	reshardActive  atomic.Bool
+	reshardTarget  atomic.Int64
+	reshardChunks  atomic.Uint64
+	reshardObjects atomic.Uint64
+	reshardVers    atomic.Uint64
+
+	// cmu guards the decision log, its health, the 2PC decide phase, the
+	// shards.ode frame appends and mapDirty. Lock order: shard writer
+	// mutexes (ascending) before cmu; a cmu holder never takes a shard
+	// mutex it does not already hold.
+	cmu        sync.Mutex
+	clog       *wal.Log     // nil when wrapped/legacy (no cross-shard transactions)
+	cioErr     error        // coordinator log poisoned: no more 2PC decisions
+	noReset    bool         // a shard decide failed; recovery needs the clog
+	shardsFile faultfs.File // open shards.ode handle for frame appends
+	mapDirty   bool         // newest map flip lives only in the clog; fold before reset
 
 	// pmu makes cross-shard snapshots atomic with respect to cross-shard
 	// commits: commit2PC publishes a decided transaction's epoch on every
@@ -147,16 +186,22 @@ type Coordinator struct {
 // the many tests) that build a Manager directly and hand it to the
 // engine; OpenCoordinator is the normal entry point.
 func WrapManager(m *Manager) *Coordinator {
-	return &Coordinator{
-		shards:   []*Manager{m},
-		rt:       storage.NewRouter(1),
+	c := &Coordinator{
 		opts:     m.opts,
 		grouped:  m.opts.grouped(),
 		readOnly: m.opts.Storage.ReadOnly,
 		cm:       m.m,
 		sink:     m.sink,
 	}
+	c.routing.Store(&routing{ms: []*Manager{m}, rmap: storage.NewShardMap(1)})
+	return c
 }
+
+// ms returns the current physical shard set; rmap the current map. Both
+// are snapshots — a concurrent reshard swaps the bundle rather than
+// mutating it.
+func (c *Coordinator) ms() []*Manager          { return c.routing.Load().ms }
+func (c *Coordinator) rmap() *storage.ShardMap { return c.routing.Load().rmap }
 
 // OpenCoordinator opens (or creates) a database directory with the
 // layout it finds there. Options.Shards: 0 adopts an existing layout
@@ -199,10 +244,12 @@ func OpenCoordinator(dir string, opts Options) (*Coordinator, error) {
 		}
 		return WrapManager(m), nil
 	default: // layoutSharded
-		if opts.Shards != 0 && opts.Shards != n {
-			return nil, fmt.Errorf("%w: directory has %d shards, Shards=%d requested", ErrShardMismatch, n, opts.Shards)
-		}
-		return openSharded(fsys, dir, opts, n)
+		// The shard count to validate Options.Shards against is the
+		// LOGICAL count, which lives in the shards.ode frames (and clog
+		// overlays) rather than the creation-time header; openSharded
+		// checks it after resolving the map.
+		_ = n
+		return openSharded(fsys, dir, opts)
 	}
 }
 
@@ -303,37 +350,159 @@ func isShardFileName(name string) bool {
 	return true
 }
 
-// ReadShardsMeta reads and validates the shard-count metadata file.
-// Exported for odedump.
+// ShardsState is the decoded contents of shards.ode: the creation-time
+// shard count from the fixed header, plus the physical shard count and
+// the shard map from the newest valid frame (creation defaults when no
+// frame has been appended yet).
+type ShardsState struct {
+	// Created is the shard count the directory was created with (the
+	// immutable 12-byte header; also the frame-less default for the
+	// other fields).
+	Created int
+	// Phys is the number of physical shards (data.NNN/wal.NNN pairs) on
+	// disk. It only ever grows: a merge empties shards but keeps them.
+	Phys int
+	// Map is the persisted shard map. The effective map at open time may
+	// be newer if undecided flips live in the coordinator log.
+	Map *storage.ShardMap
+	// frameEnd is the file offset just past the last valid frame; a
+	// writable open truncates any torn tail there so later appends scan.
+	frameEnd int64
+}
+
+// ReadShardsMeta reads and validates the shard-count metadata header and
+// returns the LOGICAL shard count from the newest frame (the creation
+// count when no frames exist). Exported for odedump; ReadShardsState
+// returns the full picture.
 func ReadShardsMeta(fsys faultfs.FS, dir string) (int, error) {
+	st, err := ReadShardsState(fsys, dir)
+	if err != nil {
+		return 0, err
+	}
+	return st.Map.N(), nil
+}
+
+// ReadShardsState reads shards.ode: the creation header plus the newest
+// valid map frame. Exported for odedump.
+func ReadShardsState(fsys faultfs.FS, dir string) (*ShardsState, error) {
 	if fsys == nil {
 		fsys = faultfs.OS
 	}
-	return readShardsMeta(fsys, dir)
-}
-
-func readShardsMeta(fsys faultfs.FS, dir string) (int, error) {
 	path := filepath.Join(dir, ShardsFileName)
 	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
-		return 0, fmt.Errorf("txn: open %s: %w", path, err)
+		return nil, fmt.Errorf("txn: open %s: %w", path, err)
 	}
 	defer f.Close()
-	var buf [shardsMetaLen]byte
-	if _, err := f.ReadAt(buf[:], 0); err != nil {
-		return 0, fmt.Errorf("txn: %s: %w", path, err)
+	return readShardsState(f, path)
+}
+
+// readShardsMeta returns the creation-time count from the fixed header
+// (layout detection only; the logical count lives in the frames).
+func readShardsMeta(fsys faultfs.FS, dir string) (int, error) {
+	st, err := ReadShardsState(fsys, dir)
+	if err != nil {
+		return 0, err
+	}
+	return st.Created, nil
+}
+
+// readShardsState parses an open shards.ode: the 12-byte creation
+// header followed by zero or more length+CRC framed map images
+// (appended by grow/shrink/fold). The newest VALID frame wins; a torn
+// or corrupt tail falls back to the previous frame, exactly like WAL
+// recovery. There is no rename on the faultfs seam, so the file is
+// append-only: the header is written once at create and never rewritten
+// (no in-place torn-write risk), and every later state change is a new
+// frame.
+func readShardsState(f faultfs.File, path string) (*ShardsState, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("txn: %s: %w", path, err)
+	}
+	if size < shardsMetaLen {
+		return nil, fmt.Errorf("txn: %s: truncated metadata (%d bytes)", path, size)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("txn: %s: %w", path, err)
 	}
 	if m := binary.BigEndian.Uint32(buf[0:4]); m != shardsMagic {
-		return 0, fmt.Errorf("txn: %s: bad magic %#x", path, m)
+		return nil, fmt.Errorf("txn: %s: bad magic %#x", path, m)
 	}
 	if v := binary.BigEndian.Uint32(buf[4:8]); v != shardsVersion {
-		return 0, fmt.Errorf("txn: %s: unsupported version %d", path, v)
+		return nil, fmt.Errorf("txn: %s: unsupported version %d", path, v)
 	}
 	n := int(binary.BigEndian.Uint32(buf[8:12]))
 	if n < 2 || n > maxShards {
-		return 0, fmt.Errorf("txn: %s: implausible shard count %d", path, n)
+		return nil, fmt.Errorf("txn: %s: implausible shard count %d", path, n)
 	}
-	return n, nil
+	st := &ShardsState{Created: n, Phys: n, Map: storage.NewShardMap(n), frameEnd: shardsMetaLen}
+	off := int64(shardsMetaLen)
+	for {
+		if off+8 > size {
+			break // torn or absent frame header
+		}
+		l := int64(binary.BigEndian.Uint32(buf[off:]))
+		sum := binary.BigEndian.Uint32(buf[off+4:])
+		if l < 4 || off+8+l > size {
+			break // torn payload
+		}
+		payload := buf[off+8 : off+8+l]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // corrupt frame: keep the previous state
+		}
+		phys := int(binary.BigEndian.Uint32(payload[0:4]))
+		m, err := storage.DecodeShardMap(payload[4:])
+		if err != nil {
+			break
+		}
+		if phys < st.Phys || phys > maxShards {
+			break // physical count never shrinks; implausible frame
+		}
+		ok := m.N() >= 1 && m.N() <= phys
+		for _, r := range m.Ranges() {
+			if r.Shard >= phys {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		st.Phys, st.Map = phys, m
+		off += 8 + l
+		st.frameEnd = off
+	}
+	return st, nil
+}
+
+// crcTable is the Castagnoli table shards.ode frames are checksummed
+// with.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendShardsFrame appends one (physN, map) frame to the open
+// shards.ode handle and fsyncs it. Caller holds cmu.
+func appendShardsFrame(f faultfs.File, phys int, m *storage.ShardMap) error {
+	image := m.Encode()
+	payload := make([]byte, 4+len(image))
+	binary.BigEndian.PutUint32(payload[0:4], uint32(phys))
+	copy(payload[4:], image)
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	end, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("txn: %s: %w", ShardsFileName, err)
+	}
+	if _, err := f.WriteAt(frame, end); err != nil {
+		return fmt.Errorf("txn: %s: %w", ShardsFileName, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("txn: sync %s: %w", ShardsFileName, err)
+	}
+	return nil
 }
 
 func writeShardsMeta(fsys faultfs.FS, dir string, n int) error {
@@ -371,10 +540,10 @@ func shardOpts(opts Options, i int, decided map[uint64]bool, sink *obs.Sink) Opt
 }
 
 // newShardedCoordinator assembles the coordinator shell (registry,
-// sink) shards are then attached to.
-func newShardedCoordinator(dir string, opts Options, n int) *Coordinator {
+// sink) shards are then attached to. The routing bundle is stored by
+// the caller once the shards exist.
+func newShardedCoordinator(dir string, opts Options) *Coordinator {
 	c := &Coordinator{
-		rt:       storage.NewRouter(n),
 		opts:     opts,
 		dir:      dir,
 		grouped:  opts.grouped(),
@@ -411,18 +580,19 @@ func createSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinat
 	if err := fsys.SyncDir(dir); err != nil {
 		return nil, fmt.Errorf("txn: sync %s: %w", dir, err)
 	}
-	c := newShardedCoordinator(dir, opts, n)
+	c := newShardedCoordinator(dir, opts)
+	var ms []*Manager
 	for i := 0; i < n; i++ {
 		m, err := Create(dir, shardOpts(opts, i, nil, c.sink))
 		if err != nil {
-			c.teardown()
+			c.teardownMs(ms)
 			return nil, fmt.Errorf("txn: create shard %d: %w", i, err)
 		}
-		c.shards = append(c.shards, m)
+		ms = append(ms, m)
 	}
 	clog, err := wal.OpenFS(fsys, filepath.Join(dir, CoordWALFileName))
 	if err != nil {
-		c.teardown()
+		c.teardownMs(ms)
 		return nil, err
 	}
 	// Make the shard files' and decision log's directory entries durable
@@ -430,74 +600,182 @@ func createSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinat
 	// nothing if the WAL's directory entry can vanish in a power cut.
 	if err := fsys.SyncDir(dir); err != nil {
 		clog.Close()
-		c.teardown()
+		c.teardownMs(ms)
 		return nil, fmt.Errorf("txn: sync %s: %w", dir, err)
 	}
+	// Keep shards.ode open for map-frame appends (grow, fold, reshard).
+	sf, err := fsys.OpenFile(filepath.Join(dir, ShardsFileName), os.O_RDWR, 0)
+	if err != nil {
+		clog.Close()
+		c.teardownMs(ms)
+		return nil, fmt.Errorf("txn: open %s: %w", ShardsFileName, err)
+	}
+	c.shardsFile = sf
+	c.routing.Store(&routing{ms: ms, rmap: storage.NewShardMap(n)})
 	c.attachClog(clog)
 	return c, nil
 }
 
+// mapOverlay is a shard-map image logged alongside a 2PC decision: a
+// reshard transaction's RecShardMap record, effective iff the same gtid
+// has a RecCommit decision (the flip and the data move share the
+// decision record as their single commit point).
+type mapOverlay struct {
+	gtid  uint64
+	image []byte
+}
+
 // scanDecisions reads the coordinator log's decision records into the
-// set of globally-committed transaction ids. Only commit decisions are
-// recorded (presumed abort); any other record type in the log is
-// ignored, and a torn or corrupt tail ends the scan at the last valid
-// record exactly like WAL recovery does.
-func scanDecisions(clog *wal.Log) (map[uint64]bool, error) {
+// set of globally-committed transaction ids, plus any shard-map overlay
+// records. Only commit decisions are recorded (presumed abort); a torn
+// or corrupt tail ends the scan at the last valid record exactly like
+// WAL recovery does.
+func scanDecisions(clog *wal.Log) (map[uint64]bool, []mapOverlay, error) {
 	decided := map[uint64]bool{}
+	var overlays []mapOverlay
 	if err := clog.Scan(func(rec wal.Record) error {
-		if rec.Type == wal.RecCommit {
+		switch rec.Type {
+		case wal.RecCommit:
 			decided[uint64(rec.Tx)] = true
+		case wal.RecShardMap:
+			overlays = append(overlays, mapOverlay{
+				gtid:  uint64(rec.Tx),
+				image: append([]byte(nil), rec.Data...),
+			})
 		}
 		return nil
 	}); err != nil {
-		return nil, fmt.Errorf("txn: coordinator log: %w", err)
+		return nil, nil, fmt.Errorf("txn: coordinator log: %w", err)
 	}
-	return decided, nil
+	return decided, overlays, nil
 }
 
-func openSharded(fsys faultfs.FS, dir string, opts Options, n int) (*Coordinator, error) {
+func openSharded(fsys faultfs.FS, dir string, opts Options) (*Coordinator, error) {
 	opts.Storage.FS = fsys
-	// The decision log is read first: shard recovery consults it for
-	// in-doubt prepared transactions.
+	// Read the persisted routing state first: physical shard count, the
+	// newest folded map frame.
+	flags := os.O_RDWR
+	if opts.Storage.ReadOnly {
+		flags = os.O_RDONLY
+	}
+	sf, err := fsys.OpenFile(filepath.Join(dir, ShardsFileName), flags, 0)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open %s: %w", ShardsFileName, err)
+	}
+	st, err := readShardsState(sf, ShardsFileName)
+	if err != nil {
+		sf.Close()
+		return nil, err
+	}
+	if !opts.Storage.ReadOnly {
+		// Truncate a torn frame tail so later appends land where the
+		// scanner stops reading.
+		if size, err := sf.Size(); err != nil {
+			sf.Close()
+			return nil, fmt.Errorf("txn: %s: %w", ShardsFileName, err)
+		} else if size > st.frameEnd {
+			if err := sf.Truncate(st.frameEnd); err != nil {
+				sf.Close()
+				return nil, fmt.Errorf("txn: truncate %s: %w", ShardsFileName, err)
+			}
+		}
+	}
+	// The decision log is read next: shard recovery consults it for
+	// in-doubt prepared transactions, and the map resolution below
+	// consults it for decided-but-unfolded flips.
 	clog, err := wal.OpenFS(fsys, filepath.Join(dir, CoordWALFileName))
 	if err != nil {
+		sf.Close()
 		return nil, err
 	}
-	decided, err := scanDecisions(clog)
+	decided, overlays, err := scanDecisions(clog)
 	if err != nil {
 		clog.Close()
+		sf.Close()
 		return nil, err
 	}
-	c := newShardedCoordinator(dir, opts, n)
+	// Effective map: the highest epoch wins between the folded frame and
+	// any DECIDED overlay. An overlay without a decision is a reshard
+	// chunk that prepared but never committed — presumed aborted, its
+	// data never published, its map image void.
+	rmap, phys := st.Map, st.Phys
+	overlayWon := false
+	for _, ov := range overlays {
+		if !decided[ov.gtid] {
+			continue
+		}
+		m, err := storage.DecodeShardMap(ov.image)
+		if err != nil {
+			clog.Close()
+			sf.Close()
+			return nil, fmt.Errorf("txn: coordinator log shard-map overlay: %w", err)
+		}
+		if m.Epoch() <= rmap.Epoch() {
+			continue
+		}
+		// A grow folds its frame (new physical count) before any chunk
+		// references the new shards, so a decided overlay can never route
+		// beyond the persisted physical set.
+		for _, r := range m.Ranges() {
+			if r.Shard >= phys {
+				clog.Close()
+				sf.Close()
+				return nil, fmt.Errorf("txn: shard-map overlay (epoch %d) routes to shard %d beyond the %d physical shards", m.Epoch(), r.Shard, phys)
+			}
+		}
+		rmap, overlayWon = m, true
+	}
+	if opts.Shards != 0 && opts.Shards != rmap.N() {
+		clog.Close()
+		sf.Close()
+		return nil, fmt.Errorf("%w: directory has %d, Shards=%d requested", ErrShardMismatch, rmap.N(), opts.Shards)
+	}
+	c := newShardedCoordinator(dir, opts)
 	// Shard recovery is independent (disjoint files, the shared decided
-	// map is read-only here), so the WALs replay in parallel.
-	c.shards = make([]*Manager, n)
-	errs := make([]error, n)
+	// map is read-only here), so the WALs replay in parallel. Every
+	// PHYSICAL shard opens — emptied (merged-away) shards still hold
+	// their counters and must accept future re-assignments.
+	ms := make([]*Manager, phys)
+	errs := make([]error, phys)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for i := 0; i < phys; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c.shards[i], errs[i] = Open(dir, shardOpts(opts, i, decided, c.sink))
+			ms[i], errs[i] = Open(dir, shardOpts(opts, i, decided, c.sink))
 		}(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			clog.Close()
-			c.teardown()
+			sf.Close()
+			c.teardownMs(ms)
 			return nil, fmt.Errorf("txn: open shard %d: %w", i, err)
 		}
 	}
 	// Every shard's recovery ran and reset its log; no prepare records
-	// remain, so the decisions are no longer needed.
+	// remain, so the decisions are no longer needed. If a decided map
+	// overlay won, fold it into shards.ode first — the reset erases the
+	// overlay's only other copy.
 	if !opts.Storage.ReadOnly {
+		if overlayWon {
+			if err := appendShardsFrame(sf, phys, rmap); err != nil {
+				clog.Close()
+				sf.Close()
+				c.teardownMs(ms)
+				return nil, err
+			}
+		}
 		if err := clog.Reset(); err != nil {
 			clog.Close()
-			c.teardown()
+			sf.Close()
+			c.teardownMs(ms)
 			return nil, fmt.Errorf("txn: coordinator log reset: %w", err)
 		}
 	}
+	c.shardsFile = sf
+	c.routing.Store(&routing{ms: ms, rmap: rmap})
 	c.attachClog(clog)
 	return c, nil
 }
@@ -510,10 +788,11 @@ func (c *Coordinator) attachClog(clog *wal.Log) {
 	c.clogBytes.Store(clog.Size())
 }
 
-// teardown closes whatever shards were assembled before an open/create
-// failure (nil slots from a failed parallel open are skipped).
-func (c *Coordinator) teardown() {
-	for _, m := range c.shards {
+// teardownMs closes whatever shards were assembled before an
+// open/create failure (nil slots from a failed parallel open are
+// skipped).
+func (c *Coordinator) teardownMs(ms []*Manager) {
+	for _, m := range ms {
 		if m != nil {
 			m.Close()
 		}
@@ -523,15 +802,23 @@ func (c *Coordinator) teardown() {
 	}
 }
 
-// Router returns the id router. N is the shard count.
-func (c *Coordinator) Router() storage.Router { return c.rt }
+// Map returns the current shard map snapshot.
+func (c *Coordinator) Map() *storage.ShardMap { return c.rmap() }
 
-// N returns the shard count.
-func (c *Coordinator) N() int { return len(c.shards) }
+// N returns the LOGICAL shard count — what the map routes to and what
+// DB.Shards reports. After a merge it is smaller than NumShards.
+func (c *Coordinator) N() int { return c.rmap().N() }
+
+// NumShards returns the PHYSICAL shard count: open data.NNN/wal.NNN
+// pairs. It only ever grows; a merge empties shards but keeps them.
+func (c *Coordinator) NumShards() int { return len(c.ms()) }
+
+// ReadOnly reports whether the store was opened read-only.
+func (c *Coordinator) ReadOnly() bool { return c.readOnly }
 
 // Shards exposes the per-shard managers (stats, backup, tests). The
 // slice must not be mutated.
-func (c *Coordinator) Shards() []*Manager { return c.shards }
+func (c *Coordinator) Shards() []*Manager { return c.ms() }
 
 // Metrics returns the coordinator-level registry; nil under NoMetrics.
 // With one shard it is the Manager's own registry.
@@ -571,8 +858,8 @@ func (c *Coordinator) poisonCoord(err error) {
 // counts one file header once plus each log's payload, so a freshly
 // checkpointed database reports the same figure regardless of N.
 func (c *Coordinator) Stats() Stats {
-	if len(c.shards) == 1 && c.clog == nil {
-		return c.shards[0].Stats()
+	if c.clog == nil {
+		return c.ms()[0].Stats()
 	}
 	var commits, batches uint64
 	for {
@@ -593,7 +880,7 @@ func (c *Coordinator) Stats() Stats {
 		Checkpoints: c.checkpoints.Load(),
 		WALBytes:    wal.HeaderSize,
 	}
-	for _, m := range c.shards {
+	for _, m := range c.ms() {
 		s := m.Stats()
 		out.Commits += s.Commits
 		out.Aborts += s.Aborts
@@ -618,6 +905,8 @@ var errCrossOrder = errors.New("txn: cross-shard join order restart")
 // It is only valid inside the fn passed to Write.
 type WriteTx struct {
 	c         *Coordinator
+	rt        *routing // bundle pinned at begin; joins validate against it
+	newMap    *storage.ShardMap
 	views     []*storage.TxView
 	trs       []*tracker
 	txids     []oid.TxID
@@ -631,9 +920,25 @@ type WriteTx struct {
 	delegated bool // single-shard delegation: commit is the Manager's job
 }
 
-// N returns the shard count; Router the id router.
-func (w *WriteTx) N() int                 { return w.c.N() }
-func (w *WriteTx) Router() storage.Router { return w.c.rt }
+// NumShards returns the physical shard count the transaction can join.
+func (w *WriteTx) NumShards() int { return len(w.rt.ms) }
+
+// Map returns the shard map snapshot pinned at begin. Every id the
+// transaction touches routes through this snapshot; a concurrent map
+// change restarts the transaction at its next Join.
+func (w *WriteTx) Map() *storage.ShardMap { return w.rt.rmap }
+
+// SetShardMap stages a replacement shard map to commit atomically with
+// the transaction's data: the image rides the decision record, and the
+// routing bundle is swapped in the same pmu critical section that
+// publishes the dirty shards' epochs. Reshard chunks use it to flip a
+// migrated range's assignment together with the data move.
+func (w *WriteTx) SetShardMap(m *storage.ShardMap) {
+	if w.delegated {
+		panic("txn: SetShardMap on a single-shard (legacy layout) database")
+	}
+	w.newMap = m
+}
 
 // Restarted reports whether this is the all-shards rerun after a
 // descending join; triggers that must not re-fire consult it.
@@ -644,13 +949,22 @@ func (w *WriteTx) Joined(s int) bool { return w.joined[s] }
 
 // View returns a view of shard s: the live writer view when the shard
 // is joined, otherwise a read snapshot pinned at the shard's durable
-// epoch. Mutating intent must go through Join.
+// epoch. Mutating intent must go through Join. The snapshot pin
+// validates the routing bundle under pmu — the same lock a committing
+// reshard swaps the bundle under — so a snapshot can never be pinned
+// after a range it will be read through has already moved away.
 func (w *WriteTx) View(s int) (*storage.TxView, error) {
 	if w.joined[s] {
 		return w.views[s], nil
 	}
 	if w.snaps[s] == nil {
-		v, err := w.c.shards[s].BeginRead()
+		w.c.pmu.RLock()
+		if w.c.routing.Load() != w.rt {
+			w.c.pmu.RUnlock()
+			return nil, ErrRoutingEpochChanged
+		}
+		v, err := w.rt.ms[s].BeginRead()
+		w.c.pmu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -672,12 +986,20 @@ func (w *WriteTx) Join(s int) (*storage.TxView, error) {
 		panic(crossOrderRestart{shard: s})
 	}
 	if w.snaps[s] != nil {
-		w.c.shards[s].EndRead(w.snaps[s])
+		w.rt.ms[s].EndRead(w.snaps[s])
 		w.snaps[s] = nil
 	}
-	m := w.c.shards[s]
+	m := w.rt.ms[s]
 	if err := m.lockWriter(); err != nil {
 		return nil, err
+	}
+	// Routing may have moved while we waited for the writer mutex (a
+	// reshard chunk committed and swapped the bundle). Holding s's mutex
+	// freezes any FURTHER flip that involves s, so a successful check
+	// here stays valid for the rest of the transaction's use of s.
+	if w.c.routing.Load() != w.rt {
+		m.unlockWriter()
+		return nil, ErrRoutingEpochChanged
 	}
 	txid, v, tr := m.beginJoined()
 	w.views[s] = v
@@ -695,7 +1017,7 @@ func (w *WriteTx) Join(s int) (*storage.TxView, error) {
 func (w *WriteTx) endSnaps() {
 	for s, v := range w.snaps {
 		if v != nil {
-			w.c.shards[s].EndRead(v)
+			w.rt.ms[s].EndRead(v)
 			w.snaps[s] = nil
 		}
 	}
@@ -707,7 +1029,7 @@ func (w *WriteTx) release() {
 	for i := len(w.joinOrder) - 1; i >= 0; i-- {
 		s := w.joinOrder[i]
 		w.views[s].Close()
-		w.c.shards[s].unlockWriter()
+		w.rt.ms[s].unlockWriter()
 	}
 	w.joinOrder = nil
 	w.endSnaps()
@@ -720,8 +1042,8 @@ func (w *WriteTx) rollbackRelease() {
 	for i := len(w.joinOrder) - 1; i >= 0; i-- {
 		s := w.joinOrder[i]
 		w.views[s].Close()
-		w.c.shards[s].rollbackQuiet(w.trs[s])
-		w.c.shards[s].unlockWriter()
+		w.rt.ms[s].rollbackQuiet(w.trs[s])
+		w.rt.ms[s].unlockWriter()
 	}
 	w.joinOrder = nil
 	w.endSnaps()
@@ -732,10 +1054,12 @@ func (w *WriteTx) rollbackRelease() {
 // coordinated additions are the ascending-join restart and two-phase
 // commit for transactions that dirtied more than one shard.
 func (c *Coordinator) Write(fn func(*WriteTx) error) error {
-	if len(c.shards) == 1 {
-		return c.shards[0].Write(func(v *storage.TxView) error {
+	if c.clog == nil {
+		rt := c.routing.Load()
+		return rt.ms[0].Write(func(v *storage.TxView) error {
 			return fn(&WriteTx{
 				c:         c,
+				rt:        rt,
 				views:     []*storage.TxView{v},
 				trs:       []*tracker{nil},
 				txids:     []oid.TxID{0},
@@ -759,17 +1083,31 @@ func (c *Coordinator) Write(fn func(*WriteTx) error) error {
 	}
 	span := c.ctxSeq.Add(1)
 	c.sink.Emit(obs.SpanEvent{Kind: obs.SpanBegin, Tx: span})
-	err, restart := c.writeAttempt(fn, span, start, false)
-	if restart {
-		err, _ = c.writeAttempt(fn, span, start, true)
+	all, restarted := false, false
+	for {
+		err, restart := c.writeAttempt(fn, span, start, all, restarted)
+		if restart {
+			// Descending join: rerun with every shard pre-locked.
+			all, restarted = true, true
+			continue
+		}
+		if errors.Is(err, ErrRoutingEpochChanged) {
+			// A reshard chunk swapped the bundle mid-transaction; the
+			// attempt rolled back quietly (not an abort: nothing about fn
+			// failed). Rerun against the new map.
+			restarted = true
+			continue
+		}
+		return err
 	}
-	return err
 }
 
-func (c *Coordinator) newWriteTx(all bool) *WriteTx {
-	n := len(c.shards)
+func (c *Coordinator) newWriteTx(all, restarted bool) *WriteTx {
+	rt := c.routing.Load()
+	n := len(rt.ms)
 	return &WriteTx{
 		c:         c,
+		rt:        rt,
 		views:     make([]*storage.TxView, n),
 		trs:       make([]*tracker, n),
 		txids:     make([]oid.TxID, n),
@@ -778,17 +1116,18 @@ func (c *Coordinator) newWriteTx(all bool) *WriteTx {
 		joined:    make([]bool, n),
 		maxJoined: -1,
 		all:       all,
-		restarted: all,
+		restarted: all || restarted,
 	}
 }
 
 // writeAttempt runs fn once. restart reports a descending join on a
 // lazy attempt; the caller reruns with all=true (every shard joined
-// ascending up front, so no further restart is possible).
-func (c *Coordinator) writeAttempt(fn func(*WriteTx) error, span uint64, start time.Time, all bool) (err error, restart bool) {
-	wtx := c.newWriteTx(all)
+// ascending up front, so no further order restart is possible — a
+// routing epoch change can still restart either flavor).
+func (c *Coordinator) writeAttempt(fn func(*WriteTx) error, span uint64, start time.Time, all, restarted bool) (err error, restart bool) {
+	wtx := c.newWriteTx(all, restarted)
 	if all {
-		for s := range c.shards {
+		for s := range wtx.rt.ms {
 			if _, err := wtx.Join(s); err != nil {
 				wtx.rollbackRelease()
 				return err, false
@@ -801,6 +1140,10 @@ func (c *Coordinator) writeAttempt(fn func(*WriteTx) error, span uint64, start t
 	}
 	if err != nil {
 		wtx.rollbackRelease()
+		if errors.Is(err, ErrRoutingEpochChanged) {
+			// Not an abort: the closure retries against the new map.
+			return err, false
+		}
 		c.aborts.Add(1)
 		if c.sink != nil {
 			c.sink.Emit(obs.SpanEvent{Kind: obs.SpanAbort, Tx: span, Dur: time.Since(start), Err: err.Error()})
@@ -838,6 +1181,12 @@ func (c *Coordinator) commitTx(wtx *WriteTx, span uint64, start time.Time) error
 			dirty = append(dirty, s)
 		}
 	}
+	// A staged shard map rides the decision record, so a map-changing
+	// transaction always commits through 2PC even when it dirtied one
+	// shard or none (an empty migration chunk still flips its range).
+	if wtx.newMap != nil {
+		return c.commit2PC(wtx, dirty, span, start)
+	}
 	switch len(dirty) {
 	case 0:
 		wtx.release()
@@ -862,7 +1211,7 @@ func (c *Coordinator) abortObserve(span uint64, start time.Time, err error) {
 // through that shard's own commit pipeline; counters and batch/fsync
 // accounting land on the shard, exactly as a standalone commit would.
 func (c *Coordinator) commitSingle(wtx *WriteTx, s int, span uint64, start time.Time) error {
-	m := c.shards[s]
+	m := wtx.rt.ms[s]
 	txid, tr := wtx.txids[s], wtx.trs[s]
 	if m.gc != nil {
 		fr, err := m.stageJoined(txid, tr, 0, false)
@@ -911,7 +1260,7 @@ func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start ti
 	gtid := c.gtidSeq.Add(1)
 	var perr error
 	for _, s := range dirty {
-		m := c.shards[s]
+		m := wtx.rt.ms[s]
 		if m.gc != nil {
 			fr, err := m.stageJoined(wtx.txids[s], wtx.trs[s], gtid, true)
 			if err != nil {
@@ -949,14 +1298,23 @@ func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start ti
 		c.sink.Emit(obs.SpanEvent{Kind: obs.SpanPrepare, Tx: span, Batch: len(dirty), Dur: time.Since(start)})
 	}
 
-	// Phase 2: the decision record is the commit point.
+	// Phase 2: the decision record is the commit point. A staged shard
+	// map is logged immediately before it under the same gtid — recovery
+	// applies the overlay iff the decision exists, so the flip and the
+	// data move share one atomic commit point.
 	c.cmu.Lock()
 	derr := c.cioErr
 	if derr != nil {
 		derr = fmt.Errorf("%w (cause: %v)", ErrPoisoned, derr)
 	} else {
 		startLSN := c.clog.End()
-		if _, derr = c.clog.AppendCommit(oid.TxID(gtid)); derr == nil && !c.opts.NoSync {
+		if wtx.newMap != nil {
+			_, derr = c.clog.AppendShardMap(oid.TxID(gtid), wtx.newMap.Encode())
+		}
+		if derr == nil {
+			_, derr = c.clog.AppendCommit(oid.TxID(gtid))
+		}
+		if derr == nil && !c.opts.NoSync {
 			derr = c.clog.Sync()
 		}
 		if derr != nil {
@@ -986,13 +1344,21 @@ func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start ti
 	// remaining shards — and the poisoned one — still publish.
 	var decErr error
 	for _, s := range dirty {
-		if err := c.shards[s].decideJoinedLog(wtx.txids[s]); err != nil && decErr == nil {
+		if err := wtx.rt.ms[s].decideJoinedLog(wtx.txids[s]); err != nil && decErr == nil {
 			decErr = err
 		}
 	}
 	c.pmu.Lock()
 	for _, s := range dirty {
-		c.shards[s].publishJoined(wtx.epochs[s])
+		wtx.rt.ms[s].publishJoined(wtx.epochs[s])
+	}
+	if wtx.newMap != nil {
+		// The bundle swap shares the epoch-publication critical section:
+		// a reader pinning its snapshots under pmu sees the new map with
+		// the moved data, or the old map with the data still at the
+		// source — never a mix.
+		c.routing.Store(&routing{ms: wtx.rt.ms, rmap: wtx.newMap})
+		c.mapDirty = true // newest flip lives only in the clog until folded
 	}
 	c.pmu.Unlock()
 	if decErr != nil {
@@ -1027,44 +1393,50 @@ func (c *Coordinator) commit2PC(wtx *WriteTx, dirty []int, span uint64, start ti
 // is exactly a Manager.Read.
 type ReadTx struct {
 	c     *Coordinator
+	rt    *routing
 	views []*storage.TxView
 }
 
 // View returns the pinned snapshot of shard s.
 func (r *ReadTx) View(s int) *storage.TxView { return r.views[s] }
 
-// N returns the shard count; Router the id router.
+// N returns the physical shard count (one pinned view per shard); Map
+// the shard map snapshot the views were pinned under.
 func (r *ReadTx) N() int                 { return len(r.views) }
-func (r *ReadTx) Router() storage.Router { return r.c.rt }
+func (r *ReadTx) Map() *storage.ShardMap { return r.rt.rmap }
 
 // BeginReadTx pins a snapshot on every shard, atomically with respect
-// to cross-shard commits (see ReadTx). Pair with EndReadTx.
+// to cross-shard commits (see ReadTx). Pair with EndReadTx. The
+// routing bundle is captured under the same pmu hold as the pins, so
+// the map matches the data: a migrated range's snapshot comes from the
+// shard the captured map routes it to.
 func (c *Coordinator) BeginReadTx() (*ReadTx, error) {
-	if len(c.shards) > 1 {
+	if c.clog != nil {
 		// Readers share pmu among themselves; only a 2PC decide (the
 		// write side) excludes them, and only for the duration of the
 		// shard-local decide records — not the decision fsync.
 		c.pmu.RLock()
 		defer c.pmu.RUnlock()
 	}
-	views := make([]*storage.TxView, len(c.shards))
-	for i, m := range c.shards {
+	rt := c.routing.Load()
+	views := make([]*storage.TxView, len(rt.ms))
+	for i, m := range rt.ms {
 		v, err := m.BeginRead()
 		if err != nil {
 			for j := 0; j < i; j++ {
-				c.shards[j].EndRead(views[j])
+				rt.ms[j].EndRead(views[j])
 			}
 			return nil, err
 		}
 		views[i] = v
 	}
-	return &ReadTx{c: c, views: views}, nil
+	return &ReadTx{c: c, rt: rt, views: views}, nil
 }
 
 // EndReadTx releases every shard pin.
 func (c *Coordinator) EndReadTx(r *ReadTx) {
 	for i, v := range r.views {
-		c.shards[i].EndRead(v)
+		r.rt.ms[i].EndRead(v)
 	}
 }
 
@@ -1078,13 +1450,30 @@ func (c *Coordinator) Read(fn func(*ReadTx) error) error {
 	return fn(r)
 }
 
+// foldShardMap persists the current shard map as a shards.ode frame if
+// the newest flip still lives only in the decision log. It MUST run
+// (and succeed) before any clog.Reset: the reset erases the overlay
+// record that is the flip's only durable copy. Caller holds cmu.
+func (c *Coordinator) foldShardMap() error {
+	if !c.mapDirty {
+		return nil
+	}
+	rt := c.routing.Load()
+	if err := appendShardsFrame(c.shardsFile, len(rt.ms), rt.rmap); err != nil {
+		return err
+	}
+	c.mapDirty = false
+	return nil
+}
+
 // Checkpoint checkpoints every shard (draining each shard's pipeline)
 // and then resets the decision log: once every shard WAL is empty no
 // prepare record can reference a decision. The reset is skipped if a
-// poisoned shard still needs the log for its recovery.
+// poisoned shard still needs the log for its recovery, or if the
+// current shard map could not be folded into shards.ode first.
 func (c *Coordinator) Checkpoint() error {
-	if len(c.shards) == 1 && c.clog == nil {
-		return c.shards[0].Checkpoint()
+	if c.clog == nil {
+		return c.ms()[0].Checkpoint()
 	}
 	if c.closed.Load() {
 		return ErrClosed
@@ -1093,13 +1482,17 @@ func (c *Coordinator) Checkpoint() error {
 	if c.timed() {
 		start = time.Now()
 	}
-	for i, m := range c.shards {
+	for i, m := range c.ms() {
 		if err := m.checkpointQuiet(); err != nil {
 			return fmt.Errorf("txn: checkpoint shard %d: %w", i, err)
 		}
 	}
 	c.cmu.Lock()
 	if c.cioErr == nil && !c.noReset {
+		if err := c.foldShardMap(); err != nil {
+			c.cmu.Unlock()
+			return fmt.Errorf("txn: checkpoint: %w", err)
+		}
 		if err := c.clog.Reset(); err != nil {
 			c.poisonCoord(err)
 			c.cmu.Unlock()
@@ -1136,9 +1529,18 @@ func (c *Coordinator) CheckpointExclusive(fn func() error) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
+	single := c.clog == nil
+	if !single {
+		// Exclude live resharding for the whole quiesced section: the
+		// physical shard set and the map are frozen while fn runs, so
+		// backup's file enumeration cannot race a grow.
+		c.reshardMu.Lock()
+		defer c.reshardMu.Unlock()
+	}
+	ms := c.ms()
 	locked := 0
 	var lockErr error
-	for _, m := range c.shards {
+	for _, m := range ms {
 		if lockErr = m.lockWriterDrained(); lockErr != nil {
 			break
 		}
@@ -1146,21 +1548,20 @@ func (c *Coordinator) CheckpointExclusive(fn func() error) error {
 	}
 	if lockErr != nil {
 		for i := locked - 1; i >= 0; i-- {
-			c.shards[i].unlockWriter()
+			ms[i].unlockWriter()
 		}
 		return lockErr
 	}
 	defer func() {
-		for i := len(c.shards) - 1; i >= 0; i-- {
-			c.shards[i].unlockWriter()
+		for i := len(ms) - 1; i >= 0; i-- {
+			ms[i].unlockWriter()
 		}
 	}()
-	single := len(c.shards) == 1 && c.clog == nil
 	var start time.Time
 	if !single && c.timed() {
 		start = time.Now()
 	}
-	for i, m := range c.shards {
+	for i, m := range ms {
 		// The wrapped single manager accounts for its own checkpoint
 		// (count + latency), exactly like Manager.Checkpoint; a sharded
 		// coordinator checkpoints quietly and counts once at its level.
@@ -1174,6 +1575,10 @@ func (c *Coordinator) CheckpointExclusive(fn func() error) error {
 	if !single {
 		c.cmu.Lock()
 		if c.cioErr == nil && !c.noReset {
+			if err := c.foldShardMap(); err != nil {
+				c.cmu.Unlock()
+				return fmt.Errorf("txn: checkpoint: %w", err)
+			}
 			if err := c.clog.Reset(); err != nil {
 				c.poisonCoord(err)
 				c.cmu.Unlock()
@@ -1198,27 +1603,29 @@ func (c *Coordinator) CheckpointExclusive(fn func() error) error {
 // no transaction, checkpoint or 2PC decision is in flight anywhere
 // while fn runs. Backup uses it to copy the directory's files.
 func (c *Coordinator) Exclusive(fn func() error) error {
+	ms := c.ms()
 	var run func(i int) error
 	run = func(i int) error {
-		if i == len(c.shards) {
+		if i == len(ms) {
 			return fn()
 		}
-		return c.shards[i].Exclusive(func() error { return run(i + 1) })
+		return ms[i].Exclusive(func() error { return run(i + 1) })
 	}
 	return run(0)
 }
 
-// Close closes every shard in order, then resets (if healthy) and
-// closes the decision log, then the shared tracer sink.
+// Close closes every shard in order, then folds the shard map and
+// resets (if healthy) and closes the decision log, then the shared
+// tracer sink.
 func (c *Coordinator) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	if len(c.shards) == 1 && c.clog == nil {
-		return c.shards[0].Close()
+	if c.clog == nil {
+		return c.ms()[0].Close()
 	}
 	var firstErr error
-	for _, m := range c.shards {
+	for _, m := range c.ms() {
 		if err := m.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -1226,11 +1633,20 @@ func (c *Coordinator) Close() error {
 	c.cmu.Lock()
 	if c.clog != nil {
 		if firstErr == nil && c.cioErr == nil && !c.noReset && !c.readOnly {
-			if err := c.clog.Reset(); err != nil {
+			// The reset erases any unfolded map overlay, so the fold gates
+			// it: fold failure leaves the log intact for the next recovery.
+			if err := c.foldShardMap(); err != nil {
+				firstErr = err
+			} else if err := c.clog.Reset(); err != nil {
 				firstErr = err
 			}
 		}
 		if err := c.clog.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.shardsFile != nil {
+		if err := c.shardsFile.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

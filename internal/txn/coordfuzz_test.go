@@ -72,7 +72,8 @@ func scanCoord(t testing.TB, fsys faultfs.FS) (map[uint64]bool, error) {
 		return nil, err
 	}
 	defer l.Close()
-	return scanDecisions(l)
+	decided, _, err := scanDecisions(l)
+	return decided, err
 }
 
 // FuzzCoordDecisionScan builds a valid decision log from the seed,

@@ -36,6 +36,7 @@ const (
 	RecAbort      uint8 = 4 // informational; aborted txns are ignored anyway
 	RecCheckpoint uint8 = 5 // page file reflects everything before this LSN
 	RecPrepare    uint8 = 6 // 2PC: shard-local prepare, carries the global txn id
+	RecShardMap   uint8 = 7 // coordinator log only: shard-map image decided by tx
 )
 
 // headerSize is the fixed file header before the first record.
@@ -61,7 +62,7 @@ type Record struct {
 	Type uint8
 	Tx   oid.TxID
 	Page oid.PageID // RecPageImage only
-	Data []byte     // RecPageImage only: the page image
+	Data []byte     // RecPageImage: the page image; RecShardMap: the map image
 	GTID uint64     // RecPrepare only: global (cross-shard) transaction id
 }
 
@@ -340,6 +341,16 @@ func (l *Log) AppendPrepare(tx oid.TxID, gtid uint64) (oid.LSN, error) {
 	return l.append(w.Bytes())
 }
 
+// AppendShardMap logs a shard-map image proposed by global transaction
+// tx. The image takes effect only if tx's commit record follows it in
+// the same log (the coordinator log), so the map flip and the data move
+// it describes share one atomic commit point.
+func (l *Log) AppendShardMap(tx oid.TxID, image []byte) (oid.LSN, error) {
+	w := codec.NewWriter(len(image) + 24)
+	w.U8(RecShardMap).UVarint(uint64(tx)).Raw(image)
+	return l.append(w.Bytes())
+}
+
 // AppendCheckpoint logs a checkpoint marker.
 func (l *Log) AppendCheckpoint() (oid.LSN, error) {
 	w := codec.NewWriter(8)
@@ -456,11 +467,14 @@ func decode(lsn oid.LSN, payload []byte) (Record, error) {
 	if rec.Type == RecPrepare {
 		rec.GTID = r.UVarint()
 	}
+	if rec.Type == RecShardMap {
+		rec.Data = payload[r.Offset():]
+	}
 	if r.Err() != nil {
 		return Record{}, fmt.Errorf("wal: corrupt record at %v: %w", lsn, r.Err())
 	}
 	switch rec.Type {
-	case RecBegin, RecPageImage, RecCommit, RecAbort, RecCheckpoint, RecPrepare:
+	case RecBegin, RecPageImage, RecCommit, RecAbort, RecCheckpoint, RecPrepare, RecShardMap:
 		return rec, nil
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d at %v", rec.Type, lsn)

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"ode"
+)
+
+// TestShapesDuringLiveReshard is the online-resharding acceptance net:
+// every shape runs its full oracle-checked op mix with ZERO violations
+// while the store live-splits 4 → 8 and then live-merges 8 → 4
+// underneath it. The Mid hook races the two reshards against the worker
+// pool; in-flight transactions restart transparently when a chunk's
+// routing flip commits under them, and every read keeps validating
+// against the in-memory model throughout.
+func TestShapesDuringLiveReshard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live reshard soak skipped in -short")
+	}
+	for _, shape := range Shapes() {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			t.Parallel()
+			cfg := tinyCfg(t, shape, 4, 1307)
+			cfg.Objects = 48
+			cfg.OpsPerWorker = 400
+			var split, merge ode.ReshardProgress
+			cfg.Mid = func(db *ode.DB) error {
+				if err := db.Reshard(8); err != nil {
+					return fmt.Errorf("split 4->8: %w", err)
+				}
+				split = db.ReshardProgress()
+				if err := db.Reshard(4); err != nil {
+					return fmt.Errorf("merge 8->4: %w", err)
+				}
+				merge = db.ReshardProgress()
+				return nil
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("run with live reshard: %v", err)
+			}
+			if res.Mutations == 0 || res.Reads == 0 {
+				t.Fatalf("degenerate run: mutations=%d reads=%d", res.Mutations, res.Reads)
+			}
+			// The split must have moved real data (half of each of the 4
+			// original shards' populations heads to the new partners) and
+			// the merge must have emptied the four top shards again.
+			if split.Chunks == 0 || split.Objects == 0 {
+				t.Fatalf("split moved nothing: %+v", split)
+			}
+			if merge.Chunks == 0 || merge.Objects == 0 {
+				t.Fatalf("merge moved nothing: %+v", merge)
+			}
+			t.Logf("split: %d chunks, %d objects, %d versions; merge: %d chunks, %d objects, %d versions",
+				split.Chunks, split.Objects, split.Versions,
+				merge.Chunks, merge.Objects, merge.Versions)
+		})
+	}
+}
+
+// TestReshardedStoreReopens proves the post-reshard store stands on its
+// own: after a live split+merge run, reopening the directory recovers
+// cleanly and passes a full integrity check.
+func TestReshardedStoreReopens(t *testing.T) {
+	cfg := tinyCfg(t, ShapeLinear, 4, 99)
+	cfg.Mid = func(db *ode.DB) error {
+		if err := db.Reshard(8); err != nil {
+			return err
+		}
+		return db.Reshard(4)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	db, err := ode.Open(cfg.Dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	if got := db.Shards(); got != 4 {
+		t.Fatalf("reopened with %d logical shards, want 4", got)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after reopen: %v", err)
+	}
+}

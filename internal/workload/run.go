@@ -135,7 +135,19 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go h.worker(w, &wg, deadline)
 	}
+	midDone := make(chan struct{})
+	if cfg.Mid != nil {
+		go func() {
+			defer close(midDone)
+			if err := cfg.Mid(db); err != nil {
+				h.fail(fmt.Errorf("workload: mid hook: %w", err))
+			}
+		}()
+	} else {
+		close(midDone)
+	}
 	wg.Wait()
+	<-midDone
 	elapsed := time.Since(start)
 	if h.firstErr != nil {
 		return nil, h.firstErr

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSeeds parses a comma-separated seed list as found in the
+// ODE_SOAK_SEEDS environment variable ("1,2,3,17", whitespace around
+// entries allowed). An empty (or all-whitespace) input returns nil so
+// the caller can apply its default; anything else must be a list of
+// valid integers — an empty entry or a non-integer is an error naming
+// the offending entry, never a silent skip.
+func ParseSeeds(env string) ([]int64, error) {
+	if strings.TrimSpace(env) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(env, ",")
+	seeds := make([]int64, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("workload: seed list %q: entry %d is empty", env, i+1)
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: seed list %q: entry %d (%q) is not an integer", env, i+1, part)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds, nil
+}

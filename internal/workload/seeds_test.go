@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int64
+		wantErr string
+	}{
+		{in: "", want: nil},
+		{in: "   \t ", want: nil},
+		{in: "1,2,3,17", want: []int64{1, 2, 3, 17}},
+		{in: " 1 ,\t2 , 3 ", want: []int64{1, 2, 3}},
+		{in: "-5, 0, 9223372036854775807", want: []int64{-5, 0, 9223372036854775807}},
+		{in: "42", want: []int64{42}},
+		{in: "1,,3", wantErr: "entry 2 is empty"},
+		{in: "1,2,", wantErr: "entry 3 is empty"},
+		{in: ",1", wantErr: "entry 1 is empty"},
+		{in: "1,two,3", wantErr: `entry 2 ("two") is not an integer`},
+		{in: "1.5", wantErr: "is not an integer"},
+		{in: "0x10", wantErr: "is not an integer"},
+		{in: "9223372036854775808", wantErr: "is not an integer"},
+	}
+	for _, c := range cases {
+		got, err := ParseSeeds(c.in)
+		if c.wantErr != "" {
+			if err == nil {
+				t.Errorf("ParseSeeds(%q) = %v, want error containing %q", c.in, got, c.wantErr)
+			} else if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseSeeds(%q) error %q, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSeeds(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseSeeds(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseSeeds(%q)[%d] = %d, want %d", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

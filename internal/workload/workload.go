@@ -105,6 +105,12 @@ type Config struct {
 	// Shards is overridden from Config.Shards.
 	Options *ode.Options
 
+	// Mid, when set, runs on its own goroutine concurrently with the
+	// worker pool — the hook the live-reshard tests use to split or
+	// merge the store under traffic. Run waits for it after the workers
+	// finish; a non-nil error fails the run like an oracle violation.
+	Mid func(db *ode.DB) error
+
 	// corrupt, when set, is invoked on the model after setup — the test
 	// hook that proves the oracle actually catches divergence.
 	corrupt func(objs []*object)

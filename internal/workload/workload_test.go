@@ -2,6 +2,8 @@ package workload
 
 import (
 	"errors"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -25,45 +27,48 @@ func tinyCfg(t *testing.T, shape Shape, shards int, seed int64) Config {
 }
 
 // TestShapesAcrossShards is the package's core claim: every shape runs
-// with zero oracle violations at 1 and 4 shards.
+// with zero oracle violations at 1 and 4 shards. ODE_SOAK_SEEDS widens
+// the hunt to extra seeds per cell (strictly parsed — see ParseSeeds).
 func TestShapesAcrossShards(t *testing.T) {
-	for _, shape := range Shapes() {
-		for _, shards := range []int{1, 4} {
-			shape, shards := shape, shards
-			t.Run(string(shape)+"/shards="+itoa(shards), func(t *testing.T) {
-				t.Parallel()
-				res, err := Run(tinyCfg(t, shape, shards, 42))
-				if err != nil {
-					t.Fatalf("run: %v", err)
-				}
-				if res.Ops != res.Mutations+res.Reads {
-					t.Fatalf("ops %d != mutations %d + reads %d", res.Ops, res.Mutations, res.Reads)
-				}
-				if res.Mutations == 0 || res.Reads == 0 {
-					t.Fatalf("degenerate run: mutations=%d reads=%d", res.Mutations, res.Reads)
-				}
-				if res.ExtentScans == 0 {
-					t.Fatalf("no extent scans ran")
-				}
-				if res.OpsPerSec <= 0 {
-					t.Fatalf("ops/sec not computed: %v", res.OpsPerSec)
-				}
-				if res.MutLatency.Count == 0 || res.ReadLatency.Count == 0 {
-					t.Fatalf("latency histograms empty: mut=%d read=%d", res.MutLatency.Count, res.ReadLatency.Count)
-				}
-				if res.CommitLatency.Count == 0 {
-					t.Fatalf("engine commit histogram empty")
-				}
-			})
+	seeds, err := ParseSeeds(os.Getenv("ODE_SOAK_SEEDS"))
+	if err != nil {
+		t.Fatalf("ODE_SOAK_SEEDS: %v", err)
+	}
+	if seeds == nil {
+		seeds = []int64{42}
+	}
+	for _, seed := range seeds {
+		for _, shape := range Shapes() {
+			for _, shards := range []int{1, 4} {
+				seed, shape, shards := seed, shape, shards
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", shape, shards, seed), func(t *testing.T) {
+					t.Parallel()
+					res, err := Run(tinyCfg(t, shape, shards, seed))
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if res.Ops != res.Mutations+res.Reads {
+						t.Fatalf("ops %d != mutations %d + reads %d", res.Ops, res.Mutations, res.Reads)
+					}
+					if res.Mutations == 0 || res.Reads == 0 {
+						t.Fatalf("degenerate run: mutations=%d reads=%d", res.Mutations, res.Reads)
+					}
+					if res.ExtentScans == 0 {
+						t.Fatalf("no extent scans ran")
+					}
+					if res.OpsPerSec <= 0 {
+						t.Fatalf("ops/sec not computed: %v", res.OpsPerSec)
+					}
+					if res.MutLatency.Count == 0 || res.ReadLatency.Count == 0 {
+						t.Fatalf("latency histograms empty: mut=%d read=%d", res.MutLatency.Count, res.ReadLatency.Count)
+					}
+					if res.CommitLatency.Count == 0 {
+						t.Fatalf("engine commit histogram empty")
+					}
+				})
+			}
 		}
 	}
-}
-
-func itoa(n int) string {
-	if n < 10 {
-		return string(rune('0' + n))
-	}
-	return string(rune('0'+n/10)) + string(rune('0'+n%10))
 }
 
 // TestUniformControl runs the unskewed control distribution.

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfianSkewProperties pins the statistical shape of the key
+// distribution the harness hands its workers: rand.NewZipf(rng, s, 1,
+// n-1) with the default s=1.4 draws key k with probability
+// (1+k)^-1.4 / H. If the construction drifted (wrong exponent, wrong v,
+// off-by-one population, uniform fallback) the hot-set concentration —
+// the whole point of a YCSB-style skew — would silently vanish; the
+// E15/E16 "skew ratio" columns would then compare nothing. The test
+// checks the empirical top-1 frequency and the tail mass (draws landing
+// outside the hottest 10% of keys) against the exact truncated
+// zipfian, with tolerances far wider than sampling noise at this draw
+// count but far tighter than the uniform distribution's values.
+func TestZipfianSkewProperties(t *testing.T) {
+	const (
+		s     = 1.4 // Config.ZipfS default (see withDefaults)
+		n     = 1000
+		draws = 200_000
+	)
+	// Exact distribution: P(k) = (1+k)^-s / H, H = Σ_{k<n} (1+k)^-s.
+	probs := make([]float64, n)
+	h := 0.0
+	for k := 0; k < n; k++ {
+		probs[k] = math.Pow(float64(1+k), -s)
+		h += probs[k]
+	}
+	wantTop1 := probs[0] / h
+	hot := n / 10
+	wantTail := 0.0
+	for k := hot; k < n; k++ {
+		wantTail += probs[k] / h
+	}
+
+	rng := rand.New(rand.NewSource(1400))
+	zipf := rand.NewZipf(rng, s, 1, uint64(n-1))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := zipf.Uint64()
+		if k >= n {
+			t.Fatalf("draw %d out of population range [0, %d)", k, n)
+		}
+		counts[k]++
+	}
+
+	gotTop1 := float64(counts[0]) / draws
+	tail := 0
+	for k := hot; k < n; k++ {
+		tail += counts[k]
+	}
+	gotTail := float64(tail) / draws
+
+	// ±10% relative on the head, ±20% on the thin tail. Uniform keys
+	// would give top1 = 0.001 and tail = 0.9 — orders of magnitude out.
+	if rel := math.Abs(gotTop1-wantTop1) / wantTop1; rel > 0.10 {
+		t.Errorf("top-1 frequency %.4f, want %.4f ±10%% (rel err %.1f%%)", gotTop1, wantTop1, 100*rel)
+	}
+	if rel := math.Abs(gotTail-wantTail) / wantTail; rel > 0.20 {
+		t.Errorf("tail mass (ranks ≥ %d) %.4f, want %.4f ±20%% (rel err %.1f%%)", hot, gotTail, wantTail, 100*rel)
+	}
+	// Monotone head: the exact distribution is strictly decreasing, so
+	// with this many draws each of the first five counts must dominate
+	// the next.
+	for k := 0; k+1 < 5; k++ {
+		if counts[k] <= counts[k+1] {
+			t.Errorf("head not decreasing: count[%d]=%d <= count[%d]=%d", k, counts[k], k+1, counts[k+1])
+		}
+	}
+}

@@ -108,9 +108,10 @@ func (db *DB) Metrics() Metrics {
 	ms.BatchSize = m.BatchSize.Snapshot()
 	ms.DprevWalkLen = m.DprevWalk.Snapshot()
 	ms.TprevWalkLen = m.TprevWalk.Snapshot()
-	if db.coord.N() > 1 {
+	if db.coord.NumShards() > 1 {
 		// Roll the per-shard registries up: counters and gauges sum,
-		// histograms merge bucket-wise.
+		// histograms merge bucket-wise. Physical shards, not logical: a
+		// merged-away shard still serves the ranges it kept.
 		for _, sm := range db.coord.Shards() {
 			r := sm.Metrics()
 			if r == nil {
@@ -185,7 +186,32 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
-	if db.coord.N() > 1 {
+	// Routing / reshard progress. Epoch 0 is the static map a database
+	// starts with; every committed range flip bumps it.
+	rp := db.eng.ReshardProgress()
+	active := int64(0)
+	if rp.Active {
+		active = 1
+	}
+	reshardGauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"ode_routing_epoch", "Shard-map epoch (bumped by every committed routing change).", int64(db.coord.Map().Epoch())},
+		{"ode_shards_logical", "Logical shard count (new allocations spread over these).", int64(db.coord.N())},
+		{"ode_shards_physical", "Physical shard files on disk (never shrinks).", int64(db.coord.NumShards())},
+		{"ode_reshard_active", "1 while a Reshard is running, else 0.", active},
+		{"ode_reshard_target", "Target logical shard count of the current/last Reshard.", int64(rp.Target)},
+		{"ode_reshard_chunks_total", "Chunk transactions committed by the current/last Reshard.", int64(rp.Chunks)},
+		{"ode_reshard_objects_total", "Objects migrated by the current/last Reshard.", int64(rp.Objects)},
+		{"ode_reshard_versions_total", "Version records migrated by the current/last Reshard.", int64(rp.Versions)},
+	}
+	for _, g := range reshardGauges {
+		if err := obs.WriteGauge(w, g.name, g.help, g.v); err != nil {
+			return err
+		}
+	}
+	if db.coord.NumShards() > 1 {
 		return db.writeShardMetrics(w)
 	}
 	return nil

@@ -243,8 +243,36 @@ func Open(dir string, opts *Options) (*DB, error) {
 	return db, nil
 }
 
-// Shards returns the number of storage shards backing this database.
+// Shards returns the number of logical storage shards backing this
+// database — the count new allocations spread over. After a merge the
+// physical file count can be higher (emptied shards are kept).
 func (db *DB) Shards() int { return db.coord.N() }
+
+// Reshard changes the logical shard count to n while the database keeps
+// serving transactions: a split (for example 4 → 8) spreads existing and
+// future load over more shards, a merge (8 → 4) folds shards away. Data
+// moves in small transactional chunks through the ordinary two-phase
+// commit path, so a crash at any point leaves the database recoverable —
+// reopening finishes with a consistent map, and an interrupted reshard
+// can simply be issued again to complete the migration. Concurrent
+// Updates are restarted transparently when a chunk's routing flip
+// commits under them. Only databases created with Shards >= 2 can
+// reshard; n may exceed the original count.
+func (db *DB) Reshard(n int) error {
+	return db.eng.Reshard(n)
+}
+
+// ReshardProgress is the live progress snapshot of a Reshard: whether
+// one is active, its target count, and the chunks, objects and versions
+// migrated so far (counters freeze when the reshard completes).
+type ReshardProgress = txn.ReshardProgress
+
+// ReshardProgress reports the live progress of an in-flight Reshard:
+// whether one is active, its target count, and the chunks, objects and
+// versions migrated so far.
+func (db *DB) ReshardProgress() txn.ReshardProgress {
+	return db.eng.ReshardProgress()
+}
 
 // Close checkpoints and closes the database.
 func (db *DB) Close() error {

@@ -1,0 +1,204 @@
+package ode_test
+
+// Crash matrix over the online-resharding path: a seeded 4-shard store
+// live-splits to 8 and merges back to 4 over the fault-injecting
+// filesystem, the power dies after every mutating I/O operation in the
+// whole run — shard-file creation, chunk migration 2PC, map-frame
+// appends, the lot — and the reopened image must pass a full integrity
+// check, serve every acked object at its acked state, complete a fresh
+// Reshard (the resume path), and keep accepting writes.
+
+import (
+	"fmt"
+	"testing"
+
+	"ode"
+	"ode/internal/faultfs"
+)
+
+type reshardAcked struct {
+	ptrs   map[string]ode.Ptr[Widget]
+	rev    map[string]int
+	split  bool // Reshard(8) returned nil
+	merged bool // Reshard(4) returned nil
+}
+
+// runReshardWorkload seeds a 4-shard store, splits it to 8 and merges
+// back to 4, reading objects back after each step. Never closes.
+func runReshardWorkload(fsys faultfs.FS) (reshardAcked, error) {
+	acked := reshardAcked{ptrs: map[string]ode.Ptr[Widget]{}, rev: map[string]int{}}
+	opts := &ode.Options{PageSize: 512, CheckpointBytes: -1, FS: fsys, Shards: 4}
+	db, err := ode.Open("/vdb", opts)
+	if err != nil {
+		return acked, err
+	}
+	widgets, err := ode.Register[Widget](db, "Widget")
+	if err != nil {
+		return acked, err
+	}
+	const nObjs, nVers = 6, 2
+	for i := 0; i < nObjs; i++ {
+		name := fmt.Sprintf("w%d", i)
+		var p ode.Ptr[Widget]
+		if err := db.Update(func(tx *ode.Tx) error {
+			var err error
+			p, err = widgets.Create(tx, &Widget{Name: name, Rev: 0})
+			return err
+		}); err != nil {
+			return acked, err
+		}
+		acked.ptrs[name] = p
+		acked.rev[name] = 0
+		for v := 1; v <= nVers; v++ {
+			if err := db.Update(func(tx *ode.Tx) error {
+				nv, err := p.NewVersion(tx)
+				if err != nil {
+					return err
+				}
+				return nv.Modify(tx, func(w *Widget) { w.Rev = v })
+			}); err != nil {
+				return acked, err
+			}
+			acked.rev[name] = v
+		}
+	}
+	if err := db.Reshard(8); err != nil {
+		return acked, err
+	}
+	acked.split = true
+	if err := checkAcked(db, acked); err != nil {
+		return acked, fmt.Errorf("after split: %w", err)
+	}
+	if err := db.Reshard(4); err != nil {
+		return acked, err
+	}
+	acked.merged = true
+	if err := checkAcked(db, acked); err != nil {
+		return acked, fmt.Errorf("after merge: %w", err)
+	}
+	// The merged store must still accept writes before the run ends.
+	for name, p := range acked.ptrs {
+		rev := acked.rev[name] + 1
+		if err := db.Update(func(tx *ode.Tx) error {
+			nv, err := p.NewVersion(tx)
+			if err != nil {
+				return err
+			}
+			return nv.Modify(tx, func(w *Widget) { w.Rev = rev })
+		}); err != nil {
+			return acked, err
+		}
+		acked.rev[name] = rev
+		break
+	}
+	return acked, nil
+}
+
+// checkAcked derefs every acked object at its acked rev.
+func checkAcked(db *ode.DB, acked reshardAcked) error {
+	return db.View(func(tx *ode.Tx) error {
+		for name, p := range acked.ptrs {
+			w, err := p.Deref(tx)
+			if err != nil {
+				return fmt.Errorf("deref %s: %w", name, err)
+			}
+			if w.Name != name || w.Rev != acked.rev[name] {
+				return fmt.Errorf("%s: got %+v, want rev %d", name, w, acked.rev[name])
+			}
+		}
+		return nil
+	})
+}
+
+// verifyReshardImage reopens the crashed image and checks integrity,
+// acked state, reshard resumability, and write availability.
+func verifyReshardImage(crashed faultfs.FS, acked reshardAcked) error {
+	// No Shards option: mid-reshard the logical count is whichever side
+	// of the flip recovery lands on, and both are valid.
+	db, err := ode.Open("/vdb", &ode.Options{PageSize: 512, FS: crashed})
+	if err != nil {
+		if len(acked.ptrs) == 0 {
+			return nil
+		}
+		return fmt.Errorf("reopen with %d acked objects: %w", len(acked.ptrs), err)
+	}
+	defer db.Close()
+	if err := db.CheckIntegrity(); err != nil {
+		return fmt.Errorf("integrity: %w", err)
+	}
+	if _, err := ode.Register[Widget](db, "Widget"); err != nil {
+		return fmt.Errorf("re-register: %w", err)
+	}
+	if err := checkAcked(db, acked); err != nil {
+		return err
+	}
+	// A crash mid-migration must leave the store able to finish the job:
+	// issue a fresh split on the recovered image and re-verify.
+	if err := db.Reshard(8); err != nil {
+		return fmt.Errorf("reshard after recovery: %w", err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		return fmt.Errorf("integrity after resumed reshard: %w", err)
+	}
+	if err := checkAcked(db, acked); err != nil {
+		return fmt.Errorf("after resumed reshard: %w", err)
+	}
+	for name, p := range acked.ptrs {
+		if err := db.Update(func(tx *ode.Tx) error {
+			nv, err := p.NewVersion(tx)
+			if err != nil {
+				return fmt.Errorf("post-recovery newversion %s: %w", name, err)
+			}
+			return nv.Modify(tx, func(w *Widget) { w.Rev = -1 })
+		}); err != nil {
+			return err
+		}
+		break
+	}
+	return nil
+}
+
+// TestReshardCrashMatrixPowerCut cuts power after every mutating I/O
+// operation across the seed + split + merge run.
+func TestReshardCrashMatrixPowerCut(t *testing.T) {
+	dry := faultfs.NewInjector(faultfs.NewMem(), faultfs.Plan{})
+	if _, err := runReshardWorkload(dry); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	ops := dry.Counts().Ops
+	if ops < 10 {
+		t.Fatalf("op space suspiciously small: %d", ops)
+	}
+	for n := uint64(1); n <= ops; n++ {
+		mem := faultfs.NewMem()
+		acked, _ := runReshardWorkload(faultfs.NewInjector(mem, faultfs.Plan{PowerCutAfterOps: n}))
+		if err := verifyReshardImage(mem.Crash(false), acked); err != nil {
+			t.Errorf("powerCutAfter=%d: %v", n, err)
+		}
+	}
+	t.Logf("reshard crash matrix: %d power-cut points", ops)
+}
+
+// TestReshardCrashMatrixFailedSyncs fails every fsync point instead:
+// the reshard must surface the error and leave a recoverable store.
+func TestReshardCrashMatrixFailedSyncs(t *testing.T) {
+	dry := faultfs.NewInjector(faultfs.NewMem(), faultfs.Plan{})
+	if _, err := runReshardWorkload(dry); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	syncs := dry.Counts().Syncs
+	step := uint64(1)
+	if testing.Short() {
+		step = 7
+	}
+	for n := uint64(1); n <= syncs; n += step {
+		for _, keep := range []bool{false, true} {
+			mem := faultfs.NewMem()
+			acked, _ := runReshardWorkload(faultfs.NewInjector(mem, faultfs.Plan{FailSyncN: n}))
+			if err := verifyReshardImage(mem.Crash(keep), acked); err != nil {
+				t.Errorf("failSync=%d keep=%v: %v", n, keep, err)
+			}
+		}
+	}
+	t.Logf("reshard crash matrix: %d failed-sync points x2 (step %d)", syncs, step)
+}

@@ -1,0 +1,95 @@
+package ode
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReshardSmoke(t *testing.T) {
+	db, _ := openShardedDB(t, 4, nil)
+	parts, err := Register[Part](db, "Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ptrs []Ptr[Part]
+	for i := 0; i < 50; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			p, err := parts.Create(tx, &Part{Name: fmt.Sprintf("p%d", i)})
+			if err != nil {
+				return err
+			}
+			ptrs = append(ptrs, p)
+			if i%3 == 0 {
+				_, err = p.NewVersion(tx)
+			}
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Reshard(8); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after split: %v", err)
+	}
+	pr := db.ReshardProgress()
+	t.Logf("split: chunks=%d objects=%d versions=%d", pr.Chunks, pr.Objects, pr.Versions)
+	for i, p := range ptrs {
+		if err := db.View(func(tx *Tx) error {
+			v, err := p.Deref(tx)
+			if err != nil {
+				return err
+			}
+			if v.Name != fmt.Sprintf("p%d", i) {
+				return fmt.Errorf("p%d read %q", i, v.Name)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("after split: %v", err)
+		}
+	}
+	if err := db.Reshard(4); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after merge: %v", err)
+	}
+	// Split again: revives merged-away shards.
+	if err := db.Reshard(8); err != nil {
+		t.Fatalf("re-split: %v", err)
+	}
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after re-split: %v", err)
+	}
+	for i, p := range ptrs {
+		if err := db.View(func(tx *Tx) error {
+			v, err := p.Deref(tx)
+			if err != nil {
+				return err
+			}
+			if v.Name != fmt.Sprintf("p%d", i) {
+				return fmt.Errorf("p%d read %q", i, v.Name)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("after re-split: %v", err)
+		}
+	}
+	// Reopen: recovery must agree.
+	dir := db.Dir()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after reopen: %v", err)
+	}
+	if got := db2.Shards(); got != 8 {
+		t.Fatalf("reopened with %d logical shards, want 8", got)
+	}
+}

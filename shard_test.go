@@ -340,7 +340,6 @@ func TestShardedBackup(t *testing.T) {
 // suffice) and returns them.
 func crossShardPair(t *testing.T, db *DB, parts *Type[Part]) (a, b Ptr[Part]) {
 	t.Helper()
-	n := uint64(db.Shards())
 	if err := db.Update(func(tx *Tx) error {
 		var err error
 		a, err = parts.Create(tx, &Part{Name: "a"})
@@ -356,7 +355,8 @@ func crossShardPair(t *testing.T, db *DB, parts *Type[Part]) (a, b Ptr[Part]) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if uint64(b.OID())%n != uint64(a.OID())%n {
+		// An id's top bits name its birth shard (storage.SlotOf).
+		if uint64(b.OID())>>54 != uint64(a.OID())>>54 {
 			return a, b
 		}
 	}

@@ -340,26 +340,26 @@ func runSoak(t *testing.T, seed int64) {
 // soakSeeds returns the seeds to soak: the ODE_SOAK_SEEDS environment
 // variable as a comma-separated list (e.g. ODE_SOAK_SEEDS=1,2,3,17 for
 // a longer hunt; see `make help`), defaulting to the standard three.
+// Parsing is strict — mirroring workload.ParseSeeds, which this package
+// cannot import (internal/workload imports ode): a typo in the list
+// fails the run instead of silently soaking fewer seeds than asked.
 func soakSeeds(t *testing.T) []int64 {
 	t.Helper()
 	env := os.Getenv("ODE_SOAK_SEEDS")
-	if env == "" {
+	if strings.TrimSpace(env) == "" {
 		return []int64{1, 2, 3}
 	}
 	var seeds []int64
-	for _, part := range strings.Split(env, ",") {
+	for i, part := range strings.Split(env, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			t.Fatalf("ODE_SOAK_SEEDS %q: entry %d is empty", env, i+1)
 		}
 		n, err := strconv.ParseInt(part, 10, 64)
 		if err != nil {
-			t.Fatalf("ODE_SOAK_SEEDS: bad seed %q: %v", part, err)
+			t.Fatalf("ODE_SOAK_SEEDS %q: entry %d (%q) is not an integer", env, i+1, part)
 		}
 		seeds = append(seeds, n)
-	}
-	if len(seeds) == 0 {
-		t.Fatalf("ODE_SOAK_SEEDS set but empty: %q", env)
 	}
 	return seeds
 }
