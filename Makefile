@@ -17,12 +17,17 @@ help:
 	@echo "  soak     metrics-reconciling soak suite at 1 and 4 shards (-race);"
 	@echo "           seeds default to 1,2,3 — override with a comma-separated"
 	@echo "           list, e.g. make soak ODE_SOAK_SEEDS=1,2,3,17,99"
-	@echo "  ycsb     odebench E15 smoke: oracle-checked YCSB workload, all four"
-	@echo "           version shapes at 1 and 4 shards, under -race"
+	@echo "  ycsb     odebench E15 smoke: oracle-checked YCSB workload, every"
+	@echo "           version shape at 1 and 4 shards, under -race"
+	@echo "  delta-matrix  delta-tier battery: round-trip property, crash matrix"
+	@echo "           over compactor demotions, deep-chain workload, at"
+	@echo "           ODE_SHARDS=1 and 4, under -race; plus odebench E17 smoke"
 	@echo "  fuzz     continuous fuzz over every native target, FUZZTIME=$(FUZZTIME) each"
 	@echo "  fuzz-smoke  same targets at 10s each — the CI tier"
-	@echo "  cover    line coverage, with 85% floors on internal/obs and internal/workload"
-	@echo "  check    build + vet + race + matrix + soak + ycsb"
+	@echo "  cover    line coverage, with 85% floors on internal/obs,"
+	@echo "           internal/workload, internal/delta, internal/matcache and"
+	@echo "           (per-file, over the delta battery) the two compact.go files"
+	@echo "  check    build + vet + race + matrix + soak + ycsb + delta-matrix"
 
 build:
 	$(GO) build ./...
@@ -57,6 +62,7 @@ fuzz:
 	$(GO) test -fuzz FuzzCoordDecisionScan -fuzztime $(FUZZTIME) ./internal/txn
 	$(GO) test -fuzz FuzzReaderOps -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -fuzz FuzzDeltaChain -fuzztime $(FUZZTIME) ./internal/delta
 
 # The 10-second-per-target tier CI runs on every push: long enough to
 # explore past the seed corpora, short enough for a PR gate.
@@ -80,6 +86,18 @@ soak:
 ycsb:
 	$(GO) run -race ./cmd/odebench -scale ci -only E15 -ycsbjson ""
 
+# The delta-tier battery (DESIGN.md §14, EXPERIMENTS.md E17): the
+# random-edit round-trip property across anchor intervals, the crash
+# matrix over compactor demotion commits, the materialisation cache and
+# reshard-interaction tests, and the deep-chain oracle workload — at
+# both shard dimensions under -race — then the E17 benchmark at ci
+# scale as an end-to-end smoke.
+delta-matrix:
+	ODE_SHARDS=1 $(GO) test -race -count=1 -run 'TestDelta' .
+	ODE_SHARDS=4 $(GO) test -race -count=1 -run 'TestDelta' .
+	$(GO) test -race -count=1 -run 'TestDeepChainShape' ./internal/workload
+	$(GO) run -race ./cmd/odebench -scale ci -only E17 -deltajson ""
+
 # Line coverage, with hard floors on internal/obs and internal/workload:
 # the observability layer is pure bookkeeping and the workload harness
 # is the correctness oracle — uncovered lines there are untested claims.
@@ -95,7 +113,30 @@ cover:
 	  pct = $$3 + 0; \
 	  printf "internal/workload coverage: %s (floor 85%%)\n", $$3; \
 	  if (pct < 85) { print "FAIL: internal/workload below 85% coverage"; exit 1 } }'
+	$(GO) test -coverprofile=/tmp/delta.cover ./internal/delta
+	@$(GO) tool cover -func=/tmp/delta.cover | awk '/^total:/ { \
+	  pct = $$3 + 0; \
+	  printf "internal/delta coverage: %s (floor 85%%)\n", $$3; \
+	  if (pct < 85) { print "FAIL: internal/delta below 85% coverage"; exit 1 } }'
+	$(GO) test -coverprofile=/tmp/matcache.cover ./internal/matcache
+	@$(GO) tool cover -func=/tmp/matcache.cover | awk '/^total:/ { \
+	  pct = $$3 + 0; \
+	  printf "internal/matcache coverage: %s (floor 85%%)\n", $$3; \
+	  if (pct < 85) { print "FAIL: internal/matcache below 85% coverage"; exit 1 } }'
+	# The compaction write-side lives in internal/core/compact.go and
+	# the sweeper pacing in compact.go, both exercised from the root
+	# delta battery (including its read-fault and crash matrices) — so
+	# the 85% floors here are per-file, measured over that battery. The
+	# uncovered remainder is I/O-error returns the fault matrices don't
+	# reach.
+	$(GO) test -count=1 -run 'TestDelta' -coverprofile=/tmp/deltatier.cover -coverpkg=./internal/core,. .
+	@for f in ode/internal/core/compact.go ode/compact.go; do \
+	  awk -v file="$$f" '$$1 ~ "^"file { t += $$2; if ($$3 > 0) c += $$2 } END { \
+	    pct = 100*c/t; \
+	    printf "%s coverage: %.1f%% (floor 85%%)\n", file, pct; \
+	    if (pct < 85) { printf "FAIL: %s below 85%% coverage\n", file; exit 1 } }' /tmp/deltatier.cover || exit 1; \
+	done
 
-check: build vet race matrix soak ycsb
+check: build vet race matrix soak ycsb delta-matrix
 
-.PHONY: help build test vet race matrix fuzz fuzz-smoke soak ycsb cover check
+.PHONY: help build test vet race matrix fuzz fuzz-smoke soak ycsb delta-matrix cover check

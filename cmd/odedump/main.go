@@ -1,7 +1,8 @@
 // Command odedump inspects an Ode database directory: statistics, the
-// type catalog, secondary indexes, every object's version graph (in the
-// paper's notation), configurations, contexts — and optionally a full
-// integrity check.
+// type catalog, payload-representation totals (full copies vs deltas),
+// secondary indexes, every object's version graph (in the paper's
+// notation), configurations, contexts — and optionally a full integrity
+// check.
 //
 // Usage:
 //
@@ -178,6 +179,15 @@ func run(args []string, w io.Writer) error {
 	if m := db.Engine().Coordinator().Map(); m.Epoch() > 0 {
 		fmt.Fprintf(w, "routing:      epoch %d, %d logical shards, %d ranges\n",
 			m.Epoch(), m.N(), len(m.Ranges()))
+	}
+	// How version payloads are physically stored: a store that has run
+	// under the delta tier shows delta/same records and a heap smaller
+	// than the logical payload volume.
+	if ps, err := db.Engine().PayloadStats(); err == nil {
+		fmt.Fprintf(w, "payloads:     %d full, %d delta, %d same-as-parent\n",
+			ps.Full, ps.Delta, ps.Same)
+		fmt.Fprintf(w, "  heap:       %d bytes (%d full + %d delta), logical %d bytes, max chain depth %d\n",
+			ps.HeapBytes(), ps.FullBytes, ps.DeltaBytes, ps.LogicalBytes, ps.MaxDepth)
 	}
 	fmt.Fprintln(w)
 

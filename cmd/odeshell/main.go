@@ -19,8 +19,14 @@
 //	stats                         database statistics
 //	shards                        per-shard breakdown and the shard map
 //	reshard <n>                   live split/merge to n logical shards
+//	payloads                      payload representation totals (full vs delta)
+//	compact                       sweep the delta tier to its compacted fixpoint
 //	check                         integrity check
 //	quit
+//
+// The shell opens with the delta tier enabled but the background
+// compactor off: inspecting a store never rewrites payloads on its own,
+// and the explicit compact command does exactly one sweep when asked.
 package main
 
 import (
@@ -39,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: odeshell <dbdir>")
 		os.Exit(2)
 	}
-	db, err := ode.Open(os.Args[1], nil)
+	db, err := ode.Open(os.Args[1], &ode.Options{DeltaTier: true, CompactInterval: -1})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "odeshell: %v\n", err)
 		os.Exit(1)
@@ -76,7 +82,7 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Fprintln(s.out, "types | new <type> <text> | show <oid> | read <oid> [vid] | set <oid> <vid> <text>")
 		fmt.Fprintln(s.out, "nv <oid> [vid] | del <oid> [vid] | hist <oid> <vid> | leaves <oid> | asof <oid> <stamp>")
-		fmt.Fprintln(s.out, "ls <type> | stats | shards | reshard <n> | metrics | check | quit")
+		fmt.Fprintln(s.out, "ls <type> | stats | shards | reshard <n> | payloads | compact | metrics | check | quit")
 		return nil
 	case "types":
 		return s.db.View(func(tx *ode.Tx) error {
@@ -321,6 +327,23 @@ func (s *shell) exec(line string) error {
 		rp := s.db.ReshardProgress()
 		fmt.Fprintf(s.out, "resharded to %d logical shards: %d chunks, %d objects, %d versions moved\n",
 			s.db.Shards(), rp.Chunks, rp.Objects, rp.Versions)
+		return nil
+	case "payloads":
+		ps, err := s.db.Engine().PayloadStats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%d full, %d delta, %d same-as-parent\n", ps.Full, ps.Delta, ps.Same)
+		fmt.Fprintf(s.out, "heap %d bytes (%d full + %d delta), logical %d bytes, max chain depth %d\n",
+			ps.HeapBytes(), ps.FullBytes, ps.DeltaBytes, ps.LogicalBytes, ps.MaxDepth)
+		return nil
+	case "compact":
+		st, err := s.db.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "compacted: %d objects examined, %d demoted, %d promoted, %d bytes saved\n",
+			st.Objects, st.Demoted, st.Promoted, st.BytesSaved)
 		return nil
 	case "metrics", ".metrics":
 		// Prometheus text exposition: counters, gauges and latency

@@ -1,0 +1,1050 @@
+package ode
+
+// Delta storage tier (DESIGN.md §14) test battery: deterministic
+// demotion/promotion behavior, the encode→demote→materialize round-trip
+// property test across anchor intervals (with interior D-parent
+// deletes), materialisation-cache correctness, and delta chains
+// surviving a live reshard. Run by `make delta-matrix` at ODE_SHARDS=1
+// and 4 under -race.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/oid"
+)
+
+// editBytes returns a small random mutation of prev: a few in-place
+// byte flips, sometimes an append or truncation — the "small change"
+// shape delta encoding exists for.
+func editBytes(rng *rand.Rand, prev []byte) []byte {
+	out := make([]byte, len(prev))
+	copy(out, prev)
+	switch rng.Intn(10) {
+	case 0: // append
+		extra := make([]byte, 1+rng.Intn(64))
+		rng.Read(extra)
+		out = append(out, extra...)
+	case 1: // truncate (never to empty)
+		if len(out) > 2 {
+			out = out[:1+rng.Intn(len(out)-1)]
+		}
+	}
+	for i, edits := 0, 1+rng.Intn(3); i < edits; i++ {
+		if len(out) == 0 {
+			break
+		}
+		off := rng.Intn(len(out))
+		n := 1 + rng.Intn(16)
+		if off+n > len(out) {
+			n = len(out) - off
+		}
+		rng.Read(out[off : off+n])
+	}
+	return out
+}
+
+func payloadStats(t *testing.T, db *DB) core.PayloadStats {
+	t.Helper()
+	ps, err := db.Engine().PayloadStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// verifyAll checks every tracked version materialises bit-for-bit, from
+// both a snapshot View (cache path) and an Update (live-state path).
+func verifyAll(t *testing.T, db *DB, want map[VID][]byte, owner map[VID]OID) {
+	t.Helper()
+	check := func(tx *Tx) error {
+		for v, content := range want {
+			got, err := tx.ReadVersionRaw(owner[v], v)
+			if err != nil {
+				return fmt.Errorf("read %v: %w", v, err)
+			}
+			if !bytes.Equal(got, content) {
+				return fmt.Errorf("version %v: got %d bytes, want %d (content differs)", v, len(got), len(content))
+			}
+		}
+		return nil
+	}
+	if err := db.View(check); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(check); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaTierDemotion pins the deterministic behavior: a linear chain
+// built under FullCopy demotes to deltas with anchors every
+// AnchorInterval links, reclaims most of the payload heap, and a reopen
+// with a smaller interval promotes anchors back in.
+func TestDeltaTierDemotion(t *testing.T) {
+	dir := t.TempDir()
+	opts := &Options{
+		Shards: envShards(), PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 8, CompactInterval: -1,
+	}
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := db.Engine().RegisterType("DeltaBlob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	content := make([]byte, 2048)
+	rng.Read(content)
+
+	var o OID
+	want := map[VID][]byte{}
+	owner := map[VID]OID{}
+	err = db.Update(func(tx *Tx) error {
+		var v VID
+		var err error
+		o, v, err = tx.CreateRaw(tid, content)
+		if err != nil {
+			return err
+		}
+		want[v] = content
+		owner[v] = o
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		content = editBytes(rng, content)
+		err := db.Update(func(tx *Tx) error {
+			v, err := tx.NewVersion(o)
+			if err != nil {
+				return err
+			}
+			if err := tx.UpdateVersionRaw(o, v, content); err != nil {
+				return err
+			}
+			cp := make([]byte, len(content))
+			copy(cp, content)
+			want[v] = cp
+			owner[v] = o
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	ps := payloadStats(t, db)
+	if ps.Delta == 0 {
+		t.Fatalf("no demotions happened: %+v", ps)
+	}
+	if ps.MaxDepth > 8 {
+		t.Fatalf("chain depth %d exceeds anchor interval 8", ps.MaxDepth)
+	}
+	if ps.HeapBytes()*2 >= ps.LogicalBytes {
+		t.Fatalf("expected >2x space reduction on a 41-version edit chain: heap=%d logical=%d", ps.HeapBytes(), ps.LogicalBytes)
+	}
+	verifyAll(t, db, want, owner)
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a tighter bound: the compactor must insert anchors.
+	opts2 := *opts
+	opts2.AnchorInterval = 2
+	db, err = Open(dir, &opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	st, err := db.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promoted == 0 {
+		t.Fatalf("expected promotions when the interval shrank 8 -> 2: %+v", st)
+	}
+	if ps := payloadStats(t, db); ps.MaxDepth > 2 {
+		t.Fatalf("chain depth %d exceeds anchor interval 2 after promotion sweep", ps.MaxDepth)
+	}
+	verifyAll(t, db, want, owner)
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction is idempotent at the fixpoint.
+	st, err = db.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Demoted != 0 || st.Promoted != 0 {
+		t.Fatalf("second sweep was not a no-op: %+v", st)
+	}
+}
+
+// TestDeltaRoundTripProperty is the satellite property test: random
+// edit sequences with branching, interior D-parent deletes, in-place
+// updates and interleaved compaction sweeps round-trip bit-for-bit at
+// every version, across anchor intervals {1, 4, 16}, under both
+// storage policies, including after a reopen.
+func TestDeltaRoundTripProperty(t *testing.T) {
+	for _, policy := range []StoragePolicy{FullCopy, DeltaChain} {
+		for _, interval := range []int{1, 4, 16} {
+			name := fmt.Sprintf("policy=%d/interval=%d", policy, interval)
+			t.Run(name, func(t *testing.T) {
+				testDeltaRoundTrip(t, policy, interval, 64+int64(interval))
+			})
+		}
+	}
+}
+
+func testDeltaRoundTrip(t *testing.T, policy StoragePolicy, interval int, seed int64) {
+	dir := t.TempDir()
+	opts := &Options{
+		Shards: envShards(), PageSize: 1024, NoSync: true, Policy: policy,
+		DeltaTier: true, AnchorInterval: interval, CompactInterval: -1,
+	}
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := db.Engine().RegisterType("PropBlob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	want := map[VID][]byte{}  // every live version's expected content
+	owner := map[VID]OID{}    // vid -> object
+	perObj := map[OID][]VID{} // live vids per object, insertion order
+
+	record := func(o OID, v VID, content []byte) {
+		cp := make([]byte, len(content))
+		copy(cp, content)
+		want[v] = cp
+		owner[v] = o
+		perObj[o] = append(perObj[o], v)
+	}
+	// Seed three objects.
+	var objs []OID
+	for i := 0; i < 3; i++ {
+		content := make([]byte, 256+rng.Intn(1024))
+		rng.Read(content)
+		err := db.Update(func(tx *Tx) error {
+			o, v, err := tx.CreateRaw(tid, content)
+			if err != nil {
+				return err
+			}
+			objs = append(objs, o)
+			record(o, v, content)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pickVID := func(o OID) VID {
+		vs := perObj[o]
+		return vs[rng.Intn(len(vs))]
+	}
+
+	const ops = 180
+	for i := 0; i < ops; i++ {
+		o := objs[rng.Intn(len(objs))]
+		err := db.Update(func(tx *Tx) error {
+			switch r := rng.Intn(100); {
+			case r < 40: // branch from a random existing version, then edit
+				base := pickVID(o)
+				v, err := tx.NewVersionFrom(o, base)
+				if err != nil {
+					return err
+				}
+				content := editBytes(rng, want[base])
+				if err := tx.UpdateVersionRaw(o, v, content); err != nil {
+					return err
+				}
+				record(o, v, content)
+			case r < 60: // linear newversion from latest, keep content
+				latest, err := tx.Latest(o)
+				if err != nil {
+					return err
+				}
+				v, err := tx.NewVersion(o)
+				if err != nil {
+					return err
+				}
+				record(o, v, want[latest])
+			case r < 75: // in-place edit of a random version
+				v := pickVID(o)
+				content := editBytes(rng, want[v])
+				if err := tx.UpdateVersionRaw(o, v, content); err != nil {
+					return err
+				}
+				cp := make([]byte, len(content))
+				copy(cp, content)
+				want[v] = cp
+			default: // delete a random (often interior D-parent) version
+				if len(perObj[o]) < 3 {
+					return nil // keep objects alive
+				}
+				idx := rng.Intn(len(perObj[o]))
+				v := perObj[o][idx]
+				if err := tx.DeleteVersion(o, v); err != nil {
+					return err
+				}
+				delete(want, v)
+				delete(owner, v)
+				perObj[o] = append(perObj[o][:idx], perObj[o][idx+1:]...)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if i%20 == 19 {
+			if _, err := db.Compact(); err != nil {
+				t.Fatalf("compact after op %d: %v", i, err)
+			}
+		}
+		if i%45 == 44 {
+			verifyAll(t, db, want, owner)
+		}
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db, want, owner)
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	ps := payloadStats(t, db)
+	if ps.MaxDepth > interval {
+		t.Fatalf("stored depth %d exceeds anchor interval %d", ps.MaxDepth, interval)
+	}
+	if ps.Delta == 0 {
+		t.Fatalf("property run never demoted anything (vacuous): %+v", ps)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything must survive a reopen (chains on disk, cold cache).
+	db, err = Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	verifyAll(t, db, want, owner)
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaMatCache verifies the epoch-tagged cache: hot snapshot reads
+// hit, the hit returns correct bytes, a commit advances the epoch so
+// stale entries are never served, and writers bypass the cache.
+func TestDeltaMatCache(t *testing.T) {
+	db, err := Open(t.TempDir(), &Options{
+		Shards: envShards(), PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 4, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tid, err := db.Engine().RegisterType("CacheBlob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	content := make([]byte, 1024)
+	rng.Read(content)
+
+	var o OID
+	var vids []VID
+	err = db.Update(func(tx *Tx) error {
+		var v VID
+		var err error
+		o, v, err = tx.CreateRaw(tid, content)
+		vids = append(vids, v)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := map[VID][]byte{vids[0]: append([]byte(nil), content...)}
+	for i := 0; i < 10; i++ {
+		content = editBytes(rng, content)
+		cp := append([]byte(nil), content...)
+		err := db.Update(func(tx *Tx) error {
+			v, err := tx.NewVersion(o)
+			if err != nil {
+				return err
+			}
+			vids = append(vids, v)
+			contents[v] = cp
+			return tx.UpdateVersionRaw(o, v, cp)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(v VID) []byte {
+		var got []byte
+		if err := db.View(func(tx *Tx) error {
+			var err error
+			got, err = tx.ReadVersionRaw(o, v)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	target := vids[5]
+	first := read(target)
+	st0, ok := db.Engine().MatCacheStats()
+	if !ok {
+		t.Fatal("cache disabled despite DeltaTier")
+	}
+	second := read(target)
+	st1, _ := db.Engine().MatCacheStats()
+	if st1.Hits <= st0.Hits {
+		t.Fatalf("second snapshot read did not hit the cache: %+v -> %+v", st0, st1)
+	}
+	if !bytes.Equal(first, second) || !bytes.Equal(first, contents[target]) {
+		t.Fatal("cached read returned different bytes")
+	}
+
+	// Commit an edit to the cached version: the epoch advances, so the
+	// next read must see the new content, not the cached old bytes.
+	newContent := editBytes(rng, contents[target])
+	if err := db.Update(func(tx *Tx) error {
+		return tx.UpdateVersionRaw(o, target, newContent)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(target); !bytes.Equal(got, newContent) {
+		t.Fatalf("stale cache entry served after commit: got %d bytes, want %d", len(got), len(newContent))
+	}
+	// A writer must read its own uncommitted state, never the cache.
+	if err := db.Update(func(tx *Tx) error {
+		probe := editBytes(rng, newContent)
+		if err := tx.UpdateVersionRaw(o, target, probe); err != nil {
+			return err
+		}
+		got, err := tx.ReadVersionRaw(o, target)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, probe) {
+			t.Fatal("writer read did not see its own uncommitted update")
+		}
+		return fmt.Errorf("rollback")
+	}); err == nil {
+		t.Fatal("expected deliberate rollback error")
+	}
+	if got := read(target); !bytes.Equal(got, newContent) {
+		t.Fatal("rolled-back content leaked into reads")
+	}
+}
+
+// TestDeltaReshardCarriesChains moves whole objects (including demoted
+// delta chains) across shards with a live Reshard and verifies every
+// version still materialises.
+func TestDeltaReshardCarriesChains(t *testing.T) {
+	db, err := Open(t.TempDir(), &Options{
+		Shards: 2, PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 4, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tid, err := db.Engine().RegisterType("MoveBlob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	want := map[VID][]byte{}
+	owner := map[VID]OID{}
+	for i := 0; i < 6; i++ {
+		content := make([]byte, 1024)
+		rng.Read(content)
+		var o OID
+		err := db.Update(func(tx *Tx) error {
+			var v VID
+			var err error
+			o, v, err = tx.CreateRaw(tid, content)
+			if err != nil {
+				return err
+			}
+			want[v] = append([]byte(nil), content...)
+			owner[v] = o
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 12; j++ {
+			content = editBytes(rng, content)
+			cp := append([]byte(nil), content...)
+			err := db.Update(func(tx *Tx) error {
+				v, err := tx.NewVersion(o)
+				if err != nil {
+					return err
+				}
+				want[v] = cp
+				owner[v] = o
+				return tx.UpdateVersionRaw(o, v, cp)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ps := payloadStats(t, db); ps.Delta == 0 {
+		t.Fatalf("no delta chains to move: %+v", ps)
+	}
+	if err := db.Reshard(4); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db, want, owner)
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Chains still compact and verify on their new shards.
+	if err := db.Reshard(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db, want, owner)
+	if err := db.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaBackgroundCompactor proves the paced per-shard sweepers do
+// the demotion work on their own: with a short CompactInterval and no
+// explicit Compact call, edit chains demote in the background (the
+// supervisor also picks up shards a live Reshard adds), every version
+// keeps materialising exactly, and Close drains the sweepers cleanly.
+func TestDeltaBackgroundCompactor(t *testing.T) {
+	dir := t.TempDir()
+	shards := envShards()
+	if shards < 2 {
+		shards = 2 // the mid-test Reshard needs the sharded layout
+	}
+	// Build the history with the delta tier OFF: every payload lands as
+	// a full copy and the inline NewVersion demotion hook never fires,
+	// so any delta that appears after the reopen below can only have
+	// been written by the background sweepers.
+	db, err := Open(dir, &Options{Shards: shards, PageSize: 1024, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { db.Close() }()
+	tid, err := db.Engine().RegisterType("BgBlob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	want := map[VID][]byte{}
+	owner := map[VID]OID{}
+	var objs []OID
+	latest := map[OID][]byte{}
+	for i := 0; i < 3; i++ {
+		content := make([]byte, 1024)
+		rng.Read(content)
+		err := db.Update(func(tx *Tx) error {
+			o, v, err := tx.CreateRaw(tid, content)
+			if err != nil {
+				return err
+			}
+			objs = append(objs, o)
+			want[v] = content
+			owner[v] = o
+			latest[o] = content
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 12; r++ {
+		for _, o := range objs {
+			content := editBytes(rng, latest[o])
+			err := db.Update(func(tx *Tx) error {
+				v, err := tx.NewVersion(o)
+				if err != nil {
+					return err
+				}
+				want[v] = content
+				owner[v] = o
+				return tx.UpdateVersionRaw(o, v, content)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			latest[o] = content
+		}
+	}
+	if ps := payloadStats(t, db); ps.Delta+ps.Same != 0 {
+		t.Fatalf("delta tier off, yet %d deltas / %d shared payloads", ps.Delta, ps.Same)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the tier on and fast ticks. No explicit Compact: the
+	// only writers of deltas from here on are the background sweepers.
+	db, err = Open(dir, &Options{
+		Shards: shards, PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 4,
+		CompactInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDelta := func(stage string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if ps := payloadStats(t, db); ps.Delta > 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: background compactor demoted nothing: %+v", stage, payloadStats(t, db))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitDelta("after reopen")
+
+	// Live reshard while the sweepers run: the supervisor must start
+	// sweepers for the added physical shards, and chains rebuilt on the
+	// new shards must be demoted again.
+	if err := db.Reshard(shards * 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		content := editBytes(rng, latest[o])
+		err := db.Update(func(tx *Tx) error {
+			v, err := tx.NewVersion(o)
+			if err != nil {
+				return err
+			}
+			want[v] = content
+			owner[v] = o
+			return tx.UpdateVersionRaw(o, v, content)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		latest[o] = content
+	}
+	waitDelta("after reshard")
+	// Give the supervisor a few ticks to start sweepers for the added
+	// shards before shrinking back: the merged-away physical shards
+	// must then be skipped cleanly by both the sweep and the stats
+	// scan.
+	time.Sleep(25 * time.Millisecond)
+	if err := db.Reshard(shards); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db, want, owner)
+	if ps := payloadStats(t, db); ps.MaxDepth > 4 {
+		t.Fatalf("chain depth %d exceeds anchor interval 4", ps.MaxDepth)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaPrimitives drives the per-version demote/promote primitives
+// through the routing layer (Tx.DemoteVersion / Tx.PromoteVersion, the
+// odeshell surface) and pins every refusal: derivation roots, the
+// latest version, already-demoted and already-full payloads, the
+// anchor-interval bound, and deltas that would not actually shrink the
+// payload. Contents are re-verified after every representation change.
+func TestDeltaPrimitives(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{
+		Shards: envShards(), PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 1, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tid, err := db.Engine().RegisterType("DeltaPrim")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	base := make([]byte, 512)
+	rng.Read(base)
+	contents := [][]byte{base}
+	for i := 0; i < 3; i++ {
+		contents = append(contents, editBytes(rng, contents[i]))
+	}
+	var o OID
+	var vids []VID
+	err = db.Update(func(tx *Tx) error {
+		var v VID
+		var err error
+		o, v, err = tx.CreateRaw(tid, contents[0])
+		if err != nil {
+			return err
+		}
+		vids = append(vids, v)
+		for _, c := range contents[1:] {
+			v, err = tx.NewVersion(o)
+			if err != nil {
+				return err
+			}
+			if err := tx.UpdateVersionRaw(o, v, c); err != nil {
+				return err
+			}
+			vids = append(vids, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second object whose middle version shares nothing with its
+	// parent: the delta would be bigger than the content, so demotion
+	// must refuse rather than grow the heap.
+	noise := make([]byte, 256)
+	rng.Read(noise)
+	var o2 OID
+	var c2 VID
+	err = db.Update(func(tx *Tx) error {
+		first := make([]byte, 256)
+		rng.Read(first)
+		var err error
+		o2, _, err = tx.CreateRaw(tid, first)
+		if err != nil {
+			return err
+		}
+		c2, err = tx.NewVersion(o2)
+		if err != nil {
+			return err
+		}
+		if err := tx.UpdateVersionRaw(o2, c2, noise); err != nil {
+			return err
+		}
+		last, err := tx.NewVersion(o2)
+		if err != nil {
+			return err
+		}
+		return tx.UpdateVersionRaw(o2, last, editBytes(rng, noise))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(name string, want bool, fn func(tx *core.Tx) (bool, error)) {
+		t.Helper()
+		err := db.Engine().Write(func(tx *core.Tx) error {
+			ok, err := fn(tx)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if ok != want {
+				return fmt.Errorf("%s: got %v, want %v", name, ok, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// v2 was already demoted inline when v3 gained it as a D-child
+	// (the NewVersion hook), so the chain sits at v1(full) →
+	// v2(delta,1) → v3(full) → v4(full,latest).
+	step("demote root", false, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o, vids[0]) })
+	step("demote latest", false, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o, vids[3]) })
+	step("re-demote v2", false, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o, vids[1]) })
+	// v3's parent sits at depth 1; one more link would exceed
+	// AnchorInterval=1.
+	step("demote v3 over bound", false, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o, vids[2]) })
+	step("demote incompressible", false, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o2, c2) })
+	step("promote v2", true, func(tx *core.Tx) (bool, error) { return tx.PromoteVersion(o, vids[1]) })
+	step("re-promote v2", false, func(tx *core.Tx) (bool, error) { return tx.PromoteVersion(o, vids[1]) })
+	// With v2 re-anchored at depth 0, v3 is demotable again.
+	step("demote v3", true, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o, vids[2]) })
+	step("re-demote v3", false, func(tx *core.Tx) (bool, error) { return tx.DemoteVersion(o, vids[2]) })
+
+	err = db.View(func(tx *Tx) error {
+		for i, v := range vids {
+			got, err := tx.ReadVersionRaw(o, v)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, contents[i]) {
+				return fmt.Errorf("version %d content changed across demote/promote", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaPromoteShared promotes a version that shares its parent's
+// bytes outright (the DeltaChain policy's copy-free NewVersion): the
+// promotion must insert a fresh heap record rather than updating the
+// parent's.
+func TestDeltaPromoteShared(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{
+		Shards: envShards(), PageSize: 1024, NoSync: true,
+		Policy: DeltaChain, MaxChain: 8,
+		DeltaTier: true, AnchorInterval: 8, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tid, err := db.Engine().RegisterType("DeltaPrim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("shared-bytes "), 40)
+	var o OID
+	var shared VID
+	err = db.Update(func(tx *Tx) error {
+		var err error
+		o, _, err = tx.CreateRaw(tid, content)
+		if err != nil {
+			return err
+		}
+		// No UpdateVersionRaw: under DeltaChain this version shares its
+		// parent's payload record.
+		shared, err = tx.NewVersion(o)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Engine().Write(func(tx *core.Tx) error {
+		if ok, err := tx.DemoteVersion(o, shared); err != nil || ok {
+			return fmt.Errorf("demote shared: got %v, %v; want false, nil", ok, err)
+		}
+		ok, err := tx.PromoteVersion(o, shared)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("promote shared: got false, want true")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.View(func(tx *Tx) error {
+		got, err := tx.ReadVersionRaw(o, shared)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, content) {
+			return fmt.Errorf("shared version content changed across promotion")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaCompactorDefaultPacing opens with CompactInterval: 0 — the
+// documented "use DefaultCompactInterval" setting — and closes again:
+// the sweepers and supervisor must start and drain cleanly without a
+// single tick having fired.
+func TestDeltaCompactorDefaultPacing(t *testing.T) {
+	db, err := Open(t.TempDir(), &Options{
+		Shards: envShards(), PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 4, CompactInterval: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaCompactBudget drives CompactShard/CompactAll with a
+// one-mutation budget over a history built entirely under full-copy
+// storage: every sweep transaction commits at most one demotion, the
+// resume cursor re-enters the same object while work remains (More) and
+// steps past it when the budget ran out exactly at the boundary. A
+// reopen at a smaller anchor interval then replays the same loop on the
+// promotion side, exercising the budget-cut branch that leaves an
+// over-deep chain readable for the next pass.
+func TestDeltaCompactBudget(t *testing.T) {
+	dir := t.TempDir()
+	shards := envShards()
+	base := &Options{Shards: shards, PageSize: 1024, NoSync: true}
+	db, err := Open(dir, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { db.Close() }()
+	tid, err := db.Engine().RegisterType("BudgetBlob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Compact(); err == nil {
+		t.Fatal("Compact without Options.DeltaTier should fail")
+	}
+	rng := rand.New(rand.NewSource(99))
+	content := make([]byte, 512)
+	rng.Read(content)
+	var o OID
+	contents := [][]byte{}
+	var vids []VID
+	err = db.Update(func(tx *Tx) error {
+		var v VID
+		var err error
+		o, v, err = tx.CreateRaw(tid, content)
+		if err != nil {
+			return err
+		}
+		vids = append(vids, v)
+		contents = append(contents, content)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 19; i++ {
+		content = editBytes(rng, content)
+		err := db.Update(func(tx *Tx) error {
+			v, err := tx.NewVersion(o)
+			if err != nil {
+				return err
+			}
+			vids = append(vids, v)
+			contents = append(contents, content)
+			return tx.UpdateVersionRaw(o, v, content)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify := func() {
+		t.Helper()
+		err := db.View(func(tx *Tx) error {
+			for i, v := range vids {
+				got, err := tx.ReadVersionRaw(o, v)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, contents[i]) {
+					return fmt.Errorf("version %d content changed", i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Demotion side, one mutation per transaction.
+	db, err = Open(dir, &Options{
+		Shards: shards, PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 8, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shard index past the layout is a no-op, not an error.
+	if st, next, err := db.Engine().CompactShard(1000, oid.NilOID, 1); err != nil || st.Objects != 0 || next != oid.NilOID {
+		t.Fatalf("out-of-range shard: stats %+v next %v err %v", st, next, err)
+	}
+	st, err := db.Engine().CompactAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Demoted == 0 {
+		t.Fatalf("budgeted sweep demoted nothing: %+v", st)
+	}
+	// lim <= 0 adopts the default budget (a no-op at the fixpoint).
+	if _, _, err := db.Engine().CompactShard(0, oid.NilOID, 0); err != nil {
+		t.Fatal(err)
+	}
+	verify()
+	ps := payloadStats(t, db)
+	if ps.Delta == 0 || ps.MaxDepth > 8 {
+		t.Fatalf("after demotion fixpoint: %+v", ps)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promotion side: the stored chains are now up to 8 deep; a reopen
+	// at interval 2 must anchor them back, one promotion per
+	// transaction, leaving the not-yet-anchored tails readable between
+	// sweeps.
+	db, err = Open(dir, &Options{
+		Shards: shards, PageSize: 1024, NoSync: true,
+		DeltaTier: true, AnchorInterval: 2, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = db.Engine().CompactAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promoted == 0 {
+		t.Fatalf("interval shrink promoted nothing: %+v", st)
+	}
+	// lim <= 0 adopts the default budget (fixpoint already reached).
+	if _, err := db.Engine().CompactAll(0); err != nil {
+		t.Fatal(err)
+	}
+	verify()
+	if ps := payloadStats(t, db); ps.MaxDepth > 2 {
+		t.Fatalf("chain depth %d exceeds shrunken anchor interval 2", ps.MaxDepth)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -978,5 +978,6 @@ func All() []Experiment {
 		{"E14", "shard scaling", E14},
 		{"E15", "ycsb versioned workload", E15},
 		{"E16", "online rebalance impact", E16},
+		{"E17", "delta-compressed version storage", E17},
 	}
 }

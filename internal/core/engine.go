@@ -39,6 +39,7 @@ import (
 
 	"ode/internal/btree"
 	"ode/internal/codec"
+	"ode/internal/matcache"
 	"ode/internal/obs"
 	"ode/internal/oid"
 	"ode/internal/storage"
@@ -107,10 +108,33 @@ type Options struct {
 	// MaxChain bounds delta chains under DeltaChain; 0 means
 	// DefaultMaxChain.
 	MaxChain int
+
+	// DeltaTier enables the delta storage tier (DESIGN.md §14): stored
+	// full payloads are demoted to deltas against their D-parent when
+	// they gain a dependent child or when the compactor sweeps them,
+	// and materialised contents flow through the epoch-tagged LRU
+	// cache. Orthogonal to Policy — FullCopy with DeltaTier writes full
+	// copies that are demoted after the fact; DeltaChain with DeltaTier
+	// additionally reclaims the full payloads DeltaChain leaves behind
+	// (detached dependents, updated versions).
+	DeltaTier bool
+	// AnchorInterval bounds the materialisation chain the delta tier
+	// may build: a version is only demoted while every dependent chain
+	// through it stays within this many links of a full anchor, and the
+	// compactor promotes versions found deeper (interval shrunk across
+	// a reopen). 0 means MaxChain.
+	AnchorInterval int
+	// CacheBytes is the materialisation cache budget; 0 means
+	// DefaultCacheBytes, negative disables the cache.
+	CacheBytes int64
 }
 
 // DefaultMaxChain is the delta-chain keyframe interval.
 const DefaultMaxChain = 16
+
+// DefaultCacheBytes is the materialisation cache budget when the delta
+// tier is on and Options.CacheBytes is zero.
+const DefaultCacheBytes = 4 << 20
 
 // Engine is the versioned-object store. It holds only cross-transaction
 // state; everything a single transaction needs lives on its Tx.
@@ -126,6 +150,12 @@ type Engine struct {
 	// m is the coordinator's observability registry (nil under
 	// NoMetrics); the engine records version-chain walk lengths into it.
 	m *obs.Metrics
+
+	// cache is the materialisation cache (nil unless the delta tier is
+	// on and Options.CacheBytes >= 0). Entries are tagged with the
+	// (shard, epoch) they were built at and only served to readers
+	// pinned at exactly that pair, so no invalidation is needed.
+	cache *matcache.Cache
 
 	// heapSpace holds each shard's heap free-space cache, shared across
 	// write transactions (writers on one shard are serialised by its
@@ -197,6 +227,9 @@ func NewSharded(c *txn.Coordinator, opts Options) (*Engine, error) {
 	if opts.MaxChain == 0 {
 		opts.MaxChain = DefaultMaxChain
 	}
+	if opts.AnchorInterval == 0 {
+		opts.AnchorInterval = opts.MaxChain
+	}
 	phys := c.NumShards()
 	e := &Engine{
 		c:         c,
@@ -208,6 +241,13 @@ func NewSharded(c *txn.Coordinator, opts Options) (*Engine, error) {
 	}
 	for i := range e.heapSpace {
 		e.heapSpace[i] = storage.NewHeapState()
+	}
+	if opts.DeltaTier && opts.CacheBytes >= 0 {
+		cap := opts.CacheBytes
+		if cap == 0 {
+			cap = DefaultCacheBytes
+		}
+		e.cache = matcache.New(cap, 16)
 	}
 	// Initialize any physical shard still lacking the engine trees: all
 	// of them on a fresh database, and — after a crash between a
@@ -385,6 +425,29 @@ func (e *Engine) Coordinator() *txn.Coordinator { return e.c }
 
 // Policy returns the configured payload policy.
 func (e *Engine) Policy() PayloadPolicy { return e.opts.Policy }
+
+// DeltaTier reports whether the delta storage tier is enabled.
+func (e *Engine) DeltaTier() bool { return e.opts.DeltaTier }
+
+// AnchorInterval returns the effective delta-tier anchor interval.
+func (e *Engine) AnchorInterval() int { return e.opts.AnchorInterval }
+
+// MatCacheStats snapshots the materialisation cache counters; ok is
+// false when the cache is disabled.
+func (e *Engine) MatCacheStats() (matcache.Stats, bool) {
+	if e.cache == nil {
+		return matcache.Stats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// ResetMatCache drops every materialisation cache entry (benchmarks use
+// this to measure cold chain walks).
+func (e *Engine) ResetMatCache() {
+	if e.cache != nil {
+		e.cache.Reset()
+	}
+}
 
 // Write runs fn as a write transaction. The Tx is valid only until fn
 // returns; on error or panic every effect is rolled back.

@@ -133,9 +133,13 @@ func (tx *shardTx) Create(t oid.TypeID, content []byte) (oid.OID, oid.VID, error
 func (tx *shardTx) readContent(o oid.OID, rec verRec) ([]byte, error) {
 	var chain [][]byte // deltas from rec down toward the keyframe
 	cur := rec
+	visited := uint64(1)
 	for {
 		switch cur.kind {
 		case payFull:
+			if m := tx.e.m; m != nil {
+				m.DeltaChainLen.Observe(visited)
+			}
 			base, err := tx.heap.Read(cur.payload)
 			if err != nil {
 				return nil, err
@@ -167,17 +171,48 @@ func (tx *shardTx) readContent(o oid.OID, rec verRec) ([]byte, error) {
 			return nil, err
 		}
 		cur = parent
+		visited++
 	}
+}
+
+// cacheGet consults the materialisation cache. Only snapshot (read)
+// transactions use the cache: their (shard, epoch) pin is exactly the
+// tag entries are stored under, while a writer reads its own in-flight
+// state which the cache must neither serve nor absorb.
+func (tx *shardTx) cacheGet(o oid.OID, v oid.VID) ([]byte, bool) {
+	c := tx.e.cache
+	if c == nil || tx.writable {
+		return nil, false
+	}
+	return c.Get(uint64(o), uint64(v), tx.s, tx.st.Epoch())
+}
+
+// cachePut stores a materialised content under the reading snapshot's
+// (shard, epoch) tag; no-op on write transactions.
+func (tx *shardTx) cachePut(o oid.OID, v oid.VID, content []byte) {
+	c := tx.e.cache
+	if c == nil || tx.writable {
+		return
+	}
+	c.Put(uint64(o), uint64(v), tx.s, tx.st.Epoch(), content)
 }
 
 // ReadVersion returns the content of a specific version — the paper's
 // specific-reference dereference (*vp on a version id).
 func (tx *shardTx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
+	if content, ok := tx.cacheGet(o, v); ok {
+		return content, nil
+	}
 	rec, err := tx.loadVer(o, v)
 	if err != nil {
 		return nil, err
 	}
-	return tx.readContent(o, rec)
+	content, err := tx.readContent(o, rec)
+	if err != nil {
+		return nil, err
+	}
+	tx.cachePut(o, v, content)
+	return content, nil
 }
 
 // ReadLatest returns the latest version's content and its vid — the
@@ -188,12 +223,19 @@ func (tx *shardTx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
 	if err != nil {
 		return nil, oid.NilVID, err
 	}
+	if content, ok := tx.cacheGet(o, h.latest); ok {
+		return content, h.latest, nil
+	}
 	rec, err := tx.loadVer(o, h.latest)
 	if err != nil {
 		return nil, oid.NilVID, err
 	}
 	content, err := tx.readContent(o, rec)
-	return content, h.latest, err
+	if err != nil {
+		return nil, oid.NilVID, err
+	}
+	tx.cachePut(o, h.latest, content)
+	return content, h.latest, nil
 }
 
 // --- payload write policy ---
@@ -453,6 +495,12 @@ func (tx *shardTx) newVersionFrom(o oid.OID, h objHeader, base oid.VID) (oid.VID
 		return oid.NilVID, err
 	}
 	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)+1)
+	// The base just gained a D-child and stopped being the write
+	// target: under the delta tier its full payload is re-encoded as a
+	// delta against its own D-parent right away (DESIGN.md §14).
+	if _, err := tx.maybeDemote(o, base); err != nil {
+		return oid.NilVID, err
+	}
 	tx.saveRoots()
 	tx.bus.Fire(trigger.Event{
 		Kind: trigger.KindNewVersion, Obj: o, VID: v, Prev: base,
@@ -549,6 +597,14 @@ func (tx *shardTx) DeleteVersion(o oid.OID, v oid.VID) error {
 		return err
 	}
 	tx.st.SetCounter(ctrVersion, tx.st.Counter(ctrVersion)-1)
+	// detachDependents turned v's children into full copies before the
+	// splice; now that they hang off v's parent, the delta tier tries
+	// to re-encode each against its new D-parent.
+	for _, c := range children {
+		if _, err := tx.maybeDemote(o, c); err != nil {
+			return err
+		}
+	}
 	tx.saveRoots()
 	tx.bus.Fire(trigger.Event{Kind: trigger.KindDeleteVersion, Obj: o, VID: v, Type: h.typ, Stamp: rec.stamp, Tx: tx.rt})
 	return nil

@@ -148,16 +148,24 @@ func Apply(base, delta []byte) ([]byte, error) {
 				return nil, fmt.Errorf("%w: insert: %v", ErrCorrupt, r.Err())
 			}
 			out = append(out, data...)
+			if uint64(len(out)) > targetLen {
+				return nil, fmt.Errorf("%w: output exceeds declared length %d", ErrCorrupt, targetLen)
+			}
 		case opCopy:
 			off := r.UVarint()
 			n := r.UVarint()
 			if r.Err() != nil {
 				return nil, fmt.Errorf("%w: copy: %v", ErrCorrupt, r.Err())
 			}
-			if off+n > uint64(len(base)) {
-				return nil, fmt.Errorf("%w: copy [%d,%d) beyond base %d", ErrCorrupt, off, off+n, len(base))
+			// Checked separately: off+n alone can wrap around uint64 and
+			// slip past a combined bound.
+			if n > uint64(len(base)) || off > uint64(len(base))-n {
+				return nil, fmt.Errorf("%w: copy [%d,+%d) beyond base %d", ErrCorrupt, off, n, len(base))
 			}
 			out = append(out, base[off:off+n]...)
+			if uint64(len(out)) > targetLen {
+				return nil, fmt.Errorf("%w: output exceeds declared length %d", ErrCorrupt, targetLen)
+			}
 		default:
 			if r.Err() != nil {
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.Err())

@@ -1,0 +1,255 @@
+// Package matcache is the materialisation cache of the delta storage
+// tier (DESIGN.md §14): a sharded, byte-bounded LRU mapping a version
+// (object id, version id) to its fully materialised content, so hot
+// reads of delta-compressed versions skip the chain walk entirely.
+//
+// Correctness does not rely on invalidation. Every entry is tagged with
+// the (storage shard, commit epoch) it was materialised at, and a
+// lookup only hits when the reader's own pinned (shard, epoch) pair
+// matches exactly. Commits advance the shard's epoch, which makes every
+// entry cached under the previous epoch unreachable — stale content can
+// never be served, it can only age out of the LRU. The shard slot in
+// the tag covers the reshard corner where an object moves to a
+// different physical shard whose independent epoch counter happens to
+// coincide with the old one.
+//
+// The cache is safe for concurrent use. Get copies content out and Put
+// copies content in, so callers can never alias cache-owned bytes.
+package matcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entryOverhead approximates the bookkeeping bytes charged per entry on
+// top of its content, so caches full of tiny payloads still respect the
+// byte budget.
+const entryOverhead = 96
+
+type key struct {
+	o, v uint64
+}
+
+type entry struct {
+	k          key
+	shard      int
+	epoch      uint64
+	content    []byte
+	prev, next *entry // LRU list; next is more recent
+}
+
+// bucket is one independently locked LRU segment.
+type bucket struct {
+	mu    sync.Mutex
+	m     map[key]*entry
+	head  *entry // least recently used
+	tail  *entry // most recently used
+	bytes int64
+}
+
+// Cache is a sharded LRU of materialised version payloads.
+type Cache struct {
+	buckets []*bucket
+	capPer  int64 // byte budget per bucket
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	bytes     atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bytes     int64
+	Entries   int
+}
+
+// New builds a cache bounded by capacity bytes spread over nBuckets
+// independently locked segments. nBuckets is rounded up to a power of
+// two; values < 1 become 1. A capacity smaller than one entry still
+// admits nothing larger than its per-bucket share.
+func New(capacity int64, nBuckets int) *Cache {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	c := &Cache{
+		buckets: make([]*bucket, n),
+		capPer:  capacity / int64(n),
+	}
+	for i := range c.buckets {
+		c.buckets[i] = &bucket{m: make(map[key]*entry)}
+	}
+	return c
+}
+
+func (c *Cache) bucketOf(k key) *bucket {
+	// fnv-1a over the two ids; buckets is a power of two.
+	h := uint64(14695981039346656037)
+	for _, x := range [2]uint64{k.o, k.v} {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return c.buckets[h&uint64(len(c.buckets)-1)]
+}
+
+// Get returns a copy of the cached content for (o, v) if an entry
+// exists AND was stored at exactly the caller's (shard, epoch). An
+// entry found under a different tag is deleted (it can never be served
+// again — epochs only advance) and reported as a miss.
+func (c *Cache) Get(o, v uint64, shard int, epoch uint64) ([]byte, bool) {
+	k := key{o, v}
+	b := c.bucketOf(k)
+	b.mu.Lock()
+	e, ok := b.m[k]
+	if !ok {
+		b.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	if e.shard != shard || e.epoch != epoch {
+		// Drop the entry only when it is provably stale: same shard but
+		// an older epoch than the probing reader's (epochs only
+		// advance). A probe from a reader pinned at an OLDER epoch, or
+		// from a different shard slot, must not evict a fresh entry.
+		if e.shard == shard && e.epoch < epoch {
+			b.unlink(e)
+			delete(b.m, k)
+			b.bytes -= int64(len(e.content)) + entryOverhead
+			b.mu.Unlock()
+			c.bytes.Add(-(int64(len(e.content)) + entryOverhead))
+			c.misses.Add(1)
+			return nil, false
+		}
+		b.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	b.touch(e)
+	out := make([]byte, len(e.content))
+	copy(out, e.content)
+	b.mu.Unlock()
+	c.hits.Add(1)
+	return out, true
+}
+
+// Put stores a copy of content for (o, v) tagged with (shard, epoch),
+// evicting least-recently-used entries until the bucket fits its
+// budget. Content larger than the per-bucket budget is not cached.
+func (c *Cache) Put(o, v uint64, shard int, epoch uint64, content []byte) {
+	cost := int64(len(content)) + entryOverhead
+	if cost > c.capPer {
+		return
+	}
+	k := key{o, v}
+	b := c.bucketOf(k)
+	cp := make([]byte, len(content))
+	copy(cp, content)
+
+	b.mu.Lock()
+	var delta int64
+	if old, ok := b.m[k]; ok {
+		delta -= int64(len(old.content)) + entryOverhead
+		b.bytes += delta
+		old.shard, old.epoch, old.content = shard, epoch, cp
+		b.bytes += cost
+		delta += cost
+		b.touch(old)
+	} else {
+		e := &entry{k: k, shard: shard, epoch: epoch, content: cp}
+		b.m[k] = e
+		b.append(e)
+		b.bytes += cost
+		delta += cost
+	}
+	var evicted int
+	for b.bytes > c.capPer && b.head != nil {
+		victim := b.head
+		b.unlink(victim)
+		delete(b.m, victim.k)
+		freed := int64(len(victim.content)) + entryOverhead
+		b.bytes -= freed
+		delta -= freed
+		evicted++
+	}
+	b.mu.Unlock()
+	c.bytes.Add(delta)
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+}
+
+// Reset drops every entry.
+func (c *Cache) Reset() {
+	for _, b := range c.buckets {
+		b.mu.Lock()
+		freed := b.bytes
+		b.m = make(map[key]*entry)
+		b.head, b.tail = nil, nil
+		b.bytes = 0
+		b.mu.Unlock()
+		c.bytes.Add(-freed)
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+	for _, b := range c.buckets {
+		b.mu.Lock()
+		s.Entries += len(b.m)
+		b.mu.Unlock()
+	}
+	return s
+}
+
+// --- intrusive LRU list (bucket.mu held) ---
+
+func (b *bucket) append(e *entry) {
+	e.prev, e.next = b.tail, nil
+	if b.tail != nil {
+		b.tail.next = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+}
+
+func (b *bucket) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (b *bucket) touch(e *entry) {
+	if b.tail == e {
+		return
+	}
+	b.unlink(e)
+	b.append(e)
+}

@@ -1,0 +1,182 @@
+package matcache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1<<20, 4)
+	c.Put(1, 2, 0, 7, []byte("hello"))
+	got, ok := c.Get(1, 2, 0, 7)
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("get = %q, %v; want hello, true", got, ok)
+	}
+	if _, ok := c.Get(1, 3, 0, 7); ok {
+		t.Fatal("unexpected hit for absent version")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestEpochAndShardTagMismatch(t *testing.T) {
+	c := New(1<<20, 1)
+	c.Put(9, 9, 1, 5, []byte("v-at-epoch-5"))
+	// Same shard, newer epoch: stale entry must not be served and must
+	// be dropped.
+	if _, ok := c.Get(9, 9, 1, 6); ok {
+		t.Fatal("served entry from an older epoch")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("stale entry not dropped: %+v", st)
+	}
+	// Same epoch number, different shard slot (reshard coincidence).
+	c.Put(9, 9, 1, 5, []byte("v"))
+	if _, ok := c.Get(9, 9, 2, 5); ok {
+		t.Fatal("served entry tagged for another shard")
+	}
+}
+
+func TestCopyOnGetAndPut(t *testing.T) {
+	c := New(1<<20, 1)
+	src := []byte("immutable")
+	c.Put(1, 1, 0, 1, src)
+	src[0] = 'X' // caller mutates its buffer after Put
+	got, ok := c.Get(1, 1, 0, 1)
+	if !ok || string(got) != "immutable" {
+		t.Fatalf("cache aliased caller's Put buffer: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the Get result
+	again, _ := c.Get(1, 1, 0, 1)
+	if string(again) != "immutable" {
+		t.Fatalf("cache aliased Get result: %q", again)
+	}
+}
+
+func TestOverwriteSameKey(t *testing.T) {
+	c := New(1<<20, 1)
+	c.Put(1, 1, 0, 1, []byte("old"))
+	c.Put(1, 1, 0, 2, []byte("newer-content"))
+	if _, ok := c.Get(1, 1, 0, 1); ok {
+		t.Fatal("old epoch still served after overwrite")
+	}
+	got, ok := c.Get(1, 1, 0, 2)
+	if !ok || string(got) != "newer-content" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("overwrite duplicated entry: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One bucket, room for roughly 4 entries of 100 bytes + overhead.
+	c := New(4*(100+entryOverhead), 1)
+	pay := make([]byte, 100)
+	for i := uint64(0); i < 6; i++ {
+		c.Put(i, i, 0, 1, pay)
+	}
+	// 0 and 1 are the least recently used and must be gone.
+	if _, ok := c.Get(0, 0, 0, 1); ok {
+		t.Fatal("LRU entry 0 survived eviction")
+	}
+	if _, ok := c.Get(1, 1, 0, 1); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for i := uint64(2); i < 6; i++ {
+		if _, ok := c.Get(i, i, 0, 1); !ok {
+			t.Fatalf("recent entry %d evicted", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d; want 2", st.Evictions)
+	}
+	if st.Bytes > 4*(100+entryOverhead) {
+		t.Fatalf("bytes %d exceeds budget", st.Bytes)
+	}
+}
+
+func TestTouchKeepsHotEntry(t *testing.T) {
+	c := New(3*(10+entryOverhead), 1)
+	pay := make([]byte, 10)
+	c.Put(1, 1, 0, 1, pay)
+	c.Put(2, 2, 0, 1, pay)
+	c.Put(3, 3, 0, 1, pay)
+	c.Get(1, 1, 0, 1) // touch 1: now 2 is the LRU
+	c.Put(4, 4, 0, 1, pay)
+	if _, ok := c.Get(2, 2, 0, 1); ok {
+		t.Fatal("expected 2 to be evicted (1 was touched)")
+	}
+	if _, ok := c.Get(1, 1, 0, 1); !ok {
+		t.Fatal("touched entry 1 was evicted")
+	}
+}
+
+func TestOversizeAndZeroCapacity(t *testing.T) {
+	c := New(256, 1)
+	c.Put(1, 1, 0, 1, make([]byte, 1024))
+	if _, ok := c.Get(1, 1, 0, 1); ok {
+		t.Fatal("oversized content was cached")
+	}
+	z := New(0, 4)
+	z.Put(1, 1, 0, 1, []byte("x"))
+	if _, ok := z.Get(1, 1, 0, 1); ok {
+		t.Fatal("zero-capacity cache accepted an entry")
+	}
+	n := New(-5, 0) // degenerate arguments must not panic
+	n.Put(1, 1, 0, 1, []byte("x"))
+}
+
+func TestReset(t *testing.T) {
+	c := New(1<<20, 8)
+	for i := uint64(0); i < 64; i++ {
+		c.Put(i, i, 0, 1, []byte("payload"))
+	}
+	c.Reset()
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("reset left %d entries, %d bytes", st.Entries, st.Bytes)
+	}
+	if _, ok := c.Get(3, 3, 0, 1); ok {
+		t.Fatal("entry survived Reset")
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines under -race and
+// checks every hit returns the exact bytes stored for that key+epoch.
+func TestConcurrent(t *testing.T) {
+	c := New(64<<10, 4)
+	content := func(o, v, epoch uint64) []byte {
+		return []byte(fmt.Sprintf("content-%d-%d-%d", o, v, epoch))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				o, v := uint64(rng.Intn(16)), uint64(rng.Intn(16))
+				epoch := uint64(rng.Intn(4))
+				if rng.Intn(2) == 0 {
+					c.Put(o, v, 0, epoch, content(o, v, epoch))
+				} else if got, ok := c.Get(o, v, 0, epoch); ok {
+					if want := content(o, v, epoch); !bytes.Equal(got, want) {
+						panic(fmt.Sprintf("hit returned %q, want %q", got, want))
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 {
+		t.Fatalf("negative byte accounting: %+v", st)
+	}
+}

@@ -77,3 +77,51 @@ func TestWriteHistogramEmpty(t *testing.T) {
 		t.Fatalf("empty histogram exposition wrong:\n%s", out)
 	}
 }
+
+func TestWriteVecFamilies(t *testing.T) {
+	var b strings.Builder
+	err := WriteCounterVec(&b, "ode_shard_commits_total", "Commits per shard.", "shard",
+		[]LabeledUint{{Label: "0", V: 3}, {Label: "1", V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = WriteGaugeVec(&b, "ode_shard_wal_bytes", "WAL bytes per shard.", "shard",
+		[]LabeledUint{{Label: "0", V: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Histogram
+	h.Observe(0)
+	h.Observe(6)
+	var empty Histogram
+	err = WriteHistogramVec(&b, "ode_shard_commit_ns", "Commit latency per shard.", "shard",
+		[]LabeledHist{{Label: "0", S: h.Snapshot()}, {Label: "1", S: empty.Snapshot()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ode_shard_commits_total counter",
+		`ode_shard_commits_total{shard="0"} 3`,
+		`ode_shard_commits_total{shard="1"} 5`,
+		"# TYPE ode_shard_wal_bytes gauge",
+		`ode_shard_wal_bytes{shard="0"} 4096`,
+		"# TYPE ode_shard_commit_ns histogram",
+		`ode_shard_commit_ns_bucket{shard="0",le="0"} 1`,
+		`ode_shard_commit_ns_bucket{shard="0",le="7"} 2`,
+		`ode_shard_commit_ns_bucket{shard="0",le="+Inf"} 2`,
+		`ode_shard_commit_ns_sum{shard="0"} 6`,
+		`ode_shard_commit_ns_count{shard="0"} 2`,
+		// An empty series still closes with its +Inf bucket.
+		`ode_shard_commit_ns_bucket{shard="1",le="+Inf"} 0`,
+		`ode_shard_commit_ns_count{shard="1"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The cumulative ladder elides empty tails per series too.
+	if strings.Contains(out, `{shard="0",le="15"}`) || strings.Contains(out, `{shard="1",le="0"}`) {
+		t.Fatalf("empty buckets not elided:\n%s", out)
+	}
+}

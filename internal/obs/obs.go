@@ -225,6 +225,23 @@ type Metrics struct {
 	BatchSize       Histogram // transactions per group-commit fsync
 	DprevWalk       Histogram // versions visited per History call
 	TprevWalk       Histogram // versions visited per AsOfWalk call
+
+	// Delta storage tier (DESIGN.md §14). Demotions re-encode a full
+	// payload as a delta against its D-parent; promotions insert a full
+	// anchor to bound chain depth. DeltaBytesSaved accumulates the
+	// full-minus-delta payload bytes reclaimed by demotions (gross — a
+	// later promotion re-spends the bytes but does not subtract here).
+	DeltaDemotions  Counter
+	DeltaPromotions Counter
+	DeltaBytesSaved Counter
+	DeltaChainLen   Histogram // payload links walked per materialisation
+
+	// Background compactor activity: passes over a shard's object
+	// table, objects examined, and the latency of one compaction
+	// transaction.
+	CompactPasses  Counter
+	CompactObjects Counter
+	CompactNS      Histogram
 }
 
 // New returns an empty Metrics registry.

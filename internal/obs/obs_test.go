@@ -268,3 +268,20 @@ func TestPercentileShorthands(t *testing.T) {
 		t.Fatalf("p99 %d > max %d", s.P99(), s.Max)
 	}
 }
+
+func TestNewAndMean(t *testing.T) {
+	m := New()
+	m.PoolHits.Inc()
+	if got := m.PoolHits.Load(); got != 1 {
+		t.Fatalf("fresh registry counter: got %d", got)
+	}
+	var h Histogram
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Fatalf("empty mean: got %v", got)
+	}
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Snapshot().Mean(); got != 3 {
+		t.Fatalf("mean: got %v, want 3", got)
+	}
+}

@@ -15,7 +15,12 @@ import (
 // and mirrors it. The new version's links are validated against the
 // model before the mirror: Dprev must be base, Tprev the old latest.
 func (h *harness) opNewVersion(w, op int, rng *rand.Rand, ob *object, base ode.VID) error {
-	p := h.payload(rng)
+	return h.opNewVersionP(w, op, h.payload(rng), ob, base)
+}
+
+// opNewVersionP is opNewVersion with a caller-chosen payload — the deep
+// shape passes edits of the predecessor instead of fresh random bytes.
+func (h *harness) opNewVersionP(w, op int, p []byte, ob *object, base ode.VID) error {
 	var nv ode.VID
 	var inf ode.VersionInfo
 	err := h.mutOp(func(tx *ode.Tx) error {

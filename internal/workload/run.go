@@ -322,6 +322,8 @@ func (h *harness) step(w, op int, rng *rand.Rand, zipf *rand.Zipf, ws *policy.Wo
 		return h.linearStep(w, op, rng, ob)
 	case ShapeTree:
 		return h.treeStep(w, op, rng, ob)
+	case ShapeDeep:
+		return h.deepStep(w, op, rng, ob)
 	default: // ShapeTemporal
 		return h.temporalStep(w, op, rng, ob)
 	}
@@ -401,6 +403,51 @@ func (h *harness) treeStep(w, op int, rng *rand.Rand, ob *object) error {
 		return h.readOp(func(tx *ode.Tx) error { return h.checkLatest(tx, w, op, ob) })
 	default:
 		return h.readOp(func(tx *ode.Tx) error { return h.checkAsOf(tx, w, op, rng, ob) })
+	}
+}
+
+// editOf derives the next payload as a small edit of prev: a short
+// random splice plus occasional growth. Deep chains built this way are
+// genuinely delta-compressible, so a run with Options.DeltaTier
+// exercises real demotion instead of incompressible-payload bailouts.
+func (h *harness) editOf(rng *rand.Rand, prev []byte) []byte {
+	if len(prev) < 16 {
+		return h.payload(rng)
+	}
+	out := append([]byte(nil), prev...)
+	off := rng.Intn(len(out))
+	n := 1 + rng.Intn(8)
+	if off+n > len(out) {
+		n = len(out) - off
+	}
+	rng.Read(out[off : off+n])
+	if rng.Intn(8) == 0 {
+		tail := make([]byte, 4+rng.Intn(12))
+		rng.Read(tail)
+		out = append(out, tail...)
+	}
+	return out
+}
+
+// deepStep grows one very deep linear chain per object — every mutation
+// is newversion-on-latest carrying a small edit of the predecessor's
+// content — and reads it back through as-of probes (index and walk),
+// random-depth specific-version derefs (which materialise through the
+// delta chain when the tier is on), the latest surface and the full
+// derivation history.
+func (h *harness) deepStep(w, op int, rng *rand.Rand, ob *object) error {
+	switch roll := rng.Intn(100); {
+	case roll < 55:
+		p := h.editOf(rng, ob.content[ob.latest()])
+		return h.opNewVersionP(w, op, p, ob, ob.latest())
+	case roll < 70:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkAsOf(tx, w, op, rng, ob) })
+	case roll < 82:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkReadVersion(tx, w, op, rng, ob) })
+	case roll < 92:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkLatest(tx, w, op, ob) })
+	default:
+		return h.readOp(func(tx *ode.Tx) error { return h.checkHistory(tx, w, op, ob, ob.latest()) })
 	}
 }
 

@@ -51,11 +51,16 @@ const (
 	// policy with the percolation policy cascading component versions
 	// into per-group composites.
 	ShapeChurn Shape = "churn"
+	// ShapeDeep grows very deep linear chains whose payloads are small
+	// edits of their predecessor (so the delta tier can actually
+	// compress them), read back through as-of walks and random-depth
+	// derefs — the shape the delta storage tier is proven against.
+	ShapeDeep Shape = "deep"
 )
 
 // Shapes lists every shape in a stable order.
 func Shapes() []Shape {
-	return []Shape{ShapeLinear, ShapeTree, ShapeTemporal, ShapeChurn}
+	return []Shape{ShapeLinear, ShapeTree, ShapeTemporal, ShapeChurn, ShapeDeep}
 }
 
 // KeyDist selects how workers pick objects.
@@ -133,7 +138,7 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("workload: one of OpsPerWorker or Duration is required")
 	}
 	switch c.Shape {
-	case ShapeLinear, ShapeTree, ShapeTemporal, ShapeChurn:
+	case ShapeLinear, ShapeTree, ShapeTemporal, ShapeChurn, ShapeDeep:
 	default:
 		return c, fmt.Errorf("workload: unknown shape %q", c.Shape)
 	}

@@ -71,6 +71,24 @@ type Metrics struct {
 	// queue was full or the tracer panicked mid-delivery.
 	TracerDropped uint64
 
+	// Delta storage tier (all zero unless Options.DeltaTier). Demotions
+	// re-encode full payloads as deltas, promotions insert full anchors
+	// back; BytesSaved is the cumulative payload-heap reduction.
+	DeltaDemotions  uint64
+	DeltaPromotions uint64
+	DeltaBytesSaved uint64
+	// Compaction sweeps: completed whole-store passes and objects
+	// examined (by both explicit Compact calls and the background
+	// compactor).
+	CompactPasses  uint64
+	CompactObjects uint64
+	// Materialisation cache counters and occupancy.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheBytes     int64
+	CacheEntries   int
+
 	// Distributions. The latency histograms are in nanoseconds.
 	CommitLatency      HistSnapshot // whole Update: fn + staging + fsync wait
 	WALFsyncLatency    HistSnapshot // one WAL fsync
@@ -78,6 +96,8 @@ type Metrics struct {
 	BatchSize          HistSnapshot // transactions per group-commit fsync
 	DprevWalkLen       HistSnapshot // versions visited per History call
 	TprevWalkLen       HistSnapshot // versions visited per AsOfWalk call
+	DeltaChainLen      HistSnapshot // payload links walked per delta materialisation
+	CompactDuration    HistSnapshot // one bounded compaction transaction
 }
 
 // Metrics returns the current observability snapshot. Counter loads
@@ -88,6 +108,13 @@ type Metrics struct {
 func (db *DB) Metrics() Metrics {
 	var ms Metrics
 	ms.Stats = db.Stats()
+	if cs, ok := db.eng.MatCacheStats(); ok {
+		ms.CacheHits = cs.Hits
+		ms.CacheMisses = cs.Misses
+		ms.CacheEvictions = cs.Evictions
+		ms.CacheBytes = cs.Bytes
+		ms.CacheEntries = cs.Entries
+	}
 	m := db.coord.Metrics()
 	if m == nil {
 		return ms // NoMetrics: counters only
@@ -108,6 +135,15 @@ func (db *DB) Metrics() Metrics {
 	ms.BatchSize = m.BatchSize.Snapshot()
 	ms.DprevWalkLen = m.DprevWalk.Snapshot()
 	ms.TprevWalkLen = m.TprevWalk.Snapshot()
+	// Delta-tier families are recorded on the coordinator registry only
+	// (engine-level transactions), so no per-shard rollup below.
+	ms.DeltaDemotions = m.DeltaDemotions.Load()
+	ms.DeltaPromotions = m.DeltaPromotions.Load()
+	ms.DeltaBytesSaved = m.DeltaBytesSaved.Load()
+	ms.CompactPasses = m.CompactPasses.Load()
+	ms.CompactObjects = m.CompactObjects.Load()
+	ms.DeltaChainLen = m.DeltaChainLen.Snapshot()
+	ms.CompactDuration = m.CompactNS.Snapshot()
 	if db.coord.NumShards() > 1 {
 		// Roll the per-shard registries up: counters and gauges sum,
 		// histograms merge bucket-wise. Physical shards, not logical: a
@@ -155,6 +191,14 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 		{"ode_pool_evictions_total", "Clean pages evicted from the buffer pool.", ms.PoolEvictions},
 		{"ode_reader_pins_total", "Reader snapshot-epoch pins since open.", ms.ReaderPins},
 		{"ode_tracer_dropped_total", "Tracer span events dropped past the bounded queue.", ms.TracerDropped},
+		{"ode_delta_demotions_total", "Full payloads re-encoded as deltas against their D-parent.", ms.DeltaDemotions},
+		{"ode_delta_promotions_total", "Delta payloads re-anchored as full copies.", ms.DeltaPromotions},
+		{"ode_delta_bytes_saved_total", "Cumulative payload-heap bytes reclaimed by demotion.", ms.DeltaBytesSaved},
+		{"ode_delta_cache_hits_total", "Materialisation cache hits.", ms.CacheHits},
+		{"ode_delta_cache_misses_total", "Materialisation cache misses.", ms.CacheMisses},
+		{"ode_delta_cache_evictions_total", "Materialisation cache LRU evictions.", ms.CacheEvictions},
+		{"ode_compact_passes_total", "Completed whole-store compaction passes.", ms.CompactPasses},
+		{"ode_compact_objects_total", "Objects examined by compaction sweeps.", ms.CompactObjects},
 	}
 	for _, c := range counters {
 		if err := obs.WriteCounter(w, c.name, c.help, c.v); err != nil {
@@ -170,6 +214,12 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	if err := obs.WriteGauge(w, "ode_snapshot_pages", "Copy-on-write snapshot pages retained for pinned epochs.", ms.SnapshotPages); err != nil {
 		return err
 	}
+	if err := obs.WriteGauge(w, "ode_delta_cache_bytes", "Materialisation cache occupancy in bytes.", ms.CacheBytes); err != nil {
+		return err
+	}
+	if err := obs.WriteGauge(w, "ode_delta_cache_entries", "Materialisation cache entry count.", int64(ms.CacheEntries)); err != nil {
+		return err
+	}
 	hists := []struct {
 		name, help string
 		s          HistSnapshot
@@ -180,6 +230,8 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 		{"ode_commit_batch_size", "Transactions covered by one group-commit fsync.", ms.BatchSize},
 		{"ode_dprev_walk_len", "Versions visited per History (derived-from chain) walk.", ms.DprevWalkLen},
 		{"ode_tprev_walk_len", "Versions visited per AsOfWalk (temporal chain) walk.", ms.TprevWalkLen},
+		{"ode_delta_chain_len", "Payload records read per delta-chain materialisation.", ms.DeltaChainLen},
+		{"ode_compact_duration_ns", "Duration of one bounded compaction transaction.", ms.CompactDuration},
 	}
 	for _, h := range hists {
 		if err := obs.WriteHistogram(w, h.name, h.help, h.s); err != nil {

@@ -117,6 +117,27 @@ type Options struct {
 	// MaxChain bounds delta chains (keyframe interval) under DeltaChain;
 	// 0 means core.DefaultMaxChain.
 	MaxChain int
+	// DeltaTier enables the delta storage tier (DESIGN.md §14): stored
+	// full payloads of cold versions are demoted to deltas against
+	// their derived-from parent — inline when a version gains a D-child
+	// or loses one to pdelete, and in the background by a per-shard
+	// compactor — and materialised contents are served through an
+	// epoch-tagged LRU cache. Works under either Policy.
+	DeltaTier bool
+	// AnchorInterval bounds how far any version may sit from a full
+	// anchor under DeltaTier; the compactor promotes versions found
+	// deeper (e.g. after the interval was lowered). 0 means MaxChain.
+	AnchorInterval int
+	// MatCacheBytes is the materialisation cache budget under
+	// DeltaTier; 0 means core.DefaultCacheBytes (4 MiB), negative
+	// disables the cache.
+	MatCacheBytes int64
+	// CompactInterval paces the background compactor under DeltaTier:
+	// each physical shard is swept in bounded transactions at most this
+	// often. 0 means DefaultCompactInterval; negative disables the
+	// background goroutines (inline demotion and the cache remain, and
+	// Compact still runs sweeps on demand).
+	CompactInterval time.Duration
 	// PageSize applies when creating a new database (default 4096).
 	PageSize int
 	// PoolPages is the buffer-pool capacity in pages (default 1024).
@@ -178,6 +199,11 @@ type DB struct {
 	eng   *core.Engine
 	path  string
 
+	// background compactor state (compact.go); nil unless DeltaTier is
+	// on with a non-negative CompactInterval.
+	compactStop chan struct{}
+	compactDone chan struct{}
+
 	// debug HTTP listener state (metrics.go); nil without DebugAddr.
 	debugLis net.Listener
 	debugSrv *http.Server
@@ -228,14 +254,24 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.NewSharded(coord, core.Options{Policy: o.Policy, MaxChain: o.MaxChain})
+	eng, err := core.NewSharded(coord, core.Options{
+		Policy:         o.Policy,
+		MaxChain:       o.MaxChain,
+		DeltaTier:      o.DeltaTier,
+		AnchorInterval: o.AnchorInterval,
+		CacheBytes:     o.MatCacheBytes,
+	})
 	if err != nil {
 		coord.Close()
 		return nil, err
 	}
 	db := &DB{coord: coord, eng: eng, path: dir}
+	if o.DeltaTier && !o.ReadOnly && o.CompactInterval >= 0 {
+		db.startCompactor(o.CompactInterval)
+	}
 	if o.DebugAddr != "" {
 		if err := db.startDebugServer(o.DebugAddr); err != nil {
+			db.stopCompactor()
 			coord.Close()
 			return nil, fmt.Errorf("ode: debug listener: %w", err)
 		}
@@ -277,6 +313,7 @@ func (db *DB) ReshardProgress() txn.ReshardProgress {
 // Close checkpoints and closes the database.
 func (db *DB) Close() error {
 	db.stopDebugServer()
+	db.stopCompactor()
 	return db.coord.Close()
 }
 
