@@ -22,12 +22,14 @@ help:
 	@echo "  delta-matrix  delta-tier battery: round-trip property, crash matrix"
 	@echo "           over compactor demotions, deep-chain workload, at"
 	@echo "           ODE_SHARDS=1 and 4, under -race; plus odebench E17 smoke"
+	@echo "  hotpath  allocation-regression gates on the commit and cached"
+	@echo "           deref paths, plus odebench E18 smoke"
 	@echo "  fuzz     continuous fuzz over every native target, FUZZTIME=$(FUZZTIME) each"
 	@echo "  fuzz-smoke  same targets at 10s each — the CI tier"
 	@echo "  cover    line coverage, with 85% floors on internal/obs,"
 	@echo "           internal/workload, internal/delta, internal/matcache and"
 	@echo "           (per-file, over the delta battery) the two compact.go files"
-	@echo "  check    build + vet + race + matrix + soak + ycsb + delta-matrix"
+	@echo "  check    build + vet + race + matrix + soak + ycsb + delta-matrix + hotpath"
 
 build:
 	$(GO) build ./...
@@ -62,6 +64,7 @@ fuzz:
 	$(GO) test -fuzz FuzzCoordDecisionScan -fuzztime $(FUZZTIME) ./internal/txn
 	$(GO) test -fuzz FuzzReaderOps -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -fuzz FuzzAppendEncoder -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -fuzz FuzzDeltaChain -fuzztime $(FUZZTIME) ./internal/delta
 
 # The 10-second-per-target tier CI runs on every push: long enough to
@@ -85,6 +88,15 @@ soak:
 # reference model; any divergence fails with a seed+trace repro.
 ycsb:
 	$(GO) run -race ./cmd/odebench -scale ci -only E15 -ycsbjson ""
+
+# The hot-path gate (DESIGN.md §15, EXPERIMENTS.md E18): the
+# allocation-regression tests pin the zero-copy commit path and the
+# cached dereference read to their measured allocs/op ceilings, then
+# the E18 benchmark runs at ci scale as an end-to-end smoke — alloc
+# reductions, cache speedup, hit rates.
+hotpath:
+	$(GO) test -count=1 -run 'TestCommitPathAllocs|TestHotDerefAllocs' -v .
+	$(GO) run ./cmd/odebench -scale ci -only E18 -hotpathjson ""
 
 # The delta-tier battery (DESIGN.md §14, EXPERIMENTS.md E17): the
 # random-edit round-trip property across anchor intervals, the crash
@@ -137,6 +149,6 @@ cover:
 	    if (pct < 85) { printf "FAIL: %s below 85%% coverage\n", file; exit 1 } }' /tmp/deltatier.cover || exit 1; \
 	done
 
-check: build vet race matrix soak ycsb delta-matrix
+check: build vet race matrix soak ycsb delta-matrix hotpath
 
-.PHONY: help build test vet race matrix fuzz fuzz-smoke soak ycsb delta-matrix cover check
+.PHONY: help build test vet race matrix fuzz fuzz-smoke soak ycsb delta-matrix hotpath cover check

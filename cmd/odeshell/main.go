@@ -82,7 +82,7 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Fprintln(s.out, "types | new <type> <text> | show <oid> | read <oid> [vid] | set <oid> <vid> <text>")
 		fmt.Fprintln(s.out, "nv <oid> [vid] | del <oid> [vid] | hist <oid> <vid> | leaves <oid> | asof <oid> <stamp>")
-		fmt.Fprintln(s.out, "ls <type> | stats | shards | reshard <n> | payloads | compact | metrics | check | quit")
+		fmt.Fprintln(s.out, "ls <type> | stats | shards | reshard <n> | payloads | compact | cache | metrics | check | quit")
 		return nil
 	case "types":
 		return s.db.View(func(tx *ode.Tx) error {
@@ -344,6 +344,41 @@ func (s *shell) exec(line string) error {
 		}
 		fmt.Fprintf(s.out, "compacted: %d objects examined, %d demoted, %d promoted, %d bytes saved\n",
 			st.Objects, st.Demoted, st.Promoted, st.BytesSaved)
+		return nil
+	case "cache":
+		hitRate := func(h, m uint64) float64 {
+			if h+m == 0 {
+				return 0
+			}
+			return 100 * float64(h) / float64(h+m)
+		}
+		if cs, ok := s.db.Engine().MatCacheStats(); ok {
+			fmt.Fprintf(s.out, "matcache:    %d hits, %d misses (%.1f%% hit rate), %d evictions, %d entries, %d bytes\n",
+				cs.Hits, cs.Misses, hitRate(cs.Hits, cs.Misses), cs.Evictions, cs.Entries, cs.Bytes)
+		} else {
+			fmt.Fprintln(s.out, "matcache:    disabled")
+		}
+		if ds, ok := s.db.Engine().DerefCacheStats(); ok {
+			fmt.Fprintf(s.out, "derefcache:  %d hits, %d misses (%.1f%% hit rate), %d evictions, %d entries, %d bytes\n",
+				ds.Hits, ds.Misses, hitRate(ds.Hits, ds.Misses), ds.Evictions, ds.Entries, ds.Bytes)
+			c := s.db.Engine().Coordinator()
+			if c.NumShards() > 1 {
+				for i := 0; i < c.NumShards(); i++ {
+					h, m := s.db.Engine().DerefCacheShardStats(i)
+					if h+m > 0 {
+						fmt.Fprintf(s.out, "  shard %d: %d hits, %d misses (%.1f%%)\n", i, h, m, hitRate(h, m))
+					}
+				}
+			}
+		} else {
+			fmt.Fprintln(s.out, "derefcache:  disabled")
+		}
+		leases, ids := s.db.Engine().AllocStats()
+		fmt.Fprintf(s.out, "allocator:   %d leases, %d ids", leases, ids)
+		if leases > 0 {
+			fmt.Fprintf(s.out, " (%.1f ids/lease)", float64(ids)/float64(leases))
+		}
+		fmt.Fprintln(s.out)
 		return nil
 	case "metrics", ".metrics":
 		// Prometheus text exposition: counters, gauges and latency

@@ -68,6 +68,24 @@ func TestShellSession(t *testing.T) {
 	}
 }
 
+func TestShellCache(t *testing.T) {
+	sh, out := testShell(t)
+	mustExec(t, sh, "new part some content")
+	mustExec(t, sh, "read o1") // snapshot read: populates the deref cache
+	mustExec(t, sh, "read o1") // second read hits it
+	mustExec(t, sh, "cache")
+
+	got := out.String()
+	for _, want := range []string{"derefcache:", "hit rate", "allocator:", "leases"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("cache output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "derefcache:  1 hits") {
+		t.Fatalf("expected exactly one deref cache hit:\n%s", got)
+	}
+}
+
 func TestShellShardsAndReshard(t *testing.T) {
 	db, err := ode.Open(t.TempDir(), &ode.Options{Shards: 2})
 	if err != nil {

@@ -1,0 +1,153 @@
+package ode
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Allocation-regression gate for the two hot paths (run by `make
+// hotpath`, part of `make check`).
+//
+// Measured history on the reference configuration below (Shards: 1,
+// 256-byte payloads):
+//
+//	commit (Update + UpdateLatestRaw): 92 allocs/op before the
+//	  zero-copy staging refactor, 50 after (WAL frames staged in place,
+//	  pooled Frames, batched id leases, btree arena decode + node
+//	  cache, append-style encoders).
+//	hot deref (View + ReadLatestRaw, same object): 29 before, 19 with
+//	  the dereference cache serving the read.
+//
+// The ceilings pin the refactor's wins: the commit ceiling (55) keeps
+// the ≥40% reduction from the 92-alloc baseline, the deref ceiling (24)
+// keeps the cache on the hot path. They include a few allocs of
+// headroom over the measured values so unrelated runtime/toolchain
+// noise doesn't flake the gate; a real regression (an extra copy chain
+// or a cache bypass) costs far more than that.
+const (
+	maxCommitAllocs = 55
+	maxDerefAllocs  = 24
+)
+
+// rawCodec stores byte slices verbatim so the gate counts engine
+// allocations, not serialisation overhead.
+type rawCodec struct{}
+
+func (rawCodec) Marshal(b *[]byte) ([]byte, error) { return *b, nil }
+func (rawCodec) Unmarshal(b []byte) (*[]byte, error) {
+	c := append([]byte(nil), b...)
+	return &c, nil
+}
+
+// hotpathDB opens the reference configuration and returns a blob handle
+// with one committed object to update and read.
+func hotpathDB(t testing.TB) (*DB, *Type[[]byte], OID) {
+	t.Helper()
+	db, err := Open(t.TempDir(), &Options{Shards: 1, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	blobs, err := RegisterWithCodec[[]byte](db, "Blob", rawCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	var o OID
+	if err := db.Update(func(tx *Tx) error {
+		p, err := blobs.Create(tx, &payload)
+		if err != nil {
+			return err
+		}
+		o = p.OID()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db, blobs, o
+}
+
+func TestCommitPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	db, _, o := hotpathDB(t)
+	payload := make([]byte, 256)
+	avg := testing.AllocsPerRun(100, func() {
+		if err := db.Update(func(tx *Tx) error {
+			_, err := tx.UpdateLatestRaw(o, payload)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("commit path: %.1f allocs/op (ceiling %d)", avg, maxCommitAllocs)
+	if avg > maxCommitAllocs {
+		t.Errorf("commit path regressed to %.1f allocs/op, ceiling %d", avg, maxCommitAllocs)
+	}
+}
+
+func TestHotDerefAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	db, _, o := hotpathDB(t)
+	// Warm the dereference cache so the measured runs are the hot path.
+	if err := db.View(func(tx *Tx) error {
+		_, _, err := tx.ReadLatestRaw(o)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := db.View(func(tx *Tx) error {
+			content, _, err := tx.ReadLatestRaw(o)
+			if err != nil {
+				return err
+			}
+			if len(content) != 256 {
+				return fmt.Errorf("short read: %d bytes", len(content))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("hot deref path: %.1f allocs/op (ceiling %d)", avg, maxDerefAllocs)
+	if avg > maxDerefAllocs {
+		t.Errorf("hot deref path regressed to %.1f allocs/op, ceiling %d", avg, maxDerefAllocs)
+	}
+	st := db.Stats()
+	if st.DerefCacheHits == 0 {
+		t.Error("dereference cache recorded no hits on the hot read path")
+	}
+}
+
+func BenchmarkCommitPath(b *testing.B) {
+	db, _, o := hotpathDB(b)
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Update(func(tx *Tx) error {
+			_, err := tx.UpdateLatestRaw(o, payload)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotDeref(b *testing.B) {
+	db, _, o := hotpathDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.View(func(tx *Tx) error {
+			_, _, err := tx.ReadLatestRaw(o)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

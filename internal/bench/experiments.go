@@ -979,5 +979,6 @@ func All() []Experiment {
 		{"E15", "ycsb versioned workload", E15},
 		{"E16", "online rebalance impact", E16},
 		{"E17", "delta-compressed version storage", E17},
+		{"E18", "hot-path allocations and deref cache", E18},
 	}
 }

@@ -35,9 +35,63 @@ var ErrValTooLarge = errors.New("btree: value too large")
 // Tree is a handle on one B+tree. The root page may change across
 // mutations; persist Root() after every mutating call (the engine stores
 // it in a superblock root slot).
+//
+// A handle memoises a few decoded nodes for its own lifetime (one
+// transaction — the engine opens fresh handles per transaction), which
+// collapses the repeated root/branch decodes of consecutive operations
+// into one. Coherence holds because every mutation flows through the
+// same handle: readNode hands out the one cached *node per page,
+// mutating operations update that object in place and writeNode
+// re-encodes it, so the cache can never diverge from the page. The one
+// pattern this forbids is mutating the tree from inside an Ascend
+// callback on the same handle; all engine code collects first and
+// mutates after iteration.
 type Tree struct {
 	st   *storage.TxView
 	root oid.PageID
+
+	cache [treeCacheSlots]nodeCacheEntry
+	hand  uint8
+}
+
+// treeCacheSlots bounds the per-handle decoded-node cache: enough for
+// the root and the hot spine of a descent, small enough that a bulk
+// scan just round-robins through it.
+const treeCacheSlots = 8
+
+type nodeCacheEntry struct {
+	id oid.PageID
+	n  *node
+}
+
+func (t *Tree) cached(id oid.PageID) *node {
+	for i := range t.cache {
+		if t.cache[i].id == id && t.cache[i].n != nil {
+			return t.cache[i].n
+		}
+	}
+	return nil
+}
+
+func (t *Tree) cacheNode(id oid.PageID, n *node) {
+	for i := range t.cache {
+		if t.cache[i].id == id && t.cache[i].n != nil {
+			t.cache[i].n = n
+			return
+		}
+	}
+	t.cache[t.hand] = nodeCacheEntry{id: id, n: n}
+	t.hand = (t.hand + 1) % treeCacheSlots
+}
+
+// uncache drops a page freed by a prune so a later reallocation of the
+// id can never resolve to the stale node.
+func (t *Tree) uncache(id oid.PageID) {
+	for i := range t.cache {
+		if t.cache[i].id == id {
+			t.cache[i] = nodeCacheEntry{}
+		}
+	}
 }
 
 // node is the decoded form of a B+tree page.
@@ -85,36 +139,43 @@ func (t *Tree) bodyCap() int { return t.st.PageSize() - storage.HeaderSize }
 // --- node (de)serialisation ---
 
 func encodeNode(n *node, capHint int) []byte {
-	w := codec.NewWriter(capHint)
+	b := make([]byte, 0, capHint)
 	if n.leaf {
-		w.U8(1)
-		w.U32(uint32(n.next))
-		w.U16(uint16(len(n.keys)))
+		b = codec.AppendU8(b, 1)
+		b = codec.AppendU32(b, uint32(n.next))
+		b = codec.AppendU16(b, uint16(len(n.keys)))
 		for i, k := range n.keys {
-			w.Bytes32(k)
-			w.Bytes32(n.vals[i])
+			b = codec.AppendBytes32(b, k)
+			b = codec.AppendBytes32(b, n.vals[i])
 		}
 	} else {
-		w.U8(0)
-		w.U32(0)
-		w.U16(uint16(len(n.keys)))
+		b = codec.AppendU8(b, 0)
+		b = codec.AppendU32(b, 0)
+		b = codec.AppendU16(b, uint16(len(n.keys)))
 		// A node whose last child was just pruned encodes transiently
 		// with no children; its parent frees it in the same operation.
 		if len(n.children) == 0 {
-			w.U32(uint32(oid.NilPage))
+			b = codec.AppendU32(b, uint32(oid.NilPage))
 		} else {
-			w.U32(uint32(n.children[0]))
+			b = codec.AppendU32(b, uint32(n.children[0]))
 		}
 		for i, k := range n.keys {
-			w.Bytes32(k)
-			w.U32(uint32(n.children[i+1]))
+			b = codec.AppendBytes32(b, k)
+			b = codec.AppendU32(b, uint32(n.children[i+1]))
 		}
 	}
-	return w.Bytes()
+	return b
 }
 
 func decodeNode(body []byte) (*node, error) {
-	r := codec.NewReader(body)
+	// One arena copy of the node body up front: every key and value
+	// subslices it, so a decode costs O(1) allocations instead of one
+	// per entry (decodes dominate the commit path's allocation profile).
+	// The copy also detaches the node from the page buffer exactly like
+	// the old per-entry copies did — writeNode may later overwrite the
+	// page body in place within the same transaction.
+	arena := append([]byte(nil), body...)
+	r := codec.NewReader(arena)
 	n := &node{}
 	n.leaf = r.U8() == 1
 	n.next = oid.PageID(r.U32())
@@ -123,15 +184,15 @@ func decodeNode(body []byte) (*node, error) {
 		n.keys = make([][]byte, count)
 		n.vals = make([][]byte, count)
 		for i := 0; i < count; i++ {
-			n.keys[i] = append([]byte(nil), r.Bytes32()...)
-			n.vals[i] = append([]byte(nil), r.Bytes32()...)
+			n.keys[i] = r.Bytes32()
+			n.vals[i] = r.Bytes32()
 		}
 	} else {
 		n.children = make([]oid.PageID, 1, count+1)
 		n.children[0] = oid.PageID(r.U32())
 		n.keys = make([][]byte, count)
 		for i := 0; i < count; i++ {
-			n.keys[i] = append([]byte(nil), r.Bytes32()...)
+			n.keys[i] = r.Bytes32()
 			n.children = append(n.children, oid.PageID(r.U32()))
 		}
 	}
@@ -142,11 +203,19 @@ func decodeNode(body []byte) (*node, error) {
 }
 
 func (t *Tree) readNode(id oid.PageID) (*node, error) {
+	if n := t.cached(id); n != nil {
+		return n, nil
+	}
 	p, err := t.st.GetTyped(id, storage.PageBTree)
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(p.Body())
+	n, err := decodeNode(p.Body())
+	if err != nil {
+		return nil, err
+	}
+	t.cacheNode(id, n)
+	return n, nil
 }
 
 func (t *Tree) writeNode(p *storage.Page, n *node) error {
@@ -154,10 +223,12 @@ func (t *Tree) writeNode(p *storage.Page, n *node) error {
 	if len(enc) > t.bodyCap() {
 		return fmt.Errorf("btree: internal error: node %d encodes to %d > %d", p.ID, len(enc), t.bodyCap())
 	}
+	id := p.ID
 	p = t.st.Touch(p)
 	body := p.Body()
 	copy(body, enc)
 	clear(body[len(enc):])
+	t.cacheNode(id, n)
 	return nil
 }
 
@@ -363,6 +434,7 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 		}
 		old := t.root
 		t.root = n.children[0]
+		t.uncache(old)
 		if err := t.st.Free(old); err != nil {
 			return true, err
 		}
@@ -406,6 +478,7 @@ func (t *Tree) remove(id oid.PageID, key []byte) (bool, bool, error) {
 		} else if len(n.keys) > 0 {
 			n.keys = removeAt(n.keys, 0)
 		}
+		t.uncache(empty)
 		if err := t.st.Free(empty); err != nil {
 			return true, false, err
 		}

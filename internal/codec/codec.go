@@ -117,6 +117,56 @@ func (w *Writer) Bool(v bool) *Writer {
 	return w.U8(0)
 }
 
+// Append-style encoders: the zero-copy counterpart to Writer. Each
+// function appends the same wire encoding its Writer method produces,
+// but into a caller-owned buffer, so hot paths (WAL frame staging) can
+// encode directly into their destination without an intermediate
+// Writer allocation or copy. The two families MUST stay byte-for-byte
+// identical; FuzzAppendEncoder enforces that.
+
+// AppendU8 appends a single byte to b.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU16 appends v in big-endian order.
+func AppendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+
+// AppendU32 appends v in big-endian order.
+func AppendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+// AppendU64 appends v in big-endian order.
+func AppendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// AppendUVarint appends v in unsigned LEB128-style varint encoding.
+func AppendUVarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// AppendVarint appends v in zig-zag varint encoding.
+func AppendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+// AppendBytes32 appends a uvarint length prefix followed by p.
+func AppendBytes32(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendString32 appends a length-prefixed string.
+func AppendString32(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendF64 appends an IEEE-754 float64 in big-endian order.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendBool appends a 1-byte boolean.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
 // MaxBlob bounds length prefixes accepted by Reader to guard against
 // corrupt inputs allocating unbounded memory.
 const MaxBlob = 1 << 30

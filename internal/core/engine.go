@@ -39,6 +39,7 @@ import (
 
 	"ode/internal/btree"
 	"ode/internal/codec"
+	"ode/internal/derefcache"
 	"ode/internal/matcache"
 	"ode/internal/obs"
 	"ode/internal/oid"
@@ -127,6 +128,13 @@ type Options struct {
 	// CacheBytes is the materialisation cache budget; 0 means
 	// DefaultCacheBytes, negative disables the cache.
 	CacheBytes int64
+
+	// DerefCacheBytes is the read-side dereference cache budget (latest
+	// version id + materialised content keyed by oid, epoch-tagged like
+	// the materialisation cache); 0 means DefaultDerefCacheBytes,
+	// negative disables it. Unlike CacheBytes it is independent of the
+	// delta tier: the hot Deref path benefits under every policy.
+	DerefCacheBytes int64
 }
 
 // DefaultMaxChain is the delta-chain keyframe interval.
@@ -135,6 +143,10 @@ const DefaultMaxChain = 16
 // DefaultCacheBytes is the materialisation cache budget when the delta
 // tier is on and Options.CacheBytes is zero.
 const DefaultCacheBytes = 4 << 20
+
+// DefaultDerefCacheBytes is the dereference cache budget when
+// Options.DerefCacheBytes is zero.
+const DefaultDerefCacheBytes = 4 << 20
 
 // Engine is the versioned-object store. It holds only cross-transaction
 // state; everything a single transaction needs lives on its Tx.
@@ -157,6 +169,13 @@ type Engine struct {
 	// pinned at exactly that pair, so no invalidation is needed.
 	cache *matcache.Cache
 
+	// dcache is the read-side dereference cache (nil when disabled):
+	// oid → (latest vid, content), tagged with the reading snapshot's
+	// (shard, epoch) under the same exact-match rule as cache, so a hot
+	// Deref skips the header probe and payload walk entirely and a live
+	// reshard can never serve stale placement.
+	dcache *derefcache.Cache
+
 	// heapSpace holds each shard's heap free-space cache, shared across
 	// write transactions (writers on one shard are serialised by its
 	// writer mutex; hsMu orders the reset-after-abort against the next
@@ -164,6 +183,11 @@ type Engine struct {
 	// physical shards.
 	hsMu      sync.Mutex
 	heapSpace []*storage.HeapState
+
+	// alloc holds the per-shard batched id-allocation leases (alloc.go).
+	// Like heapSpace, each shard's state is used only under that shard's
+	// writer mutex; the registry grows when a reshard adds shards.
+	alloc allocState
 
 	// stamp is the global version-creation clock under N > 1: stamps
 	// must be comparable across shards (AsOf, CurrentStamp), so they
@@ -210,6 +234,10 @@ type shardTx struct {
 	// transaction (roots live in shard 0's catalog tree).
 	indexes map[string]*btree.Tree
 
+	// al caches this shard's batched id-allocator state (alloc.go),
+	// resolved on first allocation.
+	al *shardAlloc
+
 	writable bool
 }
 
@@ -248,6 +276,13 @@ func NewSharded(c *txn.Coordinator, opts Options) (*Engine, error) {
 			cap = DefaultCacheBytes
 		}
 		e.cache = matcache.New(cap, 16)
+	}
+	if opts.DerefCacheBytes >= 0 {
+		cap := opts.DerefCacheBytes
+		if cap == 0 {
+			cap = DefaultDerefCacheBytes
+		}
+		e.dcache = derefcache.New(cap, 16, storage.MaxSlots)
 	}
 	// Initialize any physical shard still lacking the engine trees: all
 	// of them on a fresh database, and — after a crash between a
@@ -357,21 +392,27 @@ func (e *Engine) takeHeapSpace(s int) *storage.HeapState {
 // resetHeapSpaces starts every shard's next writer with a fresh heap
 // cache. Called after an abort: the rollback reverted pages underneath
 // the shared caches; their entries self-heal, but the sweep position may
-// hide reverted pages.
+// hide reverted pages. Allocation leases are dropped for the same
+// reason: re-leasing from the persisted counter is always safe, while a
+// lease minted against rolled-back counter state is simpler to discard
+// than to reason about.
 func (e *Engine) resetHeapSpaces() {
 	e.hsMu.Lock()
 	for i := range e.heapSpace {
 		e.heapSpace[i] = storage.NewHeapState()
 	}
 	e.hsMu.Unlock()
+	e.alloc.reset()
 }
 
 // newOID allocates an oid on this shard: the shard-local counter
 // composed with the shard slot (identity under one shard). The routing
 // Tx only allocates on shards whose home-range tail is still their own
 // (ShardMap.Allocatable), so a fresh id routes to its birth shard.
+// Allocation draws from the shard's batched lease (alloc.go), so the
+// common case costs no superblock touch.
 func (tx *shardTx) newOID() oid.OID {
-	return oid.OID(storage.Compose(tx.st.NextCounter(ctrOID), tx.s))
+	return oid.OID(storage.Compose(tx.allocID(ctrOID), tx.s))
 }
 
 // newVID allocates a vid on this shard, composed like newOID. Unlike a
@@ -379,7 +420,7 @@ func (tx *shardTx) newOID() oid.OID {
 // minted on the OBJECT's current shard, wherever it moved), so the
 // vid→oid index entry routes by vid value (Tx.putVidIdx), not by tx.s.
 func (tx *shardTx) newVID() oid.VID {
-	return oid.VID(storage.Compose(tx.st.NextCounter(ctrVID), tx.s))
+	return oid.VID(storage.Compose(tx.allocID(ctrVID), tx.s))
 }
 
 // newStamp allocates a creation stamp. With one shard the shard counter
@@ -446,6 +487,32 @@ func (e *Engine) MatCacheStats() (matcache.Stats, bool) {
 func (e *Engine) ResetMatCache() {
 	if e.cache != nil {
 		e.cache.Reset()
+	}
+}
+
+// DerefCacheStats snapshots the dereference cache counters; ok is false
+// when the cache is disabled.
+func (e *Engine) DerefCacheStats() (derefcache.Stats, bool) {
+	if e.dcache == nil {
+		return derefcache.Stats{}, false
+	}
+	return e.dcache.Stats(), true
+}
+
+// DerefCacheShardStats reads one shard's dereference cache hit/miss
+// counters (zeros when the cache is disabled).
+func (e *Engine) DerefCacheShardStats(s int) (hits, misses uint64) {
+	if e.dcache == nil {
+		return 0, 0
+	}
+	return e.dcache.ShardStats(s)
+}
+
+// ResetDerefCache drops every dereference cache entry (benchmarks use
+// this to measure cold reads).
+func (e *Engine) ResetDerefCache() {
+	if e.dcache != nil {
+		e.dcache.Reset()
 	}
 }
 
@@ -545,13 +612,13 @@ type objHeader struct {
 }
 
 func (h *objHeader) encode() []byte {
-	w := codec.NewWriter(40)
-	w.U32(uint32(h.typ))
-	w.UVarint(uint64(h.latest))
-	w.UVarint(h.count)
-	w.UVarint(uint64(h.firstVID))
-	w.UVarint(uint64(h.created))
-	return w.Bytes()
+	b := make([]byte, 0, 40)
+	b = codec.AppendU32(b, uint32(h.typ))
+	b = codec.AppendUVarint(b, uint64(h.latest))
+	b = codec.AppendUVarint(b, h.count)
+	b = codec.AppendUVarint(b, uint64(h.firstVID))
+	b = codec.AppendUVarint(b, uint64(h.created))
+	return b
 }
 
 func decodeObjHeader(b []byte) (objHeader, error) {

@@ -32,17 +32,17 @@ type verRec struct {
 }
 
 func (v *verRec) encode() []byte {
-	w := codec.NewWriter(64)
-	w.UVarint(uint64(v.stamp))
-	w.UVarint(uint64(v.dprev))
-	w.UVarint(uint64(v.tprev))
-	w.UVarint(uint64(v.tnext))
+	b := make([]byte, 0, 64)
+	b = codec.AppendUVarint(b, uint64(v.stamp))
+	b = codec.AppendUVarint(b, uint64(v.dprev))
+	b = codec.AppendUVarint(b, uint64(v.tprev))
+	b = codec.AppendUVarint(b, uint64(v.tnext))
 	rid := v.payload.Pack()
-	w.Raw(rid[:])
-	w.U8(v.kind)
-	w.U16(v.depth)
-	w.UVarint(v.size)
-	return w.Bytes()
+	b = append(b, rid[:]...)
+	b = codec.AppendU8(b, v.kind)
+	b = codec.AppendU16(b, v.depth)
+	b = codec.AppendUVarint(b, v.size)
+	return b
 }
 
 func decodeVerRec(b []byte) (verRec, error) {
@@ -197,6 +197,33 @@ func (tx *shardTx) cachePut(o oid.OID, v oid.VID, content []byte) {
 	c.Put(uint64(o), uint64(v), tx.s, tx.st.Epoch(), content)
 }
 
+// derefGet consults the dereference cache for o's latest version. Like
+// cacheGet, only snapshot transactions participate: their (shard,
+// epoch) pin matches the tag entries are stored under exactly, while a
+// writer observes its own in-flight latest which the cache must neither
+// serve nor absorb.
+func (tx *shardTx) derefGet(o oid.OID) ([]byte, oid.VID, bool) {
+	c := tx.e.dcache
+	if c == nil || tx.writable {
+		return nil, oid.NilVID, false
+	}
+	vid, content, ok := c.Get(uint64(o), tx.s, tx.st.Epoch())
+	if !ok {
+		return nil, oid.NilVID, false
+	}
+	return content, oid.VID(vid), true
+}
+
+// derefPut stores o's materialised latest under the reading snapshot's
+// (shard, epoch) tag; no-op on write transactions.
+func (tx *shardTx) derefPut(o oid.OID, v oid.VID, content []byte) {
+	c := tx.e.dcache
+	if c == nil || tx.writable {
+		return
+	}
+	c.Put(uint64(o), tx.s, tx.st.Epoch(), uint64(v), content)
+}
+
 // ReadVersion returns the content of a specific version — the paper's
 // specific-reference dereference (*vp on a version id).
 func (tx *shardTx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
@@ -219,11 +246,15 @@ func (tx *shardTx) ReadVersion(o oid.OID, v oid.VID) ([]byte, error) {
 // paper's generic-reference dereference (*p on an object id binds to the
 // latest version at access time).
 func (tx *shardTx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
+	if content, v, ok := tx.derefGet(o); ok {
+		return content, v, nil
+	}
 	h, err := tx.loadHeader(o)
 	if err != nil {
 		return nil, oid.NilVID, err
 	}
 	if content, ok := tx.cacheGet(o, h.latest); ok {
+		tx.derefPut(o, h.latest, content)
 		return content, h.latest, nil
 	}
 	rec, err := tx.loadVer(o, h.latest)
@@ -235,6 +266,7 @@ func (tx *shardTx) ReadLatest(o oid.OID) ([]byte, oid.VID, error) {
 		return nil, oid.NilVID, err
 	}
 	tx.cachePut(o, h.latest, content)
+	tx.derefPut(o, h.latest, content)
 	return content, h.latest, nil
 }
 

@@ -242,6 +242,13 @@ type Metrics struct {
 	CompactPasses  Counter
 	CompactObjects Counter
 	CompactNS      Histogram
+
+	// Batched id allocation (core/alloc.go): leases taken from the
+	// persistent counters and ids handed out from them. A healthy ratio
+	// approaches allocBatch ids per lease; a ratio near 1 means leases
+	// are being dropped (aborts) as fast as they are taken.
+	AllocLeases Counter
+	AllocIDs    Counter
 }
 
 // New returns an empty Metrics registry.

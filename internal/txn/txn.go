@@ -671,13 +671,35 @@ func (m *Manager) Write(fn func(*storage.TxView) error) error {
 		}
 		return err
 	}
-	if err := <-req.done; err != nil {
+	err = <-req.done
+	// The ack means the committer is finished with the staged frames
+	// (spliced and fsynced, or rolled back and truncated), so the buffer
+	// can be recycled for the next commit.
+	recycleFrames(req)
+	if err != nil {
 		// The whole prepared suffix was rolled back by the committer
 		// (failSuffix) before this ack; nothing left to undo here.
 		return fmt.Errorf("txn: commit: %w", err)
 	}
 	m.observeCommit(uint64(req.txid), start)
 	return nil
+}
+
+// framesPool recycles commit staging buffers: after a page-image-heavy
+// commit the buffer is page-sized times touched pages, well worth
+// keeping off the allocator.
+var framesPool = sync.Pool{New: func() any { return new(wal.Frames) }}
+
+// recycleFrames returns a commit's staged frames to the pool once the
+// committer's ack guarantees no one references them.
+func recycleFrames(req *commitReq) {
+	if req.fr == nil {
+		return
+	}
+	fr := req.fr
+	req.fr = nil
+	fr.Reset()
+	framesPool.Put(fr)
 }
 
 // observeCommit records a successful commit's whole-Update latency and
@@ -744,10 +766,15 @@ func (m *Manager) prepare(fn func(*storage.TxView) error) (*commitReq, error) {
 		m.addCommitsBatches(1, 0)
 		return nil, nil // read-only "write" transaction
 	}
-	// Stage the commit record run. The images are copied into the frame
-	// buffer here, under the lock, while they are this transaction's
-	// final state; the committer appends the frozen bytes later.
-	fr := &wal.Frames{}
+	// Stage the commit record run. The images are encoded once, directly
+	// into the frame buffer here, under the lock, while they are this
+	// transaction's final state; the committer splices the frozen bytes
+	// later. Grow reserves the whole run up front (8-byte frame header
+	// plus ≤10 bytes of record prelude per page image, with slack for
+	// begin/commit/prepare) so staging never reallocates mid-loop.
+	fr := framesPool.Get().(*wal.Frames)
+	fr.Reset()
+	fr.Grow(len(touched)*(m.st.PageSize()+18) + 64)
 	fr.Begin(txid)
 	for _, id := range touched {
 		p, err := m.st.Get(id)

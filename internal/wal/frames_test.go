@@ -1,0 +1,72 @@
+package wal
+
+// The zero-copy Frames staging path (beginRecord/endRecord reserve and
+// patch) must frame records byte-for-byte as the Writer-based framing
+// it replaced — the batch leader splices fr.buf straight into the log,
+// so any divergence is an on-disk format change.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ode/internal/codec"
+	"ode/internal/oid"
+)
+
+// refFrame is the pre-refactor framing: build the payload in a Writer,
+// then prepend [len][crc].
+func refFrame(dst []byte, payload []byte) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], codec.Checksum(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func TestFramesMatchesReferenceFraming(t *testing.T) {
+	image := bytes.Repeat([]byte{0x5a, 0x00, 0xff}, 1365) // 4095 bytes, odd size
+	const tx = oid.TxID(123456789)
+	const page = oid.PageID(0xDEADBE)
+	const gtid = uint64(1) << 60
+
+	var fr Frames
+	fr.Grow(len(image) + 64)
+	fr.Begin(tx)
+	fr.PageImage(tx, page, image)
+	fr.Commit(tx)
+	fr.Prepare(tx, gtid)
+
+	var want []byte
+	want = refFrame(want, codec.NewWriter(16).U8(RecBegin).UVarint(uint64(tx)).Bytes())
+	want = refFrame(want, codec.NewWriter(len(image)+24).U8(RecPageImage).UVarint(uint64(tx)).U32(uint32(page)).Raw(image).Bytes())
+	want = refFrame(want, codec.NewWriter(16).U8(RecCommit).UVarint(uint64(tx)).Bytes())
+	want = refFrame(want, codec.NewWriter(24).U8(RecPrepare).UVarint(uint64(tx)).UVarint(gtid).Bytes())
+
+	if !bytes.Equal(fr.buf, want) {
+		t.Fatalf("Frames staging diverges from reference framing:\n  got  %d bytes\n  want %d bytes", len(fr.buf), len(want))
+	}
+	if fr.Records() != 4 {
+		t.Fatalf("Records() = %d, want 4", fr.Records())
+	}
+	if fr.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", fr.Len(), len(want))
+	}
+}
+
+// TestFramesGrowNoRealloc proves Grow pre-sizing makes staging
+// allocation-free after the initial reservation.
+func TestFramesGrowNoRealloc(t *testing.T) {
+	image := make([]byte, 4096)
+	var fr Frames
+	fr.Grow(3*(len(image)+18) + 64)
+	base := cap(fr.buf)
+	fr.Begin(1)
+	for i := 0; i < 3; i++ {
+		fr.PageImage(1, oid.PageID(i), image)
+	}
+	fr.Commit(1)
+	if cap(fr.buf) != base {
+		t.Fatalf("staging grew the buffer despite Grow: cap %d -> %d", base, cap(fr.buf))
+	}
+}

@@ -91,6 +91,11 @@ type Log struct {
 	appends uint64
 	syncs   uint64
 
+	// scratch is the reusable payload buffer for the direct Append*
+	// methods. Appends already serialize on the bufio writer, so one
+	// buffer per log is safe.
+	scratch []byte
+
 	// m, when set, receives the fsync-latency distribution. Nil (the
 	// default, and the NoMetrics baseline) records nothing.
 	m *obs.Metrics
@@ -244,47 +249,86 @@ func (l *Log) append(payload []byte) (oid.LSN, error) {
 // which splices whole runs into the log with AppendFrames outside that
 // mutex. Page images are copied at staging time, so a Frames never
 // aliases live pool pages.
+//
+// Records are encoded once, directly into buf: beginRecord reserves the
+// 8-byte frame header, the payload is appended in place with the codec
+// Append* family, and endRecord patches the length and CRC back over
+// the reservation. There is no intermediate payload buffer anywhere on
+// the staging path.
 type Frames struct {
 	buf  []byte
 	recs uint64
 }
 
-func (fr *Frames) frame(payload []byte) {
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], codec.Checksum(payload))
-	fr.buf = append(fr.buf, hdr[:]...)
-	fr.buf = append(fr.buf, payload...)
+// Reset empties the staged run, keeping the buffer for reuse (the
+// transaction layer pools Frames across commits).
+func (fr *Frames) Reset() {
+	fr.buf = fr.buf[:0]
+	fr.recs = 0
+}
+
+// Grow pre-sizes the staging buffer so a transaction whose footprint is
+// known up front (prepare knows its touched-page count and page size)
+// stages without intermediate growth copies.
+func (fr *Frames) Grow(n int) {
+	if free := cap(fr.buf) - len(fr.buf); free < n {
+		grown := make([]byte, len(fr.buf), len(fr.buf)+n)
+		copy(grown, fr.buf)
+		fr.buf = grown
+	}
+}
+
+// beginRecord reserves the 8-byte [len][crc] frame header and returns
+// the payload's start offset; the caller appends the payload to fr.buf
+// and closes the record with endRecord.
+func (fr *Frames) beginRecord() int {
+	fr.buf = append(fr.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	return len(fr.buf)
+}
+
+// endRecord patches the frame header reserved by beginRecord with the
+// length and CRC of everything appended since.
+func (fr *Frames) endRecord(start int) {
+	payload := fr.buf[start:]
+	binary.BigEndian.PutUint32(fr.buf[start-8:start-4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(fr.buf[start-4:start], codec.Checksum(payload))
 	fr.recs++
 }
 
 // Begin stages tx's begin record.
 func (fr *Frames) Begin(tx oid.TxID) {
-	w := codec.NewWriter(16)
-	w.U8(RecBegin).UVarint(uint64(tx))
-	fr.frame(w.Bytes())
+	s := fr.beginRecord()
+	fr.buf = codec.AppendU8(fr.buf, RecBegin)
+	fr.buf = codec.AppendUVarint(fr.buf, uint64(tx))
+	fr.endRecord(s)
 }
 
 // PageImage stages a full after-image of page id for tx (copied).
 func (fr *Frames) PageImage(tx oid.TxID, id oid.PageID, image []byte) {
-	w := codec.NewWriter(len(image) + 24)
-	w.U8(RecPageImage).UVarint(uint64(tx)).U32(uint32(id)).Raw(image)
-	fr.frame(w.Bytes())
+	s := fr.beginRecord()
+	fr.buf = codec.AppendU8(fr.buf, RecPageImage)
+	fr.buf = codec.AppendUVarint(fr.buf, uint64(tx))
+	fr.buf = codec.AppendU32(fr.buf, uint32(id))
+	fr.buf = append(fr.buf, image...)
+	fr.endRecord(s)
 }
 
 // Commit stages tx's commit record.
 func (fr *Frames) Commit(tx oid.TxID) {
-	w := codec.NewWriter(16)
-	w.U8(RecCommit).UVarint(uint64(tx))
-	fr.frame(w.Bytes())
+	s := fr.beginRecord()
+	fr.buf = codec.AppendU8(fr.buf, RecCommit)
+	fr.buf = codec.AppendUVarint(fr.buf, uint64(tx))
+	fr.endRecord(s)
 }
 
 // Prepare stages tx's 2PC prepare record, carrying the global txn id
 // that ties this shard-local participant to its coordinator decision.
 func (fr *Frames) Prepare(tx oid.TxID, gtid uint64) {
-	w := codec.NewWriter(24)
-	w.U8(RecPrepare).UVarint(uint64(tx)).UVarint(gtid)
-	fr.frame(w.Bytes())
+	s := fr.beginRecord()
+	fr.buf = codec.AppendU8(fr.buf, RecPrepare)
+	fr.buf = codec.AppendUVarint(fr.buf, uint64(tx))
+	fr.buf = codec.AppendUVarint(fr.buf, gtid)
+	fr.endRecord(s)
 }
 
 // Len returns the staged size in bytes.
@@ -308,37 +352,45 @@ func (l *Log) AppendFrames(fr *Frames) (oid.LSN, error) {
 
 // AppendBegin logs the start of tx.
 func (l *Log) AppendBegin(tx oid.TxID) (oid.LSN, error) {
-	w := codec.NewWriter(16)
-	w.U8(RecBegin).UVarint(uint64(tx))
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecBegin)
+	b = codec.AppendUVarint(b, uint64(tx))
+	l.scratch = b
+	return l.append(b)
 }
 
 // AppendPageImage logs a full after-image of page id for tx.
 func (l *Log) AppendPageImage(tx oid.TxID, id oid.PageID, image []byte) (oid.LSN, error) {
-	w := codec.NewWriter(len(image) + 24)
-	w.U8(RecPageImage).UVarint(uint64(tx)).U32(uint32(id)).Raw(image)
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecPageImage)
+	b = codec.AppendUVarint(b, uint64(tx))
+	b = codec.AppendU32(b, uint32(id))
+	b = append(b, image...)
+	l.scratch = b
+	return l.append(b)
 }
 
 // AppendCommit logs tx's commit record.
 func (l *Log) AppendCommit(tx oid.TxID) (oid.LSN, error) {
-	w := codec.NewWriter(16)
-	w.U8(RecCommit).UVarint(uint64(tx))
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecCommit)
+	b = codec.AppendUVarint(b, uint64(tx))
+	l.scratch = b
+	return l.append(b)
 }
 
 // AppendAbort logs an informational abort record.
 func (l *Log) AppendAbort(tx oid.TxID) (oid.LSN, error) {
-	w := codec.NewWriter(16)
-	w.U8(RecAbort).UVarint(uint64(tx))
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecAbort)
+	b = codec.AppendUVarint(b, uint64(tx))
+	l.scratch = b
+	return l.append(b)
 }
 
 // AppendPrepare logs tx's 2PC prepare record with its global txn id.
 func (l *Log) AppendPrepare(tx oid.TxID, gtid uint64) (oid.LSN, error) {
-	w := codec.NewWriter(24)
-	w.U8(RecPrepare).UVarint(uint64(tx)).UVarint(gtid)
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecPrepare)
+	b = codec.AppendUVarint(b, uint64(tx))
+	b = codec.AppendUVarint(b, gtid)
+	l.scratch = b
+	return l.append(b)
 }
 
 // AppendShardMap logs a shard-map image proposed by global transaction
@@ -346,16 +398,19 @@ func (l *Log) AppendPrepare(tx oid.TxID, gtid uint64) (oid.LSN, error) {
 // the same log (the coordinator log), so the map flip and the data move
 // it describes share one atomic commit point.
 func (l *Log) AppendShardMap(tx oid.TxID, image []byte) (oid.LSN, error) {
-	w := codec.NewWriter(len(image) + 24)
-	w.U8(RecShardMap).UVarint(uint64(tx)).Raw(image)
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecShardMap)
+	b = codec.AppendUVarint(b, uint64(tx))
+	b = append(b, image...)
+	l.scratch = b
+	return l.append(b)
 }
 
 // AppendCheckpoint logs a checkpoint marker.
 func (l *Log) AppendCheckpoint() (oid.LSN, error) {
-	w := codec.NewWriter(8)
-	w.U8(RecCheckpoint).UVarint(0)
-	return l.append(w.Bytes())
+	b := codec.AppendU8(l.scratch[:0], RecCheckpoint)
+	b = codec.AppendUVarint(b, 0)
+	l.scratch = b
+	return l.append(b)
 }
 
 // Sync flushes buffered appends and fsyncs the log. A commit is durable

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ode"
+)
+
+// TestDerefCacheNeverStaleAcrossReshard is the dereference cache's
+// correctness net: the deep shape's full oracle-checked op mix (every
+// read validated against the in-memory model) runs with a deliberately
+// tiny cache budget — maximising put/evict/re-fill churn — while the
+// store live-splits 4 → 8 and merges back underneath the workers. Any
+// stale cached latest (wrong content, wrong vid, or pre-reshard
+// placement served after a routing flip) is an oracle violation with a
+// repro recipe. The run must also actually exercise the cache: zero
+// hits would mean the test proved nothing.
+func TestDerefCacheNeverStaleAcrossReshard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deref cache reshard soak skipped in -short")
+	}
+	cfg := tinyCfg(t, ShapeDeep, 4, 4711)
+	cfg.Objects = 48
+	cfg.OpsPerWorker = 400
+	// ~8 KiB spread over the cache's buckets: a handful of entries per
+	// bucket, so eviction and re-fill run constantly under the workers.
+	cfg.Options = &ode.Options{NoSync: true, DerefCacheBytes: 8 << 10}
+	var hits, misses uint64
+	cfg.Mid = func(db *ode.DB) error {
+		if err := db.Reshard(8); err != nil {
+			return fmt.Errorf("split 4->8: %w", err)
+		}
+		if err := db.Reshard(4); err != nil {
+			return fmt.Errorf("merge 8->4: %w", err)
+		}
+		// Post-reshard double-read probe: within one snapshot, the second
+		// read of each object must be a cache hit serving exactly the
+		// bytes and vid the first (cache-filling) read returned — read
+		// directly against the just-moved placements, while the workers
+		// keep mutating at later epochs.
+		tid, err := db.Engine().RegisterType("WorkloadBlob")
+		if err != nil {
+			return err
+		}
+		if err := db.View(func(tx *ode.Tx) error {
+			var oids []ode.OID
+			if err := tx.Extent(tid, func(o ode.OID) (bool, error) {
+				oids = append(oids, o)
+				return true, nil
+			}); err != nil {
+				return err
+			}
+			for _, o := range oids {
+				c1, v1, err := tx.ReadLatestRaw(o)
+				if err != nil {
+					return err
+				}
+				c2, v2, err := tx.ReadLatestRaw(o)
+				if err != nil {
+					return err
+				}
+				if v1 != v2 || !bytes.Equal(c1, c2) {
+					return fmt.Errorf("cached re-read of %v diverged: (%v, %d bytes) then (%v, %d bytes)",
+						o, v1, len(c1), v2, len(c2))
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("post-reshard probe: %w", err)
+		}
+		st := db.Stats()
+		hits, misses = st.DerefCacheHits, st.DerefCacheMisses
+		return nil
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run with live reshard and tiny deref cache: %v", err)
+	}
+	if res.Mutations == 0 || res.Reads == 0 {
+		t.Fatalf("degenerate run: mutations=%d reads=%d", res.Mutations, res.Reads)
+	}
+	if hits == 0 {
+		t.Fatalf("deref cache recorded no hits mid-run (%d misses): the net caught nothing", misses)
+	}
+	t.Logf("reads=%d mutations=%d; deref cache mid-run: %d hits, %d misses",
+		res.Reads, res.Mutations, hits, misses)
+}
+
+// TestDerefCacheDisabledMatchesOracle pins the off switch: a negative
+// budget must run the identical workload straight against the engine
+// with the cache fully disabled.
+func TestDerefCacheDisabledMatchesOracle(t *testing.T) {
+	cfg := tinyCfg(t, ShapeChurn, 1, 4712)
+	cfg.Options = &ode.Options{NoSync: true, DerefCacheBytes: -1}
+	var hits, misses uint64
+	cfg.Mid = func(db *ode.DB) error {
+		st := db.Stats()
+		hits, misses = st.DerefCacheHits, st.DerefCacheMisses
+		return nil
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("run with deref cache disabled: %v", err)
+	}
+	if hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded traffic: %d hits, %d misses", hits, misses)
+	}
+}

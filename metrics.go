@@ -89,6 +89,10 @@ type Metrics struct {
 	CacheBytes     int64
 	CacheEntries   int
 
+	// Dereference cache occupancy (the hit/miss/eviction/bytes counters
+	// live on the embedded Stats).
+	DerefCacheEntries int
+
 	// Distributions. The latency histograms are in nanoseconds.
 	CommitLatency      HistSnapshot // whole Update: fn + staging + fsync wait
 	WALFsyncLatency    HistSnapshot // one WAL fsync
@@ -114,6 +118,9 @@ func (db *DB) Metrics() Metrics {
 		ms.CacheEvictions = cs.Evictions
 		ms.CacheBytes = cs.Bytes
 		ms.CacheEntries = cs.Entries
+	}
+	if ds, ok := db.eng.DerefCacheStats(); ok {
+		ms.DerefCacheEntries = ds.Entries
 	}
 	m := db.coord.Metrics()
 	if m == nil {
@@ -199,6 +206,11 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 		{"ode_delta_cache_evictions_total", "Materialisation cache LRU evictions.", ms.CacheEvictions},
 		{"ode_compact_passes_total", "Completed whole-store compaction passes.", ms.CompactPasses},
 		{"ode_compact_objects_total", "Objects examined by compaction sweeps.", ms.CompactObjects},
+		{"ode_derefcache_hits_total", "Dereference cache hits (latest-version reads served without page decoding).", ms.DerefCacheHits},
+		{"ode_derefcache_misses_total", "Dereference cache misses.", ms.DerefCacheMisses},
+		{"ode_derefcache_evictions_total", "Dereference cache LRU evictions.", ms.DerefCacheEvictions},
+		{"ode_alloc_leases_total", "Batched id-allocator leases taken from the superblock counters.", ms.AllocLeases},
+		{"ode_alloc_ids_total", "Object/version ids handed out from allocator leases.", ms.AllocIDs},
 	}
 	for _, c := range counters {
 		if err := obs.WriteCounter(w, c.name, c.help, c.v); err != nil {
@@ -218,6 +230,12 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 		return err
 	}
 	if err := obs.WriteGauge(w, "ode_delta_cache_entries", "Materialisation cache entry count.", int64(ms.CacheEntries)); err != nil {
+		return err
+	}
+	if err := obs.WriteGauge(w, "ode_derefcache_bytes", "Dereference cache occupancy in bytes.", ms.DerefCacheBytes); err != nil {
+		return err
+	}
+	if err := obs.WriteGauge(w, "ode_derefcache_entries", "Dereference cache entry count.", int64(ms.DerefCacheEntries)); err != nil {
 		return err
 	}
 	hists := []struct {
@@ -279,6 +297,8 @@ func (db *DB) writeShardMetrics(w io.Writer) error {
 	var (
 		commits, aborts, walBytes []obs.LabeledUint
 		hits, misses, pins        []obs.LabeledUint
+		dHits, dMisses            []obs.LabeledUint
+		allocLeases, allocIDs     []obs.LabeledUint
 		fsync, batch              []obs.LabeledHist
 	)
 	for i, sm := range shards {
@@ -293,6 +313,12 @@ func (db *DB) writeShardMetrics(w io.Writer) error {
 			fsync = append(fsync, obs.LabeledHist{Label: label(i), S: r.FsyncLatencyNS.Snapshot()})
 			batch = append(batch, obs.LabeledHist{Label: label(i), S: r.BatchSize.Snapshot()})
 		}
+		dh, dm := db.eng.DerefCacheShardStats(i)
+		dHits = append(dHits, obs.LabeledUint{Label: label(i), V: dh})
+		dMisses = append(dMisses, obs.LabeledUint{Label: label(i), V: dm})
+		al, ai := db.eng.AllocShardStats(i)
+		allocLeases = append(allocLeases, obs.LabeledUint{Label: label(i), V: al})
+		allocIDs = append(allocIDs, obs.LabeledUint{Label: label(i), V: ai})
 	}
 	counterVecs := []struct {
 		name, help string
@@ -303,6 +329,10 @@ func (db *DB) writeShardMetrics(w io.Writer) error {
 		{"ode_shard_pool_hits_total", "Buffer-pool page hits per shard.", hits},
 		{"ode_shard_pool_misses_total", "Buffer-pool page misses per shard.", misses},
 		{"ode_shard_reader_pins_total", "Reader snapshot-epoch pins per shard.", pins},
+		{"ode_shard_derefcache_hits_total", "Dereference cache hits per shard.", dHits},
+		{"ode_shard_derefcache_misses_total", "Dereference cache misses per shard.", dMisses},
+		{"ode_shard_alloc_leases_total", "Id-allocator leases taken per shard.", allocLeases},
+		{"ode_shard_alloc_ids_total", "Ids handed out from allocator leases per shard.", allocIDs},
 	}
 	for _, c := range counterVecs {
 		if err := obs.WriteCounterVec(w, c.name, c.help, "shard", c.s); err != nil {

@@ -132,6 +132,13 @@ type Options struct {
 	// DeltaTier; 0 means core.DefaultCacheBytes (4 MiB), negative
 	// disables the cache.
 	MatCacheBytes int64
+	// DerefCacheBytes is the read-side dereference cache budget: a
+	// sharded, epoch-tagged LRU of (latest vid, materialised content)
+	// keyed by object id, letting hot Deref/latest reads on snapshot
+	// transactions skip page decoding entirely. Independent of
+	// DeltaTier. 0 means core.DefaultDerefCacheBytes (4 MiB), negative
+	// disables it.
+	DerefCacheBytes int64
 	// CompactInterval paces the background compactor under DeltaTier:
 	// each physical shard is swept in bounded transactions at most this
 	// often. 0 means DefaultCompactInterval; negative disables the
@@ -255,11 +262,12 @@ func Open(dir string, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	eng, err := core.NewSharded(coord, core.Options{
-		Policy:         o.Policy,
-		MaxChain:       o.MaxChain,
-		DeltaTier:      o.DeltaTier,
-		AnchorInterval: o.AnchorInterval,
-		CacheBytes:     o.MatCacheBytes,
+		Policy:          o.Policy,
+		MaxChain:        o.MaxChain,
+		DeltaTier:       o.DeltaTier,
+		AnchorInterval:  o.AnchorInterval,
+		CacheBytes:      o.MatCacheBytes,
+		DerefCacheBytes: o.DerefCacheBytes,
 	})
 	if err != nil {
 		coord.Close()
@@ -366,21 +374,40 @@ type Stats struct {
 	// RecoveredTxns counts committed transactions replayed from the WAL
 	// by crash recovery at Open.
 	RecoveredTxns uint64
+	// DerefCacheHits/Misses/Evictions/Bytes are the read-side
+	// dereference cache counters (all zero when disabled).
+	DerefCacheHits      uint64
+	DerefCacheMisses    uint64
+	DerefCacheEvictions uint64
+	DerefCacheBytes     int64
+	// AllocLeases counts batched id-allocator leases taken from the
+	// superblock counters; AllocIDs counts ids handed out. Their ratio
+	// approaches the lease size on allocation-heavy workloads.
+	AllocLeases uint64
+	AllocIDs    uint64
 }
 
 // Stats returns current database statistics.
 func (db *DB) Stats() Stats {
 	es := db.eng.Stats()
 	ms := db.coord.Stats()
+	ds, _ := db.eng.DerefCacheStats()
+	leases, ids := db.eng.AllocStats()
 	return Stats{
-		Objects:       es.Objects,
-		Versions:      es.Versions,
-		Commits:       ms.Commits,
-		Aborts:        ms.Aborts,
-		Checkpoints:   ms.Checkpoints,
-		WALBytes:      ms.WALBytes,
-		Batches:       ms.Batches,
-		RecoveredTxns: ms.RecoveredTxns,
+		Objects:             es.Objects,
+		Versions:            es.Versions,
+		Commits:             ms.Commits,
+		Aborts:              ms.Aborts,
+		Checkpoints:         ms.Checkpoints,
+		WALBytes:            ms.WALBytes,
+		Batches:             ms.Batches,
+		RecoveredTxns:       ms.RecoveredTxns,
+		DerefCacheHits:      ds.Hits,
+		DerefCacheMisses:    ds.Misses,
+		DerefCacheEvictions: ds.Evictions,
+		DerefCacheBytes:     ds.Bytes,
+		AllocLeases:         leases,
+		AllocIDs:            ids,
 	}
 }
 
